@@ -1,0 +1,96 @@
+//! Criterion micro/meso-benchmarks of the reproduction's hot paths:
+//! per-scheme single-multicast simulation, plan construction, topology
+//! analysis, and a short load slice. These guard the simulator's own
+//! performance (the figure harnesses run thousands of these simulations).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use irrnet_core::{plan_multicast, Scheme, SchemeProtocol};
+use irrnet_sim::{McastId, SimConfig, Simulator};
+use irrnet_topology::{gen, Network, NodeId, NodeMask, RandomTopologyConfig};
+use irrnet_workloads::{run_load, LoadConfig};
+use std::sync::Arc;
+
+fn default_net() -> Network {
+    Network::analyze(gen::generate(&RandomTopologyConfig::paper_default(0)).unwrap()).unwrap()
+}
+
+fn bench_single_multicast(c: &mut Criterion) {
+    let net = default_net();
+    let cfg = SimConfig::paper_default();
+    let dests = NodeMask::from_nodes((1..=16).map(NodeId));
+    let mut g = c.benchmark_group("single_multicast_16way");
+    for scheme in Scheme::all() {
+        g.bench_with_input(BenchmarkId::from_parameter(scheme.name()), &scheme, |b, &scheme| {
+            b.iter(|| {
+                let plan = plan_multicast(&net, &cfg, scheme, NodeId(0), dests, 128);
+                let mut proto = SchemeProtocol::new();
+                proto.add(McastId(0), Arc::new(plan));
+                let mut sim = Simulator::new(&net, cfg.clone(), proto).unwrap();
+                sim.schedule_multicast(0, McastId(0), dests, 128);
+                sim.run_to_completion(100_000_000).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_planning(c: &mut Criterion) {
+    let net = default_net();
+    let cfg = SimConfig::paper_default();
+    let dests = NodeMask::from_nodes((1..=16).map(NodeId));
+    let mut g = c.benchmark_group("plan_construction_16way");
+    for scheme in Scheme::all() {
+        g.bench_with_input(BenchmarkId::from_parameter(scheme.name()), &scheme, |b, &scheme| {
+            b.iter(|| plan_multicast(&net, &cfg, scheme, NodeId(0), dests, 128))
+        });
+    }
+    g.finish();
+}
+
+fn bench_topology_analysis(c: &mut Criterion) {
+    let mut g = c.benchmark_group("network_analysis");
+    for switches in [8usize, 32] {
+        let topo_cfg = RandomTopologyConfig::with_switches(0, switches);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(switches),
+            &topo_cfg,
+            |b, topo_cfg| {
+                b.iter(|| {
+                    Network::analyze(gen::generate(topo_cfg).unwrap()).unwrap()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_load_slice(c: &mut Criterion) {
+    let net = default_net();
+    let cfg = SimConfig::paper_default();
+    let mut g = c.benchmark_group("load_slice_100k_cycles");
+    g.sample_size(10);
+    for scheme in Scheme::paper_three() {
+        g.bench_with_input(BenchmarkId::from_parameter(scheme.name()), &scheme, |b, &scheme| {
+            let lc = LoadConfig {
+                degree: 8,
+                message_flits: 128,
+                effective_load: 0.05,
+                warmup: 10_000,
+                measure: 80_000,
+                drain: 10_000,
+                seed: 1,
+            };
+            b.iter(|| run_load(&net, &cfg, scheme, &lc).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_single_multicast,
+    bench_planning,
+    bench_topology_analysis,
+    bench_load_slice
+);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Criterion benchmarks of the topology substrate: generation, Autonet
+//! analysis pipeline, and the per-multicast planning primitives (apex
+//! plans and reachability partitions) that load experiments execute
+//! thousands of times.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use irrnet_topology::{
+    gen, ApexPlan, Network, NodeId, NodeMask, RandomTopologyConfig, UpDown,
+};
+
+fn bench_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("topology_generation");
+    for switches in [8usize, 32] {
+        let cfg = RandomTopologyConfig::with_switches(0, switches);
+        g.bench_with_input(BenchmarkId::from_parameter(switches), &cfg, |b, cfg| {
+            b.iter(|| gen::generate(cfg).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_updown_and_routing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("autonet_pipeline");
+    for switches in [8usize, 32] {
+        let topo = gen::generate(&RandomTopologyConfig::with_switches(0, switches)).unwrap();
+        g.bench_with_input(
+            BenchmarkId::new("updown", switches),
+            &topo,
+            |b, topo| b.iter(|| UpDown::compute(topo, irrnet_topology::SwitchId(0)).unwrap()),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("full_analysis", switches),
+            &topo,
+            |b, topo| b.iter(|| Network::analyze(topo.clone()).unwrap()),
+        );
+    }
+    g.finish();
+}
+
+fn bench_apex_plan(c: &mut Criterion) {
+    let net =
+        Network::analyze(gen::generate(&RandomTopologyConfig::paper_default(0)).unwrap()).unwrap();
+    let dests = NodeMask::from_nodes((1..=16).map(NodeId));
+    c.bench_function("apex_plan_16way", |b| {
+        b.iter(|| ApexPlan::compute(&net.topo, &net.updown, &net.reach, dests))
+    });
+}
+
+fn bench_partition(c: &mut Criterion) {
+    let net =
+        Network::analyze(gen::generate(&RandomTopologyConfig::paper_default(0)).unwrap()).unwrap();
+    let root = net.updown.root();
+    let all = NodeMask::all(net.num_nodes());
+    c.bench_function("reachability_partition_broadcast", |b| {
+        b.iter(|| net.reach.partition(&net.topo, root, all))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_generation,
+    bench_updown_and_routing,
+    bench_apex_plan,
+    bench_partition
+);
+criterion_main!(benches);

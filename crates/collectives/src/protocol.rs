@@ -1,0 +1,124 @@
+//! Runtime driver for collectives: combines the reduction state machine
+//! with the multicast scheme driver for the release broadcast.
+
+use crate::plan::CollectivePlan;
+use irrnet_core::SchemeProtocol;
+use irrnet_sim::{McastId, Protocol, SendSpec, WormCopy};
+use irrnet_topology::NodeId;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// What a multicast id means inside a collective.
+#[derive(Debug, Clone, Copy)]
+enum Role {
+    /// Reduce edge of collective `idx`.
+    Edge(usize),
+    /// Release broadcast of a collective.
+    Broadcast,
+}
+
+/// Protocol driving one or more collectives in a single simulation.
+pub struct CollectiveProtocol {
+    plans: Vec<CollectivePlan>,
+    /// Remaining contributions per (collective, node).
+    pending: Vec<HashMap<NodeId, usize>>,
+    roles: HashMap<McastId, Role>,
+    /// Scheme-level driver for the release broadcasts.
+    bcast: SchemeProtocol,
+}
+
+impl CollectiveProtocol {
+    /// Build the driver (the broadcast plans are registered with an inner
+    /// [`SchemeProtocol`]).
+    pub fn new(plans: Vec<CollectivePlan>) -> Self {
+        let mut roles = HashMap::new();
+        let mut bcast = SchemeProtocol::new();
+        let mut pending = Vec::with_capacity(plans.len());
+        for (i, p) in plans.iter().enumerate() {
+            for e in &p.edges {
+                roles.insert(e.id, Role::Edge(i));
+            }
+            if let Some((id, plan)) = &p.broadcast {
+                roles.insert(*id, Role::Broadcast);
+                bcast.add(*id, Arc::new(plan.clone()));
+            }
+            pending.push(p.pending.clone());
+        }
+        CollectiveProtocol { plans, pending, roles, bcast }
+    }
+
+    /// The compiled plans (for inspection).
+    pub fn plans(&self) -> &[CollectivePlan] {
+        &self.plans
+    }
+
+    fn fire_if_ready(&mut self, idx: usize, node: NodeId, now: u64) -> Vec<(McastId, SendSpec)> {
+        let p = &self.plans[idx];
+        if self.pending[idx][&node] > 0 {
+            return Vec::new();
+        }
+        if node == p.root {
+            // Reduction complete: release, if this op broadcasts.
+            if let Some((bid, _)) = &p.broadcast {
+                let bid = *bid;
+                return self
+                    .bcast
+                    .on_launch(bid, now)
+                    .into_iter()
+                    .map(|(_, spec)| (bid, spec))
+                    .collect();
+            }
+            Vec::new()
+        } else {
+            // Interior node: contribute up.
+            let e = p.edge_of[&node];
+            vec![(e.id, SendSpec::Unicast { dest: e.parent })]
+        }
+    }
+}
+
+impl Protocol for CollectiveProtocol {
+    fn on_launch(&mut self, mcast: McastId, now: u64) -> Vec<(NodeId, SendSpec)> {
+        match self.roles[&mcast] {
+            Role::Edge(i) => {
+                // A leaf edge fires at launch time: the child contributes.
+                let p = &self.plans[i];
+                let e = p
+                    .edges
+                    .iter()
+                    .find(|e| e.id == mcast)
+                    .expect("launch of unknown edge");
+                debug_assert_eq!(p.pending[&e.child], 0, "launched edge must be a leaf's");
+                vec![(e.child, SendSpec::Unicast { dest: e.parent })]
+            }
+            Role::Broadcast => self.bcast.on_launch(mcast, now),
+        }
+    }
+
+    fn on_message_delivered(
+        &mut self,
+        node: NodeId,
+        mcast: McastId,
+        now: u64,
+    ) -> Vec<(McastId, SendSpec)> {
+        match self.roles[&mcast] {
+            Role::Edge(i) => {
+                // `node` (the parent) combined one more contribution.
+                let c = self.pending[i]
+                    .get_mut(&node)
+                    .expect("edge delivered to non-member");
+                debug_assert!(*c > 0, "more contributions than children");
+                *c -= 1;
+                self.fire_if_ready(i, node, now)
+            }
+            Role::Broadcast => self.bcast.on_message_delivered(node, mcast, now),
+        }
+    }
+
+    fn on_packet_at_ni(&mut self, node: NodeId, worm: &WormCopy, now: u64) -> Vec<SendSpec> {
+        match self.roles[&worm.mcast] {
+            Role::Broadcast => self.bcast.on_packet_at_ni(node, worm, now),
+            Role::Edge(_) => Vec::new(),
+        }
+    }
+}

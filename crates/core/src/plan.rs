@@ -1,0 +1,399 @@
+//! Per-multicast planning for the four schemes under comparison.
+//!
+//! A [`McastPlan`] is everything the runtime driver needs to execute one
+//! multicast under one scheme: the sends the source issues at launch, the
+//! software forwarding table (who sends what after *receiving* the
+//! message — the multi-phase schemes), and the smart-NI forwarding table
+//! (who replicates what at the *NI* — the FPFS scheme).
+
+use crate::kbinomial::{build_k_binomial, choose_k, McastTree};
+use crate::mdp::{plan_paths, PathVariant};
+use crate::order::{node_ranks, sort_by_rank};
+use irrnet_sim::{SendSpec, SimConfig};
+use irrnet_topology::{ApexPlan, Network, NodeId, NodeMask};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The multicast schemes compared in the paper (§3), plus the greedy
+/// path variant as an ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scheme {
+    /// Multi-phase software multicast over unicast: binomial tree,
+    /// ⌈log₂(d+1)⌉ phases, full host+NI overhead per hop (§3.1).
+    UBinomial,
+    /// NI-based multicast: optimal k-binomial tree with FPFS smart-NI
+    /// forwarding (§3.2.1).
+    NiFpfs,
+    /// Switch-based: one tree-based multidestination worm with a
+    /// bit-string header, single phase (§3.2.3).
+    TreeWorm,
+    /// Switch-based: multi-drop path-based worms, greedy covering
+    /// (ablation baseline for MDP-LG).
+    PathGreedy,
+    /// Switch-based: multi-drop path-based worms, MDP-LG covering and
+    /// multi-phase scheduling (§3.2.4) — the paper's path-based scheme.
+    PathLessGreedy,
+    /// Extension: MDP-LG path worms **with smart-NI forwarding** — the
+    /// combination the paper points at but does not evaluate ("a
+    /// multicasting scheme with enhanced support at the network interface
+    /// and the switches will perform better", §3; "the multi-phase
+    /// path-based multicasting scheme can also make use of support at the
+    /// NI", §4.2). Next-phase worms are injected by the leader's NI as
+    /// each packet arrives, skipping the host receive/send overheads
+    /// between phases.
+    PathLgNi,
+}
+
+impl Scheme {
+    /// Short label used in tables and CSV output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scheme::UBinomial => "ubinomial",
+            Scheme::NiFpfs => "ni-fpfs",
+            Scheme::TreeWorm => "tree",
+            Scheme::PathGreedy => "path-g",
+            Scheme::PathLessGreedy => "path-lg",
+            Scheme::PathLgNi => "path-lg+ni",
+        }
+    }
+
+    /// The three enhanced schemes the paper's figures compare.
+    pub fn paper_three() -> [Scheme; 3] {
+        [Scheme::NiFpfs, Scheme::TreeWorm, Scheme::PathLessGreedy]
+    }
+
+    /// Every implemented scheme.
+    pub fn all() -> [Scheme; 6] {
+        [
+            Scheme::UBinomial,
+            Scheme::NiFpfs,
+            Scheme::TreeWorm,
+            Scheme::PathGreedy,
+            Scheme::PathLessGreedy,
+            Scheme::PathLgNi,
+        ]
+    }
+}
+
+impl std::fmt::Display for Scheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Structural facts about a plan, for the architectural-cost table and
+/// assertions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanMeta {
+    /// Messages / worms transmitted in total (source + forwarders).
+    pub worms: usize,
+    /// Communication phases (tree depth for the software schemes, 1 for
+    /// the tree-based worm, schedule depth for path-based).
+    pub phases: usize,
+    /// Fan-out bound of the k-binomial tree (0 when not applicable).
+    pub k: usize,
+}
+
+/// Everything needed to run one multicast under one scheme.
+#[derive(Debug, Clone)]
+pub struct McastPlan {
+    /// The scheme this plan realizes.
+    pub scheme: Scheme,
+    /// Multicast source.
+    pub source: NodeId,
+    /// Destination set (never contains the source).
+    pub dests: NodeMask,
+    /// Message length in flits.
+    pub message_flits: u32,
+    /// Sends the source issues at launch.
+    pub initial: Vec<SendSpec>,
+    /// Software forwarding: sends a node issues after the message is
+    /// delivered to its host.
+    pub on_delivered: HashMap<NodeId, Vec<SendSpec>>,
+    /// Smart-NI forwarding: children a node's NI replicates each packet
+    /// to (FPFS). Empty for all other schemes.
+    pub fpfs_children: HashMap<NodeId, Vec<NodeId>>,
+    /// Smart-NI path forwarding (the NI+switch hybrid): path worms a
+    /// node's NI injects packet-by-packet as the message arrives. Empty
+    /// for all other schemes.
+    pub ni_path_forwards: HashMap<NodeId, Vec<Arc<irrnet_sim::PathWormSpec>>>,
+    /// Structural metadata.
+    pub meta: PlanMeta,
+}
+
+/// Build the plan for one multicast.
+///
+/// Panics if `dests` is empty or contains `source`.
+pub fn plan_multicast(
+    net: &Network,
+    cfg: &SimConfig,
+    scheme: Scheme,
+    source: NodeId,
+    dests: NodeMask,
+    message_flits: u32,
+) -> McastPlan {
+    assert!(!dests.is_empty(), "empty destination set");
+    assert!(!dests.contains(source), "source among destinations");
+    match scheme {
+        Scheme::UBinomial => plan_software_tree(net, source, dests, message_flits, None, cfg),
+        Scheme::NiFpfs => {
+            let ranks = node_ranks(net);
+            let mut ordered: Vec<NodeId> = dests.iter().collect();
+            sort_by_rank(&mut ordered, &ranks);
+            let k = choose_k(&ordered, cfg, message_flits, avg_hops_estimate(net));
+            plan_software_tree(net, source, dests, message_flits, Some(k), cfg)
+        }
+        Scheme::TreeWorm => {
+            let plan = Arc::new(ApexPlan::compute(&net.topo, &net.updown, &net.reach, dests));
+            McastPlan {
+                scheme,
+                source,
+                dests,
+                message_flits,
+                initial: vec![SendSpec::Tree { dests, plan }],
+                on_delivered: HashMap::new(),
+                fpfs_children: HashMap::new(),
+                ni_path_forwards: HashMap::new(),
+                meta: PlanMeta { worms: 1, phases: 1, k: 0 },
+            }
+        }
+        Scheme::PathGreedy | Scheme::PathLessGreedy | Scheme::PathLgNi => {
+            let variant = if scheme == Scheme::PathGreedy {
+                PathVariant::Greedy
+            } else {
+                PathVariant::LessGreedy
+            };
+            let ni_forwarding = scheme == Scheme::PathLgNi;
+            let pp = plan_paths(net, source, dests, variant);
+            let worms = pp.worms.len();
+            let phases = pp.phases;
+            let mut initial = Vec::new();
+            let mut on_delivered: HashMap<NodeId, Vec<SendSpec>> = HashMap::new();
+            let mut ni_path_forwards: HashMap<NodeId, Vec<Arc<irrnet_sim::PathWormSpec>>> =
+                HashMap::new();
+            for (sender, specs) in pp.assignments {
+                if sender == source {
+                    initial = specs.into_iter().map(|spec| SendSpec::Path { spec }).collect();
+                } else if ni_forwarding {
+                    // Hybrid: the leader's NI injects the next-phase
+                    // worms packet-by-packet, FPFS style.
+                    ni_path_forwards.insert(sender, specs);
+                } else {
+                    on_delivered.insert(
+                        sender,
+                        specs.into_iter().map(|spec| SendSpec::Path { spec }).collect(),
+                    );
+                }
+            }
+            McastPlan {
+                scheme,
+                source,
+                dests,
+                message_flits,
+                initial,
+                on_delivered,
+                fpfs_children: HashMap::new(),
+                ni_path_forwards,
+                meta: PlanMeta { worms, phases, k: 0 },
+            }
+        }
+    }
+}
+
+/// Shared construction for the two software-tree schemes: binomial
+/// (`k = None` ⇒ unbounded fan-out, host forwarding) and k-binomial FPFS
+/// (`k = Some(_)`, NI forwarding).
+fn plan_software_tree(
+    net: &Network,
+    source: NodeId,
+    dests: NodeMask,
+    message_flits: u32,
+    fpfs_k: Option<usize>,
+    _cfg: &SimConfig,
+) -> McastPlan {
+    let ranks = node_ranks(net);
+    let mut ordered: Vec<NodeId> = dests.iter().collect();
+    sort_by_rank(&mut ordered, &ranks);
+    let k = fpfs_k.unwrap_or(ordered.len().max(1));
+    let tree: McastTree = build_k_binomial(source, &ordered, k);
+    debug_assert!(tree.verify().is_ok());
+    let phases = tree.rounds;
+    let worms = ordered.len(); // one message per tree edge
+
+    if let Some(k) = fpfs_k {
+        // NI-based FPFS: the source sends once (its NI fans out); every
+        // interior node forwards at the NI.
+        let initial = vec![SendSpec::FpfsChildren {
+            children: tree.children_of(source).to_vec(),
+        }];
+        let mut fpfs_children = HashMap::new();
+        for (&n, kids) in &tree.children {
+            if n != source && !kids.is_empty() {
+                fpfs_children.insert(n, kids.clone());
+            }
+        }
+        McastPlan {
+            scheme: Scheme::NiFpfs,
+            source,
+            dests,
+            message_flits,
+            initial,
+            on_delivered: HashMap::new(),
+            fpfs_children,
+            ni_path_forwards: HashMap::new(),
+            meta: PlanMeta { worms, phases, k },
+        }
+    } else {
+        // Software binomial: every edge is a separate host-level send.
+        let initial = tree
+            .children_of(source)
+            .iter()
+            .map(|&c| SendSpec::Unicast { dest: c })
+            .collect();
+        let mut on_delivered = HashMap::new();
+        for (&n, kids) in &tree.children {
+            if n != source && !kids.is_empty() {
+                on_delivered.insert(
+                    n,
+                    kids.iter().map(|&c| SendSpec::Unicast { dest: c }).collect(),
+                );
+            }
+        }
+        McastPlan {
+            scheme: Scheme::UBinomial,
+            source,
+            dests,
+            message_flits,
+            initial,
+            on_delivered,
+            fpfs_children: HashMap::new(),
+            ni_path_forwards: HashMap::new(),
+            meta: PlanMeta { worms, phases, k: 0 },
+        }
+    }
+}
+
+/// Rough average hop count for the FPFS cost model: the up*/down*
+/// diameter is small; use half of it plus one.
+fn avg_hops_estimate(net: &Network) -> u32 {
+    use irrnet_topology::Phase;
+    let n = net.topo.num_switches();
+    let mut max = 0u16;
+    for s in 0..n {
+        for t in 0..n {
+            let d = net.routing.distance(
+                irrnet_topology::SwitchId(s as u16),
+                Phase::Up,
+                irrnet_topology::SwitchId(t as u16),
+            );
+            if d != irrnet_topology::routing::UNREACHABLE {
+                max = max.max(d);
+            }
+        }
+    }
+    (max as u32) / 2 + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use irrnet_topology::zoo;
+
+    fn net() -> Network {
+        Network::analyze(zoo::paper_example()).unwrap()
+    }
+
+    fn dests8() -> NodeMask {
+        NodeMask::from_nodes((1..=8).map(NodeId))
+    }
+
+    #[test]
+    fn ubinomial_has_log_phases() {
+        let net = net();
+        let cfg = SimConfig::paper_default();
+        let p = plan_multicast(&net, &cfg, Scheme::UBinomial, NodeId(0), dests8(), 128);
+        assert_eq!(p.meta.worms, 8);
+        // 9 nodes in the tree -> depth 4 (ceil(log2 9)).
+        assert_eq!(p.meta.phases, 4);
+        assert!(p.fpfs_children.is_empty());
+        // Every destination appears exactly once among all sends.
+        let mut targets = Vec::new();
+        for s in p.initial.iter().chain(p.on_delivered.values().flatten()) {
+            match s {
+                SendSpec::Unicast { dest } => targets.push(*dest),
+                _ => panic!("ubinomial must use unicast sends"),
+            }
+        }
+        targets.sort();
+        let expect: Vec<NodeId> = dests8().iter().collect();
+        assert_eq!(targets, expect);
+    }
+
+    #[test]
+    fn fpfs_plan_covers_all_destinations_via_ni_tables() {
+        let net = net();
+        let cfg = SimConfig::paper_default();
+        let p = plan_multicast(&net, &cfg, Scheme::NiFpfs, NodeId(0), dests8(), 128);
+        assert!(p.meta.k >= 1);
+        let mut covered = NodeMask::EMPTY;
+        let SendSpec::FpfsChildren { children } = &p.initial[0] else {
+            panic!("fpfs initial send")
+        };
+        let mut frontier = children.clone();
+        while let Some(n) = frontier.pop() {
+            assert!(!covered.contains(n), "duplicate coverage of {n}");
+            covered.insert(n);
+            if let Some(kids) = p.fpfs_children.get(&n) {
+                frontier.extend(kids.iter().copied());
+            }
+        }
+        assert_eq!(covered, dests8());
+        assert!(p.on_delivered.is_empty());
+    }
+
+    #[test]
+    fn tree_plan_is_single_phase() {
+        let net = net();
+        let cfg = SimConfig::paper_default();
+        let p = plan_multicast(&net, &cfg, Scheme::TreeWorm, NodeId(0), dests8(), 128);
+        assert_eq!(p.meta.worms, 1);
+        assert_eq!(p.meta.phases, 1);
+        assert_eq!(p.initial.len(), 1);
+        assert!(p.on_delivered.is_empty());
+        assert!(p.fpfs_children.is_empty());
+    }
+
+    #[test]
+    fn path_plan_covers_exactly() {
+        let net = net();
+        let cfg = SimConfig::paper_default();
+        for scheme in [Scheme::PathGreedy, Scheme::PathLessGreedy] {
+            let p = plan_multicast(&net, &cfg, scheme, NodeId(0), dests8(), 128);
+            let mut covered = NodeMask::EMPTY;
+            for s in p.initial.iter().chain(p.on_delivered.values().flatten()) {
+                let SendSpec::Path { spec } = s else { panic!("path send") };
+                covered = covered.union(spec.covered());
+            }
+            assert_eq!(covered, dests8());
+            assert!(p.meta.worms >= 1);
+            assert!(p.meta.phases >= 1);
+        }
+    }
+
+    #[test]
+    fn scheme_names_are_stable() {
+        assert_eq!(Scheme::NiFpfs.name(), "ni-fpfs");
+        assert_eq!(Scheme::paper_three().len(), 3);
+        assert_eq!(Scheme::all().len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "source among destinations")]
+    fn source_in_dests_panics() {
+        let net = net();
+        let cfg = SimConfig::paper_default();
+        let mut d = dests8();
+        d.insert(NodeId(0));
+        plan_multicast(&net, &cfg, Scheme::TreeWorm, NodeId(0), d, 128);
+    }
+}

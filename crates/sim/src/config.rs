@@ -1,0 +1,277 @@
+//! Simulation parameters (§4.1 of the paper).
+//!
+//! All times are in cycles of the network clock. The paper's defaults —
+//! with the values the OCR dropped reconstructed as documented in
+//! `DESIGN.md` — are available as [`SimConfig::paper_default`].
+
+/// Cycle count type used throughout the simulator.
+pub type Cycle = u64;
+
+/// All knobs of the simulated system.
+///
+/// The notation follows the paper: `O_{s,h}`/`O_{r,h}` are the software
+/// overheads per message at the sending/receiving **host** processor,
+/// `O_{s,ni}`/`O_{r,ni}` the corresponding overheads at the **NI**
+/// processor, and `R = O_h / O_ni` is the headline ratio of §4.2.1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// `O_{s,h}`: host software overhead per message send.
+    pub o_send_host: Cycle,
+    /// `O_{r,h}`: host software overhead per message receive.
+    pub o_recv_host: Cycle,
+    /// `O_{s,ni}`: NI processor overhead per injected packet copy.
+    pub o_send_ni: Cycle,
+    /// `O_{r,ni}`: NI processor overhead per received packet.
+    pub o_recv_ni: Cycle,
+    /// Packet payload size in flits (the paper's default packet is 128
+    /// flits; messages longer than a packet are split).
+    pub packet_payload_flits: u32,
+    /// Header length of a unicast worm, in flits.
+    pub unicast_header_flits: u32,
+    /// Header length of a worm copy after final delivery onto a host port
+    /// of a path-based multidestination worm.
+    pub delivered_header_flits: u32,
+    /// I/O-bus bandwidth as a rational number of bytes per cycle
+    /// (`io_bus_num / io_bus_den`). The default 8/3 ≈ 2.67 B/cycle models
+    /// 266.7 MB/s at a 10 ns cycle — twice 32-bit/33 MHz PCI, matching the
+    /// paper's "I/O bus bandwidths will increase" assumption.
+    pub io_bus_num: u64,
+    /// See [`SimConfig::io_bus_num`].
+    pub io_bus_den: u64,
+    /// Capacity of each switch input-port buffer, in flits. The default
+    /// holds a full packet plus the largest header (virtual cut-through:
+    /// a blocked worm is absorbed entirely), which together with
+    /// up*/down*-conformant routes keeps replication deadlock-free.
+    pub input_buffer_flits: u32,
+    /// Wire propagation per flit across a physical link (1 cycle).
+    pub link_delay: Cycle,
+    /// Crossbar traversal from input to output buffer (1 cycle).
+    pub crossbar_delay: Cycle,
+    /// Header decode / route decision time (1 cycle, "uniform routing
+    /// overhead for all three schemes").
+    pub routing_delay: Cycle,
+    /// Cycles of inactivity after which the engine declares a deadlock /
+    /// livelock and aborts with diagnostics.
+    pub watchdog_cycles: Cycle,
+    /// Adaptive routing (the paper's Autonet model): a worm may take any
+    /// minimal legal port, first-free wins. Setting this to `false`
+    /// restricts every adaptive decision to its first (lowest-port)
+    /// candidate — deterministic up*/down*, used by the adaptivity
+    /// ablation.
+    pub adaptive: bool,
+}
+
+/// Default host overhead: 500 cycles = 5 µs at the reconstructed 10 ns
+/// cycle — the cost of "many of the current-day lightweight messaging
+/// layers" circa 1998.
+pub const DEFAULT_O_HOST: Cycle = 500;
+
+/// Paper default packet: 128 flits.
+pub const DEFAULT_PACKET_FLITS: u32 = 128;
+
+impl SimConfig {
+    /// The paper's default parameter set (`R = 1`, 128-flit packets,
+    /// 266.7 MB/s I/O bus, unit link/crossbar/routing delays).
+    pub fn paper_default() -> Self {
+        SimConfig {
+            o_send_host: DEFAULT_O_HOST,
+            o_recv_host: DEFAULT_O_HOST,
+            o_send_ni: DEFAULT_O_HOST, // R = 1
+            o_recv_ni: DEFAULT_O_HOST,
+            packet_payload_flits: DEFAULT_PACKET_FLITS,
+            unicast_header_flits: 3,
+            delivered_header_flits: 1,
+            io_bus_num: 8,
+            io_bus_den: 3,
+            input_buffer_flits: DEFAULT_PACKET_FLITS + 24,
+            link_delay: 1,
+            crossbar_delay: 1,
+            routing_delay: 1,
+            watchdog_cycles: 2_000_000,
+            adaptive: true,
+        }
+    }
+
+    /// Set the ratio `R = O_h / O_ni` by scaling the NI overheads from the
+    /// current host overheads (the paper sweeps R ∈ {0.5, 1, 2, 4} by
+    /// varying `O_ni` while holding `O_h` fixed).
+    pub fn with_r(mut self, r: f64) -> Self {
+        assert!(r > 0.0, "R must be positive");
+        self.o_send_ni = ((self.o_send_host as f64) / r).round() as Cycle;
+        self.o_recv_ni = ((self.o_recv_host as f64) / r).round() as Cycle;
+        self
+    }
+
+    /// The current ratio `R = O_h / O_ni` (using the send-side values; the
+    /// paper keeps send and receive overheads equal).
+    pub fn r_ratio(&self) -> f64 {
+        self.o_send_host as f64 / self.o_send_ni as f64
+    }
+
+    /// Cycles for a DMA transfer of `flits` flits (1 byte per flit) across
+    /// the I/O bus.
+    #[inline]
+    pub fn dma_cycles(&self, flits: u32) -> Cycle {
+        (flits as u64 * self.io_bus_den).div_ceil(self.io_bus_num)
+    }
+
+    /// Number of packets needed for a `message_flits`-flit message.
+    #[inline]
+    pub fn packets_for(&self, message_flits: u32) -> u32 {
+        assert!(message_flits > 0, "empty message");
+        message_flits.div_ceil(self.packet_payload_flits)
+    }
+
+    /// Payload length of packet `pkt` (0-based) of a `message_flits`-flit
+    /// message: full packets except possibly the last.
+    #[inline]
+    pub fn packet_payload(&self, message_flits: u32, pkt: u32) -> u32 {
+        let total = self.packets_for(message_flits);
+        debug_assert!(pkt < total);
+        if pkt + 1 == total {
+            message_flits - self.packet_payload_flits * (total - 1)
+        } else {
+            self.packet_payload_flits
+        }
+    }
+
+    /// Header length in flits of a tree-based (bit-string) worm in an
+    /// `n_nodes`-node system: one bit per node, rounded up to whole byte
+    /// flits, plus one flit of kind/length framing.
+    #[inline]
+    pub fn tree_header_flits(&self, n_nodes: usize) -> u32 {
+        (n_nodes.div_ceil(8) as u32) + 1
+    }
+
+    /// Header length in flits of a path-based multi-drop worm that still
+    /// has `stops` replicating switches ahead of it: per stop a node-id
+    /// flit plus a port-bit-string flit, plus one flit of framing. The
+    /// header shrinks by 2 flits as each stop is passed (§3.2.4: fields
+    /// are stripped).
+    #[inline]
+    pub fn path_header_flits(&self, stops: usize) -> u32 {
+        (2 * stops as u32) + 1
+    }
+
+    /// Total per-hop pipeline latency of a head flit that meets no
+    /// contention: routing + crossbar + link.
+    #[inline]
+    pub fn hop_latency(&self) -> Cycle {
+        self.routing_delay + self.crossbar_delay + self.link_delay
+    }
+
+    /// NI processing for the second and later packets of a message.
+    ///
+    /// The paper charges `O_{s,ni}` / `O_{r,ni}` **per message** ("the
+    /// communication software overhead per message at the ... NI
+    /// processors", §4.1); the remaining packets of a multi-packet
+    /// message need only lightweight per-packet handling (descriptor
+    /// bookkeeping, DMA setup). The paper does not quote that cost; we
+    /// reconstruct it as one tenth of the per-message NI overhead, which
+    /// scales with `R` like everything else at the NI.
+    #[inline]
+    pub fn o_ni_per_packet(&self) -> Cycle {
+        (self.o_send_ni / 10).max(1)
+    }
+
+    /// Basic sanity checks; call after hand-editing a config.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.packet_payload_flits == 0 {
+            return Err("packet size must be positive".into());
+        }
+        if self.io_bus_num == 0 || self.io_bus_den == 0 {
+            return Err("I/O bus rate must be positive".into());
+        }
+        if self.input_buffer_flits < self.packet_payload_flits + self.unicast_header_flits {
+            return Err(format!(
+                "input buffer ({} flits) must hold a full worm (packet {} + header); \
+                 smaller buffers would require wormhole back-pressure across switches, \
+                 which the VCT replication model does not support",
+                self.input_buffer_flits, self.packet_payload_flits
+            ));
+        }
+        if self.link_delay == 0 && self.crossbar_delay == 0 {
+            return Err("zero-latency channels are not supported".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_is_r1() {
+        let c = SimConfig::paper_default();
+        assert_eq!(c.r_ratio(), 1.0);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn r_sweep_matches_paper_values() {
+        // R ∈ {0.5, 1, 2, 4}  ⇒  O_ni ∈ {1000, 500, 250, 125}.
+        for (r, oni) in [(0.5, 1000), (1.0, 500), (2.0, 250), (4.0, 125)] {
+            let c = SimConfig::paper_default().with_r(r);
+            assert_eq!(c.o_send_ni, oni, "R={r}");
+            assert_eq!(c.o_recv_ni, oni);
+            assert_eq!(c.o_send_host, DEFAULT_O_HOST);
+        }
+    }
+
+    #[test]
+    fn dma_is_ceil_of_rational_rate() {
+        let c = SimConfig::paper_default();
+        // 128 flits at 8/3 B/cycle = 48 cycles exactly.
+        assert_eq!(c.dma_cycles(128), 48);
+        assert_eq!(c.dma_cycles(1), 1);
+        assert_eq!(c.dma_cycles(8), 3);
+        assert_eq!(c.dma_cycles(9), 4);
+        assert_eq!(c.dma_cycles(0), 0);
+    }
+
+    #[test]
+    fn packetization() {
+        let c = SimConfig::paper_default();
+        assert_eq!(c.packets_for(128), 1);
+        assert_eq!(c.packets_for(129), 2);
+        assert_eq!(c.packets_for(512), 4);
+        assert_eq!(c.packet_payload(512, 3), 128);
+        assert_eq!(c.packet_payload(300, 2), 44);
+        assert_eq!(c.packet_payload(32, 0), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty message")]
+    fn zero_length_message_panics() {
+        SimConfig::paper_default().packets_for(0);
+    }
+
+    #[test]
+    fn header_sizes() {
+        let c = SimConfig::paper_default();
+        assert_eq!(c.tree_header_flits(32), 5); // 4 bytes of bits + framing
+        assert_eq!(c.tree_header_flits(64), 9);
+        assert_eq!(c.path_header_flits(3), 7);
+        assert_eq!(c.path_header_flits(1), 3);
+        assert_eq!(c.unicast_header_flits, 3);
+    }
+
+    #[test]
+    fn hop_latency_is_three_cycles() {
+        assert_eq!(SimConfig::paper_default().hop_latency(), 3);
+    }
+
+    #[test]
+    fn validation_rejects_tiny_buffers() {
+        let mut c = SimConfig::paper_default();
+        c.input_buffer_flits = 16;
+        assert!(c.validate().is_err());
+    }
+}

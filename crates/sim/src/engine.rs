@@ -1,0 +1,813 @@
+//! The cycle-driven simulation engine.
+//!
+//! The engine advances a global clock. While any flit is on a wire, in a
+//! switch buffer, or queued for injection, it steps cycle by cycle:
+//! deliver arrivals, let hosts inject, let each switch decode / arbitrate /
+//! transfer. When the network is silent it jumps the clock straight to the
+//! next host-side event (overhead completions, DMA completions, multicast
+//! launches), which makes the long software-overhead gaps of the paper's
+//! parameter space cheap to simulate.
+//!
+//! Determinism: a run is a pure function of (network, config, protocol,
+//! schedule). Arbitration uses rotating round-robin priorities; all queues
+//! are FIFO; there is no wall-clock or unseeded randomness anywhere.
+
+use crate::config::{Cycle, SimConfig};
+use crate::error::SimError;
+use crate::host::{DmaTask, HostState, HostTask, NiTask};
+use crate::protocol::Protocol;
+use crate::stats::SimStats;
+use crate::switch::{decode_branches, Frame, SwitchState};
+use crate::trace::{TraceEvent, TraceLog};
+use crate::worm::{McastId, RouteInfo, SendSpec, WormCopy};
+use irrnet_topology::{Network, NodeId, NodeMask, Phase, PortIdx, PortUse, SwitchId};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::Arc;
+
+/// Where a flit is headed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SinkRef {
+    /// A switch input port.
+    SwIn { sw: u16, port: u8 },
+    /// A host NI's receive side.
+    Ni { node: u16 },
+}
+
+/// What travels on the wire. The head flit carries the worm descriptor;
+/// body flits are anonymous (channels are FIFO and carry one worm at a
+/// time, so counting suffices).
+#[derive(Debug, Clone)]
+enum FlitPayload {
+    Head(Arc<WormCopy>),
+    Body,
+}
+
+/// Host-side events driven by the heap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Event {
+    Launch(McastId),
+    HostDone(u16),
+    NiDone(u16),
+    BusDone(u16),
+}
+
+/// Per-multicast static description.
+#[derive(Debug, Clone, Copy)]
+struct McastInfo {
+    dests: NodeMask,
+    message_flits: u32,
+    total_pkts: u32,
+}
+
+/// The simulator. See the module docs for the execution model.
+pub struct Simulator<'n, P: Protocol> {
+    net: &'n Network,
+    cfg: SimConfig,
+    /// The scheme logic driving this run (exposed for post-run inspection).
+    pub protocol: P,
+    now: Cycle,
+    switches: Vec<SwitchState>,
+    hosts: Vec<HostState>,
+    /// Reserved flit slots per switch input port (global index).
+    in_reserved: Vec<u32>,
+    /// Sink behind each switch output port (global index); `None` = open.
+    out_sink: Vec<Option<SinkRef>>,
+    /// Directed-link stat index behind each switch output port
+    /// (`link_id * 2 + side`); `None` for host/open ports.
+    out_dir_link: Vec<Option<u32>>,
+    /// Sink for each host's injection link.
+    inject_sink: Vec<SinkRef>,
+    /// Widest switch (ports) — stride for global port indices.
+    pmax: usize,
+    /// Arrival calendar ring, indexed by `cycle % ring.len()`.
+    ring: Vec<Vec<(SinkRef, FlitPayload)>>,
+    heap: BinaryHeap<Reverse<(Cycle, u64, Event)>>,
+    seq: u64,
+    stats: SimStats,
+    mcasts: HashMap<McastId, McastInfo>,
+    wire_flits: u64,
+    frames_alive: u64,
+    tx_pending: u64,
+    last_progress: Cycle,
+    trace: Option<TraceLog>,
+}
+
+impl<'n, P: Protocol> Simulator<'n, P> {
+    /// Build a simulator over an analyzed network.
+    pub fn new(net: &'n Network, cfg: SimConfig, protocol: P) -> Result<Self, SimError> {
+        cfg.validate().map_err(SimError::BadConfig)?;
+        let pmax = net
+            .topo
+            .switches()
+            .map(|(_, s)| s.num_ports())
+            .max()
+            .unwrap_or(0);
+        let ns = net.topo.num_switches();
+        let nh = net.topo.num_nodes();
+        let mut out_sink = vec![None; ns * pmax];
+        let mut out_dir_link = vec![None; ns * pmax];
+        for (sid, sw) in net.topo.switches() {
+            for (pi, pu) in sw.ports.iter().enumerate() {
+                out_sink[sid.idx() * pmax + pi] = match pu {
+                    PortUse::Open => None,
+                    PortUse::Host(n) => Some(SinkRef::Ni { node: n.0 }),
+                    PortUse::Link { link, side } => {
+                        let l = net.topo.link(*link);
+                        let (ps, pp) = l.end(1 - side);
+                        out_dir_link[sid.idx() * pmax + pi] =
+                            Some(link.0 * 2 + *side as u32);
+                        Some(SinkRef::SwIn { sw: ps.0, port: pp.0 })
+                    }
+                };
+            }
+        }
+        let inject_sink = net
+            .topo
+            .hosts()
+            .map(|(_, h)| SinkRef::SwIn { sw: h.switch.0, port: h.port.0 })
+            .collect();
+        let ring_len = (cfg.crossbar_delay + cfg.link_delay + 2) as usize;
+        Ok(Simulator {
+            net,
+            cfg,
+            protocol,
+            now: 0,
+            switches: net
+                .topo
+                .switches()
+                .map(|(_, s)| SwitchState::new(s.num_ports()))
+                .collect(),
+            hosts: (0..nh).map(|_| HostState::default()).collect(),
+            in_reserved: vec![0; ns * pmax],
+            out_sink,
+            out_dir_link,
+            inject_sink,
+            pmax,
+            ring: (0..ring_len).map(|_| Vec::new()).collect(),
+            heap: BinaryHeap::new(),
+            seq: 0,
+            stats: SimStats {
+                link_flits_per_dir: vec![0; net.topo.num_links() * 2],
+                ..SimStats::default()
+            },
+            mcasts: HashMap::new(),
+            wire_flits: 0,
+            frames_alive: 0,
+            tx_pending: 0,
+            last_progress: 0,
+            trace: None,
+        })
+    }
+
+    /// Start recording a [`TraceLog`] of multicast lifecycle events.
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(TraceLog::default());
+    }
+
+    /// Stop tracing and return the log recorded so far.
+    pub fn take_trace(&mut self) -> Option<TraceLog> {
+        self.trace.take()
+    }
+
+    #[inline]
+    fn emit(&mut self, ev: TraceEvent) {
+        if let Some(t) = &mut self.trace {
+            t.push(self.now, ev);
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Configuration in use.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Register a multicast to launch at `at`: the protocol's
+    /// [`Protocol::on_launch`] will be invoked then.
+    pub fn schedule_multicast(
+        &mut self,
+        at: Cycle,
+        id: McastId,
+        dests: NodeMask,
+        message_flits: u32,
+    ) {
+        assert!(at >= self.now, "launch in the past");
+        self.register_multicast(id, dests, message_flits);
+        self.schedule(at, Event::Launch(id));
+    }
+
+    /// Register a multicast **without** a timed launch: it starts when
+    /// the protocol first sends for it (a *dependent* message, e.g. one
+    /// hop of a reduction tree that fires only after its children
+    /// arrive). Its latency is measured from that first send.
+    pub fn register_multicast(&mut self, id: McastId, dests: NodeMask, message_flits: u32) {
+        assert!(
+            self.mcasts
+                .insert(
+                    id,
+                    McastInfo {
+                        dests,
+                        message_flits,
+                        total_pkts: self.cfg.packets_for(message_flits),
+                    },
+                )
+                .is_none(),
+            "duplicate multicast id"
+        );
+    }
+
+    /// Run until `limit` or until all work drains, whichever is first.
+    pub fn run_until(&mut self, limit: Cycle) -> Result<(), SimError> {
+        while self.now < limit {
+            // Drain events due now (processing may enqueue more due now).
+            let mut processed_any = false;
+            while let Some(Reverse((c, _, _))) = self.heap.peek().copied() {
+                if c > self.now {
+                    break;
+                }
+                let Reverse((_, _, ev)) = self.heap.pop().unwrap();
+                self.process_event(ev);
+                processed_any = true;
+            }
+            if processed_any {
+                self.last_progress = self.now;
+            }
+            if !self.network_active() {
+                match self.heap.peek() {
+                    Some(Reverse((c, _, _))) => {
+                        self.now = (*c).min(limit);
+                        if self.now == limit {
+                            break;
+                        }
+                    }
+                    None => break,
+                }
+                continue;
+            }
+            let moved = self.network_cycle();
+            if moved {
+                self.last_progress = self.now;
+            } else if self.now - self.last_progress > self.cfg.watchdog_cycles {
+                return Err(SimError::Deadlock {
+                    at: self.now,
+                    diagnostics: self.diagnostics(),
+                });
+            }
+            self.now += 1;
+            self.stats.cycles_run += 1;
+        }
+        Ok(())
+    }
+
+    /// Run until every scheduled multicast completes; errors if
+    /// `hard_limit` is reached first. Returns the completion cycle of the
+    /// last multicast.
+    pub fn run_to_completion(&mut self, hard_limit: Cycle) -> Result<Cycle, SimError> {
+        self.run_until(hard_limit)?;
+        if !self.stats.all_complete() {
+            let incomplete = self.stats.mcasts.len() - self.stats.completed_count();
+            return Err(SimError::CycleLimit { limit: hard_limit, incomplete });
+        }
+        Ok(self
+            .stats
+            .mcasts
+            .values()
+            .filter_map(|r| r.completed)
+            .max()
+            .unwrap_or(self.now))
+    }
+
+    /// Snapshot the statistics, folding in resource-utilization counters.
+    pub fn stats(&mut self) -> SimStats {
+        let mut s = self.stats.clone();
+        for h in &self.hosts {
+            s.net.ni_busy_cycles += h.ni.busy_cycles;
+            s.net.host_busy_cycles += h.cpu.busy_cycles;
+            s.net.io_bus_busy_cycles += h.bus.busy_cycles;
+        }
+        s
+    }
+
+    // ------------------------------------------------------------------
+    // internals
+    // ------------------------------------------------------------------
+
+    fn network_active(&self) -> bool {
+        self.wire_flits > 0 || self.frames_alive > 0 || self.tx_pending > 0
+    }
+
+    fn schedule(&mut self, at: Cycle, ev: Event) {
+        self.seq += 1;
+        self.heap.push(Reverse((at, self.seq, ev)));
+    }
+
+    fn gidx(&self, sw: u16, port: u8) -> usize {
+        sw as usize * self.pmax + port as usize
+    }
+
+    fn can_accept(&self, sink: SinkRef) -> bool {
+        match sink {
+            SinkRef::SwIn { sw, port } => {
+                self.in_reserved[self.gidx(sw, port)] < self.cfg.input_buffer_flits
+            }
+            SinkRef::Ni { .. } => true,
+        }
+    }
+
+    fn reserve(&mut self, sink: SinkRef) {
+        if let SinkRef::SwIn { sw, port } = sink {
+            let g = self.gidx(sw, port);
+            self.in_reserved[g] += 1;
+            if self.in_reserved[g] > self.stats.net.max_buffer_occupancy {
+                self.stats.net.max_buffer_occupancy = self.in_reserved[g];
+            }
+        }
+    }
+
+    fn push_flit(&mut self, at: Cycle, sink: SinkRef, payload: FlitPayload) {
+        debug_assert!(at > self.now && at < self.now + self.ring.len() as u64);
+        let idx = (at % self.ring.len() as u64) as usize;
+        self.ring[idx].push((sink, payload));
+        self.wire_flits += 1;
+    }
+
+    fn enqueue_host_send(&mut self, node: NodeId, mcast: McastId, spec: SendSpec) {
+        // Dependent multicasts (registered, never explicitly launched)
+        // begin their measured life at their first send.
+        let info = *self
+            .mcasts
+            .get(&mcast)
+            .expect("send for unregistered multicast");
+        if !self.stats.mcasts.contains_key(&mcast) {
+            self.stats.launch(mcast, self.now, info.dests);
+        }
+        self.emit(TraceEvent::HostSendStart { node, mcast });
+        let dur = self.cfg.o_send_host;
+        if let Some(c) =
+            self.hosts[node.idx()].cpu.enqueue(HostTask::Send { mcast, spec }, dur, self.now)
+        {
+            self.schedule(c, Event::HostDone(node.0));
+        }
+    }
+
+    /// Expand a spec into the worm copies injected for packet `pkt`.
+    fn make_worms(&self, mcast: McastId, spec: &SendSpec, pkt: u32) -> Vec<Arc<WormCopy>> {
+        let info = &self.mcasts[&mcast];
+        let payload_flits = self.cfg.packet_payload(info.message_flits, pkt);
+        let header_flits = spec.header_flits(&self.cfg, self.net.topo.num_nodes());
+        let base = |route: RouteInfo| {
+            Arc::new(WormCopy {
+                mcast,
+                pkt,
+                total_pkts: info.total_pkts,
+                payload_flits,
+                header_flits,
+                phase: Phase::Up,
+                route,
+            })
+        };
+        match spec {
+            SendSpec::Unicast { dest } => vec![base(RouteInfo::Unicast { dest: *dest })],
+            SendSpec::FpfsChildren { children } => children
+                .iter()
+                .map(|c| base(RouteInfo::Unicast { dest: *c }))
+                .collect(),
+            SendSpec::Tree { dests, plan } => {
+                vec![base(RouteInfo::Tree { dests: *dests, plan: plan.clone() })]
+            }
+            SendSpec::Path { spec } => {
+                vec![base(RouteInfo::Path { spec: spec.clone(), cursor: 0 })]
+            }
+        }
+    }
+
+    fn process_event(&mut self, ev: Event) {
+        match ev {
+            Event::Launch(id) => {
+                self.emit(TraceEvent::Launch { mcast: id });
+                let info = self.mcasts[&id];
+                self.stats.launch(id, self.now, info.dests);
+                let sends = self.protocol.on_launch(id, self.now);
+                for (node, spec) in sends {
+                    self.enqueue_host_send(node, id, spec);
+                }
+            }
+            Event::HostDone(n) => {
+                let (task, next) = self.hosts[n as usize].cpu.complete(self.now);
+                if let Some(c) = next {
+                    self.schedule(c, Event::HostDone(n));
+                }
+                match task {
+                    HostTask::Send { mcast, spec } => {
+                        let info = self.mcasts[&mcast];
+                        let spec = Arc::new(spec);
+                        for pkt in 0..info.total_pkts {
+                            let dur = self
+                                .cfg
+                                .dma_cycles(self.cfg.packet_payload(info.message_flits, pkt));
+                            if let Some(c) = self.hosts[n as usize].bus.enqueue(
+                                DmaTask::ToNi { mcast, spec: spec.clone(), pkt },
+                                dur,
+                                self.now,
+                            ) {
+                                self.schedule(c, Event::BusDone(n));
+                            }
+                        }
+                    }
+                    HostTask::Recv(mcast) => {
+                        let node = NodeId(n);
+                        self.emit(TraceEvent::Delivered { node, mcast });
+                        self.stats.deliver(mcast, node, self.now);
+                        let sends = self.protocol.on_message_delivered(node, mcast, self.now);
+                        for (mid, spec) in sends {
+                            self.enqueue_host_send(node, mid, spec);
+                        }
+                    }
+                }
+            }
+            Event::BusDone(n) => {
+                let (task, next) = self.hosts[n as usize].bus.complete(self.now);
+                if let Some(c) = next {
+                    self.schedule(c, Event::BusDone(n));
+                }
+                match task {
+                    DmaTask::ToNi { mcast, spec, pkt } => {
+                        // O_{s,ni} is per message; later packets of the
+                        // same message only pay per-packet handling.
+                        let dur = if pkt == 0 {
+                            self.cfg.o_send_ni
+                        } else {
+                            self.cfg.o_ni_per_packet()
+                        };
+                        let worms = self.make_worms(mcast, &spec, pkt);
+                        for w in worms {
+                            if let Some(c) =
+                                self.hosts[n as usize].ni.enqueue(NiTask::Tx(w), dur, self.now)
+                            {
+                                self.schedule(c, Event::NiDone(n));
+                            }
+                        }
+                    }
+                    DmaTask::ToHost { worm } => {
+                        let host = &mut self.hosts[n as usize];
+                        let cnt = host.reassembly.entry(worm.mcast).or_insert(0);
+                        *cnt += 1;
+                        if *cnt == worm.total_pkts {
+                            host.reassembly.remove(&worm.mcast);
+                            if let Some(c) = host.cpu.enqueue(
+                                HostTask::Recv(worm.mcast),
+                                self.cfg.o_recv_host,
+                                self.now,
+                            ) {
+                                self.schedule(c, Event::HostDone(n));
+                            }
+                        }
+                    }
+                }
+            }
+            Event::NiDone(n) => {
+                let (task, next) = self.hosts[n as usize].ni.complete(self.now);
+                if let Some(c) = next {
+                    self.schedule(c, Event::NiDone(n));
+                }
+                match task {
+                    NiTask::Tx(worm) => {
+                        self.emit(TraceEvent::WormQueued {
+                            node: NodeId(n),
+                            mcast: worm.mcast,
+                            pkt: worm.pkt,
+                        });
+                        self.hosts[n as usize].tx_queue.push_back(worm);
+                        self.tx_pending += 1;
+                    }
+                    NiTask::Rx(worm) => {
+                        let node = NodeId(n);
+                        self.hosts[n as usize].ni_rx_pending -= 1;
+                        let replicas = self.protocol.on_packet_at_ni(node, &worm, self.now);
+                        let tx_dur = if worm.pkt == 0 {
+                            self.cfg.o_send_ni
+                        } else {
+                            self.cfg.o_ni_per_packet()
+                        };
+                        for spec in replicas {
+                            let worms = self.make_worms(worm.mcast, &spec, worm.pkt);
+                            for w in worms {
+                                if let Some(c) = self.hosts[n as usize].ni.enqueue(
+                                    NiTask::Tx(w),
+                                    tx_dur,
+                                    self.now,
+                                ) {
+                                    self.schedule(c, Event::NiDone(n));
+                                }
+                            }
+                        }
+                        debug_assert_eq!(
+                            worm.ni_destination(),
+                            Some(node),
+                            "worm ejected at wrong NI"
+                        );
+                        let dur = self.cfg.dma_cycles(worm.payload_flits);
+                        if let Some(c) = self.hosts[n as usize].bus.enqueue(
+                            DmaTask::ToHost { worm },
+                            dur,
+                            self.now,
+                        ) {
+                            self.schedule(c, Event::BusDone(n));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// One cycle of network activity. Returns true if any flit moved.
+    fn network_cycle(&mut self) -> bool {
+        let t = self.now;
+        let mut moved = false;
+
+        // --- 1. arrivals ---------------------------------------------
+        let idx = (t % self.ring.len() as u64) as usize;
+        let arrivals = std::mem::take(&mut self.ring[idx]);
+        for (sink, payload) in arrivals {
+            self.wire_flits -= 1;
+            moved = true;
+            match sink {
+                SinkRef::SwIn { sw, port } => {
+                    let inp = &mut self.switches[sw as usize].inputs[port as usize];
+                    match payload {
+                        FlitPayload::Head(w) => {
+                            let mut f = Frame::new(w);
+                            f.received = 1;
+                            if f.received == f.worm.header_flits {
+                                f.header_done_at = Some(t);
+                            }
+                            inp.frames.push_back(f);
+                            self.frames_alive += 1;
+                        }
+                        FlitPayload::Body => {
+                            let f = inp
+                                .frames
+                                .back_mut()
+                                .expect("body flit with no frame");
+                            f.received += 1;
+                            if f.received == f.worm.header_flits {
+                                f.header_done_at = Some(t);
+                            }
+                            debug_assert!(f.received <= f.worm.total_flits());
+                        }
+                    }
+                }
+                SinkRef::Ni { node } => {
+                    self.stats.net.ejected_flits += 1;
+                    let h = &mut self.hosts[node as usize];
+                    let complete = match payload {
+                        FlitPayload::Head(w) => {
+                            debug_assert!(h.rx_current.is_none(), "interleaved worms at NI");
+                            let total = w.total_flits();
+                            if total == 1 {
+                                Some(w)
+                            } else {
+                                h.rx_current = Some((w, 1));
+                                None
+                            }
+                        }
+                        FlitPayload::Body => {
+                            let (w, got) = h.rx_current.as_mut().expect("body with no worm");
+                            *got += 1;
+                            if *got == w.total_flits() {
+                                let (w, _) = h.rx_current.take().unwrap();
+                                Some(w)
+                            } else {
+                                None
+                            }
+                        }
+                    };
+                    if let Some(w) = complete {
+                        self.emit(TraceEvent::PacketAtNi {
+                            node: NodeId(node),
+                            mcast: w.mcast,
+                            pkt: w.pkt,
+                        });
+                        self.stats.net.packets_received += 1;
+                        let h = &mut self.hosts[node as usize];
+                        h.ni_rx_pending += 1;
+                        if h.ni_rx_pending > self.stats.net.max_ni_rx_queue {
+                            self.stats.net.max_ni_rx_queue = h.ni_rx_pending;
+                        }
+                        // O_{r,ni} per message; later packets pay only
+                        // per-packet handling.
+                        let rx_dur = if w.pkt == 0 {
+                            self.cfg.o_recv_ni
+                        } else {
+                            self.cfg.o_ni_per_packet()
+                        };
+                        if let Some(c) = h.ni.enqueue(NiTask::Rx(w), rx_dur, self.now) {
+                            self.schedule(c, Event::NiDone(node));
+                        }
+                    }
+                }
+            }
+        }
+
+        // --- 2. host injection ----------------------------------------
+        for node in 0..self.hosts.len() {
+            if self.hosts[node].tx_queue.is_empty() {
+                continue;
+            }
+            let sink = self.inject_sink[node];
+            if !self.can_accept(sink) {
+                continue;
+            }
+            let (payload, done) = {
+                let h = &mut self.hosts[node];
+                let w = h.tx_queue.front().expect("checked nonempty").clone();
+                let payload = if h.tx_sent == 0 {
+                    FlitPayload::Head(w.clone())
+                } else {
+                    FlitPayload::Body
+                };
+                h.tx_sent += 1;
+                let done = h.tx_sent == w.total_flits();
+                if done {
+                    h.tx_queue.pop_front();
+                    h.tx_sent = 0;
+                }
+                (payload, done)
+            };
+            if done {
+                self.tx_pending -= 1;
+            }
+            self.reserve(sink);
+            self.push_flit(t + self.cfg.link_delay, sink, payload);
+            self.stats.net.injected_flits += 1;
+            moved = true;
+        }
+
+        // --- 3. switches ----------------------------------------------
+        for si in 0..self.switches.len() {
+            if self.switches[si].frame_count() == 0 {
+                continue;
+            }
+            let mut sw = std::mem::take(&mut self.switches[si]);
+            moved |= self.switch_cycle(si, &mut sw);
+            self.switches[si] = sw;
+        }
+        moved
+    }
+
+    /// Decode, arbitrate, transfer for one switch. `sw` is temporarily
+    /// detached from `self` (no self-links, so no aliasing with the sinks
+    /// this switch transmits into).
+    fn switch_cycle(&mut self, si: usize, sw: &mut SwitchState) -> bool {
+        let t = self.now;
+        let here = SwitchId(si as u16);
+        let nports = sw.inputs.len();
+        let mut moved = false;
+
+        // Decode head frames whose routing delay has elapsed.
+        for p in 0..nports {
+            let Some(f) = sw.inputs[p].frames.front_mut() else {
+                continue;
+            };
+            if f.decoded {
+                continue;
+            }
+            let Some(hd) = f.header_done_at else { continue };
+            if t >= hd + self.cfg.routing_delay {
+                f.branches = decode_branches(self.net, &self.cfg, here, &f.worm);
+                self.stats.net.replications += f.branches.len().saturating_sub(1) as u64;
+                f.decoded = true;
+            }
+        }
+
+        // Arbitration: rotating input priority; each ungranted branch
+        // takes the first free candidate output.
+        let start = sw.rr as usize % nports.max(1);
+        for k in 0..nports {
+            let p = (start + k) % nports;
+            let Some(f) = sw.inputs[p].frames.front_mut() else {
+                continue;
+            };
+            if !f.decoded {
+                continue;
+            }
+            for (bi, b) in f.branches.iter_mut().enumerate() {
+                if b.done || b.port.is_some() {
+                    continue;
+                }
+                for ci in 0..b.candidates.len() {
+                    let (cand, _) = b.candidates[ci];
+                    let op = &mut sw.outputs[cand.idx()];
+                    if op.owner.is_none() {
+                        op.owner = Some((p as u8, bi as u16));
+                        b.grant(cand);
+                        break;
+                    }
+                }
+            }
+        }
+        sw.rr = sw.rr.wrapping_add(1);
+
+        // Transfers: each owned output moves at most one flit.
+        for o in 0..nports {
+            let Some((p, bi)) = sw.outputs[o].owner else {
+                continue;
+            };
+            let f = sw.inputs[p as usize]
+                .frames
+                .front_mut()
+                .expect("owner without head frame");
+            let b = &mut f.branches[bi as usize];
+            debug_assert_eq!(b.port, Some(PortIdx(o as u8)));
+            debug_assert!(!b.done);
+            // Flit availability in the source frame.
+            let available = if b.sent < b.out_header() {
+                true // header fully present (decode implies it)
+            } else {
+                f.received > f.worm.header_flits + (b.sent - b.out_header())
+            };
+            if !available {
+                continue;
+            }
+            let sink = self.out_sink[self.gidx(si as u16, o as u8)]
+                .expect("branch granted to open port");
+            if !self.can_accept(sink) {
+                continue;
+            }
+            let payload = if b.sent == 0 {
+                FlitPayload::Head(b.out_worm.clone().expect("granted branch has worm"))
+            } else {
+                FlitPayload::Body
+            };
+            b.sent += 1;
+            if b.sent == b.out_total() {
+                b.done = true;
+                sw.outputs[o].owner = None;
+            }
+            let freed = f.advance_freed();
+            let frame_done = f.all_branches_done();
+            if frame_done {
+                debug_assert_eq!(f.received, f.worm.total_flits());
+                debug_assert_eq!(f.freed, f.worm.total_flits());
+                sw.inputs[p as usize].frames.pop_front();
+                self.frames_alive -= 1;
+            }
+            if freed > 0 {
+                let g = self.gidx(si as u16, p);
+                self.in_reserved[g] -= freed;
+            }
+            self.reserve(sink);
+            self.push_flit(
+                t + self.cfg.crossbar_delay + self.cfg.link_delay,
+                sink,
+                payload,
+            );
+            self.stats.net.link_flits += 1;
+            if let Some(d) = self.out_dir_link[self.gidx(si as u16, o as u8)] {
+                self.stats.link_flits_per_dir[d as usize] += 1;
+            }
+            moved = true;
+        }
+        moved
+    }
+
+    fn diagnostics(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "wire_flits={} frames_alive={} tx_pending={}",
+            self.wire_flits, self.frames_alive, self.tx_pending
+        );
+        for (si, sw) in self.switches.iter().enumerate() {
+            for (pi, inp) in sw.inputs.iter().enumerate() {
+                if let Some(f) = inp.frames.front() {
+                    let _ = writeln!(
+                        s,
+                        "S{si} in p{pi}: worm mcast={:?} pkt={} recv={}/{} decoded={} branches={:?}",
+                        f.worm.mcast,
+                        f.worm.pkt,
+                        f.received,
+                        f.worm.total_flits(),
+                        f.decoded,
+                        f.branches
+                            .iter()
+                            .map(|b| (b.port, b.sent, b.done))
+                            .collect::<Vec<_>>()
+                    );
+                }
+            }
+        }
+        for (ni, h) in self.hosts.iter().enumerate() {
+            if !h.tx_queue.is_empty() {
+                let _ = writeln!(s, "n{ni} tx_queue={} tx_sent={}", h.tx_queue.len(), h.tx_sent);
+            }
+        }
+        s
+    }
+}

@@ -1,0 +1,56 @@
+//! Simulator error reporting.
+
+use crate::config::Cycle;
+use std::fmt;
+
+/// Fatal simulation failures.
+#[derive(Debug, Clone)]
+pub enum SimError {
+    /// The watchdog saw no forward progress for the configured number of
+    /// cycles while work was still outstanding — a routing/flow-control
+    /// deadlock or a protocol that stopped responding.
+    Deadlock {
+        /// Cycle at which the watchdog fired.
+        at: Cycle,
+        /// Human-readable snapshot of stuck state.
+        diagnostics: String,
+    },
+    /// `run_to_completion` hit its hard cycle limit before all scheduled
+    /// multicasts completed.
+    CycleLimit {
+        /// The limit that was hit.
+        limit: Cycle,
+        /// Multicasts still incomplete.
+        incomplete: usize,
+    },
+    /// The configuration failed validation.
+    BadConfig(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Deadlock { at, diagnostics } => {
+                write!(f, "no progress by cycle {at}; stuck state:\n{diagnostics}")
+            }
+            SimError::CycleLimit { limit, incomplete } => {
+                write!(f, "cycle limit {limit} reached with {incomplete} multicasts incomplete")
+            }
+            SimError::BadConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = SimError::CycleLimit { limit: 1000, incomplete: 3 };
+        assert!(e.to_string().contains("1000"));
+        assert!(e.to_string().contains("3"));
+    }
+}

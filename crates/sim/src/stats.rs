@@ -1,0 +1,240 @@
+//! Measurement collection: per-multicast latencies plus network counters.
+
+use crate::config::Cycle;
+use crate::worm::McastId;
+use irrnet_topology::{NodeId, NodeMask};
+use std::collections::HashMap;
+
+/// Lifecycle record of one multicast operation.
+#[derive(Debug, Clone)]
+pub struct McastRecord {
+    /// Cycle at which the source's application issued the multicast
+    /// (queueing at a busy source is included in latency, as in any
+    /// open-loop load experiment).
+    pub launched: Cycle,
+    /// Destinations that must be reached.
+    pub expected: NodeMask,
+    /// Delivery cycle per destination (completion of `O_{r,h}`).
+    pub deliveries: HashMap<NodeId, Cycle>,
+    /// Cycle at which the last destination was delivered.
+    pub completed: Option<Cycle>,
+}
+
+impl McastRecord {
+    /// Multicast latency: launch → last delivery.
+    pub fn latency(&self) -> Option<Cycle> {
+        self.completed.map(|c| c - self.launched)
+    }
+
+    /// Latency to a specific destination.
+    pub fn dest_latency(&self, n: NodeId) -> Option<Cycle> {
+        self.deliveries.get(&n).map(|c| c - self.launched)
+    }
+}
+
+/// Aggregate network activity counters.
+#[derive(Debug, Clone, Default)]
+pub struct NetCounters {
+    /// Flits transferred across inter-switch links.
+    pub link_flits: u64,
+    /// Flits injected by host NIs.
+    pub injected_flits: u64,
+    /// Flits ejected into host NIs.
+    pub ejected_flits: u64,
+    /// Packets fully received at NIs.
+    pub packets_received: u64,
+    /// Worm copies created by switch replication (branches beyond the
+    /// first at each replication point).
+    pub replications: u64,
+    /// Maximum observed occupancy of any switch input buffer, in flits.
+    pub max_buffer_occupancy: u32,
+    /// Maximum packets simultaneously queued in any single NI's receive
+    /// memory (the §3.3 "additional memory at the network interfaces").
+    pub max_ni_rx_queue: u32,
+    /// Total busy cycles summed over all NI processors.
+    pub ni_busy_cycles: u64,
+    /// Total busy cycles summed over all host processors.
+    pub host_busy_cycles: u64,
+    /// Total busy cycles summed over all I/O buses.
+    pub io_bus_busy_cycles: u64,
+}
+
+/// Everything measured during a run.
+#[derive(Debug, Clone, Default)]
+pub struct SimStats {
+    /// Per-multicast lifecycle records, keyed by id.
+    pub mcasts: HashMap<McastId, McastRecord>,
+    /// Aggregate network counters.
+    pub net: NetCounters,
+    /// Cycles actually iterated by the engine (diagnostic).
+    pub cycles_run: u64,
+    /// Flits carried per *directed* inter-switch link, indexed
+    /// `link_id * 2 + departing_side` — the load-balance picture behind
+    /// the contention results (root-ward links of the up*/down* tree
+    /// carry disproportionate traffic).
+    pub link_flits_per_dir: Vec<u64>,
+}
+
+impl SimStats {
+    /// Register a multicast at launch time.
+    pub fn launch(&mut self, id: McastId, at: Cycle, expected: NodeMask) {
+        self.mcasts.insert(
+            id,
+            McastRecord {
+                launched: at,
+                expected,
+                deliveries: HashMap::with_capacity(expected.len()),
+                completed: None,
+            },
+        );
+    }
+
+    /// Record a host-level delivery; returns true if this completed the
+    /// multicast.
+    pub fn deliver(&mut self, id: McastId, node: NodeId, at: Cycle) -> bool {
+        let rec = self
+            .mcasts
+            .get_mut(&id)
+            .expect("delivery for unknown multicast");
+        debug_assert!(
+            rec.expected.contains(node),
+            "delivery to non-destination {node}"
+        );
+        let dup = rec.deliveries.insert(node, at).is_some();
+        debug_assert!(!dup, "duplicate delivery of {id:?} at {node}");
+        if rec.deliveries.len() == rec.expected.len() {
+            rec.completed = Some(at);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// True if every registered multicast has completed.
+    pub fn all_complete(&self) -> bool {
+        self.mcasts.values().all(|r| r.completed.is_some())
+    }
+
+    /// Number of completed multicasts.
+    pub fn completed_count(&self) -> usize {
+        self.mcasts.values().filter(|r| r.completed.is_some()).count()
+    }
+
+    /// Mean latency over multicasts launched in `[from, to)` that have
+    /// completed. Returns `None` if none qualify.
+    pub fn mean_latency_in_window(&self, from: Cycle, to: Cycle) -> Option<f64> {
+        let mut sum = 0u64;
+        let mut n = 0u64;
+        for r in self.mcasts.values() {
+            if r.launched >= from && r.launched < to {
+                if let Some(l) = r.latency() {
+                    sum += l;
+                    n += 1;
+                }
+            }
+        }
+        if n == 0 {
+            None
+        } else {
+            Some(sum as f64 / n as f64)
+        }
+    }
+
+    /// Latency of a single multicast (for single-multicast experiments).
+    pub fn latency_of(&self, id: McastId) -> Option<Cycle> {
+        self.mcasts.get(&id).and_then(|r| r.latency())
+    }
+
+    /// Load imbalance across directed links that carried any traffic:
+    /// `(max, mean)` flit counts. A high max/mean ratio means the
+    /// up*/down* root links are hot.
+    pub fn link_load_balance(&self) -> (u64, f64) {
+        let used: Vec<u64> = self
+            .link_flits_per_dir
+            .iter()
+            .copied()
+            .filter(|&f| f > 0)
+            .collect();
+        if used.is_empty() {
+            (0, 0.0)
+        } else {
+            let max = *used.iter().max().unwrap();
+            let mean = used.iter().sum::<u64>() as f64 / used.len() as f64;
+            (max, mean)
+        }
+    }
+
+    /// Fraction of multicasts launched in `[from, to)` that completed.
+    pub fn completion_rate_in_window(&self, from: Cycle, to: Cycle) -> f64 {
+        let mut total = 0usize;
+        let mut done = 0usize;
+        for r in self.mcasts.values() {
+            if r.launched >= from && r.launched < to {
+                total += 1;
+                if r.completed.is_some() {
+                    done += 1;
+                }
+            }
+        }
+        if total == 0 {
+            1.0
+        } else {
+            done as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle_and_latency() {
+        let mut s = SimStats::default();
+        let id = McastId(1);
+        let dests = NodeMask::from_nodes([NodeId(1), NodeId(2)]);
+        s.launch(id, 100, dests);
+        assert!(!s.deliver(id, NodeId(1), 300));
+        assert!(!s.all_complete());
+        assert!(s.deliver(id, NodeId(2), 450));
+        assert!(s.all_complete());
+        assert_eq!(s.latency_of(id), Some(350));
+        let rec = &s.mcasts[&id];
+        assert_eq!(rec.dest_latency(NodeId(1)), Some(200));
+    }
+
+    #[test]
+    fn window_statistics() {
+        let mut s = SimStats::default();
+        for (i, (start, end)) in [(0u64, 100u64), (50, 250), (500, 900)].iter().enumerate() {
+            let id = McastId(i as u64);
+            s.launch(id, *start, NodeMask::single(NodeId(0)));
+            s.deliver(id, NodeId(0), *end);
+        }
+        // window [0, 100): mcasts launched at 0 and 50 -> latencies 100, 200
+        assert_eq!(s.mean_latency_in_window(0, 100), Some(150.0));
+        assert_eq!(s.mean_latency_in_window(1000, 2000), None);
+        assert_eq!(s.completion_rate_in_window(0, 1000), 1.0);
+    }
+
+    #[test]
+    fn incomplete_mcast_has_no_latency() {
+        let mut s = SimStats::default();
+        let id = McastId(9);
+        s.launch(id, 0, NodeMask::from_nodes([NodeId(0), NodeId(1)]));
+        s.deliver(id, NodeId(0), 10);
+        assert_eq!(s.latency_of(id), None);
+        assert_eq!(s.completed_count(), 0);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "duplicate delivery")]
+    fn duplicate_delivery_asserts() {
+        let mut s = SimStats::default();
+        let id = McastId(2);
+        s.launch(id, 0, NodeMask::single(NodeId(3)));
+        s.deliver(id, NodeId(3), 5);
+        s.deliver(id, NodeId(3), 6);
+    }
+}

@@ -1,0 +1,516 @@
+//! Switch state: input-buffered virtual cut-through with multidestination
+//! replication.
+//!
+//! Each input port owns a FIFO of [`Frame`]s (worms absorbed or in the
+//! middle of absorption). Only the head frame of a port transmits; once its
+//! header is decoded it exposes one [`Branch`] per required output. A
+//! multidestination worm's branches progress **asynchronously**: each
+//! branch copies flits out of the input buffer at its own pace and a buffer
+//! slot is recycled only when *every* branch has copied it — the
+//! asynchronous-replication alternative of Stunkel/Sivaram/Panda (ISCA-24),
+//! which keeps one blocked branch from stalling its siblings and, together
+//! with packet-sized buffers and up*/down*-conformant routes, keeps
+//! replication deadlock-free.
+
+use crate::config::SimConfig;
+use crate::worm::{RouteInfo, WormCopy};
+use irrnet_topology::{Network, NodeId, Phase, PortIdx, PortUse, SwitchId};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// One outgoing copy of a frame's worm.
+#[derive(Debug)]
+pub struct Branch {
+    /// Admissible output ports with the phase the worm has after taking
+    /// each — a singleton for deterministic (host / partitioned) branches,
+    /// several entries for adaptive routing.
+    pub candidates: Vec<(PortIdx, Phase)>,
+    /// The outgoing worm, with `phase` finalized at grant time.
+    pub template: WormCopy,
+    /// Bound output port once granted.
+    pub port: Option<PortIdx>,
+    /// The finalized outgoing copy (set at grant).
+    pub out_worm: Option<Arc<WormCopy>>,
+    /// Flits of the outgoing copy already sent.
+    pub sent: u32,
+    /// All flits sent.
+    pub done: bool,
+}
+
+impl Branch {
+    /// A branch with a fixed output port.
+    pub fn fixed(port: PortIdx, template: WormCopy) -> Self {
+        let phase = template.phase;
+        Branch {
+            candidates: vec![(port, phase)],
+            template,
+            port: None,
+            out_worm: None,
+            sent: 0,
+            done: false,
+        }
+    }
+
+    /// A branch that may take any of `candidates` (adaptive). When the
+    /// configuration disables adaptivity the caller truncates the list.
+    pub fn adaptive(mut candidates: Vec<(PortIdx, Phase)>, template: WormCopy, adaptive: bool) -> Self {
+        debug_assert!(!candidates.is_empty(), "adaptive branch with no candidates");
+        if !adaptive {
+            candidates.truncate(1);
+        }
+        Branch { candidates, template, port: None, out_worm: None, sent: 0, done: false }
+    }
+
+    /// Header flits of the outgoing copy.
+    #[inline]
+    pub fn out_header(&self) -> u32 {
+        self.template.header_flits
+    }
+
+    /// Total flits of the outgoing copy.
+    #[inline]
+    pub fn out_total(&self) -> u32 {
+        self.template.total_flits()
+    }
+
+    /// How many flits of the *incoming* worm this branch has fully
+    /// consumed (and may therefore be recycled once all branches agree).
+    /// The incoming header is held until this branch finishes emitting its
+    /// own (possibly shorter) header; payload then maps one-to-one.
+    #[inline]
+    pub fn consumed_src(&self, header_in: u32) -> u32 {
+        if self.sent < self.out_header() {
+            0
+        } else {
+            header_in + (self.sent - self.out_header())
+        }
+    }
+
+    /// Bind this branch to `port`, finalizing the outgoing copy's phase.
+    pub fn grant(&mut self, port: PortIdx) {
+        debug_assert!(self.port.is_none());
+        let phase = self
+            .candidates
+            .iter()
+            .find(|(p, _)| *p == port)
+            .map(|(_, ph)| *ph)
+            .expect("granted port not among candidates");
+        let mut w = self.template.clone();
+        w.phase = phase;
+        self.port = Some(port);
+        self.out_worm = Some(Arc::new(w));
+    }
+}
+
+/// A worm resident (fully or partially) in an input buffer.
+#[derive(Debug)]
+pub struct Frame {
+    /// The incoming worm copy.
+    pub worm: Arc<WormCopy>,
+    /// Flits received so far.
+    pub received: u32,
+    /// Cycle at which the last header flit arrived (set once).
+    pub header_done_at: Option<u64>,
+    /// Branches created by header decode (empty until decoded).
+    pub branches: Vec<Branch>,
+    /// True once the header has been decoded and branches exist.
+    pub decoded: bool,
+    /// Incoming flits recycled so far (min over branch consumption).
+    pub freed: u32,
+}
+
+impl Frame {
+    /// Start absorbing a worm whose head flit just arrived.
+    pub fn new(worm: Arc<WormCopy>) -> Self {
+        Frame { worm, received: 0, header_done_at: None, branches: Vec::new(), decoded: false, freed: 0 }
+    }
+
+    /// True once every branch has drained.
+    pub fn all_branches_done(&self) -> bool {
+        self.decoded && self.branches.iter().all(|b| b.done)
+    }
+
+    /// Recompute `freed` from branch progress; returns the newly freed
+    /// flit count (to release buffer reservations).
+    pub fn advance_freed(&mut self) -> u32 {
+        if !self.decoded {
+            return 0;
+        }
+        let header_in = self.worm.header_flits;
+        let new_freed = self
+            .branches
+            .iter()
+            .map(|b| b.consumed_src(header_in))
+            .min()
+            .unwrap_or(0);
+        let delta = new_freed.saturating_sub(self.freed);
+        self.freed = new_freed;
+        delta
+    }
+}
+
+/// One input port: FIFO of frames.
+#[derive(Debug, Default)]
+pub struct InPort {
+    /// Frames in arrival order; only the front transmits.
+    pub frames: VecDeque<Frame>,
+}
+
+/// One output port: at most one branch owns it at a time.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct OutPort {
+    /// `(input port, branch index)` of the owning branch, if any.
+    pub owner: Option<(u8, u16)>,
+}
+
+/// Full per-switch simulation state.
+#[derive(Debug, Default)]
+pub struct SwitchState {
+    /// Input ports.
+    pub inputs: Vec<InPort>,
+    /// Output ports.
+    pub outputs: Vec<OutPort>,
+    /// Rotating arbitration priority (input port to scan first).
+    pub rr: u8,
+}
+
+impl SwitchState {
+    /// Fresh state for a switch with `ports` ports.
+    pub fn new(ports: usize) -> Self {
+        SwitchState {
+            inputs: (0..ports).map(|_| InPort::default()).collect(),
+            outputs: vec![OutPort::default(); ports],
+            rr: 0,
+        }
+    }
+
+    /// Total frames resident on this switch.
+    pub fn frame_count(&self) -> usize {
+        self.inputs.iter().map(|p| p.frames.len()).sum()
+    }
+}
+
+/// Decode a worm header at switch `here` into its outgoing branches —
+/// the per-scheme replication rules of §3.2.
+///
+/// * Unicast / delivered copies: eject locally or route adaptively on.
+/// * Tree-based: climb an up port while not covering; once covering (or
+///   already descending), partition the bit-string across downward ports
+///   by reachability, one copy per port with a narrowed header.
+/// * Path-based: at the current stop, peel off one copy per local drop
+///   and forward a header-stripped copy toward the next stop; between
+///   stops, route adaptively toward the stop's switch.
+pub fn decode_branches(
+    net: &Network,
+    cfg: &SimConfig,
+    here: SwitchId,
+    worm: &Arc<WormCopy>,
+) -> Vec<Branch> {
+    match &worm.route {
+        RouteInfo::Unicast { dest } | RouteInfo::Delivered { dest } => {
+            decode_point_to_point(net, cfg, here, worm, *dest)
+        }
+        RouteInfo::Tree { dests, plan } => {
+            let descending = worm.phase == Phase::Down || plan.covered_at(here);
+            if descending {
+                let parts = net.reach.partition(&net.topo, here, *dests);
+                debug_assert!(!parts.is_empty(), "tree worm with empty partition");
+                parts
+                    .into_iter()
+                    .map(|(port, mask)| {
+                        let mut t = (**worm).clone();
+                        t.phase = Phase::Down;
+                        t.route = RouteInfo::Tree { dests: mask, plan: plan.clone() };
+                        Branch::fixed(port, t)
+                    })
+                    .collect()
+            } else {
+                let cands: Vec<(PortIdx, Phase)> = plan
+                    .up_ports(here)
+                    .iter()
+                    .map(|&p| (p, Phase::Up))
+                    .collect();
+                debug_assert!(!cands.is_empty(), "tree worm stuck in up phase at {here}");
+                vec![Branch::adaptive(cands, (**worm).clone(), cfg.adaptive)]
+            }
+        }
+        RouteInfo::Path { spec, cursor } => {
+            let stop = &spec.stops[*cursor];
+            if stop.switch == here {
+                debug_assert!(
+                    !stop.up_phase || worm.phase == Phase::Up,
+                    "worm lost its up* prefix before an up-phase stop"
+                );
+                let mut out = Vec::with_capacity(stop.drops.len() + 1);
+                for &d in &stop.drops {
+                    debug_assert_eq!(net.topo.host_switch(d), here, "drop not local");
+                    let mut t = (**worm).clone();
+                    t.header_flits = cfg.delivered_header_flits;
+                    t.route = RouteInfo::Delivered { dest: d };
+                    out.push(Branch::fixed(net.topo.host_port(d), t));
+                }
+                if *cursor + 1 < spec.stops.len() {
+                    let next_stop = &spec.stops[*cursor + 1];
+                    let cands = path_leg_candidates(net, here, worm.phase, next_stop);
+                    let mut t = (**worm).clone();
+                    t.header_flits = cfg.path_header_flits(spec.stops.len() - (*cursor + 1));
+                    t.route = RouteInfo::Path { spec: spec.clone(), cursor: *cursor + 1 };
+                    out.push(Branch::adaptive(cands, t, cfg.adaptive));
+                }
+                debug_assert!(!out.is_empty(), "path stop with nothing to do");
+                out
+            } else {
+                let cands = path_leg_candidates(net, here, worm.phase, stop);
+                vec![Branch::adaptive(cands, (**worm).clone(), cfg.adaptive)]
+            }
+        }
+    }
+}
+
+fn decode_point_to_point(
+    net: &Network,
+    cfg: &SimConfig,
+    here: SwitchId,
+    worm: &Arc<WormCopy>,
+    dest: NodeId,
+) -> Vec<Branch> {
+    let ds = net.topo.host_switch(dest);
+    if ds == here {
+        let port = net.topo.host_port(dest);
+        debug_assert!(matches!(net.topo.switch(here).ports[port.idx()], PortUse::Host(n) if n == dest));
+        vec![Branch::fixed(port, (**worm).clone())]
+    } else {
+        let cands = route_candidates(net, here, worm.phase, ds);
+        vec![Branch::adaptive(cands, (**worm).clone(), cfg.adaptive)]
+    }
+}
+
+fn route_candidates(
+    net: &Network,
+    here: SwitchId,
+    phase: Phase,
+    target: SwitchId,
+) -> Vec<(PortIdx, Phase)> {
+    let hops = net.routing.next_hops(here, phase, target);
+    assert!(
+        !hops.is_empty(),
+        "no legal route from {here} (phase {phase:?}) to {target} — planner bug"
+    );
+    hops.iter().map(|h| (h.port, h.next_phase)).collect()
+}
+
+/// Candidates for the leg of a path worm toward `stop`. Stops planned
+/// for the route's up* prefix must be reached by **up links only** so
+/// the worm keeps the ability to climb afterwards; later stops use the
+/// general minimal-route plane.
+fn path_leg_candidates(
+    net: &Network,
+    here: SwitchId,
+    phase: Phase,
+    stop: &crate::worm::PathStop,
+) -> Vec<(PortIdx, Phase)> {
+    if stop.up_phase {
+        debug_assert_eq!(phase, Phase::Up, "up-phase stop but worm already descending");
+        let hops = net.routing.up_only_next_hops(here, stop.switch);
+        assert!(
+            !hops.is_empty(),
+            "no up-only route from {here} to {} — planner bug",
+            stop.switch
+        );
+        hops.iter().map(|h| (h.port, Phase::Up)).collect()
+    } else {
+        route_candidates(net, here, phase, stop.switch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::worm::{McastId, PathStop, PathWormSpec, RouteInfo};
+    use irrnet_topology::{zoo, ApexPlan, NodeMask};
+
+    fn chain_net() -> Network {
+        Network::analyze(zoo::chain(3)).unwrap()
+    }
+
+    fn mk_worm(route: RouteInfo, header: u32) -> Arc<WormCopy> {
+        Arc::new(WormCopy {
+            mcast: McastId(0),
+            pkt: 0,
+            total_pkts: 1,
+            payload_flits: 16,
+            header_flits: header,
+            phase: Phase::Up,
+            route,
+        })
+    }
+
+    #[test]
+    fn unicast_local_ejects_to_host_port() {
+        let net = chain_net();
+        let cfg = SimConfig::paper_default();
+        let w = mk_worm(RouteInfo::Unicast { dest: NodeId(0) }, 3);
+        let b = decode_branches(&net, &cfg, SwitchId(0), &w);
+        assert_eq!(b.len(), 1);
+        assert_eq!(b[0].candidates, vec![(net.topo.host_port(NodeId(0)), Phase::Up)]);
+    }
+
+    #[test]
+    fn unicast_remote_routes_toward_destination() {
+        let net = chain_net();
+        let cfg = SimConfig::paper_default();
+        let w = mk_worm(RouteInfo::Unicast { dest: NodeId(2) }, 3);
+        let b = decode_branches(&net, &cfg, SwitchId(0), &w);
+        assert_eq!(b.len(), 1);
+        // Only one way along the chain.
+        assert_eq!(b[0].candidates.len(), 1);
+    }
+
+    #[test]
+    fn tree_worm_partitions_when_covering() {
+        let net = chain_net();
+        let cfg = SimConfig::paper_default();
+        // Root of the chain's up*/down* orientation is S0: it covers all.
+        let dests = NodeMask::from_nodes([NodeId(0), NodeId(2)]);
+        let plan = Arc::new(ApexPlan::compute(&net.topo, &net.updown, &net.reach, dests));
+        let w = mk_worm(RouteInfo::Tree { dests, plan }, cfg.tree_header_flits(3));
+        let b = decode_branches(&net, &cfg, SwitchId(0), &w);
+        // Two branches: host n0 locally, and down toward S1 (for n2).
+        assert_eq!(b.len(), 2);
+        let masks: Vec<NodeMask> = b
+            .iter()
+            .map(|br| match &br.template.route {
+                RouteInfo::Tree { dests, .. } => *dests,
+                _ => panic!("wrong route kind"),
+            })
+            .collect();
+        let union = masks.iter().fold(NodeMask::EMPTY, |a, m| a.union(*m));
+        assert_eq!(union, dests);
+        assert!(b.iter().all(|br| br.template.phase == Phase::Down));
+    }
+
+    #[test]
+    fn tree_worm_climbs_when_not_covering() {
+        let net = chain_net();
+        let cfg = SimConfig::paper_default();
+        // From S2, destination n0 requires climbing toward S0.
+        let dests = NodeMask::single(NodeId(0));
+        let plan = Arc::new(ApexPlan::compute(&net.topo, &net.updown, &net.reach, dests));
+        let w = mk_worm(RouteInfo::Tree { dests, plan }, cfg.tree_header_flits(3));
+        let b = decode_branches(&net, &cfg, SwitchId(2), &w);
+        assert_eq!(b.len(), 1);
+        assert_eq!(b[0].candidates.len(), 1);
+        assert_eq!(b[0].candidates[0].1, Phase::Up);
+    }
+
+    #[test]
+    fn path_worm_drops_and_forwards_with_stripped_header() {
+        let net = chain_net();
+        let cfg = SimConfig::paper_default();
+        let spec = Arc::new(PathWormSpec {
+            stops: vec![
+                PathStop { switch: SwitchId(1), drops: vec![NodeId(1)], up_phase: false },
+                PathStop { switch: SwitchId(2), drops: vec![NodeId(2)], up_phase: false },
+            ],
+        });
+        let w = mk_worm(
+            RouteInfo::Path { spec: spec.clone(), cursor: 0 },
+            cfg.path_header_flits(2),
+        );
+        let b = decode_branches(&net, &cfg, SwitchId(1), &w);
+        assert_eq!(b.len(), 2);
+        // Drop branch: delivered header.
+        let drop = b
+            .iter()
+            .find(|br| matches!(br.template.route, RouteInfo::Delivered { .. }))
+            .unwrap();
+        assert_eq!(drop.out_header(), cfg.delivered_header_flits);
+        // Forward branch: two fewer header flits (one stop consumed).
+        let fwd = b
+            .iter()
+            .find(|br| matches!(br.template.route, RouteInfo::Path { cursor: 1, .. }))
+            .unwrap();
+        assert_eq!(fwd.out_header(), cfg.path_header_flits(1));
+    }
+
+    #[test]
+    fn path_worm_routes_toward_stop_between_stops() {
+        let net = chain_net();
+        let cfg = SimConfig::paper_default();
+        let spec = Arc::new(PathWormSpec {
+            stops: vec![PathStop { switch: SwitchId(2), drops: vec![NodeId(2)], up_phase: false }],
+        });
+        let w = mk_worm(RouteInfo::Path { spec, cursor: 0 }, cfg.path_header_flits(1));
+        let b = decode_branches(&net, &cfg, SwitchId(0), &w);
+        assert_eq!(b.len(), 1);
+        assert!(b[0].port.is_none());
+    }
+
+    #[test]
+    fn branch_consumption_accounting() {
+        let w = mk_worm(RouteInfo::Unicast { dest: NodeId(0) }, 3);
+        let mut b = Branch::fixed(PortIdx(0), (*w).clone());
+        assert_eq!(b.out_total(), 19);
+        // Nothing consumed while the header is being emitted.
+        b.sent = 2;
+        assert_eq!(b.consumed_src(3), 0);
+        // Header emitted: incoming header consumed.
+        b.sent = 3;
+        assert_eq!(b.consumed_src(3), 3);
+        b.sent = 10;
+        assert_eq!(b.consumed_src(3), 10);
+        b.sent = 19;
+        assert_eq!(b.consumed_src(3), 19);
+    }
+
+    #[test]
+    fn shorter_out_header_maps_consumption_correctly() {
+        // Incoming header 5 flits, outgoing 1 flit (host-delivered copy):
+        // once the single out-header flit is sent, the whole incoming
+        // header plus 0 payload flits are consumed.
+        let w = mk_worm(RouteInfo::Delivered { dest: NodeId(0) }, 5);
+        let mut b = Branch::fixed(PortIdx(0), {
+            let mut t = (*w).clone();
+            t.header_flits = 1;
+            t
+        });
+        b.sent = 1;
+        assert_eq!(b.consumed_src(5), 5);
+        b.sent = 1 + 16;
+        assert_eq!(b.consumed_src(5), 5 + 16);
+    }
+
+    #[test]
+    fn frame_freed_is_min_over_branches() {
+        let net = chain_net();
+        let cfg = SimConfig::paper_default();
+        let dests = NodeMask::from_nodes([NodeId(0), NodeId(1)]);
+        let plan = Arc::new(ApexPlan::compute(&net.topo, &net.updown, &net.reach, dests));
+        let w = mk_worm(RouteInfo::Tree { dests, plan }, cfg.tree_header_flits(3));
+        let mut f = Frame::new(w.clone());
+        f.received = w.total_flits();
+        f.branches = decode_branches(&net, &cfg, SwitchId(0), &w);
+        f.decoded = true;
+        assert_eq!(f.branches.len(), 2);
+        // One branch races ahead; freed follows the slower one.
+        f.branches[0].sent = f.branches[0].out_total();
+        f.branches[0].done = true;
+        assert_eq!(f.advance_freed(), 0);
+        f.branches[1].sent = f.branches[1].out_header() + 4;
+        let freed = f.advance_freed();
+        assert_eq!(freed, w.header_flits + 4);
+        assert!(!f.all_branches_done());
+    }
+
+    #[test]
+    fn grant_finalizes_phase() {
+        let net = chain_net();
+        let cfg = SimConfig::paper_default();
+        let w = mk_worm(RouteInfo::Unicast { dest: NodeId(2) }, 3);
+        let mut b = decode_branches(&net, &cfg, SwitchId(0), &w).pop().unwrap();
+        let (port, phase) = b.candidates[0];
+        b.grant(port);
+        assert_eq!(b.port, Some(port));
+        assert_eq!(b.out_worm.as_ref().unwrap().phase, phase);
+    }
+}

@@ -1,0 +1,140 @@
+//! Tests driving the engine with hand-written [`Protocol`]
+//! implementations — exercising NI-level forwarding and host-level
+//! forwarding from the simulator's own API surface (the scheme crate has
+//! its own tests; these pin the *engine* contract).
+
+use irrnet_sim::{McastId, Protocol, SendSpec, SimConfig, Simulator, WormCopy};
+use irrnet_topology::{zoo, Network, NodeId, NodeMask};
+
+fn tiny_cfg() -> SimConfig {
+    let mut c = SimConfig::paper_default();
+    c.o_send_host = 10;
+    c.o_recv_host = 10;
+    c.o_send_ni = 10;
+    c.o_recv_ni = 10;
+    c
+}
+
+/// Relay: n0 sends to n1; when n1's host receives, it forwards to n2
+/// (host-level software forwarding, like the unicast binomial).
+struct HostRelay;
+
+impl Protocol for HostRelay {
+    fn on_launch(&mut self, _m: McastId, _now: u64) -> Vec<(NodeId, SendSpec)> {
+        vec![(NodeId(0), SendSpec::Unicast { dest: NodeId(1) })]
+    }
+    fn on_message_delivered(
+        &mut self,
+        node: NodeId,
+        m: McastId,
+        _now: u64,
+    ) -> Vec<(McastId, SendSpec)> {
+        if node == NodeId(1) {
+            vec![(m, SendSpec::Unicast { dest: NodeId(2) })]
+        } else {
+            Vec::new()
+        }
+    }
+    fn on_packet_at_ni(&mut self, _n: NodeId, _w: &WormCopy, _now: u64) -> Vec<SendSpec> {
+        Vec::new()
+    }
+}
+
+/// NI relay: same shape, but n1 forwards from its NI (per packet),
+/// without waiting for host delivery.
+struct NiRelay;
+
+impl Protocol for NiRelay {
+    fn on_launch(&mut self, _m: McastId, _now: u64) -> Vec<(NodeId, SendSpec)> {
+        vec![(NodeId(0), SendSpec::Unicast { dest: NodeId(1) })]
+    }
+    fn on_message_delivered(
+        &mut self,
+        _n: NodeId,
+        _m: McastId,
+        _now: u64,
+    ) -> Vec<(McastId, SendSpec)> {
+        Vec::new()
+    }
+    fn on_packet_at_ni(&mut self, node: NodeId, _w: &WormCopy, _now: u64) -> Vec<SendSpec> {
+        if node == NodeId(1) {
+            vec![SendSpec::Unicast { dest: NodeId(2) }]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+fn run<P: Protocol>(proto: P, msg: u32) -> (u64, u64) {
+    let net = Network::analyze(zoo::chain(3)).unwrap();
+    let dests = NodeMask::from_nodes([NodeId(1), NodeId(2)]);
+    let mut sim = Simulator::new(&net, tiny_cfg(), proto).unwrap();
+    sim.schedule_multicast(0, McastId(0), dests, msg);
+    sim.run_to_completion(10_000_000).unwrap();
+    let st = sim.stats();
+    let rec = &st.mcasts[&McastId(0)];
+    (rec.deliveries[&NodeId(1)], rec.deliveries[&NodeId(2)])
+}
+
+#[test]
+fn host_relay_serializes_through_host_overheads() {
+    let (d1, d2) = run(HostRelay, 16);
+    // n2's copy cannot leave n1 before n1's host delivery completes.
+    assert!(d2 > d1);
+    // The second leg repeats the whole chain: O_sh + DMA + O_sni + wire +
+    // O_rni + DMA + O_rh ≈ the first leg minus launch alignment.
+    assert!(d2 - d1 > 50, "gap {}", d2 - d1);
+}
+
+#[test]
+fn ni_relay_cuts_the_host_out_of_the_loop() {
+    let (h1, h2) = run(HostRelay, 16);
+    let (n1, n2) = run(NiRelay, 16);
+    assert_eq!(h1, n1, "first leg identical");
+    assert!(
+        n2 < h2,
+        "NI forwarding ({n2}) must beat host forwarding ({h2})"
+    );
+    // The NI relay saves both host overheads and the host DMA round trip.
+    assert!(h2 - n2 >= 20, "saving {}", h2 - n2);
+}
+
+#[test]
+fn ni_relay_pipelines_multi_packet_messages() {
+    // With 4 packets, the NI relay forwards packet j on its arrival; the
+    // host relay waits for the full message. The saving grows with
+    // message length.
+    let (_, h2_short) = run(HostRelay, 16);
+    let (_, n2_short) = run(NiRelay, 16);
+    let (_, h2_long) = run(HostRelay, 512);
+    let (_, n2_long) = run(NiRelay, 512);
+    let saving_short = h2_short - n2_short;
+    let saving_long = h2_long - n2_long;
+    assert!(
+        saving_long > saving_short,
+        "pipelining saving should grow: {saving_short} -> {saving_long}"
+    );
+}
+
+/// Golden trace: the exact event sequence of the 81-cycle unicast
+/// scenario (pinned in `engine_pipeline`), as rendered text.
+#[test]
+fn golden_trace_for_pinned_unicast() {
+    use irrnet_sim::StaticProtocol;
+    let net = Network::analyze(zoo::chain(2)).unwrap();
+    let mut proto = StaticProtocol::new();
+    proto.set_launch(McastId(0), vec![(NodeId(0), SendSpec::Unicast { dest: NodeId(1) })]);
+    let mut sim = Simulator::new(&net, tiny_cfg(), proto).unwrap();
+    sim.enable_trace();
+    sim.schedule_multicast(0, McastId(0), NodeMask::single(NodeId(1)), 16);
+    sim.run_to_completion(100_000).unwrap();
+    let rendered = sim.take_trace().unwrap().render();
+    let expected = concat!(
+        "       0 launch 0\n",
+        "       0 send   0 @n0\n",
+        "      26 queue  0#0 @n0\n",
+        "      55 ni-rx  0#0 @n1\n",
+        "      81 deliv  0 @n1\n",
+    );
+    assert_eq!(rendered, expected);
+}

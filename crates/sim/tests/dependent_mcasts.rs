@@ -1,0 +1,107 @@
+//! Tests of *dependent* multicasts: messages registered without a timed
+//! launch that the protocol fires when another message is delivered —
+//! the mechanism the collectives crate builds reduction trees from.
+
+use irrnet_sim::{McastId, Protocol, SendSpec, SimConfig, Simulator, WormCopy};
+use irrnet_topology::{zoo, Network, NodeId, NodeMask};
+
+fn tiny_cfg() -> SimConfig {
+    let mut c = SimConfig::paper_default();
+    c.o_send_host = 10;
+    c.o_recv_host = 10;
+    c.o_send_ni = 10;
+    c.o_recv_ni = 10;
+    c
+}
+
+/// A three-link chain of *separate* multicasts: mcast 0 (n0→n1) triggers
+/// mcast 1 (n1→n2), which triggers mcast 2 (n2→n3).
+struct ChainOfMcasts;
+
+impl Protocol for ChainOfMcasts {
+    fn on_launch(&mut self, m: McastId, _now: u64) -> Vec<(NodeId, SendSpec)> {
+        assert_eq!(m, McastId(0), "only mcast 0 has a timed launch");
+        vec![(NodeId(0), SendSpec::Unicast { dest: NodeId(1) })]
+    }
+    fn on_message_delivered(
+        &mut self,
+        node: NodeId,
+        m: McastId,
+        _now: u64,
+    ) -> Vec<(McastId, SendSpec)> {
+        match (m, node) {
+            (McastId(0), NodeId(1)) => vec![(McastId(1), SendSpec::Unicast { dest: NodeId(2) })],
+            (McastId(1), NodeId(2)) => vec![(McastId(2), SendSpec::Unicast { dest: NodeId(3) })],
+            _ => Vec::new(),
+        }
+    }
+    fn on_packet_at_ni(&mut self, _n: NodeId, _w: &WormCopy, _now: u64) -> Vec<SendSpec> {
+        Vec::new()
+    }
+}
+
+#[test]
+fn dependent_mcasts_chain_and_measure_from_first_send() {
+    let net = Network::analyze(zoo::chain(4)).unwrap();
+    let mut sim = Simulator::new(&net, tiny_cfg(), ChainOfMcasts).unwrap();
+    sim.schedule_multicast(0, McastId(0), NodeMask::single(NodeId(1)), 16);
+    sim.register_multicast(McastId(1), NodeMask::single(NodeId(2)), 16);
+    sim.register_multicast(McastId(2), NodeMask::single(NodeId(3)), 16);
+    sim.run_to_completion(1_000_000).unwrap();
+    let st = sim.stats();
+    assert!(st.all_complete());
+    let r0 = &st.mcasts[&McastId(0)];
+    let r1 = &st.mcasts[&McastId(1)];
+    let r2 = &st.mcasts[&McastId(2)];
+    // Each stage launches exactly when its predecessor delivered.
+    assert_eq!(r1.launched, r0.completed.unwrap());
+    assert_eq!(r2.launched, r1.completed.unwrap());
+    // Hop legs are identical chains: equal per-stage latency.
+    assert_eq!(r0.latency(), r1.latency());
+    assert_eq!(r1.latency(), r2.latency());
+}
+
+#[test]
+#[should_panic(expected = "send for unregistered multicast")]
+fn sending_for_an_unregistered_mcast_panics() {
+    struct Rogue;
+    impl Protocol for Rogue {
+        fn on_launch(&mut self, _m: McastId, _now: u64) -> Vec<(NodeId, SendSpec)> {
+            vec![(NodeId(0), SendSpec::Unicast { dest: NodeId(1) })]
+        }
+        fn on_message_delivered(
+            &mut self,
+            _n: NodeId,
+            _m: McastId,
+            _now: u64,
+        ) -> Vec<(McastId, SendSpec)> {
+            // Fires for an id nobody registered.
+            vec![(McastId(99), SendSpec::Unicast { dest: NodeId(0) })]
+        }
+        fn on_packet_at_ni(&mut self, _n: NodeId, _w: &WormCopy, _now: u64) -> Vec<SendSpec> {
+            Vec::new()
+        }
+    }
+    let net = Network::analyze(zoo::chain(2)).unwrap();
+    let mut sim = Simulator::new(&net, tiny_cfg(), Rogue).unwrap();
+    sim.schedule_multicast(0, McastId(0), NodeMask::single(NodeId(1)), 16);
+    let _ = sim.run_to_completion(1_000_000);
+}
+
+#[test]
+fn registered_but_never_fired_mcast_is_not_counted() {
+    let net = Network::analyze(zoo::chain(2)).unwrap();
+    let mut proto = irrnet_sim::StaticProtocol::new();
+    proto.set_launch(McastId(0), vec![(NodeId(0), SendSpec::Unicast { dest: NodeId(1) })]);
+    let mut sim = Simulator::new(&net, tiny_cfg(), proto).unwrap();
+    sim.schedule_multicast(0, McastId(0), NodeMask::single(NodeId(1)), 16);
+    // Registered, but nothing will ever send for it.
+    sim.register_multicast(McastId(7), NodeMask::single(NodeId(0)), 16);
+    // run_until drains fine...
+    sim.run_until(1_000_000).unwrap();
+    // ...but the unfired multicast has no record, so completion
+    // accounting only covers *started* work.
+    let st = sim.stats();
+    assert!(st.mcasts.contains_key(&McastId(0)));
+    assert!(!st.mcasts.contains_key(&McastId(7)));
+}

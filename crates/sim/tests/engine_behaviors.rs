@@ -1,0 +1,298 @@
+//! Behavioral engine tests: tracing, adaptivity, buffer pressure, error
+//! paths, and counter consistency.
+
+use irrnet_sim::{
+    McastId, SendSpec, SimConfig, SimError, Simulator, StaticProtocol, TraceEvent,
+};
+use irrnet_topology::{zoo, Network, NodeId, NodeMask, TopologyBuilder};
+
+fn tiny_cfg() -> SimConfig {
+    let mut c = SimConfig::paper_default();
+    c.o_send_host = 10;
+    c.o_recv_host = 10;
+    c.o_send_ni = 10;
+    c.o_recv_ni = 10;
+    c
+}
+
+fn unicast_sim<'a>(
+    net: &'a Network,
+    cfg: SimConfig,
+    from: NodeId,
+    to: NodeId,
+    msg: u32,
+) -> Simulator<'a, StaticProtocol> {
+    let mut proto = StaticProtocol::new();
+    proto.set_launch(McastId(0), vec![(from, SendSpec::Unicast { dest: to })]);
+    let mut sim = Simulator::new(net, cfg, proto).unwrap();
+    sim.schedule_multicast(0, McastId(0), NodeMask::single(to), msg);
+    sim
+}
+
+#[test]
+fn trace_records_full_lifecycle_in_order() {
+    let net = Network::analyze(zoo::chain(2)).unwrap();
+    let mut sim = unicast_sim(&net, tiny_cfg(), NodeId(0), NodeId(1), 16);
+    sim.enable_trace();
+    sim.run_to_completion(100_000).unwrap();
+    let log = sim.take_trace().unwrap();
+    let kinds: Vec<&TraceEvent> = log.events().iter().map(|(_, e)| e).collect();
+    assert!(matches!(kinds[0], TraceEvent::Launch { .. }));
+    assert!(matches!(kinds[1], TraceEvent::HostSendStart { .. }));
+    // One worm queued, one packet at the destination NI, one delivery.
+    assert_eq!(
+        kinds.iter().filter(|e| matches!(e, TraceEvent::WormQueued { .. })).count(),
+        1
+    );
+    assert_eq!(
+        kinds.iter().filter(|e| matches!(e, TraceEvent::PacketAtNi { .. })).count(),
+        1
+    );
+    assert!(matches!(kinds.last().unwrap(), TraceEvent::Delivered { node, .. } if *node == NodeId(1)));
+    // Timestamps are nondecreasing.
+    let times: Vec<u64> = log.events().iter().map(|(t, _)| *t).collect();
+    assert!(times.windows(2).all(|w| w[0] <= w[1]));
+}
+
+#[test]
+fn trace_disabled_by_default() {
+    let net = Network::analyze(zoo::chain(2)).unwrap();
+    let mut sim = unicast_sim(&net, tiny_cfg(), NodeId(0), NodeId(1), 16);
+    sim.run_to_completion(100_000).unwrap();
+    assert!(sim.take_trace().is_none());
+}
+
+#[test]
+fn deterministic_routing_matches_adaptive_on_idle_network() {
+    // With no contention, first-candidate routing takes one of the same
+    // minimal routes: identical latency.
+    let net = Network::analyze(zoo::chain(4)).unwrap();
+    let lat = |adaptive: bool| {
+        let mut cfg = tiny_cfg();
+        cfg.adaptive = adaptive;
+        let mut sim = unicast_sim(&net, cfg, NodeId(0), NodeId(3), 64);
+        sim.run_to_completion(1_000_000).unwrap()
+    };
+    assert_eq!(lat(true), lat(false));
+}
+
+#[test]
+fn adaptivity_helps_under_contention() {
+    // Diamond: S0 at top, two parallel down routes to S3. Two messages
+    // from n0 (at S0) to n3 (at S3) back to back: adaptive routing can
+    // use both branches... note both still share n0's injection link and
+    // n3's ejection link, so the benefit is bounded but must not be
+    // negative.
+    let mut b = TopologyBuilder::new();
+    let s0 = b.add_switch(8);
+    let s1 = b.add_switch(8);
+    let s2 = b.add_switch(8);
+    let s3 = b.add_switch(8);
+    b.add_link(s0, s1).unwrap();
+    b.add_link(s0, s2).unwrap();
+    b.add_link(s1, s3).unwrap();
+    b.add_link(s2, s3).unwrap();
+    let n0 = b.add_host(s0).unwrap();
+    let _n1 = b.add_host(s1).unwrap();
+    let _n2 = b.add_host(s2).unwrap();
+    let n3 = b.add_host(s3).unwrap();
+    let net = Network::analyze(b.build().unwrap()).unwrap();
+
+    let total = |adaptive: bool| {
+        let mut cfg = tiny_cfg();
+        cfg.adaptive = adaptive;
+        let mut proto = StaticProtocol::new();
+        proto.set_launch(McastId(0), vec![(n0, SendSpec::Unicast { dest: n3 })]);
+        proto.set_launch(McastId(1), vec![(n0, SendSpec::Unicast { dest: n3 })]);
+        let mut sim = Simulator::new(&net, cfg, proto).unwrap();
+        sim.schedule_multicast(0, McastId(0), NodeMask::single(n3), 128);
+        sim.schedule_multicast(0, McastId(1), NodeMask::single(n3), 128);
+        sim.run_to_completion(1_000_000).unwrap();
+        let st = sim.stats();
+        st.latency_of(McastId(0)).unwrap() + st.latency_of(McastId(1)).unwrap()
+    };
+    assert!(total(true) <= total(false));
+}
+
+#[test]
+fn small_buffers_still_deliver() {
+    // Buffer exactly one worm (the validation minimum): throughput drops
+    // but correctness holds.
+    let net = Network::analyze(zoo::chain(4)).unwrap();
+    let mut cfg = tiny_cfg();
+    cfg.input_buffer_flits = cfg.packet_payload_flits + cfg.unicast_header_flits;
+    let mut sim = unicast_sim(&net, cfg, NodeId(0), NodeId(3), 512);
+    let done = sim.run_to_completion(10_000_000).unwrap();
+    assert!(done > 0);
+    assert_eq!(sim.stats().net.packets_received, 4);
+}
+
+#[test]
+fn cycle_limit_error_reports_incomplete() {
+    let net = Network::analyze(zoo::chain(2)).unwrap();
+    let mut sim = unicast_sim(&net, tiny_cfg(), NodeId(0), NodeId(1), 128);
+    // Limit far below the end-to-end latency.
+    match sim.run_to_completion(50) {
+        Err(SimError::CycleLimit { incomplete, .. }) => assert_eq!(incomplete, 1),
+        other => panic!("expected CycleLimit, got {other:?}"),
+    }
+}
+
+#[test]
+fn run_until_is_resumable() {
+    let net = Network::analyze(zoo::chain(2)).unwrap();
+    let mut sim = unicast_sim(&net, tiny_cfg(), NodeId(0), NodeId(1), 16);
+    sim.run_until(40).unwrap();
+    assert!(!sim.stats().all_complete());
+    sim.run_until(100_000).unwrap();
+    assert!(sim.stats().all_complete());
+    // Same final latency as an uninterrupted run.
+    let mut sim2 = unicast_sim(&net, tiny_cfg(), NodeId(0), NodeId(1), 16);
+    sim2.run_to_completion(100_000).unwrap();
+    assert_eq!(
+        sim.stats().latency_of(McastId(0)),
+        sim2.stats().latency_of(McastId(0))
+    );
+}
+
+#[test]
+#[should_panic(expected = "duplicate multicast id")]
+fn duplicate_mcast_id_panics() {
+    let net = Network::analyze(zoo::chain(2)).unwrap();
+    let mut sim = unicast_sim(&net, tiny_cfg(), NodeId(0), NodeId(1), 16);
+    sim.schedule_multicast(10, McastId(0), NodeMask::single(NodeId(1)), 16);
+}
+
+#[test]
+fn resource_busy_counters_accumulate() {
+    let net = Network::analyze(zoo::chain(2)).unwrap();
+    let mut sim = unicast_sim(&net, tiny_cfg(), NodeId(0), NodeId(1), 16);
+    sim.run_to_completion(100_000).unwrap();
+    let st = sim.stats();
+    // Host: O_sh + O_rh = 20; NI: O_sni + O_rni = 20; bus: 2 DMAs of 6.
+    assert_eq!(st.net.host_busy_cycles, 20);
+    assert_eq!(st.net.ni_busy_cycles, 20);
+    assert_eq!(st.net.io_bus_busy_cycles, 12);
+}
+
+#[test]
+fn flit_counters_are_consistent_for_unicast() {
+    let net = Network::analyze(zoo::chain(3)).unwrap();
+    let mut sim = unicast_sim(&net, tiny_cfg(), NodeId(0), NodeId(2), 16);
+    sim.run_to_completion(100_000).unwrap();
+    let st = sim.stats();
+    // 19 flits injected; each switch hop re-transmits them; ejected once.
+    assert_eq!(st.net.injected_flits, 19);
+    assert_eq!(st.net.ejected_flits, 19);
+    // link_flits counts switch-output transfers: S0->S1, S1->S2, S2->NI.
+    assert_eq!(st.net.link_flits, 3 * 19);
+    assert_eq!(st.net.replications, 0);
+}
+
+#[test]
+fn parallel_links_carry_concurrent_traffic() {
+    // Two parallel links S0=S1; two simultaneous messages n0->n2, n1->n3
+    // (hosts 0,1 on S0; 2,3 on S1) should use both links and finish as
+    // fast as a single message (same pipeline, no sharing).
+    let mut b = TopologyBuilder::new();
+    let s0 = b.add_switch(8);
+    let s1 = b.add_switch(8);
+    b.add_link(s0, s1).unwrap();
+    b.add_link(s0, s1).unwrap();
+    let n0 = b.add_host(s0).unwrap();
+    let n1 = b.add_host(s0).unwrap();
+    let n2 = b.add_host(s1).unwrap();
+    let n3 = b.add_host(s1).unwrap();
+    let net = Network::analyze(b.build().unwrap()).unwrap();
+    let mut proto = StaticProtocol::new();
+    proto.set_launch(McastId(0), vec![(n0, SendSpec::Unicast { dest: n2 })]);
+    proto.set_launch(McastId(1), vec![(n1, SendSpec::Unicast { dest: n3 })]);
+    let mut sim = Simulator::new(&net, tiny_cfg(), proto).unwrap();
+    sim.schedule_multicast(0, McastId(0), NodeMask::single(n2), 128);
+    sim.schedule_multicast(0, McastId(1), NodeMask::single(n3), 128);
+    sim.run_to_completion(1_000_000).unwrap();
+    let st = sim.stats();
+    let l0 = st.latency_of(McastId(0)).unwrap();
+    let l1 = st.latency_of(McastId(1)).unwrap();
+    // Compare against a lone message.
+    let mut sim_solo = unicast_sim(&net, tiny_cfg(), n0, n2, 128);
+    sim_solo.run_to_completion(1_000_000).unwrap();
+    let solo = sim_solo.stats().latency_of(McastId(0)).unwrap();
+    assert_eq!(l0, solo, "first message must be unaffected");
+    assert_eq!(l1, solo, "second message should ride the parallel link");
+}
+
+#[test]
+fn bad_config_is_rejected_at_construction() {
+    let net = Network::analyze(zoo::chain(2)).unwrap();
+    let mut cfg = tiny_cfg();
+    cfg.input_buffer_flits = 8;
+    let r = Simulator::new(&net, cfg, StaticProtocol::new());
+    assert!(matches!(r, Err(SimError::BadConfig(_))));
+}
+
+#[test]
+fn per_message_ni_overhead_charged_once() {
+    // 4-packet message: NI pays O_ni on the first packet and the light
+    // per-packet cost on the rest, on both sides.
+    let net = Network::analyze(zoo::chain(2)).unwrap();
+    let mut cfg = tiny_cfg();
+    cfg.o_send_ni = 100;
+    cfg.o_recv_ni = 100;
+    // per-packet handling = 100/10 = 10
+    let mut sim = unicast_sim(&net, cfg.clone(), NodeId(0), NodeId(1), 512);
+    sim.run_to_completion(1_000_000).unwrap();
+    let st = sim.stats();
+    // Tx: 100 + 3×10; Rx: 100 + 3×10.
+    assert_eq!(st.net.ni_busy_cycles, 2 * (100 + 3 * 10));
+}
+
+#[test]
+fn per_link_flit_counts_are_exact_on_a_chain() {
+    // chain(3): S0-S1 (L0) and S1-S2 (L1). n0 -> n2 crosses both links
+    // in one direction with every flit exactly once.
+    let net = Network::analyze(zoo::chain(3)).unwrap();
+    let mut sim = unicast_sim(&net, tiny_cfg(), NodeId(0), NodeId(2), 16);
+    sim.run_to_completion(100_000).unwrap();
+    let st = sim.stats();
+    let per_dir = &st.link_flits_per_dir;
+    assert_eq!(per_dir.len(), 4);
+    // Exactly two directed links used, 19 flits each; the reverse
+    // directions idle.
+    let mut used: Vec<u64> = per_dir.iter().copied().filter(|&f| f > 0).collect();
+    used.sort_unstable();
+    assert_eq!(used, vec![19, 19]);
+    let (max, mean) = st.link_load_balance();
+    assert_eq!(max, 19);
+    assert!((mean - 19.0).abs() < 1e-9);
+}
+
+#[test]
+fn root_links_run_hot_under_uniform_load() {
+    // The up*/down* root concentration: on the paper's default networks,
+    // uniform random unicast traffic loads the hottest directed link well
+    // above the mean.
+    use irrnet_topology::gen;
+    let net = Network::analyze(
+        gen::generate(&irrnet_topology::RandomTopologyConfig::paper_default(0)).unwrap(),
+    )
+    .unwrap();
+    let mut proto = StaticProtocol::new();
+    let n = net.topo.num_nodes() as u16;
+    for i in 0..n {
+        let src = NodeId(i);
+        let dst = NodeId((i + 11) % n);
+        proto.set_launch(McastId(i as u64), vec![(src, SendSpec::Unicast { dest: dst })]);
+    }
+    let mut sim = Simulator::new(&net, tiny_cfg(), proto).unwrap();
+    for i in 0..n {
+        let dst = NodeId((i + 11) % n);
+        sim.schedule_multicast((i as u64) * 7, McastId(i as u64), NodeMask::single(dst), 128);
+    }
+    sim.run_to_completion(10_000_000).unwrap();
+    let (max, mean) = sim.stats().link_load_balance();
+    assert!(
+        max as f64 > 1.5 * mean,
+        "expected hot links: max {max} vs mean {mean:.0}"
+    );
+}

@@ -1,0 +1,133 @@
+//! Imperative construction of topologies for tests, fixtures, and the
+//! random generator.
+
+use crate::error::TopologyError;
+use crate::graph::{HostAttachment, Link, PortUse, Switch, Topology};
+use crate::ids::{LinkId, NodeId, PortIdx, SwitchId};
+
+/// Builds a [`Topology`] one switch / host / link at a time, assigning
+/// ports automatically (lowest free port first, which mirrors the paper's
+/// figures where host ports precede link ports).
+#[derive(Debug, Default, Clone)]
+pub struct TopologyBuilder {
+    switches: Vec<Switch>,
+    links: Vec<Link>,
+    hosts: Vec<HostAttachment>,
+}
+
+impl TopologyBuilder {
+    /// Fresh empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a switch with `ports` ports; returns its id.
+    pub fn add_switch(&mut self, ports: u8) -> SwitchId {
+        let id = SwitchId(self.switches.len() as u16);
+        self.switches.push(Switch { ports: vec![PortUse::Open; ports as usize] });
+        id
+    }
+
+    /// Attach a new host to `s` on its lowest free port.
+    pub fn add_host(&mut self, s: SwitchId) -> Result<NodeId, TopologyError> {
+        let node = NodeId(self.hosts.len() as u16);
+        let port = self.take_free_port(s)?;
+        self.switches[s.idx()].ports[port.idx()] = PortUse::Host(node);
+        self.hosts.push(HostAttachment { switch: s, port });
+        Ok(node)
+    }
+
+    /// Connect two distinct switches with a new bidirectional link, using
+    /// the lowest free port on each side. Parallel links are allowed.
+    pub fn add_link(&mut self, s1: SwitchId, s2: SwitchId) -> Result<LinkId, TopologyError> {
+        if s1 == s2 {
+            return Err(TopologyError::SelfLink(s1));
+        }
+        let p1 = self.take_free_port(s1)?;
+        let p2 = self.take_free_port(s2)?;
+        let link = LinkId(self.links.len() as u32);
+        self.switches[s1.idx()].ports[p1.idx()] = PortUse::Link { link, side: 0 };
+        self.switches[s2.idx()].ports[p2.idx()] = PortUse::Link { link, side: 1 };
+        self.links.push(Link { a: (s1, p1), b: (s2, p2) });
+        Ok(link)
+    }
+
+    /// Number of free ports remaining on `s`.
+    pub fn free_ports(&self, s: SwitchId) -> usize {
+        self.switches[s.idx()].free_ports().count()
+    }
+
+    /// Total free ports across all switches.
+    pub fn total_free_ports(&self) -> usize {
+        (0..self.switches.len())
+            .map(|i| self.free_ports(SwitchId(i as u16)))
+            .sum()
+    }
+
+    /// Number of switches added so far.
+    pub fn num_switches(&self) -> usize {
+        self.switches.len()
+    }
+
+    /// Finish and validate.
+    pub fn build(self) -> Result<Topology, TopologyError> {
+        Topology::from_parts(self.switches, self.links, self.hosts)
+    }
+
+    fn take_free_port(&mut self, s: SwitchId) -> Result<PortIdx, TopologyError> {
+        let sw = self
+            .switches
+            .get(s.idx())
+            .ok_or(TopologyError::Inconsistent("switch id out of range"))?;
+        sw.free_ports().next().ok_or(TopologyError::NoFreePort(s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ports_fill_lowest_first() {
+        let mut b = TopologyBuilder::new();
+        let s0 = b.add_switch(3);
+        let s1 = b.add_switch(3);
+        let n0 = b.add_host(s0).unwrap();
+        b.add_link(s0, s1).unwrap();
+        let t = {
+            b.add_host(s1).unwrap();
+            b.build().unwrap()
+        };
+        assert_eq!(t.host_port(n0), PortIdx(0));
+        // link took port 1 on s0
+        assert!(matches!(t.switch(s0).ports[1], PortUse::Link { .. }));
+        assert!(matches!(t.switch(s0).ports[2], PortUse::Open));
+    }
+
+    #[test]
+    fn port_exhaustion_errors() {
+        let mut b = TopologyBuilder::new();
+        let s0 = b.add_switch(1);
+        b.add_host(s0).unwrap();
+        assert_eq!(b.add_host(s0), Err(TopologyError::NoFreePort(s0)));
+    }
+
+    #[test]
+    fn self_link_rejected() {
+        let mut b = TopologyBuilder::new();
+        let s0 = b.add_switch(4);
+        assert_eq!(b.add_link(s0, s0), Err(TopologyError::SelfLink(s0)));
+    }
+
+    #[test]
+    fn free_port_accounting() {
+        let mut b = TopologyBuilder::new();
+        let s0 = b.add_switch(8);
+        let s1 = b.add_switch(8);
+        assert_eq!(b.total_free_ports(), 16);
+        b.add_link(s0, s1).unwrap();
+        assert_eq!(b.total_free_ports(), 14);
+        b.add_host(s0).unwrap();
+        assert_eq!(b.free_ports(s0), 6);
+    }
+}

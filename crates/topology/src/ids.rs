@@ -1,0 +1,112 @@
+//! Strongly typed identifiers for switches, nodes, ports, and links.
+//!
+//! Using newtypes instead of bare integers keeps the many index spaces in
+//! the simulator (switch index, host index, port index, link index) from
+//! being confused with each other at zero runtime cost.
+
+use std::fmt;
+
+/// Identifier of a switch (router). Dense, `0..num_switches`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SwitchId(pub u16);
+
+/// Identifier of a processing node (host). Dense, `0..num_nodes`.
+///
+/// The paper calls these "processing elements" or simply "nodes"; each is
+/// attached to exactly one switch port through its network interface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u16);
+
+/// A port index within a single switch (`0..ports_per_switch`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PortIdx(pub u8);
+
+/// Identifier of a bidirectional inter-switch link. Dense, `0..num_links`.
+///
+/// Multiple parallel links between the same pair of switches are allowed
+/// and receive distinct `LinkId`s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LinkId(pub u32);
+
+impl SwitchId {
+    /// The switch id as a plain index.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl NodeId {
+    /// The node id as a plain index.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl PortIdx {
+    /// The port index as a plain index.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl LinkId {
+    /// The link id as a plain index.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for SwitchId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for PortIdx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(SwitchId(3).to_string(), "S3");
+        assert_eq!(NodeId(12).to_string(), "n12");
+        assert_eq!(PortIdx(7).to_string(), "p7");
+        assert_eq!(LinkId(0).to_string(), "L0");
+    }
+
+    #[test]
+    fn idx_round_trip() {
+        assert_eq!(SwitchId(9).idx(), 9);
+        assert_eq!(NodeId(1).idx(), 1);
+        assert_eq!(PortIdx(2).idx(), 2);
+        assert_eq!(LinkId(5).idx(), 5);
+    }
+
+    #[test]
+    fn ordering_follows_numeric_value() {
+        assert!(SwitchId(1) < SwitchId(2));
+        assert!(NodeId(0) < NodeId(10));
+    }
+}

@@ -1,0 +1,285 @@
+//! Compact destination sets.
+//!
+//! The tree-based multidestination scheme encodes the destination set of a
+//! worm as an *n*-bit string (one bit per node in the system, §3.2.3 of the
+//! paper), and the switches compare that string against per-port
+//! reachability strings. [`NodeMask`] is exactly that bit string. It backs
+//! all destination-set math in the planners and the simulator.
+//!
+//! The representation is a single `u128`, which bounds the system size at
+//! 128 nodes — four times the paper's default system and twice its largest
+//! extension experiment. [`NodeMask::CAPACITY`] is asserted at topology
+//! construction time.
+
+use crate::ids::NodeId;
+use std::fmt;
+
+/// A set of nodes, stored as a bit string (bit *i* set ⇔ node *i* in set).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct NodeMask(pub u128);
+
+impl NodeMask {
+    /// Maximum number of nodes representable.
+    pub const CAPACITY: usize = 128;
+
+    /// The empty set.
+    pub const EMPTY: NodeMask = NodeMask(0);
+
+    /// A set containing a single node.
+    #[inline]
+    pub fn single(node: NodeId) -> Self {
+        debug_assert!(node.idx() < Self::CAPACITY);
+        NodeMask(1u128 << node.idx())
+    }
+
+    /// The full set `0..n`.
+    #[inline]
+    pub fn all(n: usize) -> Self {
+        assert!(n <= Self::CAPACITY, "system size exceeds NodeMask capacity");
+        if n == Self::CAPACITY {
+            NodeMask(u128::MAX)
+        } else {
+            NodeMask((1u128 << n) - 1)
+        }
+    }
+
+    /// Build a set from an iterator of nodes.
+    pub fn from_nodes<I: IntoIterator<Item = NodeId>>(nodes: I) -> Self {
+        let mut m = NodeMask::EMPTY;
+        for n in nodes {
+            m.insert(n);
+        }
+        m
+    }
+
+    /// True if the set is empty.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of nodes in the set.
+    #[inline]
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(self, node: NodeId) -> bool {
+        self.0 & (1u128 << node.idx()) != 0
+    }
+
+    /// Add a node.
+    #[inline]
+    pub fn insert(&mut self, node: NodeId) {
+        debug_assert!(node.idx() < Self::CAPACITY);
+        self.0 |= 1u128 << node.idx();
+    }
+
+    /// Remove a node.
+    #[inline]
+    pub fn remove(&mut self, node: NodeId) {
+        self.0 &= !(1u128 << node.idx());
+    }
+
+    /// Set union.
+    #[inline]
+    pub fn union(self, other: Self) -> Self {
+        NodeMask(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    #[inline]
+    pub fn intersection(self, other: Self) -> Self {
+        NodeMask(self.0 & other.0)
+    }
+
+    /// Set difference (`self \ other`).
+    #[inline]
+    pub fn difference(self, other: Self) -> Self {
+        NodeMask(self.0 & !other.0)
+    }
+
+    /// True if `self` is a superset of (covers) `other`.
+    ///
+    /// This is the comparison a switch performs between the union of its
+    /// down-port reachability strings and a worm's bit-string header.
+    #[inline]
+    pub fn covers(self, other: Self) -> bool {
+        other.0 & !self.0 == 0
+    }
+
+    /// True if the two sets share at least one node. This is the per-port
+    /// test a switch performs to decide whether to replicate a worm onto
+    /// that port.
+    #[inline]
+    pub fn intersects(self, other: Self) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// Iterate over the member nodes in increasing id order.
+    pub fn iter(self) -> impl Iterator<Item = NodeId> {
+        let mut bits = self.0;
+        std::iter::from_fn(move || {
+            if bits == 0 {
+                None
+            } else {
+                let tz = bits.trailing_zeros() as u16;
+                bits &= bits - 1;
+                Some(NodeId(tz))
+            }
+        })
+    }
+
+    /// The lowest-numbered node in the set, if any.
+    #[inline]
+    pub fn first(self) -> Option<NodeId> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(NodeId(self.0.trailing_zeros() as u16))
+        }
+    }
+
+    /// Number of bytes a bit-string header for an `n`-node system occupies
+    /// on the wire (the paper's tree-based worms carry one bit per node).
+    #[inline]
+    pub fn header_bytes(n_nodes: usize) -> usize {
+        n_nodes.div_ceil(8)
+    }
+}
+
+impl fmt::Debug for NodeMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "NodeMask{{")?;
+        let mut first = true;
+        for n in self.iter() {
+            if !first {
+                write!(f, ",")?;
+            }
+            write!(f, "{}", n.0)?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Display for NodeMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl FromIterator<NodeId> for NodeMask {
+    fn from_iter<I: IntoIterator<Item = NodeId>>(iter: I) -> Self {
+        NodeMask::from_nodes(iter)
+    }
+}
+
+impl std::ops::BitOr for NodeMask {
+    type Output = NodeMask;
+    fn bitor(self, rhs: Self) -> Self {
+        self.union(rhs)
+    }
+}
+
+impl std::ops::BitAnd for NodeMask {
+    type Output = NodeMask;
+    fn bitand(self, rhs: Self) -> Self {
+        self.intersection(rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_single() {
+        assert!(NodeMask::EMPTY.is_empty());
+        assert_eq!(NodeMask::EMPTY.len(), 0);
+        let m = NodeMask::single(NodeId(5));
+        assert_eq!(m.len(), 1);
+        assert!(m.contains(NodeId(5)));
+        assert!(!m.contains(NodeId(4)));
+    }
+
+    #[test]
+    fn all_has_exact_members() {
+        let m = NodeMask::all(32);
+        assert_eq!(m.len(), 32);
+        assert!(m.contains(NodeId(0)));
+        assert!(m.contains(NodeId(31)));
+        assert!(!m.contains(NodeId(32)));
+    }
+
+    #[test]
+    fn all_at_capacity() {
+        let m = NodeMask::all(128);
+        assert_eq!(m.len(), 128);
+        assert!(m.contains(NodeId(127)));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn all_beyond_capacity_panics() {
+        let _ = NodeMask::all(129);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = NodeMask::from_nodes([NodeId(1), NodeId(2), NodeId(3)]);
+        let b = NodeMask::from_nodes([NodeId(3), NodeId(4)]);
+        assert_eq!(a.union(b).len(), 4);
+        assert_eq!(a.intersection(b), NodeMask::single(NodeId(3)));
+        assert_eq!(a.difference(b), NodeMask::from_nodes([NodeId(1), NodeId(2)]));
+        assert!(a.intersects(b));
+        assert!(!a.covers(b));
+        assert!(a.union(b).covers(a));
+    }
+
+    #[test]
+    fn covers_is_reflexive_and_empty_is_covered() {
+        let a = NodeMask::from_nodes([NodeId(7), NodeId(9)]);
+        assert!(a.covers(a));
+        assert!(a.covers(NodeMask::EMPTY));
+        assert!(NodeMask::EMPTY.covers(NodeMask::EMPTY));
+        assert!(!NodeMask::EMPTY.covers(a));
+    }
+
+    #[test]
+    fn iteration_in_order() {
+        let a = NodeMask::from_nodes([NodeId(9), NodeId(1), NodeId(100)]);
+        let v: Vec<u16> = a.iter().map(|n| n.0).collect();
+        assert_eq!(v, vec![1, 9, 100]);
+        assert_eq!(a.first(), Some(NodeId(1)));
+    }
+
+    #[test]
+    fn remove_and_insert() {
+        let mut m = NodeMask::all(4);
+        m.remove(NodeId(2));
+        assert_eq!(m.len(), 3);
+        assert!(!m.contains(NodeId(2)));
+        m.insert(NodeId(2));
+        assert_eq!(m, NodeMask::all(4));
+        // removing an absent member is a no-op
+        m.remove(NodeId(99));
+        assert_eq!(m, NodeMask::all(4));
+    }
+
+    #[test]
+    fn header_bytes_rounds_up() {
+        assert_eq!(NodeMask::header_bytes(32), 4);
+        assert_eq!(NodeMask::header_bytes(33), 5);
+        assert_eq!(NodeMask::header_bytes(1), 1);
+        assert_eq!(NodeMask::header_bytes(0), 0);
+    }
+
+    #[test]
+    fn debug_format_lists_members() {
+        let a = NodeMask::from_nodes([NodeId(0), NodeId(3)]);
+        assert_eq!(format!("{a:?}"), "NodeMask{0,3}");
+    }
+}

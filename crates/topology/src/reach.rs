@@ -1,0 +1,274 @@
+//! Per-port reachability strings for tree-based multidestination worms
+//! (§3.2.3, Fig. 4(c)).
+//!
+//! Every switch associates with each of its *downward* output ports (ports
+//! leading down to another switch, or to a locally attached host) an
+//! *n*-bit reachability string: the set of nodes reachable through that
+//! port using only further down traversals — exactly the restriction the
+//! base up*/down* routing imposes once a worm starts descending.
+//!
+//! A switch *covers* a destination set if the union of its downward-port
+//! strings is a superset of the set; a tree-based worm climbs up links
+//! until it reaches a covering switch, then fans out downward.
+
+use crate::graph::{PortUse, Topology};
+use crate::ids::{PortIdx, SwitchId};
+use crate::mask::NodeMask;
+use crate::updown::UpDown;
+
+/// Reachability strings for every switch in a topology.
+#[derive(Debug, Clone)]
+pub struct Reachability {
+    ports_per_switch: usize,
+    /// `port_reach[s * P + p]` — nodes reachable down through port `p` of
+    /// switch `s`; `EMPTY` for up ports and open ports.
+    port_reach: Vec<NodeMask>,
+    /// `cover[s]` — union of all downward-port strings of `s` (the paper's
+    /// "total reachability string").
+    cover: Vec<NodeMask>,
+    /// `descend[s]` — nodes reachable from `s` via down-only traversals,
+    /// including the hosts directly attached to `s`.
+    descend: Vec<NodeMask>,
+}
+
+impl Reachability {
+    /// Compute all strings.
+    ///
+    /// `descend(s) = nodes_at(s) ∪ ⋃ {descend(c) : s —down→ c}` — the down
+    /// graph is acyclic, so a reverse-level-order pass suffices.
+    pub fn compute(topo: &Topology, updown: &UpDown) -> Self {
+        let n = topo.num_switches();
+        let pmax = topo
+            .switches()
+            .map(|(_, sw)| sw.num_ports())
+            .max()
+            .unwrap_or(0);
+
+        // Order switches by decreasing (level, id): every down traversal
+        // strictly decreases that key's order position... actually a down
+        // traversal increases level or keeps level while increasing id, so
+        // processing in decreasing (level, id) order guarantees children
+        // before parents.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by_key(|&s| {
+            let sid = SwitchId(s as u16);
+            std::cmp::Reverse((updown.level(sid), sid.0))
+        });
+
+        let mut descend = vec![NodeMask::EMPTY; n];
+        for &si in &order {
+            let s = SwitchId(si as u16);
+            let mut m = topo.nodes_at(s);
+            for (_, peer, _) in updown.down_links(topo, s) {
+                m = m.union(descend[peer.idx()]);
+            }
+            descend[si] = m;
+        }
+
+        let mut port_reach = vec![NodeMask::EMPTY; n * pmax];
+        let mut cover = vec![NodeMask::EMPTY; n];
+        for (s, sw) in topo.switches() {
+            let mut c = NodeMask::EMPTY;
+            for (pi, pu) in sw.ports.iter().enumerate() {
+                let m = match pu {
+                    PortUse::Host(node) => NodeMask::single(*node),
+                    PortUse::Link { link, .. } => {
+                        if updown.is_up_traversal(topo, *link, s) {
+                            NodeMask::EMPTY
+                        } else {
+                            let peer = {
+                                let l = topo.link(*link);
+                                let side = l.side_of(s).expect("endpoint");
+                                l.end(1 - side).0
+                            };
+                            descend[peer.idx()]
+                        }
+                    }
+                    PortUse::Open => NodeMask::EMPTY,
+                };
+                port_reach[s.idx() * pmax + pi] = m;
+                c = c.union(m);
+            }
+            cover[s.idx()] = c;
+        }
+
+        Reachability { ports_per_switch: pmax, port_reach, cover, descend }
+    }
+
+    /// The reachability string of one output port (empty for up/open ports).
+    #[inline]
+    pub fn port(&self, s: SwitchId, p: PortIdx) -> NodeMask {
+        self.port_reach[s.idx() * self.ports_per_switch + p.idx()]
+    }
+
+    /// The switch's total reachability string (union over downward ports).
+    #[inline]
+    pub fn cover(&self, s: SwitchId) -> NodeMask {
+        self.cover[s.idx()]
+    }
+
+    /// Nodes reachable from `s` via down-only traversal (= `cover(s)` —
+    /// exposed separately for clarity in planners).
+    #[inline]
+    pub fn descend(&self, s: SwitchId) -> NodeMask {
+        self.descend[s.idx()]
+    }
+
+    /// True if `s` can deliver the whole destination set going only down —
+    /// the covering test a tree-based worm performs at each switch of its
+    /// up phase.
+    #[inline]
+    pub fn covers(&self, s: SwitchId, dests: NodeMask) -> bool {
+        self.cover[s.idx()].covers(dests)
+    }
+
+    /// Partition a destination header across the downward ports of `s`:
+    /// each destination is assigned to exactly **one** port that reaches it
+    /// (the lowest-indexed such port — a deterministic priority encoder, as
+    /// switch hardware would implement). Returns `(port, sub-header)` pairs
+    /// in port order, covering `dests` exactly.
+    ///
+    /// Panics in debug builds if `s` does not cover `dests`.
+    pub fn partition(&self, topo: &Topology, s: SwitchId, dests: NodeMask) -> Vec<(PortIdx, NodeMask)> {
+        debug_assert!(self.covers(s, dests), "partition at non-covering switch");
+        let mut remaining = dests;
+        let mut out = Vec::new();
+        let nports = topo.switch(s).num_ports();
+        for pi in 0..nports {
+            if remaining.is_empty() {
+                break;
+            }
+            let p = PortIdx(pi as u8);
+            let take = self.port(s, p).intersection(remaining);
+            if !take.is_empty() {
+                out.push((p, take));
+                remaining = remaining.difference(take);
+            }
+        }
+        debug_assert!(remaining.is_empty());
+        out
+    }
+
+    /// Total bits of reachability state stored at switch `s` — the
+    /// quantity behind the paper's §3.3 observation that bit-string
+    /// decoding state grows with system size. (`n_nodes` bits per
+    /// downward port.)
+    pub fn state_bits(&self, topo: &Topology, updown: &UpDown, s: SwitchId, n_nodes: usize) -> usize {
+        updown.downward_ports(topo, s).count() * n_nodes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TopologyBuilder;
+    use crate::ids::NodeId;
+
+    /// Root S0 (hosts n0), children S1 (n1) and S2 (n2), S3 under both
+    /// (n3), plus cross link S1–S2.
+    fn fixture() -> (Topology, UpDown, Reachability) {
+        let mut b = TopologyBuilder::new();
+        let s: Vec<_> = (0..4).map(|_| b.add_switch(8)).collect();
+        b.add_link(s[0], s[1]).unwrap();
+        b.add_link(s[0], s[2]).unwrap();
+        b.add_link(s[1], s[3]).unwrap();
+        b.add_link(s[2], s[3]).unwrap();
+        b.add_link(s[1], s[2]).unwrap();
+        for &sw in &s {
+            b.add_host(sw).unwrap();
+        }
+        let t = b.build().unwrap();
+        let ud = UpDown::compute(&t, s[0]).unwrap();
+        let r = Reachability::compute(&t, &ud);
+        (t, ud, r)
+    }
+
+    #[test]
+    fn root_covers_everything() {
+        let (t, _, r) = fixture();
+        assert_eq!(r.cover(SwitchId(0)), NodeMask::all(t.num_nodes()));
+    }
+
+    #[test]
+    fn leaf_covers_only_local_hosts() {
+        let (_, _, r) = fixture();
+        assert_eq!(r.cover(SwitchId(3)), NodeMask::single(NodeId(3)));
+    }
+
+    #[test]
+    fn cross_link_extends_cover() {
+        let (_, _, r) = fixture();
+        // S1 reaches n1 (local), n3 (down via S3) and n2 (down via the
+        // cross link S1->S2, whose up end is S1).
+        let c = r.cover(SwitchId(1));
+        assert!(c.contains(NodeId(1)));
+        assert!(c.contains(NodeId(2)));
+        assert!(c.contains(NodeId(3)));
+        assert!(!c.contains(NodeId(0)));
+        // S2's cross-link side is an up port: S2 covers only n2 and n3.
+        let c2 = r.cover(SwitchId(2));
+        assert_eq!(c2, NodeMask::from_nodes([NodeId(2), NodeId(3)]));
+    }
+
+    #[test]
+    fn up_ports_have_empty_strings() {
+        let (t, ud, r) = fixture();
+        for (sid, sw) in t.switches() {
+            for pi in 0..sw.num_ports() {
+                let p = PortIdx(pi as u8);
+                if let PortUse::Link { link, .. } = sw.ports[pi] {
+                    if ud.is_up_traversal(&t, link, sid) {
+                        assert!(r.port(sid, p).is_empty());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn host_port_string_is_singleton() {
+        let (t, _, r) = fixture();
+        for (n, h) in t.hosts() {
+            assert_eq!(r.port(h.switch, h.port), NodeMask::single(n));
+        }
+    }
+
+    #[test]
+    fn partition_covers_exactly_once() {
+        let (t, _, r) = fixture();
+        let dests = NodeMask::from_nodes([NodeId(1), NodeId(2), NodeId(3)]);
+        let parts = r.partition(&t, SwitchId(0), dests);
+        let mut total = NodeMask::EMPTY;
+        for (_, m) in &parts {
+            assert!(total.intersection(*m).is_empty(), "duplicate delivery");
+            total = total.union(*m);
+        }
+        assert_eq!(total, dests);
+    }
+
+    #[test]
+    fn partition_prefers_lowest_port() {
+        let (t, _, r) = fixture();
+        // n3 is reachable from S0 via both S1 and S2 subtrees; the
+        // partition must pick exactly one (the lower-indexed port).
+        let parts = r.partition(&t, SwitchId(0), NodeMask::single(NodeId(3)));
+        assert_eq!(parts.len(), 1);
+    }
+
+    #[test]
+    fn state_bits_counts_downward_ports() {
+        let (t, ud, r) = fixture();
+        // S3: only downward port is its host port -> n bits.
+        assert_eq!(r.state_bits(&t, &ud, SwitchId(3), t.num_nodes()), 4);
+        // S0: two down links + one host = 3 downward ports.
+        assert_eq!(r.state_bits(&t, &ud, SwitchId(0), t.num_nodes()), 12);
+    }
+
+    #[test]
+    fn descend_equals_cover() {
+        let (t, _, r) = fixture();
+        for (s, _) in t.switches() {
+            assert_eq!(r.descend(s), r.cover(s));
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Cross-structure consistency: the reachability strings, routing
+//! tables, and up/down orientation must describe the same network.
+
+use irrnet_topology::{
+    gen, zoo, Network, NodeMask, Phase, RandomTopologyConfig, SwitchId,
+};
+
+fn networks() -> Vec<Network> {
+    let mut v: Vec<Network> = (0..6u64)
+        .map(|s| {
+            Network::analyze(gen::generate(&RandomTopologyConfig::paper_default(s)).unwrap())
+                .unwrap()
+        })
+        .collect();
+    v.push(Network::analyze(zoo::paper_example()).unwrap());
+    v.push(Network::analyze(zoo::ring(6)).unwrap());
+    v.push(Network::analyze(zoo::star(4, 3)).unwrap());
+    v
+}
+
+/// `cover(s)` (the union of reachability strings) must equal the set of
+/// nodes whose switch is reachable from `s` in the Down phase — two
+/// independently computed views of "where can a descending worm go".
+#[test]
+fn reachability_agrees_with_down_phase_routing() {
+    for net in networks() {
+        for (s, _) in net.topo.switches() {
+            let mut from_routing = NodeMask::EMPTY;
+            for (n, h) in net.topo.hosts() {
+                if net.routing.distance(s, Phase::Down, h.switch)
+                    != irrnet_topology::routing::UNREACHABLE
+                {
+                    from_routing.insert(n);
+                }
+            }
+            assert_eq!(
+                net.reach.cover(s),
+                from_routing,
+                "switch {s} cover mismatch"
+            );
+        }
+    }
+}
+
+/// The up-only plane must agree with the up/down orientation: a one-hop
+/// up-only distance exists exactly where an up link exists.
+#[test]
+fn up_only_plane_matches_orientation() {
+    for net in networks() {
+        for (s, _) in net.topo.switches() {
+            let up_peers: Vec<SwitchId> = net
+                .updown
+                .up_links(&net.topo, s)
+                .map(|(_, p, _)| p)
+                .collect();
+            for (_, peer, _) in net.topo.neighbors(s) {
+                let d = net.routing.up_only_distance(s, peer);
+                if up_peers.contains(&peer) {
+                    assert_eq!(d, 1, "up link {s}->{peer} must be 1 up-only hop");
+                }
+            }
+            // And the root is up-only reachable from everywhere.
+            assert_ne!(
+                net.routing.up_only_distance(s, net.updown.root()),
+                irrnet_topology::routing::UNREACHABLE,
+                "{s} cannot climb to the root"
+            );
+        }
+    }
+}
+
+/// Distances satisfy the triangle property over the legal-route relation:
+/// d(a→c) ≤ d(a→b)+d(b→c) need NOT hold under up*/down* (phases!), but
+/// the Up-phase distance must never exceed the up-only route through any
+/// intermediate apex.
+#[test]
+fn general_distance_bounded_by_up_then_down() {
+    for net in networks() {
+        let n = net.topo.num_switches();
+        for a in 0..n as u16 {
+            for b in 0..n as u16 {
+                let (sa, sb) = (SwitchId(a), SwitchId(b));
+                let d = net.routing.distance(sa, Phase::Up, sb);
+                // Via the root: climb + descend is always legal.
+                let up = net.routing.up_only_distance(sa, net.updown.root());
+                let down = net.routing.distance(net.updown.root(), Phase::Down, sb);
+                assert!(
+                    d <= up.saturating_add(down),
+                    "{sa}->{sb}: {d} > {up}+{down} via root"
+                );
+            }
+        }
+    }
+}
+
+/// Every node pair is connected by a legal route whose length is at most
+/// the diameter bound 2·height of the BFS tree.
+#[test]
+fn diameter_bounded_by_twice_tree_height() {
+    for net in networks() {
+        let height = net
+            .topo
+            .switches()
+            .map(|(s, _)| net.updown.level(s))
+            .max()
+            .unwrap_or(0) as u16;
+        let m = irrnet_topology::network_metrics(&net);
+        assert!(
+            m.diameter <= 2 * height.max(1),
+            "diameter {} vs height {height}",
+            m.diameter
+        );
+    }
+}

@@ -1,0 +1,264 @@
+//! DSM cache-invalidation workload — the system-level multicast use the
+//! paper's introduction highlights ("used for system level operations in
+//! distributed shared memory systems, such as for cache invalidations,
+//! acknowledgment collection, and synchronization", citing the authors'
+//! wormhole-DSM study \[2\]).
+//!
+//! The generator models a directory-based DSM: a set of shared blocks,
+//! each with a home node and a sharer set; writes arrive as a Poisson
+//! stream, concentrated on a hot subset of blocks, and every write to a
+//! shared block triggers one *invalidation multicast* from the block's
+//! home to the current sharers. Invalidations are short (a cache-line
+//! address, not data), so this exercises the schemes in the
+//! short-message, high-fan-in regime — the opposite corner from the
+//! Fig. 8 long-message study.
+
+use crate::single::random_dests;
+use crate::stats::Summary;
+use irrnet_core::{plan_multicast, Scheme, SchemeProtocol};
+use irrnet_sim::{Cycle, McastId, SimConfig, SimError, Simulator};
+use irrnet_topology::{Network, NodeId, NodeMask};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// Parameters of the synthetic DSM workload.
+#[derive(Debug, Clone)]
+pub struct DsmConfig {
+    /// Number of shared blocks in the directory.
+    pub blocks: usize,
+    /// Mean sharer-set size (sharers per block are 1 + geometric-ish,
+    /// clamped to the system size).
+    pub mean_sharers: f64,
+    /// Fraction of writes that hit the hottest 10% of blocks (locality).
+    pub hot_fraction: f64,
+    /// System-wide write rate in writes per cycle.
+    pub write_rate: f64,
+    /// Invalidation message length in flits (an address + tag — short).
+    pub inval_flits: u32,
+    /// Cold-start cycles excluded from measurement.
+    pub warmup: Cycle,
+    /// Measurement window.
+    pub measure: Cycle,
+    /// Post-window drain.
+    pub drain: Cycle,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DsmConfig {
+    fn default() -> Self {
+        DsmConfig {
+            blocks: 256,
+            mean_sharers: 6.0,
+            hot_fraction: 0.7,
+            write_rate: 2e-4,
+            inval_flits: 16,
+            warmup: 20_000,
+            measure: 200_000,
+            drain: 100_000,
+            seed: 0xD5,
+        }
+    }
+}
+
+/// One invalidation event of the generated trace.
+#[derive(Debug, Clone, Copy)]
+pub struct InvalEvent {
+    /// Launch cycle.
+    pub at: Cycle,
+    /// The block's home node (multicast source).
+    pub home: NodeId,
+    /// Sharers to invalidate (never contains the home).
+    pub sharers: NodeMask,
+}
+
+/// A generated invalidation trace.
+#[derive(Debug, Clone, Default)]
+pub struct DsmTrace {
+    /// Events in launch order.
+    pub events: Vec<InvalEvent>,
+}
+
+/// Generate the invalidation trace for a system of `num_nodes` nodes.
+pub fn generate_trace(num_nodes: usize, cfg: &DsmConfig) -> DsmTrace {
+    assert!(cfg.blocks > 0 && cfg.write_rate > 0.0);
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+
+    // Directory state: per block, a home node and a sharer set.
+    let mut homes = Vec::with_capacity(cfg.blocks);
+    let mut sharers = Vec::with_capacity(cfg.blocks);
+    for _ in 0..cfg.blocks {
+        let home = NodeId(rng.gen_range(0..num_nodes) as u16);
+        // Sharer count: 1 + geometric with the requested mean.
+        let p = 1.0 / cfg.mean_sharers.max(1.0);
+        let mut k = 1usize;
+        while k < num_nodes - 1 && rng.gen_range(0.0..1.0) > p {
+            k += 1;
+        }
+        let set = random_dests(&mut rng, num_nodes, k, home);
+        homes.push(home);
+        sharers.push(set);
+    }
+
+    // Poisson write stream over [0, warmup + measure).
+    let horizon = (cfg.warmup + cfg.measure) as f64;
+    let hot_blocks = (cfg.blocks / 10).max(1);
+    let mut t = 0.0f64;
+    let mut events = Vec::new();
+    loop {
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        t += -u.ln() / cfg.write_rate;
+        if t >= horizon {
+            break;
+        }
+        let block = if rng.gen_range(0.0..1.0) < cfg.hot_fraction {
+            rng.gen_range(0..hot_blocks)
+        } else {
+            rng.gen_range(0..cfg.blocks)
+        };
+        events.push(InvalEvent {
+            at: t as Cycle,
+            home: homes[block],
+            sharers: sharers[block],
+        });
+    }
+    DsmTrace { events }
+}
+
+/// Result of replaying a DSM trace under one multicast scheme.
+#[derive(Debug, Clone, Copy)]
+pub struct DsmResult {
+    /// Invalidations launched in the measurement window.
+    pub invalidations: usize,
+    /// Latency distribution of completed invalidations (launch → last
+    /// sharer acknowledged-invalid, i.e. host-level delivery).
+    pub latency: Option<Summary>,
+    /// True if under 90% completed.
+    pub saturated: bool,
+}
+
+/// Replay a trace under `scheme`.
+pub fn run_dsm(
+    net: &Network,
+    sim_cfg: &SimConfig,
+    scheme: Scheme,
+    cfg: &DsmConfig,
+) -> Result<DsmResult, SimError> {
+    let trace = generate_trace(net.topo.num_nodes(), cfg);
+    let mut proto = SchemeProtocol::new();
+    let mut launches = Vec::with_capacity(trace.events.len());
+    for (i, ev) in trace.events.iter().enumerate() {
+        let id = McastId(i as u64);
+        let plan = plan_multicast(net, sim_cfg, scheme, ev.home, ev.sharers, cfg.inval_flits);
+        proto.add(id, Arc::new(plan));
+        launches.push((ev.at, id, ev.sharers));
+    }
+    let mut sim = Simulator::new(net, sim_cfg.clone(), proto)?;
+    for (at, id, sharers) in launches {
+        sim.schedule_multicast(at, id, sharers, cfg.inval_flits);
+    }
+    let horizon = cfg.warmup + cfg.measure;
+    sim.run_until(horizon + cfg.drain)?;
+    let stats = sim.stats();
+    let mut n = 0usize;
+    let mut done = 0usize;
+    let mut samples = Vec::new();
+    for r in stats.mcasts.values() {
+        if r.launched >= cfg.warmup && r.launched < horizon {
+            n += 1;
+            if let Some(l) = r.latency() {
+                done += 1;
+                samples.push(l as f64);
+            }
+        }
+    }
+    Ok(DsmResult {
+        invalidations: n,
+        latency: Summary::of(&samples),
+        saturated: n > 0 && (done as f64) < 0.9 * n as f64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use irrnet_topology::{gen, RandomTopologyConfig};
+
+    fn net() -> Network {
+        Network::analyze(gen::generate(&RandomTopologyConfig::paper_default(0)).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn trace_is_well_formed() {
+        let cfg = DsmConfig::default();
+        let t = generate_trace(32, &cfg);
+        assert!(!t.events.is_empty());
+        let horizon = cfg.warmup + cfg.measure;
+        let mut prev = 0;
+        for e in &t.events {
+            assert!(e.at < horizon);
+            assert!(e.at >= prev, "events in launch order");
+            prev = e.at;
+            assert!(!e.sharers.is_empty());
+            assert!(!e.sharers.contains(e.home), "home never invalidates itself");
+        }
+    }
+
+    #[test]
+    fn trace_is_deterministic_per_seed() {
+        let cfg = DsmConfig::default();
+        let a = generate_trace(32, &cfg);
+        let b = generate_trace(32, &cfg);
+        assert_eq!(a.events.len(), b.events.len());
+        for (x, y) in a.events.iter().zip(&b.events) {
+            assert_eq!(x.at, y.at);
+            assert_eq!(x.home, y.home);
+            assert_eq!(x.sharers, y.sharers);
+        }
+    }
+
+    #[test]
+    fn hot_blocks_receive_most_writes() {
+        let cfg = DsmConfig { hot_fraction: 0.9, write_rate: 1e-3, ..DsmConfig::default() };
+        let t = generate_trace(32, &cfg);
+        // With 90% of writes on 10% of blocks, the distinct (home,
+        // sharers) pairs seen should be far fewer than events.
+        let mut keys: Vec<(u16, u128)> = t
+            .events
+            .iter()
+            .map(|e| (e.home.0, e.sharers.0))
+            .collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert!(keys.len() * 3 < t.events.len(), "{} vs {}", keys.len(), t.events.len());
+    }
+
+    #[test]
+    fn invalidations_complete_under_hardware_multicast() {
+        let net = net();
+        let sim_cfg = SimConfig::paper_default();
+        let r = run_dsm(&net, &sim_cfg, Scheme::TreeWorm, &DsmConfig::default()).unwrap();
+        assert!(r.invalidations > 0);
+        assert!(!r.saturated, "{r:?}");
+        let s = r.latency.unwrap();
+        // Short messages, single phase: comfortably under 3k cycles mean.
+        assert!(s.mean < 3_000.0, "mean {}", s.mean);
+    }
+
+    #[test]
+    fn tree_based_invalidation_beats_software_multicast() {
+        let net = net();
+        let sim_cfg = SimConfig::paper_default();
+        let tree = run_dsm(&net, &sim_cfg, Scheme::TreeWorm, &DsmConfig::default()).unwrap();
+        let ub = run_dsm(&net, &sim_cfg, Scheme::UBinomial, &DsmConfig::default()).unwrap();
+        let (t, u) = (tree.latency.unwrap(), ub.latency.unwrap());
+        assert!(
+            t.mean < u.mean,
+            "tree {:.0} should beat ubinomial {:.0}",
+            t.mean,
+            u.mean
+        );
+        assert!(t.p95 < u.p95);
+    }
+}

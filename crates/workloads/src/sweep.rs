@@ -1,0 +1,165 @@
+//! Parameter sweeps over (scheme × parameter × topology) grids, run in
+//! parallel across OS threads.
+//!
+//! Each simulation is single-threaded and deterministic; the grid points
+//! are independent, so a simple shared-index work queue over scoped
+//! threads gives linear speedup without any extra dependencies.
+
+use irrnet_core::Scheme;
+use irrnet_sim::SimConfig;
+use irrnet_topology::{gen, Network, RandomTopologyConfig};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Run `f` over `tasks` on up to `available_parallelism` worker threads,
+/// returning results in task order.
+pub fn par_run<T, R, F>(tasks: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = tasks.len();
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n.max(1));
+    let next = AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(&tasks[i]);
+                *results[i].lock().unwrap() = Some(r);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().expect("worker filled every slot"))
+        .collect()
+}
+
+/// Build the analyzed networks for a batch of topology seeds.
+pub fn build_networks(base: &RandomTopologyConfig, seeds: &[u64]) -> Vec<Network> {
+    seeds
+        .iter()
+        .map(|&s| {
+            let mut cfg = base.clone();
+            cfg.seed = s;
+            Network::analyze(gen::generate(&cfg).expect("feasible topology config"))
+                .expect("generated topology analyzes")
+        })
+        .collect()
+}
+
+/// The topology seeds the experiments average over (DESIGN.md: 10 random
+/// topologies, seeds 0..10).
+pub fn default_seeds() -> Vec<u64> {
+    (0..10).collect()
+}
+
+/// One grid point of a single-multicast sweep.
+#[derive(Debug, Clone)]
+pub struct SinglePoint {
+    /// Scheme under test.
+    pub scheme: Scheme,
+    /// Multicast degree (x-axis of Figs. 6–8).
+    pub degree: usize,
+    /// Message length in flits.
+    pub message_flits: u32,
+    /// Simulator configuration (carries R, overheads, packet size).
+    pub sim: SimConfig,
+}
+
+/// Averaged result for one grid point.
+#[derive(Debug, Clone)]
+pub struct SweepRow {
+    /// Scheme under test.
+    pub scheme: Scheme,
+    /// Multicast degree.
+    pub degree: usize,
+    /// Mean latency in cycles across topologies × trials.
+    pub mean_latency: f64,
+}
+
+/// Run a single-multicast sweep: for every point, average
+/// `trials_per_topo` random multicasts on every network.
+pub fn single_sweep(
+    nets: &[Network],
+    points: &[SinglePoint],
+    trials_per_topo: usize,
+    seed: u64,
+) -> Vec<SweepRow> {
+    let tasks: Vec<(usize, &SinglePoint)> = points.iter().enumerate().collect();
+    par_run(&tasks, |(pi, p)| {
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for (ti, net) in nets.iter().enumerate() {
+            let s = crate::single::mean_single_latency(
+                net,
+                &p.sim,
+                p.scheme,
+                p.degree,
+                p.message_flits,
+                trials_per_topo,
+                seed ^ ((*pi as u64) << 32) ^ (ti as u64),
+            )
+            .expect("single multicast completes");
+            sum += s;
+            count += 1;
+        }
+        SweepRow { scheme: p.scheme, degree: p.degree, mean_latency: sum / count as f64 }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_run_preserves_order() {
+        let tasks: Vec<usize> = (0..100).collect();
+        let out = par_run(&tasks, |&t| t * 2);
+        assert_eq!(out, (0..100).map(|t| t * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_run_empty() {
+        let tasks: Vec<usize> = Vec::new();
+        assert!(par_run(&tasks, |&t| t).is_empty());
+    }
+
+    #[test]
+    fn networks_build_for_default_seeds() {
+        let nets = build_networks(&RandomTopologyConfig::paper_default(0), &[0, 1, 2]);
+        assert_eq!(nets.len(), 3);
+    }
+
+    #[test]
+    fn small_sweep_produces_sane_rows() {
+        let nets = build_networks(&RandomTopologyConfig::paper_default(0), &[0, 1]);
+        let points = vec![
+            SinglePoint {
+                scheme: Scheme::TreeWorm,
+                degree: 4,
+                message_flits: 128,
+                sim: SimConfig::paper_default(),
+            },
+            SinglePoint {
+                scheme: Scheme::TreeWorm,
+                degree: 16,
+                message_flits: 128,
+                sim: SimConfig::paper_default(),
+            },
+        ];
+        let rows = single_sweep(&nets, &points, 2, 99);
+        assert_eq!(rows.len(), 2);
+        // More destinations can only slow a single multicast down.
+        assert!(rows[1].mean_latency >= rows[0].mean_latency);
+    }
+}

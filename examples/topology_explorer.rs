@@ -1,0 +1,64 @@
+//! Topology explorer: generate a random irregular network and inspect
+//! the substrate the schemes run on — BFS levels, up/down orientation,
+//! routing distances/adaptivity, reachability strings, and a Graphviz
+//! dump.
+//!
+//! Run with: `cargo run --release --example topology_explorer [seed]`
+
+use irrnet::prelude::*;
+use irrnet::topology::{dot, Phase};
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0u64);
+    let topo = gen::generate(&RandomTopologyConfig::paper_default(seed)).unwrap();
+    let net = Network::analyze(topo).unwrap();
+
+    println!("seed {seed}: {} switches, {} nodes, {} links", net.num_switches(), net.num_nodes(), net.topo.num_links());
+    println!("\nBFS spanning tree (root {}):", net.updown.root());
+    for (s, _) in net.topo.switches() {
+        let nodes = net.topo.nodes_at(s);
+        println!(
+            "  {s}: level {}, parent {}, {} hosts {nodes}, cover {} nodes",
+            net.updown.level(s),
+            net.updown
+                .parent(s)
+                .map(|p| p.to_string())
+                .unwrap_or_else(|| "-".into()),
+            nodes.len(),
+            net.reach.cover(s).len(),
+        );
+    }
+
+    println!("\nrouting facts (phase Up):");
+    let n = net.num_switches();
+    let mut max_d = 0;
+    let mut sum_d = 0u32;
+    let mut pairs = 0u32;
+    let mut adaptive_pairs = 0u32;
+    for a in 0..n {
+        for b in 0..n {
+            if a == b {
+                continue;
+            }
+            let (sa, sb) = (SwitchId(a as u16), SwitchId(b as u16));
+            let d = net.routing.distance(sa, Phase::Up, sb);
+            max_d = max_d.max(d);
+            sum_d += d as u32;
+            pairs += 1;
+            if net.routing.next_hops(sa, Phase::Up, sb).len() > 1 {
+                adaptive_pairs += 1;
+            }
+        }
+    }
+    println!("  diameter (up*/down* hops): {max_d}");
+    println!("  mean distance: {:.2}", sum_d as f64 / pairs as f64);
+    println!(
+        "  switch pairs with adaptive choice at the first hop: {adaptive_pairs}/{pairs}"
+    );
+
+    println!("\nGraphviz (pipe into `dot -Tsvg`):\n");
+    print!("{}", dot::to_dot(&net.topo, Some(&net.updown)));
+}

@@ -1,0 +1,205 @@
+//! `irrnet` — command-line front end for the reproduction.
+//!
+//! ```text
+//! irrnet single --scheme tree --degree 16 [--msg 128] [--r 1.0]
+//!               [--switches 8] [--nodes 32] [--seeds 5] [--trials 3]
+//! irrnet load   --scheme path-lg --degree 8 --load 0.1 [--msg 128] [--r 1.0]
+//! irrnet topo   [--seed 0] [--switches 8] [--dot]
+//! irrnet schemes
+//! ```
+
+use irrnet::prelude::*;
+use irrnet::topology::{dot, ExtraLinks};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut m = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(name) = args[i].strip_prefix("--") {
+            if i + 1 < args.len() && !args[i + 1].starts_with("--") {
+                m.insert(name.to_string(), args[i + 1].clone());
+                i += 2;
+            } else {
+                m.insert(name.to_string(), "true".to_string());
+                i += 1;
+            }
+        } else {
+            eprintln!("unexpected argument: {}", args[i]);
+            i += 1;
+        }
+    }
+    m
+}
+
+fn get<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default: T) -> T {
+    flags
+        .get(key)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn scheme_by_name(name: &str) -> Option<Scheme> {
+    Scheme::all().into_iter().find(|s| s.name() == name)
+}
+
+fn topo_config(flags: &HashMap<String, String>, seed: u64) -> RandomTopologyConfig {
+    RandomTopologyConfig {
+        num_switches: get(flags, "switches", 8usize),
+        ports_per_switch: get(flags, "ports", 8u8),
+        num_hosts: get(flags, "nodes", 32usize),
+        extra_links: ExtraLinks::Fraction(get(flags, "extra-links", 0.75f64)),
+        seed,
+    }
+}
+
+fn sim_config(flags: &HashMap<String, String>) -> SimConfig {
+    let mut cfg = SimConfig::paper_default();
+    cfg.o_send_host = get(flags, "oh", cfg.o_send_host);
+    cfg.o_recv_host = cfg.o_send_host;
+    cfg = cfg.with_r(get(flags, "r", 1.0f64));
+    cfg.packet_payload_flits = get(flags, "packet", cfg.packet_payload_flits);
+    cfg.input_buffer_flits = cfg.packet_payload_flits + 40;
+    cfg.adaptive = get(flags, "adaptive", true);
+    cfg
+}
+
+fn cmd_single(flags: HashMap<String, String>) -> ExitCode {
+    let Some(scheme) = flags.get("scheme").and_then(|s| scheme_by_name(s)) else {
+        eprintln!("--scheme required; see `irrnet schemes`");
+        return ExitCode::FAILURE;
+    };
+    let degree: usize = get(&flags, "degree", 8);
+    let msg: u32 = get(&flags, "msg", 128);
+    let seeds: u64 = get(&flags, "seeds", 5);
+    let trials: usize = get(&flags, "trials", 3);
+    let cfg = sim_config(&flags);
+    let mut sum = 0.0;
+    for seed in 0..seeds {
+        let net = match irrnet::topology::gen::generate(&topo_config(&flags, seed))
+            .map_err(|e| e.to_string())
+            .and_then(|t| Network::analyze(t).map_err(|e| e.to_string()))
+        {
+            Ok(n) => n,
+            Err(e) => {
+                eprintln!("topology error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        sum += mean_single_latency(&net, &cfg, scheme, degree, msg, trials, seed).unwrap();
+    }
+    let mean = sum / seeds as f64;
+    println!(
+        "{}: mean {degree}-way multicast latency = {mean:.0} cycles ({:.1} µs at 10 ns) \
+         over {seeds} topologies × {trials} trials, {msg}-flit messages, R = {}",
+        scheme.name(),
+        mean / 100.0,
+        cfg.r_ratio()
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_load(flags: HashMap<String, String>) -> ExitCode {
+    let Some(scheme) = flags.get("scheme").and_then(|s| scheme_by_name(s)) else {
+        eprintln!("--scheme required; see `irrnet schemes`");
+        return ExitCode::FAILURE;
+    };
+    let degree: usize = get(&flags, "degree", 8);
+    let load: f64 = get(&flags, "load", 0.1);
+    let cfg = sim_config(&flags);
+    let net = Network::analyze(
+        irrnet::topology::gen::generate(&topo_config(&flags, get(&flags, "seed", 0))).unwrap(),
+    )
+    .unwrap();
+    let mut lc = LoadConfig::paper_default(degree, load);
+    lc.message_flits = get(&flags, "msg", 128);
+    let r = run_load(&net, &cfg, scheme, &lc).unwrap();
+    println!(
+        "{} at effective load {load}: launched {}, completed {}, saturated: {}",
+        scheme.name(),
+        r.launched,
+        r.completed,
+        r.saturated
+    );
+    if let Some(l) = r.mean_latency {
+        println!("mean latency {l:.0} cycles ({:.1} µs at 10 ns)", l / 100.0);
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_topo(flags: HashMap<String, String>) -> ExitCode {
+    let seed = get(&flags, "seed", 0u64);
+    let net = Network::analyze(
+        irrnet::topology::gen::generate(&topo_config(&flags, seed)).unwrap(),
+    )
+    .unwrap();
+    if flags.contains_key("dot") {
+        print!("{}", dot::to_dot(&net.topo, Some(&net.updown)));
+    } else {
+        println!(
+            "seed {seed}: {} switches, {} nodes, {} links, root {}",
+            net.num_switches(),
+            net.num_nodes(),
+            net.topo.num_links(),
+            net.updown.root()
+        );
+        for (s, _) in net.topo.switches() {
+            println!(
+                "  {s}: level {}, hosts {}, covers {} nodes",
+                net.updown.level(s),
+                net.topo.nodes_at(s).len(),
+                net.reach.cover(s).len()
+            );
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_metrics(flags: HashMap<String, String>) -> ExitCode {
+    use irrnet::topology::metrics::{network_metrics, updown_stretch_fraction};
+    let seed = get(&flags, "seed", 0u64);
+    let net = Network::analyze(
+        irrnet::topology::gen::generate(&topo_config(&flags, seed)).unwrap(),
+    )
+    .unwrap();
+    let m = network_metrics(&net);
+    println!("seed {seed}:");
+    println!("  switches            {}", m.switches);
+    println!("  nodes               {}", m.nodes);
+    println!("  links               {}", m.links);
+    println!("  diameter            {} legal hops", m.diameter);
+    println!("  mean distance       {:.2}", m.mean_distance);
+    println!("  adaptive pairs      {:.0}%", m.adaptive_fraction * 100.0);
+    println!("  nodes per switch    {:.2}", m.nodes_per_switch);
+    println!(
+        "  up*/down* stretch   {:.0}% of pairs lose their shortest route",
+        updown_stretch_fraction(&net) * 100.0
+    );
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("usage: irrnet <single|load|topo|metrics|schemes> [--flags]");
+        return ExitCode::FAILURE;
+    };
+    let flags = parse_flags(&args[1..]);
+    match cmd.as_str() {
+        "single" => cmd_single(flags),
+        "load" => cmd_load(flags),
+        "topo" => cmd_topo(flags),
+        "metrics" => cmd_metrics(flags),
+        "schemes" => {
+            for s in Scheme::all() {
+                println!("{}", s.name());
+            }
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("unknown command: {other}");
+            ExitCode::FAILURE
+        }
+    }
+}

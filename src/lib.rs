@@ -1,0 +1,55 @@
+//! `irrnet` — multicasting in irregular switch-based networks: a full
+//! reproduction of Sivaram, Kesavan, Panda & Stunkel, *"Where to Provide
+//! Support for Efficient Multicasting in Irregular Networks: Network
+//! Interface or Switch?"* (ICPP '98).
+//!
+//! This facade crate re-exports the four component crates:
+//!
+//! * [`topology`] — irregular topologies, Autonet up*/down* routing,
+//!   reachability strings ([`irrnet_topology`]);
+//! * [`sim`] — the cycle-level cut-through network / host / NI simulator
+//!   ([`irrnet_sim`]);
+//! * [`mcast`] — the multicast schemes: unicast binomial, NI-based FPFS
+//!   k-binomial, switch tree-based and path-based multidestination worms
+//!   ([`irrnet_core`]);
+//! * [`workloads`] — single-multicast and load/saturation experiment
+//!   harnesses, plus the DSM-invalidation workload ([`irrnet_workloads`]);
+//! * [`collectives`] — broadcast / reduce / barrier / allreduce built on
+//!   the multicast schemes ([`irrnet_collectives`]).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use irrnet::prelude::*;
+//!
+//! // A 32-node, 8-switch irregular network like the paper's default.
+//! let topo = gen::generate(&RandomTopologyConfig::paper_default(42)).unwrap();
+//! let net = Network::analyze(topo).unwrap();
+//! let cfg = SimConfig::paper_default();
+//!
+//! // One 8-way multicast under the switch tree-based scheme.
+//! let dests = NodeMask::from_nodes((1..=8).map(NodeId));
+//! let result = run_single(&net, &cfg, Scheme::TreeWorm, NodeId(0), dests, 128).unwrap();
+//! assert!(result.latency > 0);
+//! ```
+
+pub use irrnet_collectives as collectives;
+pub use irrnet_core as mcast;
+pub use irrnet_sim as sim;
+pub use irrnet_topology as topology;
+pub use irrnet_workloads as workloads;
+
+/// One-stop imports for applications.
+pub mod prelude {
+    pub use irrnet_core::{plan_multicast, McastPlan, PathVariant, PlanMeta, Scheme, SchemeProtocol};
+    pub use irrnet_sim::{
+        Cycle, McastId, PathStop, PathWormSpec, SendSpec, SimConfig, SimError, SimStats, Simulator,
+    };
+    pub use irrnet_topology::{
+        gen, zoo, Network, NodeId, NodeMask, RandomTopologyConfig, SwitchId,
+    };
+    pub use irrnet_collectives::{run_collective, CollectiveOp, CollectiveResult};
+    pub use irrnet_workloads::{
+        mean_single_latency, run_load, run_single, LoadConfig, LoadResult, Series, SingleResult,
+    };
+}
