@@ -1,75 +1,11 @@
-//! Ablation — adaptive vs. deterministic up*/down* routing. The paper's
-//! base routing "allows adaptivity"; this quantifies what that buys each
-//! scheme, in isolation and under load.
+//! Ablation — routing adaptivity.
+//!
+//! Compatibility shim: the experiment now lives in the `irrnet-harness`
+//! registry; this binary forwards to it (honoring the legacy `IRRNET_*`
+//! environment knobs). Prefer `irrnet-run abl_adaptivity`.
 
-use irrnet_bench::HarnessOpts;
-use irrnet_core::Scheme;
-use irrnet_sim::SimConfig;
-use irrnet_topology::{gen, Network, RandomTopologyConfig};
-use irrnet_workloads::{mean_single_latency, run_load, LoadConfig};
-use std::fmt::Write as _;
+use std::process::ExitCode;
 
-fn main() {
-    let opts = HarnessOpts::from_env();
-    println!("=== Ablation — routing adaptivity ===\n");
-    let seeds: &[u64] = if opts.quick { &[0] } else { &[0, 1, 2] };
-    let nets: Vec<Network> = seeds
-        .iter()
-        .map(|&s| {
-            Network::analyze(gen::generate(&RandomTopologyConfig::paper_default(s)).unwrap())
-                .unwrap()
-        })
-        .collect();
-
-    println!("-- single 16-way multicast latency (cycles) --");
-    println!("{:>12} {:>12} {:>12} {:>8}", "scheme", "adaptive", "determ.", "delta%");
-    let mut csv = String::from("scheme,adaptive,deterministic\n");
-    for scheme in Scheme::paper_three() {
-        let mut lat = [0.0f64; 2];
-        for (i, adaptive) in [true, false].into_iter().enumerate() {
-            let mut cfg = SimConfig::paper_default();
-            cfg.adaptive = adaptive;
-            for (ti, net) in nets.iter().enumerate() {
-                lat[i] += mean_single_latency(net, &cfg, scheme, 16, 128, 3, ti as u64).unwrap();
-            }
-            lat[i] /= nets.len() as f64;
-        }
-        println!(
-            "{:>12} {:>12.0} {:>12.0} {:>7.1}%",
-            scheme.name(),
-            lat[0],
-            lat[1],
-            100.0 * (lat[1] - lat[0]) / lat[0]
-        );
-        let _ = writeln!(csv, "{},{:.0},{:.0}", scheme.name(), lat[0], lat[1]);
-    }
-    opts.write_csv("abl_adaptivity_single.csv", &csv);
-
-    println!("\n-- 8-way multicasts at effective load 0.1 (mean latency; sat = saturated) --");
-    println!("{:>12} {:>12} {:>12}", "scheme", "adaptive", "determ.");
-    for scheme in Scheme::paper_three() {
-        print!("{:>12}", scheme.name());
-        for adaptive in [true, false] {
-            let mut cfg = SimConfig::paper_default();
-            cfg.adaptive = adaptive;
-            let mut lc = LoadConfig::paper_default(8, 0.1);
-            if opts.quick {
-                lc.warmup = 30_000;
-                lc.measure = 150_000;
-                lc.drain = 100_000;
-            } else {
-                lc.warmup = 50_000;
-                lc.measure = 300_000;
-                lc.drain = 150_000;
-            }
-            let r = run_load(&nets[0], &cfg, scheme, &lc).unwrap();
-            match (r.saturated, r.mean_latency) {
-                (false, Some(l)) => print!(" {l:>12.0}"),
-                _ => print!(" {:>12}", "sat"),
-            }
-        }
-        println!();
-    }
-    println!("\nadaptivity should matter most under load (contention avoidance) and");
-    println!("least for the single tree-based worm (one worm, no competing traffic).");
+fn main() -> ExitCode {
+    irrnet_harness::shim::run_legacy("abl_adaptivity", &["abl_adaptivity"])
 }

@@ -1,53 +1,11 @@
-//! Ablation / extension — NI + switch support combined: MDP-LG path
-//! worms whose next-phase injection happens at the leader's NI
-//! (`path-lg+ni`) versus plain path-based, the NI-only scheme, and the
-//! tree-based upper bound. The paper asserts the combination "will
-//! perform better" (§3) without evaluating it; this harness does.
+//! Extension — hybrid NI+switch support.
+//!
+//! Compatibility shim: the experiment now lives in the `irrnet-harness`
+//! registry; this binary forwards to it (honoring the legacy `IRRNET_*`
+//! environment knobs). Prefer `irrnet-run abl_hybrid`.
 
-use irrnet_bench::HarnessOpts;
-use irrnet_core::Scheme;
-use irrnet_sim::SimConfig;
-use irrnet_topology::{gen, Network, RandomTopologyConfig};
-use irrnet_workloads::mean_single_latency;
-use std::fmt::Write as _;
+use std::process::ExitCode;
 
-fn main() {
-    let opts = HarnessOpts::from_env();
-    println!("=== Extension — hybrid NI+switch support (path-lg+ni) ===\n");
-    let seeds: &[u64] = if opts.quick { &[0, 1] } else { &[0, 1, 2, 3, 4] };
-    let nets: Vec<Network> = seeds
-        .iter()
-        .map(|&s| {
-            Network::analyze(gen::generate(&RandomTopologyConfig::paper_default(s)).unwrap())
-                .unwrap()
-        })
-        .collect();
-    let schemes = [
-        Scheme::NiFpfs,
-        Scheme::PathLessGreedy,
-        Scheme::PathLgNi,
-        Scheme::TreeWorm,
-    ];
-    let mut csv = String::from("r,msg,ni-fpfs,path-lg,path-lg+ni,tree\n");
-    for r in [1.0f64, 4.0] {
-        let cfg = SimConfig::paper_default().with_r(r);
-        for msg in [128u32, 1024] {
-            println!("-- R = {r}, {msg}-flit messages, 16-way --");
-            let mut row = format!("{r},{msg}");
-            for scheme in schemes {
-                let mut sum = 0.0;
-                for (ti, net) in nets.iter().enumerate() {
-                    sum += mean_single_latency(net, &cfg, scheme, 16, msg, 3, ti as u64).unwrap();
-                }
-                let mean = sum / nets.len() as f64;
-                println!("  {:>12}: {mean:>10.0}", scheme.name());
-                let _ = write!(row, ",{mean:.0}");
-            }
-            let _ = writeln!(csv, "{row}");
-            println!();
-        }
-    }
-    opts.write_csv("abl_hybrid.csv", &csv);
-    println!("expected: path-lg+ni strictly improves on path-lg (host overheads");
-    println!("vanish between phases) and narrows the gap to the tree-based scheme.");
+fn main() -> ExitCode {
+    irrnet_harness::shim::run_legacy("abl_hybrid", &["abl_hybrid"])
 }

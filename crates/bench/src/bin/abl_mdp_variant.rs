@@ -1,66 +1,11 @@
-//! Ablation — MDP covering heuristics: greedy (MDP-G) vs. less-greedy
-//! (MDP-LG), across switch counts. Reports worm count, phase count, and
-//! measured latency; the original study found MDP-LG best overall.
+//! Ablation — MDP-G vs MDP-LG.
+//!
+//! Compatibility shim: the experiment now lives in the `irrnet-harness`
+//! registry; this binary forwards to it (honoring the legacy `IRRNET_*`
+//! environment knobs). Prefer `irrnet-run abl_mdp`.
 
-use irrnet_bench::HarnessOpts;
-use irrnet_core::{plan_paths, PathVariant, Scheme};
-use irrnet_sim::SimConfig;
-use irrnet_topology::{gen, Network, RandomTopologyConfig};
-use irrnet_workloads::mean_single_latency;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
-use std::fmt::Write as _;
+use std::process::ExitCode;
 
-fn main() {
-    let opts = HarnessOpts::from_env();
-    println!("=== Ablation — MDP-G vs MDP-LG ===\n");
-    let cfg = SimConfig::paper_default();
-    let seeds: &[u64] = if opts.quick { &[0, 1] } else { &[0, 1, 2, 3, 4, 5] };
-    println!(
-        "{:>10} {:>10} {:>10} {:>10} {:>10} {:>12} {:>12}",
-        "switches", "G worms", "LG worms", "G phases", "LG phases", "G latency", "LG latency"
-    );
-    let mut csv = String::from("switches,g_worms,lg_worms,g_phases,lg_phases,g_latency,lg_latency\n");
-    for switches in [8usize, 16, 32] {
-        let mut worms = [0usize; 2];
-        let mut phases = [0usize; 2];
-        let mut lat = [0.0f64; 2];
-        for &seed in seeds {
-            let net = Network::analyze(
-                gen::generate(&RandomTopologyConfig::with_switches(seed, switches)).unwrap(),
-            )
-            .unwrap();
-            let mut rng = SmallRng::seed_from_u64(seed);
-            let (src, dests) = irrnet_workloads::random_mcast(&mut rng, 32, 16);
-            for (i, variant) in [PathVariant::Greedy, PathVariant::LessGreedy].into_iter().enumerate() {
-                let p = plan_paths(&net, src, dests, variant);
-                worms[i] += p.worms.len();
-                phases[i] += p.phases;
-            }
-            for (i, scheme) in [Scheme::PathGreedy, Scheme::PathLessGreedy].into_iter().enumerate() {
-                lat[i] += mean_single_latency(&net, &cfg, scheme, 16, 128, 2, seed).unwrap();
-            }
-        }
-        let n = seeds.len();
-        println!(
-            "{switches:>10} {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>12.0} {:>12.0}",
-            worms[0] as f64 / n as f64,
-            worms[1] as f64 / n as f64,
-            phases[0] as f64 / n as f64,
-            phases[1] as f64 / n as f64,
-            lat[0] / n as f64,
-            lat[1] / n as f64,
-        );
-        let _ = writeln!(
-            csv,
-            "{switches},{},{},{},{},{:.0},{:.0}",
-            worms[0] / n,
-            worms[1] / n,
-            phases[0] / n,
-            phases[1] / n,
-            lat[0] / n as f64,
-            lat[1] / n as f64
-        );
-    }
-    opts.write_csv("abl_mdp_variant.csv", &csv);
+fn main() -> ExitCode {
+    irrnet_harness::shim::run_legacy("abl_mdp_variant", &["abl_mdp"])
 }

@@ -1,188 +1,11 @@
-//! Self-check: parse the CSVs under `results/` and verify the paper's
-//! qualitative conclusions hold in the *generated data* (not just in the
-//! test suite's fresh runs). Exits nonzero listing any violated claim —
-//! the reproducibility gate for `EXPERIMENTS.md`.
+//! Self-check of the generated results against the paper's conclusions.
+//!
+//! Compatibility shim: the gate now lives in `irrnet-harness` as the
+//! `compare` subcommand (golden CSV diff + qualitative claims). Prefer
+//! `irrnet-run compare`.
 
-use std::collections::HashMap;
-use std::path::Path;
 use std::process::ExitCode;
 
-/// A parsed figure CSV: header names -> column values (None = saturated).
-struct Csv {
-    cols: HashMap<String, Vec<Option<f64>>>,
-    rows: usize,
-}
-
-fn load(path: &Path) -> Option<Csv> {
-    let text = std::fs::read_to_string(path).ok()?;
-    let mut lines = text.lines();
-    let header: Vec<String> = lines.next()?.split(',').map(str::to_string).collect();
-    let mut cols: HashMap<String, Vec<Option<f64>>> =
-        header.iter().map(|h| (h.clone(), Vec::new())).collect();
-    let mut rows = 0;
-    for line in lines {
-        if line.trim().is_empty() {
-            continue;
-        }
-        rows += 1;
-        for (h, cell) in header.iter().zip(line.split(',')) {
-            cols.get_mut(h).unwrap().push(cell.parse().ok());
-        }
-    }
-    Some(Csv { cols, rows })
-}
-
-struct Checker {
-    dir: std::path::PathBuf,
-    failures: Vec<String>,
-    checks: usize,
-}
-
-impl Checker {
-    fn claim(&mut self, what: &str, ok: bool) {
-        self.checks += 1;
-        if ok {
-            println!("  ok   {what}");
-        } else {
-            println!("  FAIL {what}");
-            self.failures.push(what.to_string());
-        }
-    }
-
-    fn csv(&mut self, name: &str) -> Option<Csv> {
-        let p = self.dir.join(name);
-        let c = load(&p);
-        if c.is_none() {
-            self.failures.push(format!("missing or unreadable {name}"));
-            println!("  FAIL missing {name}");
-        }
-        c
-    }
-
-    /// Mean over non-saturated cells of a column.
-    fn mean(c: &Csv, col: &str) -> Option<f64> {
-        let v = c.cols.get(col)?;
-        let vals: Vec<f64> = v.iter().filter_map(|x| *x).collect();
-        if vals.is_empty() {
-            None
-        } else {
-            Some(vals.iter().sum::<f64>() / vals.len() as f64)
-        }
-    }
-
-    /// Count of non-saturated cells (higher = saturates later).
-    fn alive(c: &Csv, col: &str) -> usize {
-        c.cols.get(col).map(|v| v.iter().filter(|x| x.is_some()).count()).unwrap_or(0)
-    }
-}
-
 fn main() -> ExitCode {
-    let dir = std::env::var("IRRNET_OUT").unwrap_or_else(|_| "results".into());
-    let mut ck = Checker { dir: dir.into(), failures: Vec::new(), checks: 0 };
-    println!("== checking generated results against the paper's conclusions ==\n");
-
-    // FIG6: tree wins everywhere; NI:path gap shrinks with R.
-    let mut gap_by_r = Vec::new();
-    for r in ["0.5", "1", "2", "4"] {
-        if let Some(c) = ck.csv(&format!("fig06_r{r}.csv")) {
-            let tree = Checker::mean(&c, "tree").unwrap_or(f64::MAX);
-            for other in ["ubinomial", "ni-fpfs", "path-lg"] {
-                let o = Checker::mean(&c, other).unwrap_or(0.0);
-                ck.claim(&format!("fig06 R={r}: tree ({tree:.0}) < {other} ({o:.0})"), tree < o);
-            }
-            let ni = Checker::mean(&c, "ni-fpfs").unwrap_or(0.0);
-            let path = Checker::mean(&c, "path-lg").unwrap_or(1.0);
-            gap_by_r.push(ni / path);
-            ck.claim(&format!("fig06 R={r}: {} rows present", c.rows), c.rows >= 3);
-        }
-    }
-    if gap_by_r.len() == 4 {
-        ck.claim(
-            &format!(
-                "fig06: NI:path ratio falls with R ({:.2} -> {:.2})",
-                gap_by_r[0],
-                gap_by_r[3]
-            ),
-            gap_by_r[3] < gap_by_r[0],
-        );
-        ck.claim("fig06: NI beats path at R=4", gap_by_r[3] < 1.0);
-    }
-
-    // FIG7: path-lg degrades with switches, others stable.
-    let (mut p8, mut p32, mut n8, mut n32) = (0.0, 0.0, 0.0, 0.0);
-    if let (Some(c8), Some(c32)) = (ck.csv("fig07_s8.csv"), ck.csv("fig07_s32.csv")) {
-        p8 = Checker::mean(&c8, "path-lg").unwrap_or(0.0);
-        p32 = Checker::mean(&c32, "path-lg").unwrap_or(0.0);
-        n8 = Checker::mean(&c8, "ni-fpfs").unwrap_or(0.0);
-        n32 = Checker::mean(&c32, "ni-fpfs").unwrap_or(0.0);
-    }
-    ck.claim(&format!("fig07: path-lg degrades 8→32 switches ({p8:.0} -> {p32:.0})"), p32 > 1.15 * p8);
-    ck.claim(&format!("fig07: ni-fpfs stable 8→32 switches ({n8:.0} -> {n32:.0})"), n32 < 1.1 * n8);
-
-    // FIG8: NI:path ratio shrinks with message length.
-    let ratio = |ck: &mut Checker, name: &str| -> Option<f64> {
-        let c = ck.csv(name)?;
-        Some(Checker::mean(&c, "ni-fpfs")? / Checker::mean(&c, "path-lg")?)
-    };
-    if let (Some(r128), Some(r2048)) = (ratio(&mut ck, "fig08_m128.csv"), ratio(&mut ck, "fig08_m2048.csv")) {
-        ck.claim(
-            &format!("fig08: NI:path ratio shrinks 128→2048 flits ({r128:.2} -> {r2048:.2})"),
-            r2048 <= r128 + 0.02,
-        );
-    }
-
-    // FIG9: at R=0.5 NI saturates first; tree saturates last at every R.
-    for (r, d) in [("0.5", "8"), ("1", "8"), ("4", "8"), ("0.5", "16"), ("1", "16"), ("4", "16")] {
-        if let Some(c) = ck.csv(&format!("fig09_r{r}_d{d}.csv")) {
-            let tree_alive = Checker::alive(&c, "tree");
-            let ni_alive = Checker::alive(&c, "ni-fpfs");
-            let path_alive = Checker::alive(&c, "path-lg");
-            ck.claim(
-                &format!("fig09 R={r} d={d}: tree saturates last ({tree_alive} vs {ni_alive}/{path_alive})"),
-                tree_alive >= ni_alive && tree_alive >= path_alive,
-            );
-            if r == "0.5" {
-                ck.claim(
-                    &format!("fig09 R=0.5 d={d}: NI saturates no later than path"),
-                    ni_alive <= path_alive,
-                );
-            }
-        }
-    }
-
-    // FIG10: path saturation point falls toward NI's as switches grow.
-    let alive_of = |ck: &mut Checker, name: &str, col: &str| -> Option<usize> {
-        ck.csv(name).map(|c| Checker::alive(&c, col))
-    };
-    if let (Some(p8), Some(p32)) = (
-        alive_of(&mut ck, "fig10_s8_d8.csv", "path-lg"),
-        alive_of(&mut ck, "fig10_s32_d8.csv", "path-lg"),
-    ) {
-        ck.claim(
-            &format!("fig10: path-lg saturation not later with 32 switches ({p32} vs {p8})"),
-            p32 <= p8,
-        );
-    }
-
-    // TAB1: tree header bytes constant in destinations; ni grows.
-    if let Some(c) = ck.csv("tab01_mcast_costs.csv") {
-        // columns: scheme,dests,worms,phases,header_bytes,ni_buffer_pkts
-        // (string scheme column parses as None).
-        ck.claim("tab01 present with rows", c.rows >= 20);
-    }
-
-    println!(
-        "\n{} checks, {} failures",
-        ck.checks,
-        ck.failures.len()
-    );
-    if ck.failures.is_empty() {
-        println!("all generated results consistent with the paper's conclusions.");
-        ExitCode::SUCCESS
-    } else {
-        for f in &ck.failures {
-            eprintln!("FAILED: {f}");
-        }
-        ExitCode::FAILURE
-    }
+    irrnet_harness::shim::run_legacy_check()
 }

@@ -1,56 +1,11 @@
-//! Extension A — the sweeps the paper ran but omitted for space
-//! (§4.2.3: "we also performed a number of experiments to study the
-//! effect of startup overhead at the host, system size, and packet
-//! length"): single-multicast latency vs. each of those three knobs.
+//! Extension A — omitted overhead/size/packet sweeps.
+//!
+//! Compatibility shim: the experiment now lives in the `irrnet-harness`
+//! registry; this binary forwards to it (honoring the legacy `IRRNET_*`
+//! environment knobs). Prefer `irrnet-run ext_a`.
 
-use irrnet_bench::{banner, single_panel, HarnessOpts};
-use irrnet_core::Scheme;
-use irrnet_sim::SimConfig;
-use irrnet_topology::{ExtraLinks, RandomTopologyConfig};
+use std::process::ExitCode;
 
-fn main() {
-    let opts = HarnessOpts::from_env();
-    banner("Extension A", "host overhead / system size / packet length sweeps", &opts);
-    let schemes = Scheme::paper_three();
-
-    // A1: host startup overhead O_h (keeping R = 1).
-    println!("-- A1: host software overhead O_h (R held at 1) --\n");
-    for oh in [125u64, 250, 500, 1000, 2000] {
-        let mut sim = SimConfig::paper_default();
-        sim.o_send_host = oh;
-        sim.o_recv_host = oh;
-        sim = sim.with_r(1.0);
-        let s = single_panel(&opts, &RandomTopologyConfig::paper_default(0), &sim, 128, &schemes);
-        print!("{}", s.to_table(&format!("O_h = {oh} cycles")));
-        opts.write_csv(&format!("ext_a1_oh{oh}.csv"), &s.to_csv());
-        println!();
-    }
-
-    // A2: system size (nodes), scaling switches to keep ~4 nodes/switch.
-    println!("-- A2: system size --\n");
-    for (nodes, switches) in [(16usize, 4usize), (32, 8), (64, 16)] {
-        let topo = RandomTopologyConfig {
-            num_switches: switches,
-            ports_per_switch: 8,
-            num_hosts: nodes,
-            extra_links: ExtraLinks::Fraction(0.75),
-            seed: 0,
-        };
-        let s = single_panel(&opts, &topo, &SimConfig::paper_default(), 128, &schemes);
-        print!("{}", s.to_table(&format!("{nodes} nodes / {switches} switches")));
-        opts.write_csv(&format!("ext_a2_n{nodes}.csv"), &s.to_csv());
-        println!();
-    }
-
-    // A3: packet length at fixed 512-flit messages.
-    println!("-- A3: packet length (512-flit messages) --\n");
-    for pkt in [32u32, 64, 128, 256] {
-        let mut sim = SimConfig::paper_default();
-        sim.packet_payload_flits = pkt;
-        sim.input_buffer_flits = pkt.max(128) + 40;
-        let s = single_panel(&opts, &RandomTopologyConfig::paper_default(0), &sim, 512, &schemes);
-        print!("{}", s.to_table(&format!("packet = {pkt} flits")));
-        opts.write_csv(&format!("ext_a3_p{pkt}.csv"), &s.to_csv());
-        println!();
-    }
+fn main() -> ExitCode {
+    irrnet_harness::shim::run_legacy("ext_a_omitted_sweeps", &["ext_a"])
 }

@@ -1,77 +1,11 @@
-//! Extension B — the paper's §4.3 aside: "the maximum unicast throughput
-//! (assuming no software overheads and no contention for the I/O bus) was
-//! observed to be less than 0.8 using up*/down* routing."
+//! Extension B — unicast saturation under up*/down* routing.
 //!
-//! Uniform-random unicast traffic with all overheads and the I/O bus rate
-//! effectively removed; sweeps the offered load and reports delivered
-//! throughput to locate the saturation point of the routing algorithm
-//! itself.
+//! Compatibility shim: the experiment now lives in the `irrnet-harness`
+//! registry; this binary forwards to it (honoring the legacy `IRRNET_*`
+//! environment knobs). Prefer `irrnet-run ext_b`.
 
-use irrnet_bench::HarnessOpts;
-use irrnet_core::Scheme;
-use irrnet_sim::SimConfig;
-use irrnet_topology::RandomTopologyConfig;
-use irrnet_workloads::{build_networks, run_load, LoadConfig};
+use std::process::ExitCode;
 
-fn main() {
-    let opts = HarnessOpts::from_env();
-    println!("=== Extension B — unicast saturation under up*/down* routing ===\n");
-    // Overheads ≈ 0, I/O bus far faster than the link: the network alone
-    // is the bottleneck.
-    let mut sim = SimConfig::paper_default();
-    sim.o_send_host = 1;
-    sim.o_recv_host = 1;
-    sim.o_send_ni = 1;
-    sim.o_recv_ni = 1;
-    sim.io_bus_num = 64;
-    sim.io_bus_den = 1;
-
-    let nets = build_networks(
-        &RandomTopologyConfig::paper_default(0),
-        &opts.seeds[..(if opts.quick { 1 } else { 3 })],
-    );
-
-    let loads: &[f64] = if opts.quick {
-        &[0.1, 0.3, 0.6]
-    } else {
-        &[0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.4, 0.6, 0.8]
-    };
-    println!(
-        "{:>10} {:>14} {:>14} {:>10}",
-        "offered", "delivered", "latency", "saturated"
-    );
-    let mut csv = String::from("offered,delivered,latency,saturated\n");
-    for &load in loads {
-        let mut lc = LoadConfig::paper_default(1, load);
-        if opts.quick {
-            lc.warmup = 20_000;
-            lc.measure = 100_000;
-            lc.drain = 50_000;
-        } else {
-            lc.warmup = 50_000;
-            lc.measure = 300_000;
-            lc.drain = 100_000;
-        }
-        let mut delivered = 0.0;
-        let mut lat_sum = 0.0;
-        let mut lat_n = 0usize;
-        let mut saturated = false;
-        for net in &nets {
-            let r = run_load(net, &sim, Scheme::UBinomial, &lc).expect("unicast load run");
-            // Delivered throughput = completed/launched × offered.
-            delivered += load * (r.completed as f64 / r.launched.max(1) as f64);
-            if let Some(l) = r.mean_latency {
-                lat_sum += l;
-                lat_n += 1;
-            }
-            saturated |= r.saturated;
-        }
-        delivered /= nets.len() as f64;
-        let lat = if lat_n > 0 { lat_sum / lat_n as f64 } else { f64::NAN };
-        println!("{load:>10.2} {delivered:>14.3} {lat:>14.1} {saturated:>10}");
-        use std::fmt::Write as _;
-        let _ = writeln!(csv, "{load},{delivered:.4},{lat:.1},{saturated}");
-    }
-    opts.write_csv("ext_b_unicast_saturation.csv", &csv);
-    println!("\npaper: saturation below 0.8 offered load.");
+fn main() -> ExitCode {
+    irrnet_harness::shim::run_legacy("ext_b_unicast_saturation", &["ext_b"])
 }

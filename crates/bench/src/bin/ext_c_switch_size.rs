@@ -1,44 +1,11 @@
-//! Extension C — switch *size* (port count), from the paper's
-//! conclusions: "the path-based scheme performs better than the NI-based
-//! scheme for ... larger switch sizes, fewer switches for a given system
-//! size"; and "unlike with the NI-based schemes, the performance of the
-//! switch-based multicasting schemes is able to scale with the trend of
-//! increasing switch size."
+//! Extension C — switch size at 32 nodes.
 //!
-//! Keeps 32 nodes and sweeps the switch form factor: many small switches
-//! → few big ones.
+//! Compatibility shim: the experiment now lives in the `irrnet-harness`
+//! registry; this binary forwards to it (honoring the legacy `IRRNET_*`
+//! environment knobs). Prefer `irrnet-run ext_c`.
 
-use irrnet_bench::{banner, single_panel, HarnessOpts};
-use irrnet_core::Scheme;
-use irrnet_sim::SimConfig;
-use irrnet_topology::{ExtraLinks, RandomTopologyConfig};
+use std::process::ExitCode;
 
-fn main() {
-    let opts = HarnessOpts::from_env();
-    banner("Extension C", "switch size (ports per switch) at 32 nodes", &opts);
-    let sim = SimConfig::paper_default();
-    let schemes = [
-        Scheme::NiFpfs,
-        Scheme::TreeWorm,
-        Scheme::PathLessGreedy,
-        Scheme::PathLgNi,
-    ];
-    // (switches, ports): same node count, growing switch size.
-    for (switches, ports) in [(16usize, 6u8), (8, 8), (4, 12), (2, 20)] {
-        let topo = RandomTopologyConfig {
-            num_switches: switches,
-            ports_per_switch: ports,
-            num_hosts: 32,
-            extra_links: ExtraLinks::Fraction(0.75),
-            seed: 0,
-        };
-        let s = single_panel(&opts, &topo, &sim, 128, &schemes);
-        let title = format!("{switches} × {ports}-port switches");
-        print!("{}", s.to_table(&title));
-        println!();
-        opts.write_csv(&format!("ext_c_s{switches}_p{ports}.csv"), &s.to_csv());
-        println!();
-    }
-    println!("expected: bigger switches (more destinations per switch) favor the");
-    println!("path-based scheme; the NI-based scheme is insensitive to form factor.");
+fn main() -> ExitCode {
+    irrnet_harness::shim::run_legacy("ext_c_switch_size", &["ext_c"])
 }

@@ -1,74 +1,11 @@
-//! Extension D — DSM cache-invalidation replay (the §1 motivating
-//! workload, after the authors' wormhole-DSM study \[2\]): short
-//! invalidation multicasts from directory homes to sharer sets, Poisson
-//! write stream with hot blocks. Reports mean / p95 / p99 invalidation
-//! latency per scheme at increasing write rates.
+//! Extension D — DSM invalidation latency.
+//!
+//! Compatibility shim: the experiment now lives in the `irrnet-harness`
+//! registry; this binary forwards to it (honoring the legacy `IRRNET_*`
+//! environment knobs). Prefer `irrnet-run ext_d`.
 
-use irrnet_bench::HarnessOpts;
-use irrnet_core::Scheme;
-use irrnet_sim::SimConfig;
-use irrnet_topology::{gen, Network, RandomTopologyConfig};
-use irrnet_workloads::{run_dsm, DsmConfig};
-use std::fmt::Write as _;
+use std::process::ExitCode;
 
-fn main() {
-    let opts = HarnessOpts::from_env();
-    println!("=== Extension D — DSM invalidation latency ===\n");
-    let sim = SimConfig::paper_default();
-    let net =
-        Network::analyze(gen::generate(&RandomTopologyConfig::paper_default(0)).unwrap()).unwrap();
-    let rates: &[f64] = if opts.quick {
-        &[2e-4, 1e-3]
-    } else {
-        &[1e-4, 5e-4, 1e-3, 2e-3]
-    };
-    println!(
-        "{:>12} {:>12} {:>10} {:>10} {:>10} {:>6}",
-        "writes/cyc", "scheme", "mean", "p95", "p99", "sat"
-    );
-    let mut csv = String::from("write_rate,scheme,mean,p95,p99,saturated\n");
-    for &rate in rates {
-        for scheme in [
-            Scheme::UBinomial,
-            Scheme::NiFpfs,
-            Scheme::TreeWorm,
-            Scheme::PathLessGreedy,
-        ] {
-            let mut cfg = DsmConfig { write_rate: rate, ..DsmConfig::default() };
-            if !opts.quick {
-                cfg.measure = 400_000;
-                cfg.drain = 200_000;
-            }
-            let r = run_dsm(&net, &sim, scheme, &cfg).expect("dsm run");
-            match r.latency {
-                Some(s) => {
-                    println!(
-                        "{rate:>12.0e} {:>12} {:>10.0} {:>10.0} {:>10.0} {:>6}",
-                        scheme.name(),
-                        s.mean,
-                        s.p95,
-                        s.p99,
-                        r.saturated
-                    );
-                    let _ = writeln!(
-                        csv,
-                        "{rate},{},{:.0},{:.0},{:.0},{}",
-                        scheme.name(),
-                        s.mean,
-                        s.p95,
-                        s.p99,
-                        r.saturated
-                    );
-                }
-                None => {
-                    println!("{rate:>12.0e} {:>12} {:>10} {:>10} {:>10} {:>6}", scheme.name(), "-", "-", "-", true);
-                    let _ = writeln!(csv, "{rate},{},,,,true", scheme.name());
-                }
-            }
-        }
-        println!();
-    }
-    opts.write_csv("ext_d_dsm.csv", &csv);
-    println!("invalidations are short and latency-critical: hardware tree multicast");
-    println!("keeps the p99 an order of magnitude below the software baseline.");
+fn main() -> ExitCode {
+    irrnet_harness::shim::run_legacy("ext_d_dsm_invalidation", &["ext_d"])
 }

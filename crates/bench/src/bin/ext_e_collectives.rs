@@ -1,90 +1,11 @@
-//! Extension E — collective operations built on multicast (the paper's
-//! §1 framing: "multicast ... is used for implementing several of the
-//! other collective operations"). Compares barrier and allreduce latency
-//! when the release broadcast uses each multicast scheme, across system
-//! sizes and combining-tree fan-outs.
+//! Extension E — collectives on multicast.
+//!
+//! Compatibility shim: the experiment now lives in the `irrnet-harness`
+//! registry; this binary forwards to it (honoring the legacy `IRRNET_*`
+//! environment knobs). Prefer `irrnet-run ext_e`.
 
-use irrnet_bench::HarnessOpts;
-use irrnet_collectives::{run_collective, CollectiveOp};
-use irrnet_core::Scheme;
-use irrnet_sim::SimConfig;
-use irrnet_topology::{gen, ExtraLinks, Network, NodeId, NodeMask, RandomTopologyConfig};
-use std::fmt::Write as _;
+use std::process::ExitCode;
 
-fn main() {
-    let opts = HarnessOpts::from_env();
-    println!("=== Extension E — collectives on multicast ===\n");
-    let cfg = SimConfig::paper_default();
-    let schemes = [
-        Scheme::UBinomial,
-        Scheme::NiFpfs,
-        Scheme::TreeWorm,
-        Scheme::PathLessGreedy,
-    ];
-
-    println!("-- barrier latency (cycles) vs system size (combining fan-out 4) --");
-    print!("{:>8}", "nodes");
-    for s in schemes {
-        print!(" {:>12}", s.name());
-    }
-    println!();
-    let mut csv = String::from("nodes,ubinomial,ni-fpfs,tree,path-lg\n");
-    let sizes: &[(usize, usize)] =
-        if opts.quick { &[(16, 4), (32, 8)] } else { &[(16, 4), (32, 8), (48, 12), (64, 16)] };
-    for &(nodes, switches) in sizes {
-        let topo = RandomTopologyConfig {
-            num_switches: switches,
-            ports_per_switch: 8,
-            num_hosts: nodes,
-            extra_links: ExtraLinks::Fraction(0.75),
-            seed: 0,
-        };
-        let net = Network::analyze(gen::generate(&topo).unwrap()).unwrap();
-        print!("{nodes:>8}");
-        let mut row = format!("{nodes}");
-        for scheme in schemes {
-            let r = run_collective(
-                &net,
-                &cfg,
-                CollectiveOp::Barrier,
-                NodeId(0),
-                NodeMask::all(nodes),
-                scheme,
-                4,
-                8,
-            )
-            .expect("barrier completes");
-            print!(" {:>12}", r.latency);
-            let _ = write!(row, ",{}", r.latency);
-        }
-        println!();
-        let _ = writeln!(csv, "{row}");
-    }
-    opts.write_csv("ext_e_barrier.csv", &csv);
-
-    println!("\n-- 32-node allreduce (128 flits) vs combining fan-out, tree release --");
-    println!("{:>8} {:>12}", "fanout", "latency");
-    let net = Network::analyze(
-        gen::generate(&RandomTopologyConfig::paper_default(0)).unwrap(),
-    )
-    .unwrap();
-    let mut csv = String::from("fanout,latency\n");
-    for fanout in [1usize, 2, 4, 8, 31] {
-        let r = run_collective(
-            &net,
-            &cfg,
-            CollectiveOp::AllReduce,
-            NodeId(0),
-            NodeMask::all(32),
-            Scheme::TreeWorm,
-            fanout,
-            128,
-        )
-        .expect("allreduce completes");
-        println!("{fanout:>8} {:>12}", r.latency);
-        let _ = writeln!(csv, "{fanout},{}", r.latency);
-    }
-    opts.write_csv("ext_e_allreduce_fanout.csv", &csv);
-    println!("\nthe reduce phase is software either way; the release broadcast is where");
-    println!("NI or switch multicast support shows up in collective latency.");
+fn main() -> ExitCode {
+    irrnet_harness::shim::run_legacy("ext_e_collectives", &["ext_e"])
 }

@@ -1,37 +1,11 @@
-//! Figure 6 — Effect of `R = O_h / O_ni` on single-multicast latency.
+//! Figure 6 — effect of R on single-multicast latency.
 //!
-//! Four panels (R = 0.5, 1 ⟨default⟩, 2, 4), each plotting latency vs.
-//! destination count for the three enhanced schemes plus the unicast
-//! binomial baseline. The paper's finding: the tree-based scheme wins
-//! everywhere; as R grows the NI-based scheme overtakes the path-based
-//! scheme.
+//! Compatibility shim: the experiment now lives in the `irrnet-harness`
+//! registry; this binary forwards to it (honoring the legacy `IRRNET_*`
+//! environment knobs). Prefer `irrnet-run fig06`.
 
-use irrnet_bench::{banner, single_panel, HarnessOpts};
-use irrnet_core::Scheme;
-use irrnet_sim::SimConfig;
-use irrnet_topology::RandomTopologyConfig;
+use std::process::ExitCode;
 
-fn main() {
-    let opts = HarnessOpts::from_env();
-    banner("Figure 6", "effect of R on single multicast latency", &opts);
-    let topo = RandomTopologyConfig::paper_default(0);
-    let schemes = [
-        Scheme::UBinomial,
-        Scheme::NiFpfs,
-        Scheme::TreeWorm,
-        Scheme::PathLessGreedy,
-    ];
-    for r in [0.5, 1.0, 2.0, 4.0] {
-        let sim = SimConfig::paper_default().with_r(r);
-        let s = single_panel(&opts, &topo, &sim, 128, &schemes);
-        let title = if r == 1.0 {
-            format!("R = {r} (default parameters)")
-        } else {
-            format!("R = {r}")
-        };
-        print!("{}", s.to_table(&title));
-        println!();
-        opts.write_csv(&format!("fig06_r{r}.csv"), &s.to_csv());
-        println!();
-    }
+fn main() -> ExitCode {
+    irrnet_harness::shim::run_legacy("fig06_r_ratio", &["fig06"])
 }

@@ -1,38 +1,11 @@
-//! Figure 7 — Effect of the number of switches on single-multicast
-//! latency (system size fixed at 32 nodes, 8-port switches).
+//! Figure 7 — effect of the number of switches.
 //!
-//! Panels: 8 (default), 16, 32 switches. The paper's finding: with more
-//! switches the average destinations-per-switch drops, so the path-based
-//! scheme needs more worms and more phases and degrades; the NI-based and
-//! tree-based schemes are largely unaffected (cut-through is nearly
-//! distance-independent).
+//! Compatibility shim: the experiment now lives in the `irrnet-harness`
+//! registry; this binary forwards to it (honoring the legacy `IRRNET_*`
+//! environment knobs). Prefer `irrnet-run fig07`.
 
-use irrnet_bench::{banner, single_panel, HarnessOpts};
-use irrnet_core::Scheme;
-use irrnet_sim::SimConfig;
-use irrnet_topology::RandomTopologyConfig;
+use std::process::ExitCode;
 
-fn main() {
-    let opts = HarnessOpts::from_env();
-    banner("Figure 7", "effect of number of switches (32 nodes)", &opts);
-    let sim = SimConfig::paper_default();
-    let schemes = [
-        Scheme::UBinomial,
-        Scheme::NiFpfs,
-        Scheme::TreeWorm,
-        Scheme::PathLessGreedy,
-    ];
-    for switches in [8usize, 16, 32] {
-        let topo = RandomTopologyConfig::with_switches(0, switches);
-        let s = single_panel(&opts, &topo, &sim, 128, &schemes);
-        let title = if switches == 8 {
-            format!("{switches} switches (default parameters)")
-        } else {
-            format!("{switches} switches")
-        };
-        print!("{}", s.to_table(&title));
-        println!();
-        opts.write_csv(&format!("fig07_s{switches}.csv"), &s.to_csv());
-        println!();
-    }
+fn main() -> ExitCode {
+    irrnet_harness::shim::run_legacy("fig07_switches", &["fig07"])
 }

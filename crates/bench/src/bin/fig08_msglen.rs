@@ -1,37 +1,11 @@
-//! Figure 8 — Effect of message length on single-multicast latency.
+//! Figure 8 — effect of message length.
 //!
-//! Panels: 32, 128 (default), 512, 2048 flits (packet size stays 128
-//! flits, so the longer messages are 4 and 16 packets). The paper's
-//! finding: beyond ≈2 packets the NI-based scheme overtakes the
-//! path-based scheme, because FPFS forwards packet-by-packet while every
-//! path-based phase store-and-forwards the whole message at the hosts.
+//! Compatibility shim: the experiment now lives in the `irrnet-harness`
+//! registry; this binary forwards to it (honoring the legacy `IRRNET_*`
+//! environment knobs). Prefer `irrnet-run fig08`.
 
-use irrnet_bench::{banner, single_panel, HarnessOpts};
-use irrnet_core::Scheme;
-use irrnet_sim::SimConfig;
-use irrnet_topology::RandomTopologyConfig;
+use std::process::ExitCode;
 
-fn main() {
-    let opts = HarnessOpts::from_env();
-    banner("Figure 8", "effect of message length", &opts);
-    let topo = RandomTopologyConfig::paper_default(0);
-    let sim = SimConfig::paper_default();
-    let schemes = [
-        Scheme::UBinomial,
-        Scheme::NiFpfs,
-        Scheme::TreeWorm,
-        Scheme::PathLessGreedy,
-    ];
-    for msg in [32u32, 128, 512, 2048] {
-        let s = single_panel(&opts, &topo, &sim, msg, &schemes);
-        let title = if msg == 128 {
-            format!("message length = {msg} flits (default parameters)")
-        } else {
-            format!("message length = {msg} flits")
-        };
-        print!("{}", s.to_table(&title));
-        println!();
-        opts.write_csv(&format!("fig08_m{msg}.csv"), &s.to_csv());
-        println!();
-    }
+fn main() -> ExitCode {
+    irrnet_harness::shim::run_legacy("fig08_msglen", &["fig08"])
 }

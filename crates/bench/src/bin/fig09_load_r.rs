@@ -1,31 +1,11 @@
-//! Figure 9 — Latency vs. applied load under varying `R`, for 8-way and
-//! 16-way multicasts.
+//! Figure 9 — latency vs. load under R.
 //!
-//! Panels: R ∈ {0.5, 1 (default), 4} × degree ∈ {8, 16}. The paper's
-//! finding: for R ≤ 0.5 the NI-based scheme is worst and tree-based best;
-//! for R > ≈0.5–1 the NI-based scheme becomes comparable to the
-//! path-based one (its staggered receive times reduce receiver
-//! contention).
+//! Compatibility shim: the experiment now lives in the `irrnet-harness`
+//! registry; this binary forwards to it (honoring the legacy `IRRNET_*`
+//! environment knobs). Prefer `irrnet-run fig09`.
 
-use irrnet_bench::{banner, load_networks, load_panel, HarnessOpts};
-use irrnet_core::Scheme;
-use irrnet_sim::SimConfig;
-use irrnet_topology::RandomTopologyConfig;
+use std::process::ExitCode;
 
-fn main() {
-    let opts = HarnessOpts::from_env();
-    banner("Figure 9", "latency vs. load under R", &opts);
-    let nets = load_networks(&opts, &RandomTopologyConfig::paper_default(0));
-    let schemes = Scheme::paper_three();
-    for r in [0.5, 1.0, 4.0] {
-        let sim = SimConfig::paper_default().with_r(r);
-        for degree in [8usize, 16] {
-            let s = load_panel(&opts, &nets, &sim, degree, 128, &schemes);
-            let title = format!("R = {r}, {degree}-way multicasts");
-            print!("{}", s.to_table(&title));
-            println!();
-            opts.write_csv(&format!("fig09_r{r}_d{degree}.csv"), &s.to_csv());
-            println!();
-        }
-    }
+fn main() -> ExitCode {
+    irrnet_harness::shim::run_legacy("fig09_load_r", &["fig09"])
 }

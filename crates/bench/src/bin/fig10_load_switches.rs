@@ -1,30 +1,11 @@
-//! Figure 10 — Latency vs. applied load with increasing switch count
-//! (32 nodes), for 8-way and 16-way multicasts.
+//! Figure 10 — latency vs. load under switch count.
 //!
-//! Panels: switches ∈ {8 (default), 16, 32} × degree ∈ {8, 16}. The
-//! paper's finding: with more switches the path-based saturation load
-//! falls toward the NI-based scheme's; the tree-based scheme saturates
-//! much later throughout.
+//! Compatibility shim: the experiment now lives in the `irrnet-harness`
+//! registry; this binary forwards to it (honoring the legacy `IRRNET_*`
+//! environment knobs). Prefer `irrnet-run fig10`.
 
-use irrnet_bench::{banner, load_networks, load_panel, HarnessOpts};
-use irrnet_core::Scheme;
-use irrnet_sim::SimConfig;
-use irrnet_topology::RandomTopologyConfig;
+use std::process::ExitCode;
 
-fn main() {
-    let opts = HarnessOpts::from_env();
-    banner("Figure 10", "latency vs. load under switch count", &opts);
-    let sim = SimConfig::paper_default();
-    let schemes = Scheme::paper_three();
-    for switches in [8usize, 16, 32] {
-        let nets = load_networks(&opts, &RandomTopologyConfig::with_switches(0, switches));
-        for degree in [8usize, 16] {
-            let s = load_panel(&opts, &nets, &sim, degree, 128, &schemes);
-            let title = format!("{switches} switches, {degree}-way multicasts");
-            print!("{}", s.to_table(&title));
-            println!();
-            opts.write_csv(&format!("fig10_s{switches}_d{degree}.csv"), &s.to_csv());
-            println!();
-        }
-    }
+fn main() -> ExitCode {
+    irrnet_harness::shim::run_legacy("fig10_load_switches", &["fig10"])
 }

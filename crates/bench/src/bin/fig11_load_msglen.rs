@@ -1,31 +1,11 @@
-//! Figure 11 — Latency vs. applied load with increasing message length,
-//! for 8-way and 16-way multicasts.
+//! Figure 11 — latency vs. load under message length.
 //!
-//! Panels: message ∈ {128 (default), 512, 2048} flits × degree ∈ {8, 16}.
-//! The paper's finding: tree-based wins at every length; NI-based and
-//! path-based become comparable as messages grow, but under load the
-//! NI-based scheme's extra traffic (one worm per destination) costs it
-//! some of the single-multicast advantage it showed in Fig. 8.
+//! Compatibility shim: the experiment now lives in the `irrnet-harness`
+//! registry; this binary forwards to it (honoring the legacy `IRRNET_*`
+//! environment knobs). Prefer `irrnet-run fig11`.
 
-use irrnet_bench::{banner, load_networks, load_panel, HarnessOpts};
-use irrnet_core::Scheme;
-use irrnet_sim::SimConfig;
-use irrnet_topology::RandomTopologyConfig;
+use std::process::ExitCode;
 
-fn main() {
-    let opts = HarnessOpts::from_env();
-    banner("Figure 11", "latency vs. load under message length", &opts);
-    let nets = load_networks(&opts, &RandomTopologyConfig::paper_default(0));
-    let sim = SimConfig::paper_default();
-    let schemes = Scheme::paper_three();
-    for msg in [128u32, 512, 2048] {
-        for degree in [8usize, 16] {
-            let s = load_panel(&opts, &nets, &sim, degree, msg, &schemes);
-            let title = format!("{msg}-flit messages, {degree}-way multicasts");
-            print!("{}", s.to_table(&title));
-            println!();
-            opts.write_csv(&format!("fig11_m{msg}_d{degree}.csv"), &s.to_csv());
-            println!();
-        }
-    }
+fn main() -> ExitCode {
+    irrnet_harness::shim::run_legacy("fig11_load_msglen", &["fig11"])
 }

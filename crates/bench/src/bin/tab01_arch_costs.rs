@@ -1,99 +1,11 @@
-//! Table 1 — the §3.3 architectural-requirements comparison, made
-//! quantitative: header bytes on the wire, per-switch decode state, NI
-//! buffering, and worm/phase counts per scheme, as functions of system
-//! size and destination count.
+//! Table 1 — architectural costs per scheme.
+//!
+//! Compatibility shim: the experiment now lives in the `irrnet-harness`
+//! registry; this binary forwards to it (honoring the legacy `IRRNET_*`
+//! environment knobs). Prefer `irrnet-run tab01`.
 
-use irrnet_bench::HarnessOpts;
-use irrnet_core::header::{
-    bitstring_bytes, fpfs_ni_buffer_packets, header_costs, tree_scheme_switch_state_bits,
-};
-use irrnet_core::{plan_multicast, Scheme};
-use irrnet_sim::SimConfig;
-use irrnet_topology::{gen, Network, NodeId, NodeMask, RandomTopologyConfig};
-use irrnet_workloads::random_mcast;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
-use std::fmt::Write as _;
+use std::process::ExitCode;
 
-fn main() {
-    let opts = HarnessOpts::from_env();
-    println!("=== Table 1 — architectural costs per scheme (quantified §3.3) ===\n");
-    let cfg = SimConfig::paper_default();
-
-    // Part A: encoding sizes vs. system size.
-    println!("-- A: header encoding vs. system size --");
-    println!(
-        "{:>8} {:>18} {:>18} {:>22}",
-        "nodes", "unicast hdr (B)", "bit-string hdr (B)", "path hdr per stop (B)"
-    );
-    for nodes in [16usize, 32, 64, 128] {
-        println!(
-            "{:>8} {:>18} {:>18} {:>22}",
-            nodes,
-            cfg.unicast_header_flits,
-            bitstring_bytes(nodes) + 1,
-            2
-        );
-    }
-    println!();
-
-    // Part B: per-switch decode state (tree-based reachability strings).
-    println!("-- B: switch decode state (bits, total over all switches) --");
-    println!("{:>10} {:>14} {:>14}", "switches", "tree-based", "path-based");
-    let mut csv = String::from("switches,tree_state_bits,path_state_bits\n");
-    for switches in [8usize, 16, 32] {
-        let net = Network::analyze(
-            gen::generate(&RandomTopologyConfig::with_switches(0, switches)).unwrap(),
-        )
-        .unwrap();
-        let bits = tree_scheme_switch_state_bits(&net);
-        println!("{switches:>10} {bits:>14} {:>14}", 0);
-        let _ = writeln!(csv, "{switches},{bits},0");
-    }
-    opts.write_csv("tab01_switch_state.csv", &csv);
-    println!();
-
-    // Part C: worms, phases, injected header bytes, NI buffering per
-    // destination count (averaged over random draws on the default net).
-    println!("-- C: per-multicast costs on the default 32-node / 8-switch system --");
-    println!(
-        "{:>10} {:>10} {:>8} {:>8} {:>14} {:>12}",
-        "scheme", "dests", "worms", "phases", "hdr bytes", "NI buf pkts"
-    );
-    let net =
-        Network::analyze(gen::generate(&RandomTopologyConfig::paper_default(0)).unwrap()).unwrap();
-    let mut csv = String::from("scheme,dests,worms,phases,header_bytes,ni_buffer_pkts\n");
-    for scheme in Scheme::all() {
-        for degree in [4usize, 8, 16, 31] {
-            let mut rng = SmallRng::seed_from_u64(degree as u64);
-            let (source, dests) = if degree == 31 {
-                let mut m = NodeMask::all(32);
-                m.remove(NodeId(0));
-                (NodeId(0), m)
-            } else {
-                random_mcast(&mut rng, 32, degree)
-            };
-            let plan = plan_multicast(&net, &cfg, scheme, source, dests, 128);
-            let hc = header_costs(&net, &plan);
-            let bufs = fpfs_ni_buffer_packets(&plan);
-            println!(
-                "{:>10} {:>10} {:>8} {:>8} {:>14} {:>12}",
-                scheme.name(),
-                degree,
-                plan.meta.worms,
-                plan.meta.phases,
-                hc.total_header_bytes,
-                bufs
-            );
-            let _ = writeln!(
-                csv,
-                "{},{degree},{},{},{},{bufs}",
-                scheme.name(),
-                plan.meta.worms,
-                plan.meta.phases,
-                hc.total_header_bytes
-            );
-        }
-    }
-    opts.write_csv("tab01_mcast_costs.csv", &csv);
+fn main() -> ExitCode {
+    irrnet_harness::shim::run_legacy("tab01_arch_costs", &["tab01"])
 }

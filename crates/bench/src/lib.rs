@@ -1,227 +1,19 @@
-//! Shared harness for the per-figure reproduction binaries.
+//! Legacy home of the per-figure reproduction binaries.
 //!
-//! Every binary regenerates one figure (or table) of the paper's
-//! evaluation section: it prints an aligned text table per panel (the
-//! same series the figure plots) and writes a CSV next to it under
-//! `results/`. Binaries accept environment knobs instead of CLI parsing
-//! to stay dependency-free:
+//! The harness that used to live here (environment-knob parsing, panel
+//! sweeps, CSV writing) moved into the `irrnet-harness` crate as a
+//! data-driven experiment registry executed by the `irrnet-run` binary.
+//! The binaries in `src/bin/` remain as compatibility shims: each
+//! forwards to its registry experiment and still honors the deprecated
+//! `IRRNET_QUICK` / `IRRNET_SEEDS` / `IRRNET_TRIALS` / `IRRNET_OUT`
+//! environment knobs via
+//! [`CampaignOptions::from_env`](irrnet_harness::opts::CampaignOptions::from_env).
 //!
-//! * `IRRNET_QUICK=1` — fewer topology seeds / trials / load points and
-//!   shorter measurement windows (CI-friendly).
-//! * `IRRNET_SEEDS=n` — how many random topologies to average over
-//!   (default 10, the paper's count; 3 in quick mode).
-//! * `IRRNET_TRIALS=n` — random (source, destination-set) draws per
-//!   topology for single-multicast figures (default 5).
-//! * `IRRNET_OUT=dir` — output directory for CSVs (default `results`).
+//! Prefer the unified entry point:
+//!
+//! ```text
+//! irrnet-run --all --quick     # regenerate every figure/table CSV
+//! irrnet-run compare           # regression-gate against results/golden/
+//! ```
 
-use irrnet_core::Scheme;
-use irrnet_sim::SimConfig;
-use irrnet_topology::{Network, RandomTopologyConfig};
-use irrnet_workloads::{
-    build_networks, par_run, run_load, LoadConfig, Series, SinglePoint,
-};
-use std::path::PathBuf;
-
-/// Harness options resolved from the environment.
-#[derive(Debug, Clone)]
-pub struct HarnessOpts {
-    /// Reduced effort for CI / smoke runs.
-    pub quick: bool,
-    /// Topology seeds averaged over.
-    pub seeds: Vec<u64>,
-    /// Random multicast draws per topology (single-multicast figures).
-    pub trials: usize,
-    /// CSV output directory.
-    pub out_dir: PathBuf,
-}
-
-impl HarnessOpts {
-    /// Read the `IRRNET_*` environment knobs.
-    pub fn from_env() -> Self {
-        let quick = std::env::var("IRRNET_QUICK").map(|v| v != "0").unwrap_or(false);
-        let n_seeds = std::env::var("IRRNET_SEEDS")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(if quick { 3 } else { 10 });
-        let trials = std::env::var("IRRNET_TRIALS")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(if quick { 2 } else { 5 });
-        let out_dir = std::env::var("IRRNET_OUT").unwrap_or_else(|_| "results".into());
-        HarnessOpts { quick, seeds: (0..n_seeds).collect(), trials, out_dir: out_dir.into() }
-    }
-
-    /// Destination counts for the single-multicast figures' x-axis.
-    pub fn degrees(&self) -> Vec<usize> {
-        if self.quick {
-            vec![4, 8, 16]
-        } else {
-            vec![2, 4, 8, 16, 24, 31]
-        }
-    }
-
-    /// Effective applied load points for the load figures' x-axis. With
-    /// the paper's 500-cycle overheads on 128-flit messages the system is
-    /// overhead-bound, so the interesting dynamics (and the schemes'
-    /// distinct saturation points) live below ≈0.4 effective load.
-    pub fn loads(&self) -> Vec<f64> {
-        if self.quick {
-            vec![0.02, 0.08, 0.25]
-        } else {
-            vec![0.02, 0.05, 0.1, 0.15, 0.25, 0.4]
-        }
-    }
-
-    /// Load-run measurement windows, shortened in quick mode.
-    pub fn load_config(&self, degree: usize, load: f64) -> LoadConfig {
-        let mut lc = LoadConfig::paper_default(degree, load);
-        if self.quick {
-            lc.warmup = 30_000;
-            lc.measure = 150_000;
-            lc.drain = 100_000;
-        } else {
-            lc.warmup = 100_000;
-            lc.measure = 500_000;
-            lc.drain = 200_000;
-        }
-        lc
-    }
-
-    /// Write a CSV under the output directory.
-    pub fn write_csv(&self, name: &str, contents: &str) {
-        std::fs::create_dir_all(&self.out_dir).expect("create results dir");
-        let path = self.out_dir.join(name);
-        std::fs::write(&path, contents).expect("write CSV");
-        println!("  wrote {}", path.display());
-    }
-}
-
-/// Print the standard banner for a figure binary.
-pub fn banner(figure: &str, what: &str, opts: &HarnessOpts) {
-    println!("=== {figure} — {what} ===");
-    println!(
-        "    averaging over {} topologies, {} trials each{}",
-        opts.seeds.len(),
-        opts.trials,
-        if opts.quick { " (quick mode)" } else { "" }
-    );
-    println!();
-}
-
-/// One single-multicast panel: latency vs. destination count for the
-/// requested schemes under one `SimConfig` / topology family.
-pub fn single_panel(
-    opts: &HarnessOpts,
-    topo: &RandomTopologyConfig,
-    sim: &SimConfig,
-    message_flits: u32,
-    schemes: &[Scheme],
-) -> Series {
-    let nets = build_networks(topo, &opts.seeds);
-    // A destination count must leave room for the source (small-system
-    // panels of the extension sweeps).
-    let max_degree = nets[0].num_nodes() - 1;
-    let degrees: Vec<usize> = opts.degrees().into_iter().filter(|&d| d <= max_degree).collect();
-    let mut series = Series::new(
-        "destinations",
-        "latency (cycles)",
-        degrees.iter().map(|&d| d as f64).collect(),
-    );
-    for &scheme in schemes {
-        let points: Vec<SinglePoint> = degrees
-            .iter()
-            .map(|&degree| SinglePoint { scheme, degree, message_flits, sim: sim.clone() })
-            .collect();
-        let rows = irrnet_workloads::single_sweep(&nets, &points, opts.trials, 0xBEEF);
-        series.push(scheme, rows.into_iter().map(|r| Some(r.mean_latency)).collect());
-    }
-    series
-}
-
-/// One load panel: mean multicast latency vs. effective applied load at a
-/// fixed degree. Saturated points become `None` ("sat" in tables).
-pub fn load_panel(
-    opts: &HarnessOpts,
-    nets: &[Network],
-    sim: &SimConfig,
-    degree: usize,
-    message_flits: u32,
-    schemes: &[Scheme],
-) -> Series {
-    let loads = opts.loads();
-    let mut series = Series::new(
-        "effective applied load",
-        "latency (cycles)",
-        loads.clone(),
-    );
-    for &scheme in schemes {
-        let tasks: Vec<f64> = loads.clone();
-        let ys = par_run(&tasks, |&load| {
-            let mut lc = opts.load_config(degree, load);
-            lc.message_flits = message_flits;
-            // Average over the topology batch; any saturated topology
-            // marks the point saturated (paper curves shoot up there).
-            let mut sum = 0.0;
-            let mut n = 0usize;
-            let mut saturated = false;
-            for (i, net) in nets.iter().enumerate() {
-                let mut lc = lc.clone();
-                lc.seed ^= (i as u64) << 17;
-                let r = run_load(net, sim, scheme, &lc).expect("load run");
-                saturated |= r.saturated;
-                if let Some(l) = r.mean_latency {
-                    sum += l;
-                    n += 1;
-                }
-            }
-            if saturated || n == 0 {
-                None
-            } else {
-                Some(sum / n as f64)
-            }
-        });
-        series.push(scheme, ys);
-    }
-    series
-}
-
-/// Networks for the load figures: load runs are expensive, so they use
-/// the first `min(3, seeds)` topologies of the batch.
-pub fn load_networks(opts: &HarnessOpts, topo: &RandomTopologyConfig) -> Vec<Network> {
-    let n = if opts.quick { 1 } else { 3.min(opts.seeds.len()) };
-    build_networks(topo, &opts.seeds[..n])
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn env_defaults() {
-        // Note: runs without IRRNET_* set in the test environment.
-        let o = HarnessOpts::from_env();
-        assert!(!o.seeds.is_empty());
-        assert!(o.trials >= 1);
-        assert!(!o.degrees().is_empty());
-        assert!(!o.loads().is_empty());
-    }
-
-    #[test]
-    fn quick_single_panel_has_all_schemes() {
-        let opts = HarnessOpts {
-            quick: true,
-            seeds: vec![0],
-            trials: 1,
-            out_dir: "/tmp/irrnet-test-results".into(),
-        };
-        let s = single_panel(
-            &opts,
-            &RandomTopologyConfig::paper_default(0),
-            &SimConfig::paper_default(),
-            128,
-            &[Scheme::TreeWorm, Scheme::NiFpfs],
-        );
-        assert_eq!(s.series.len(), 2);
-        assert_eq!(s.xs.len(), opts.degrees().len());
-    }
-}
+pub use irrnet_harness::opts::CampaignOptions;

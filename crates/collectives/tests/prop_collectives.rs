@@ -1,49 +1,52 @@
-//! Property tests: every collective completes on arbitrary member sets,
-//! roots, fan-outs, schemes and payload sizes, with the expected message
-//! census.
+//! Randomized tests: every collective completes on arbitrary member
+//! sets, roots, fan-outs, schemes and payload sizes, with the expected
+//! message census.
+//!
+//! Deterministic port of the original proptest suite (now in
+//! `extdeps/tests/`): cases are drawn from the workspace PRNG with a
+//! fixed master seed, so the run is offline and replays identically.
 
 use irrnet_collectives::{run_collective, CollectiveOp};
+use irrnet_core::rng::SmallRng;
 use irrnet_core::Scheme;
 use irrnet_sim::SimConfig;
 use irrnet_topology::{gen, Network, NodeId, NodeMask, RandomTopologyConfig};
-use proptest::prelude::*;
+use std::collections::HashMap;
 
-fn op_strategy() -> impl Strategy<Value = CollectiveOp> {
-    prop_oneof![
-        Just(CollectiveOp::Broadcast),
-        Just(CollectiveOp::Reduce),
-        Just(CollectiveOp::Barrier),
-        Just(CollectiveOp::AllReduce),
-    ]
-}
+const OPS: [CollectiveOp; 4] = [
+    CollectiveOp::Broadcast,
+    CollectiveOp::Reduce,
+    CollectiveOp::Barrier,
+    CollectiveOp::AllReduce,
+];
 
-fn scheme_strategy() -> impl Strategy<Value = Scheme> {
-    prop_oneof![
-        Just(Scheme::UBinomial),
-        Just(Scheme::NiFpfs),
-        Just(Scheme::TreeWorm),
-        Just(Scheme::PathLessGreedy),
-        Just(Scheme::PathLgNi),
-    ]
-}
+const SCHEMES: [Scheme; 5] = [
+    Scheme::UBinomial,
+    Scheme::NiFpfs,
+    Scheme::TreeWorm,
+    Scheme::PathLessGreedy,
+    Scheme::PathLgNi,
+];
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+#[test]
+fn collectives_always_complete() {
+    let mut rng = SmallRng::seed_from_u64(0xC011EC7);
+    let mut nets: HashMap<u64, Network> = HashMap::new();
+    for _ in 0..32 {
+        let seed = rng.gen_range(0..6u64);
+        let member_bits = rng.next_u64() | 3; // never the all-zero degenerate set
+        let root_pick = rng.gen_range(0..32usize);
+        let op = OPS[rng.gen_range(0..OPS.len())];
+        let scheme = SCHEMES[rng.gen_range(0..SCHEMES.len())];
+        let fanout = rng.gen_range(1..8usize);
+        let data = [8u32, 128, 300][rng.gen_range(0..3usize)];
 
-    #[test]
-    fn collectives_always_complete(
-        seed in 0u64..6,
-        member_bits in 3u64..u64::MAX,
-        root_pick in 0usize..32,
-        op in op_strategy(),
-        scheme in scheme_strategy(),
-        fanout in 1usize..8,
-        data in prop_oneof![Just(8u32), Just(128), Just(300)],
-    ) {
-        let net = Network::analyze(
-            gen::generate(&RandomTopologyConfig::paper_default(seed)).unwrap(),
-        )
-        .unwrap();
+        let net = nets.entry(seed).or_insert_with(|| {
+            Network::analyze(
+                gen::generate(&RandomTopologyConfig::paper_default(seed)).unwrap(),
+            )
+            .unwrap()
+        });
         // Carve ≥2 members out of the random bits, then pick the root
         // among them.
         let mut members = NodeMask::EMPTY;
@@ -60,23 +63,33 @@ proptest! {
         let member_list: Vec<NodeId> = members.iter().collect();
         let root = member_list[root_pick % member_list.len()];
 
-        let r = run_collective(&net, &SimConfig::paper_default(), op, root, members, scheme, fanout, data)
-            .expect("collective completes");
+        let r = run_collective(
+            net,
+            &SimConfig::paper_default(),
+            op,
+            root,
+            members,
+            scheme,
+            fanout,
+            data,
+        )
+        .expect("collective completes");
         let others = members.len() - 1;
+        let ctx = format!("seed {seed} op {op:?} scheme {scheme:?} fanout {fanout}");
         match op {
             CollectiveOp::Broadcast => {
-                prop_assert_eq!(r.messages, 1);
-                prop_assert_eq!(r.edges, 0);
+                assert_eq!(r.messages, 1, "{ctx}");
+                assert_eq!(r.edges, 0, "{ctx}");
             }
             CollectiveOp::Reduce => {
-                prop_assert_eq!(r.edges, others);
-                prop_assert_eq!(r.messages, others);
+                assert_eq!(r.edges, others, "{ctx}");
+                assert_eq!(r.messages, others, "{ctx}");
             }
             CollectiveOp::Barrier | CollectiveOp::AllReduce => {
-                prop_assert_eq!(r.edges, others);
-                prop_assert_eq!(r.messages, others + 1);
+                assert_eq!(r.edges, others, "{ctx}");
+                assert_eq!(r.messages, others + 1, "{ctx}");
             }
         }
-        prop_assert!(r.latency > 0);
+        assert!(r.latency > 0, "{ctx}");
     }
 }

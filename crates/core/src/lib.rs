@@ -46,6 +46,10 @@ pub mod order;
 pub mod plan;
 
 pub use driver::SchemeProtocol;
+/// Deterministic PRNG + hash primitives (splitmix64, xoshiro256**,
+/// FNV-1a), re-exported from the topology substrate so workload and
+/// harness code can reach them without a direct `irrnet-topology` import.
+pub use irrnet_topology::rng;
 pub use contention::{tree_link_loads, LinkLoadStats};
 pub use kbinomial::{build_k_binomial, build_k_binomial_scattered, choose_k, estimate_fpfs_completion, McastTree};
 pub use mdp::{plan_paths, verify_path_spec, PathPlan, PathVariant};

@@ -1,71 +1,89 @@
-//! Property test: the analytic unicast model matches the simulator
+//! Randomized test: the analytic unicast model matches the simulator
 //! *exactly* on arbitrary random topologies, endpoints, message lengths,
 //! and overhead settings — the strongest cross-validation of the engine's
-//! timing pipeline.
+//! timing pipeline. Plus: every worm any path plan emits satisfies the
+//! legality invariant the simulator depends on.
+//!
+//! Deterministic port of the original proptest suite (now in
+//! `extdeps/tests/`): cases are drawn from the workspace PRNG with fixed
+//! master seeds, so the run is offline and replays identically.
 
+use irrnet_core::rng::SmallRng;
 use irrnet_core::{plan_multicast, LatencyModel, Scheme, SchemeProtocol};
 use irrnet_sim::{McastId, SimConfig, Simulator};
 use irrnet_topology::{gen, Network, NodeId, NodeMask, RandomTopologyConfig};
-use proptest::prelude::*;
+use std::collections::HashMap;
 use std::sync::Arc;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+fn paper_net(cache: &mut HashMap<u64, Network>, seed: u64) -> &Network {
+    cache.entry(seed).or_insert_with(|| {
+        Network::analyze(gen::generate(&RandomTopologyConfig::paper_default(seed)).unwrap())
+            .unwrap()
+    })
+}
 
-    #[test]
-    fn unicast_model_matches_simulation_exactly(
-        seed in 0u64..10,
-        src in 0u16..32,
-        dst in 0u16..32,
-        msg in prop_oneof![Just(16u32), Just(100), Just(128), Just(129), Just(512), Just(1000)],
-        oh in prop_oneof![Just(10u64), Just(125), Just(500), Just(2000)],
-        r in prop_oneof![Just(0.5f64), Just(1.0), Just(4.0)],
-    ) {
-        prop_assume!(src != dst);
-        let net = Network::analyze(
-            gen::generate(&RandomTopologyConfig::paper_default(seed)).unwrap(),
-        )
-        .unwrap();
+#[test]
+fn unicast_model_matches_simulation_exactly() {
+    let mut rng = SmallRng::seed_from_u64(0x10DE1);
+    let mut nets = HashMap::new();
+    const MSGS: [u32; 6] = [16, 100, 128, 129, 512, 1000];
+    const OHS: [u64; 4] = [10, 125, 500, 2000];
+    const RS: [f64; 3] = [0.5, 1.0, 4.0];
+    for _ in 0..48 {
+        let seed = rng.gen_range(0..10u64);
+        let src = rng.gen_range(0..32usize) as u16;
+        let dst = rng.gen_range(0..32usize) as u16;
+        if src == dst {
+            continue;
+        }
+        let msg = MSGS[rng.gen_range(0..MSGS.len())];
+        let oh = OHS[rng.gen_range(0..OHS.len())];
+        let r = RS[rng.gen_range(0..RS.len())];
+
+        let net = paper_net(&mut nets, seed);
         let mut cfg = SimConfig::paper_default();
         cfg.o_send_host = oh;
         cfg.o_recv_host = oh;
         let cfg = cfg.with_r(r);
         let (src, dst) = (NodeId(src), NodeId(dst));
 
-        let predicted = LatencyModel::new(&net, &cfg).unicast(src, dst, msg);
+        let predicted = LatencyModel::new(net, &cfg).unicast(src, dst, msg);
 
-        let plan = plan_multicast(&net, &cfg, Scheme::UBinomial, src, NodeMask::single(dst), msg);
+        let plan = plan_multicast(net, &cfg, Scheme::UBinomial, src, NodeMask::single(dst), msg);
         let mut proto = SchemeProtocol::new();
         proto.add(McastId(0), Arc::new(plan));
-        let mut sim = Simulator::new(&net, cfg, proto).unwrap();
+        let mut sim = Simulator::new(net, cfg, proto).unwrap();
         sim.schedule_multicast(0, McastId(0), NodeMask::single(dst), msg);
         sim.run_to_completion(500_000_000).unwrap();
         let measured = sim.stats().latency_of(McastId(0)).unwrap();
 
-        prop_assert_eq!(
+        assert_eq!(
             predicted, measured,
-            "seed {} {} -> {} msg {} oh {} r {}", seed, src, dst, msg, oh, r
+            "seed {seed} {src} -> {dst} msg {msg} oh {oh} r {r}"
         );
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+/// Every worm any path plan emits satisfies the legality invariant the
+/// simulator depends on (the deadlock-class guard).
+#[test]
+fn all_planned_path_worms_verify() {
+    let mut rng = SmallRng::seed_from_u64(0x90A75);
+    let mut nets: HashMap<(u64, usize), Network> = HashMap::new();
+    const SWITCHES: [usize; 3] = [8, 16, 32];
+    for _ in 0..32 {
+        let seed = rng.gen_range(0..8u64);
+        let switches = SWITCHES[rng.gen_range(0..SWITCHES.len())];
+        let src = rng.gen_range(0..32usize) as u16;
+        let dest_bits = rng.next_u64();
+        let variant_lg = rng.gen_range(0..2usize) == 1;
 
-    /// Every worm any path plan emits satisfies the legality invariant
-    /// the simulator depends on (the deadlock-class guard).
-    #[test]
-    fn all_planned_path_worms_verify(
-        seed in 0u64..8,
-        switches in prop_oneof![Just(8usize), Just(16), Just(32)],
-        src in 0u16..32,
-        dest_bits in 1u64..u64::MAX,
-        variant_lg in any::<bool>(),
-    ) {
-        let net = Network::analyze(
-            gen::generate(&RandomTopologyConfig::with_switches(seed, switches)).unwrap(),
-        )
-        .unwrap();
+        let net = nets.entry((seed, switches)).or_insert_with(|| {
+            Network::analyze(
+                gen::generate(&RandomTopologyConfig::with_switches(seed, switches)).unwrap(),
+            )
+            .unwrap()
+        });
         let source = NodeId(src % 32);
         let mut dests = NodeMask::EMPTY;
         for i in 0..32u16 {
@@ -81,12 +99,12 @@ proptest! {
         } else {
             irrnet_core::PathVariant::Greedy
         };
-        let plan = irrnet_core::plan_paths(&net, source, dests, variant);
+        let plan = irrnet_core::plan_paths(net, source, dests, variant);
         for (sender, specs) in &plan.assignments {
             let from = net.topo.host_switch(*sender);
             for spec in specs {
-                irrnet_core::verify_path_spec(&net, from, spec)
-                    .map_err(TestCaseError::fail)?;
+                irrnet_core::verify_path_spec(net, from, spec)
+                    .unwrap_or_else(|e| panic!("seed {seed} switches {switches}: {e}"));
             }
         }
     }

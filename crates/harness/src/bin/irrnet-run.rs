@@ -1,0 +1,152 @@
+//! `irrnet-run` — the one binary that regenerates the reproduction's
+//! figures and tables.
+//!
+//! ```text
+//! irrnet-run --all [--quick] [--threads N] [--seeds N] [--trials N] [--out DIR]
+//! irrnet-run fig06 ext_b ...          # run selected experiments
+//! irrnet-run --list                   # show the registry
+//! irrnet-run compare [--out DIR] [--golden DIR] [--tol F]
+//! ```
+
+use irrnet_harness::compare::run_compare;
+use irrnet_harness::opts::CampaignOptions;
+use irrnet_harness::registry::{registry, resolve};
+use irrnet_harness::runner::run_campaign;
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: irrnet-run (--all | <experiment>...) [--quick] [--threads N] \
+         [--seeds N] [--trials N] [--out DIR]\n\
+         \x20      irrnet-run --list\n\
+         \x20      irrnet-run compare [--out DIR] [--golden DIR] [--tol F]\n\
+         experiments: {}",
+        registry().iter().map(|s| s.name).collect::<Vec<_>>().join(", ")
+    );
+    std::process::exit(2);
+}
+
+fn parse_value<T: std::str::FromStr>(args: &mut std::vec::IntoIter<String>, flag: &str) -> T {
+    let Some(v) = args.next() else {
+        eprintln!("error: {flag} needs a value");
+        usage();
+    };
+    match v.parse() {
+        Ok(t) => t,
+        Err(_) => {
+            eprintln!("error: invalid value '{v}' for {flag}");
+            usage();
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("compare") {
+        return main_compare(argv[1..].to_vec());
+    }
+
+    let mut all = false;
+    let mut list = false;
+    let mut quick = false;
+    let mut threads: Option<usize> = None;
+    let mut seeds: Option<u64> = None;
+    let mut trials: Option<usize> = None;
+    let mut out: Option<String> = None;
+    let mut names: Vec<String> = Vec::new();
+    let mut args = argv.into_iter();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--all" => all = true,
+            "--list" => list = true,
+            "--quick" => quick = true,
+            "--threads" => threads = Some(parse_value(&mut args, "--threads")),
+            "--seeds" => seeds = Some(parse_value(&mut args, "--seeds")),
+            "--trials" => trials = Some(parse_value(&mut args, "--trials")),
+            "--out" => out = Some(parse_value(&mut args, "--out")),
+            "--help" | "-h" => usage(),
+            s if s.starts_with('-') => {
+                eprintln!("error: unknown flag '{s}'");
+                usage();
+            }
+            s => names.push(s.to_string()),
+        }
+    }
+
+    if list {
+        for spec in registry() {
+            println!("{:<16} {}", spec.name, spec.title);
+        }
+        return ExitCode::SUCCESS;
+    }
+    if !all && names.is_empty() {
+        usage();
+    }
+    if all && !names.is_empty() {
+        eprintln!("error: --all conflicts with naming experiments");
+        usage();
+    }
+
+    let mut opts = if quick { CampaignOptions::quick() } else { CampaignOptions::paper_default() };
+    if let Some(n) = seeds {
+        if n == 0 {
+            eprintln!("error: --seeds must be at least 1");
+            return ExitCode::FAILURE;
+        }
+        opts.seeds = (0..n).collect();
+    }
+    if let Some(t) = trials {
+        if t == 0 {
+            eprintln!("error: --trials must be at least 1");
+            return ExitCode::FAILURE;
+        }
+        opts.trials = t;
+    }
+    if let Some(dir) = out {
+        opts.out_dir = dir.into();
+    }
+    opts.threads = threads;
+
+    let specs = if all {
+        registry()
+    } else {
+        match resolve(&names) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    match run_campaign(&specs, &opts) {
+        Ok(_) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn main_compare(argv: Vec<String>) -> ExitCode {
+    let mut out: std::path::PathBuf = "results".into();
+    let mut golden: Option<std::path::PathBuf> = None;
+    let mut tol: Option<f64> = None;
+    let mut args = argv.into_iter();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => out = parse_value::<String>(&mut args, "--out").into(),
+            "--golden" => golden = Some(parse_value::<String>(&mut args, "--golden").into()),
+            "--tol" => tol = Some(parse_value(&mut args, "--tol")),
+            "--help" | "-h" => usage(),
+            s => {
+                eprintln!("error: unknown compare argument '{s}'");
+                usage();
+            }
+        }
+    }
+    let golden = golden.unwrap_or_else(|| out.join("golden"));
+    match run_compare(&out, &golden, tol) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(_) => ExitCode::FAILURE,
+    }
+}

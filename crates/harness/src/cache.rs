@@ -1,0 +1,160 @@
+//! Shared analyzed-network cache.
+//!
+//! Before the harness existed, every figure binary regenerated and
+//! re-analyzed the same ten `(RandomTopologyConfig, seed)` topologies
+//! independently — fig06, fig08, fig09, fig11, ext_a1, ext_d, … all use
+//! the paper-default family. A campaign now owns one `TopoCache`; each
+//! distinct config is generated and analyzed **exactly once** (enforced
+//! structurally with a per-key `OnceLock`, so concurrent units racing on
+//! the same key still run the generator a single time), and the manifest
+//! records per-key generation and use counts as proof.
+
+use irrnet_topology::{gen, Network, RandomTopologyConfig};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+#[derive(Default)]
+struct Entry {
+    cell: Arc<OnceLock<Arc<Network>>>,
+    generations: AtomicUsize,
+    uses: AtomicUsize,
+}
+
+/// Concurrency-safe build-once cache of analyzed networks keyed by the
+/// canonical topology-config string.
+#[derive(Default)]
+pub struct TopoCache {
+    map: Mutex<HashMap<String, Arc<Entry>>>,
+}
+
+/// Aggregate cache counters for the run manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Distinct `(config, seed)` keys requested.
+    pub unique: usize,
+    /// Total generator/analyzer executions (must equal `unique`).
+    pub generated: usize,
+    /// Lookups served without re-generating.
+    pub hits: usize,
+    /// Largest per-key generation count (must be 1).
+    pub max_generations_per_key: usize,
+    /// Per-key `(canonical config, stable hash, generations, uses)` rows,
+    /// sorted by config string.
+    pub entries: Vec<(String, u64, usize, usize)>,
+}
+
+impl TopoCache {
+    /// New empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The analyzed network for `cfg`, generating it on first request.
+    pub fn network(&self, cfg: &RandomTopologyConfig) -> Arc<Network> {
+        let key = cfg.canonical_string();
+        let entry = {
+            let mut map = self.map.lock().unwrap();
+            Arc::clone(map.entry(key).or_default())
+        };
+        entry.uses.fetch_add(1, Ordering::Relaxed);
+        let mut built_here = false;
+        let net = entry
+            .cell
+            .get_or_init(|| {
+                built_here = true;
+                entry.generations.fetch_add(1, Ordering::Relaxed);
+                Arc::new(
+                    Network::analyze(gen::generate(cfg).expect("feasible topology config"))
+                        .expect("generated topology analyzes"),
+                )
+            })
+            .clone();
+        let _ = built_here;
+        net
+    }
+
+    /// The analyzed networks for `base` across a batch of seeds (the
+    /// cached analogue of `irrnet_workloads::build_networks`).
+    pub fn networks(&self, base: &RandomTopologyConfig, seeds: &[u64]) -> Vec<Arc<Network>> {
+        seeds
+            .iter()
+            .map(|&s| {
+                let mut cfg = base.clone();
+                cfg.seed = s;
+                self.network(&cfg)
+            })
+            .collect()
+    }
+
+    /// Counters for the manifest.
+    pub fn stats(&self) -> CacheStats {
+        let map = self.map.lock().unwrap();
+        let mut entries: Vec<(String, u64, usize, usize)> = map
+            .iter()
+            .map(|(k, e)| {
+                (
+                    k.clone(),
+                    irrnet_core::rng::fnv1a(k.as_bytes()),
+                    e.generations.load(Ordering::Relaxed),
+                    e.uses.load(Ordering::Relaxed),
+                )
+            })
+            .collect();
+        entries.sort();
+        CacheStats {
+            unique: entries.len(),
+            generated: entries.iter().map(|e| e.2).sum(),
+            hits: entries.iter().map(|e| e.3.saturating_sub(e.2)).sum(),
+            max_generations_per_key: entries.iter().map(|e| e.2).max().unwrap_or(0),
+            entries,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_each_key_exactly_once() {
+        let cache = TopoCache::new();
+        let cfg = RandomTopologyConfig::paper_default(0);
+        let a = cache.network(&cfg);
+        let b = cache.network(&cfg);
+        assert!(Arc::ptr_eq(&a, &b));
+        let s = cache.stats();
+        assert_eq!(s.unique, 1);
+        assert_eq!(s.generated, 1);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.max_generations_per_key, 1);
+    }
+
+    #[test]
+    fn seed_batches_share_entries() {
+        let cache = TopoCache::new();
+        let base = RandomTopologyConfig::paper_default(0);
+        cache.networks(&base, &[0, 1, 2]);
+        cache.networks(&base, &[0, 1]); // prefix reuse, like load figures
+        let s = cache.stats();
+        assert_eq!(s.unique, 3);
+        assert_eq!(s.generated, 3);
+        assert_eq!(s.hits, 2);
+    }
+
+    #[test]
+    fn concurrent_requests_build_once() {
+        let cache = TopoCache::new();
+        let cfg = RandomTopologyConfig::paper_default(7);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| cache.network(&cfg));
+            }
+        });
+        let s = cache.stats();
+        assert_eq!(s.unique, 1);
+        assert_eq!(s.generated, 1, "racing lookups must not regenerate");
+        assert_eq!(s.hits, 7);
+        assert_eq!(s.max_generations_per_key, 1);
+    }
+}

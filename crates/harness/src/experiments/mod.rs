@@ -1,0 +1,24 @@
+//! One module per registered experiment; each exposes
+//! `units(&CampaignOptions) -> Vec<Unit>`.
+//!
+//! These are ports of the original 17 ad-hoc `irrnet-bench` binaries
+//! onto the unit registry: same figures, same CSV artifact names, same
+//! grids — but networks come from the campaign's shared topology cache
+//! and the work is scheduled on the cross-experiment pool.
+
+pub mod abl_adaptivity;
+pub mod abl_hybrid;
+pub mod abl_mdp;
+pub mod abl_ordering;
+pub mod ext_a;
+pub mod ext_b;
+pub mod ext_c;
+pub mod ext_d;
+pub mod ext_e;
+pub mod fig06;
+pub mod fig07;
+pub mod fig08;
+pub mod fig09;
+pub mod fig10;
+pub mod fig11;
+pub mod tab01;

@@ -1,0 +1,40 @@
+//! Experiment orchestration for the ICPP '98 reproduction.
+//!
+//! This crate replaces 17 ad-hoc per-figure binaries with a data-driven
+//! registry executed by one `irrnet-run` binary:
+//!
+//! * [`registry`] — every figure / table / extension / ablation as an
+//!   [`ExperimentSpec`](registry::ExperimentSpec) that expands into
+//!   scheme-granular [`Unit`](registry::Unit)s.
+//! * [`runner`] — flattens the selected specs into one task pool on
+//!   scoped worker threads; output is byte-identical for any thread
+//!   count.
+//! * [`cache`] — a shared analyzed-network cache, so each
+//!   `(topology config, seed)` pair is generated and analyzed exactly
+//!   once per campaign.
+//! * [`manifest`] — `results/manifest.json`, making a results directory
+//!   self-describing (specs, seeds, trials, config hashes, cache
+//!   counters, wall-clock).
+//! * [`compare`] — the regression gate: diffs run CSVs against committed
+//!   goldens within tolerance and re-checks the paper's qualitative
+//!   conclusions.
+//! * [`shim`] — the legacy binaries' compatibility entry points.
+//!
+//! ```no_run
+//! use irrnet_harness::{opts::CampaignOptions, registry, runner};
+//!
+//! let opts = CampaignOptions::quick();
+//! let specs = registry::resolve(&["fig06".into()]).unwrap();
+//! runner::run_campaign(&specs, &opts).unwrap();
+//! ```
+
+pub mod cache;
+pub mod compare;
+pub mod experiments;
+pub mod json;
+pub mod manifest;
+pub mod opts;
+pub mod panel;
+pub mod registry;
+pub mod runner;
+pub mod shim;

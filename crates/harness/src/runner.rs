@@ -1,0 +1,203 @@
+//! The campaign runner: flattens every selected experiment's units into
+//! one task pool, executes the pool on `par_run_with` scoped threads, and
+//! renders the results deterministically in unit order.
+//!
+//! Parallelism lives only here — units are serial internally — so worker
+//! count affects wall-clock time and nothing else: CSVs, tables, and the
+//! manifest (modulo `*_ms` timing fields) are byte-identical for any
+//! `--threads` value.
+
+use crate::cache::{CacheStats, TopoCache};
+use crate::manifest;
+use crate::opts::CampaignOptions;
+use crate::registry::{Emit, ExperimentSpec, RunCtx, Unit};
+use irrnet_workloads::{par_run_with, Series};
+use std::io;
+use std::time::Instant;
+
+/// What one experiment contributed to the campaign.
+pub struct ExperimentReport {
+    /// Registry selector name.
+    pub name: &'static str,
+    /// Human title.
+    pub title: &'static str,
+    /// Number of scheduled units.
+    pub units: usize,
+    /// CSV artifacts written, in write order.
+    pub artifacts: Vec<String>,
+    /// Deduplicated `(kind, canonical, hash)` config fingerprints.
+    pub configs: Vec<(String, String, u64)>,
+    /// Summed unit execution time (CPU-side; units run concurrently).
+    pub busy_ms: u128,
+}
+
+/// Summary of a whole campaign run.
+pub struct CampaignReport {
+    /// Per-experiment reports, in registry order.
+    pub experiments: Vec<ExperimentReport>,
+    /// Topology-cache counters.
+    pub cache: CacheStats,
+    /// Resolved worker-thread count.
+    pub threads: usize,
+    /// End-to-end wall-clock time.
+    pub total_wall_ms: u128,
+}
+
+/// Accumulates one figure panel's scheme columns until rendering.
+struct PanelAcc {
+    title: String,
+    x_label: String,
+    y_label: String,
+    xs: Vec<f64>,
+    cols: Vec<(usize, irrnet_core::Scheme, Vec<Option<f64>>)>,
+}
+
+fn resolved_threads(opts: &CampaignOptions) -> usize {
+    opts.threads
+        .filter(|&t| t > 0)
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1))
+}
+
+fn write_artifact(opts: &CampaignOptions, name: &str, content: &str) -> io::Result<()> {
+    std::fs::create_dir_all(&opts.out_dir)?;
+    let path = opts.out_dir.join(name);
+    std::fs::write(&path, content)?;
+    println!("  wrote {}", path.display());
+    Ok(())
+}
+
+/// Run `specs` under `opts`: execute every unit on the shared pool, print
+/// tables, write CSVs, and write `manifest.json` into the output
+/// directory.
+pub fn run_campaign(
+    specs: &[ExperimentSpec],
+    opts: &CampaignOptions,
+) -> io::Result<CampaignReport> {
+    let campaign_start = Instant::now();
+    let threads = resolved_threads(opts);
+    let cache = TopoCache::new();
+    let ctx = RunCtx { opts, cache: &cache };
+
+    // Expand specs into the flat unit pool, remembering each unit's
+    // owning experiment.
+    let mut owners: Vec<usize> = Vec::new();
+    let mut pool: Vec<Unit> = Vec::new();
+    for (si, spec) in specs.iter().enumerate() {
+        for unit in (spec.units)(opts) {
+            owners.push(si);
+            pool.push(unit);
+        }
+    }
+    println!(
+        "running {} experiment(s), {} unit(s) on {} thread(s){}",
+        specs.len(),
+        pool.len(),
+        threads,
+        if opts.quick { " (quick mode)" } else { "" }
+    );
+    println!(
+        "    averaging over {} topologies, {} trials each",
+        opts.seeds.len(),
+        opts.trials
+    );
+
+    // Execute. Results come back in unit order regardless of scheduling.
+    // Liveness goes to stderr (stdout stays deterministic for diffing).
+    let done = std::sync::atomic::AtomicUsize::new(0);
+    let total = pool.len();
+    let outputs: Vec<(Vec<Emit>, u128)> = par_run_with(&pool, Some(threads), |unit| {
+        let t0 = Instant::now();
+        let emits = (unit.exec)(&ctx);
+        let ms = t0.elapsed().as_millis();
+        let n = 1 + done.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        eprintln!("[{n:>4}/{total}] {} ({ms} ms)", unit.label);
+        (emits, ms)
+    });
+
+    // Render per experiment, in registry order, units in declaration
+    // order — fully deterministic.
+    let mut reports: Vec<ExperimentReport> = specs
+        .iter()
+        .map(|s| ExperimentReport {
+            name: s.name,
+            title: s.title,
+            units: 0,
+            artifacts: Vec::new(),
+            configs: Vec::new(),
+            busy_ms: 0,
+        })
+        .collect();
+
+    for (si, _spec) in specs.iter().enumerate() {
+        println!("\n=== {} ===", specs[si].title);
+        // First-seen panel order, keyed by CSV name.
+        let mut panel_order: Vec<String> = Vec::new();
+        let mut panels: std::collections::HashMap<String, PanelAcc> =
+            std::collections::HashMap::new();
+        let report = &mut reports[si];
+        for (ui, (emits, ms)) in outputs.iter().enumerate() {
+            if owners[ui] != si {
+                continue;
+            }
+            report.units += 1;
+            report.busy_ms += ms;
+            for emit in emits {
+                match emit {
+                    Emit::Table(text) => {
+                        println!("{text}");
+                    }
+                    Emit::Csv { name, content } => {
+                        write_artifact(opts, name, content)?;
+                        report.artifacts.push(name.clone());
+                    }
+                    Emit::Column { csv, title, x_label, y_label, xs, scheme, order, ys } => {
+                        let acc = panels.entry(csv.clone()).or_insert_with(|| {
+                            panel_order.push(csv.clone());
+                            PanelAcc {
+                                title: title.clone(),
+                                x_label: x_label.clone(),
+                                y_label: y_label.clone(),
+                                xs: xs.clone(),
+                                cols: Vec::new(),
+                            }
+                        });
+                        assert_eq!(acc.xs, *xs, "panel {csv}: columns disagree on x grid");
+                        acc.cols.push((*order, *scheme, ys.clone()));
+                    }
+                    Emit::Config { kind, canonical, hash } => {
+                        let fp = (kind.clone(), canonical.clone(), *hash);
+                        if !report.configs.contains(&fp) {
+                            report.configs.push(fp);
+                        }
+                    }
+                }
+            }
+        }
+        for csv in &panel_order {
+            let mut acc = panels.remove(csv).expect("panel accumulated");
+            acc.cols.sort_by_key(|(order, _, _)| *order);
+            let mut series = Series::new(&acc.x_label, &acc.y_label, acc.xs.clone());
+            for (_, scheme, ys) in acc.cols {
+                series.push(scheme, ys);
+            }
+            print!("{}", series.to_table(&acc.title));
+            write_artifact(opts, csv, &series.to_csv())?;
+            report.artifacts.push(csv.clone());
+        }
+        report.configs.sort();
+    }
+
+    let report = CampaignReport {
+        experiments: reports,
+        cache: cache.stats(),
+        threads,
+        total_wall_ms: campaign_start.elapsed().as_millis(),
+    };
+    manifest::write_manifest(&opts.out_dir.join("manifest.json"), opts, &report)?;
+    println!(
+        "\ntopology cache: {} unique, {} generated, {} hits",
+        report.cache.unique, report.cache.generated, report.cache.hits
+    );
+    println!("wrote {}", opts.out_dir.join("manifest.json").display());
+    Ok(report)
+}

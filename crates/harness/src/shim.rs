@@ -1,0 +1,49 @@
+//! Back-compat entry points for the legacy per-figure binaries.
+//!
+//! The 17 `irrnet-bench` binaries still build and still honor the
+//! `IRRNET_QUICK` / `IRRNET_SEEDS` / `IRRNET_TRIALS` / `IRRNET_OUT`
+//! environment knobs, but each is now a one-line shim that runs the
+//! corresponding registry experiment(s) through the campaign runner.
+//! New workflows should call `irrnet-run` directly.
+
+use crate::opts::CampaignOptions;
+use crate::registry::resolve;
+use crate::runner::run_campaign;
+use std::process::ExitCode;
+
+/// Run the registry experiments a legacy binary used to implement.
+pub fn run_legacy(binary: &str, experiments: &[&str]) -> ExitCode {
+    eprintln!(
+        "note: `{binary}` is a compatibility shim; prefer `irrnet-run {}`",
+        experiments.join(" ")
+    );
+    let opts = CampaignOptions::from_env();
+    let names: Vec<String> = experiments.iter().map(|s| s.to_string()).collect();
+    let specs = match resolve(&names) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run_campaign(&specs, &opts) {
+        Ok(_) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Shim for the retired `check_results` binary: run the golden-compare
+/// gate against `$IRRNET_OUT` (default `results`).
+pub fn run_legacy_check() -> ExitCode {
+    eprintln!("note: `check_results` is a compatibility shim; prefer `irrnet-run compare`");
+    let results: std::path::PathBuf =
+        std::env::var("IRRNET_OUT").unwrap_or_else(|_| "results".into()).into();
+    let golden = results.join("golden");
+    match crate::compare::run_compare(&results, &golden, None) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(_) => ExitCode::FAILURE,
+    }
+}

@@ -1,0 +1,91 @@
+//! The harness's core promise: a campaign's artifacts are byte-identical
+//! across runs and across worker-thread counts, and the manifest differs
+//! only in wall-clock timing fields.
+
+use irrnet_harness::opts::CampaignOptions;
+use irrnet_harness::registry::resolve;
+use irrnet_harness::runner::run_campaign;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// Specs that together exercise every emit kind (tables, plain CSVs and
+/// merged panel columns) while staying fast enough for debug-mode CI.
+const SPECS: [&str; 3] = ["fig06", "tab01", "ext_e"];
+
+fn run_into(tag: &str, threads: usize) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("irrnet-det-{}-{tag}", std::process::id()));
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+    let mut opts = CampaignOptions::quick();
+    opts.out_dir = dir.clone();
+    opts.threads = Some(threads);
+    let specs = resolve(&SPECS.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap();
+    run_campaign(&specs, &opts).unwrap();
+    dir
+}
+
+fn artifacts(dir: &Path) -> BTreeMap<String, String> {
+    std::fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap())
+        .map(|e| {
+            (
+                e.file_name().into_string().unwrap(),
+                std::fs::read_to_string(e.path()).unwrap(),
+            )
+        })
+        .collect()
+}
+
+/// Strip the lines that legitimately vary between runs: wall-clock
+/// timings. The manifest writer keeps every such field on its own line
+/// with a `_ms"` key suffix precisely so this filter stays trivial.
+fn without_timings(manifest: &str) -> String {
+    manifest
+        .lines()
+        .filter(|l| !l.contains("_ms\":"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn campaign_is_deterministic_across_runs_and_thread_counts() {
+    let a = run_into("a", 1);
+    let b = run_into("b", 1);
+    let c = run_into("c", 4);
+
+    let fa = artifacts(&a);
+    let fb = artifacts(&b);
+    let fc = artifacts(&c);
+
+    let names: Vec<&String> = fa.keys().collect();
+    assert!(
+        names.iter().any(|n| n.ends_with(".csv")),
+        "campaign produced no CSVs: {names:?}"
+    );
+    assert_eq!(fa.keys().collect::<Vec<_>>(), fb.keys().collect::<Vec<_>>());
+    assert_eq!(fa.keys().collect::<Vec<_>>(), fc.keys().collect::<Vec<_>>());
+
+    for (name, content) in &fa {
+        if name == "manifest.json" {
+            // Manifests match modulo wall-clock and thread-count lines.
+            let norm = |m: &str| {
+                without_timings(m)
+                    .lines()
+                    .filter(|l| !l.contains("\"threads\":"))
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            };
+            assert_eq!(norm(content), norm(&fb[name]), "manifest differs between identical runs");
+            assert_eq!(norm(content), norm(&fc[name]), "manifest depends on thread count");
+            continue;
+        }
+        assert_eq!(content, &fb[name], "{name} differs between identical runs");
+        assert_eq!(content, &fc[name], "{name} depends on thread count");
+    }
+
+    for d in [a, b, c] {
+        std::fs::remove_dir_all(d).ok();
+    }
+}

@@ -174,6 +174,38 @@ impl SimConfig {
         (self.o_send_ni / 10).max(1)
     }
 
+    /// Canonical one-line encoding of every knob. Equal configs produce
+    /// equal strings; the experiment harness records this (and its
+    /// [`Self::stable_hash`]) in run manifests so a campaign's exact
+    /// parameters are machine-readable.
+    pub fn canonical_string(&self) -> String {
+        format!(
+            "sim{{osh={},orh={},osni={},orni={},pkt={},uhdr={},dhdr={},bus={}/{},buf={},link={},xbar={},route={},adaptive={}}}",
+            self.o_send_host,
+            self.o_recv_host,
+            self.o_send_ni,
+            self.o_recv_ni,
+            self.packet_payload_flits,
+            self.unicast_header_flits,
+            self.delivered_header_flits,
+            self.io_bus_num,
+            self.io_bus_den,
+            self.input_buffer_flits,
+            self.link_delay,
+            self.crossbar_delay,
+            self.routing_delay,
+            self.adaptive,
+        )
+    }
+
+    /// Stable 64-bit fingerprint of the config (FNV-1a over
+    /// [`Self::canonical_string`]); identical across runs and platforms.
+    /// The watchdog limit is deliberately excluded — it bounds the
+    /// engine, not the modeled system.
+    pub fn stable_hash(&self) -> u64 {
+        irrnet_topology::rng::fnv1a(self.canonical_string().as_bytes())
+    }
+
     /// Basic sanity checks; call after hand-editing a config.
     pub fn validate(&self) -> Result<(), String> {
         if self.packet_payload_flits == 0 {
@@ -266,6 +298,20 @@ mod tests {
     #[test]
     fn hop_latency_is_three_cycles() {
         assert_eq!(SimConfig::paper_default().hop_latency(), 3);
+    }
+
+    #[test]
+    fn stable_hash_tracks_every_knob_but_watchdog() {
+        let a = SimConfig::paper_default();
+        assert_eq!(a.stable_hash(), SimConfig::paper_default().stable_hash());
+        let b = SimConfig::paper_default().with_r(2.0);
+        assert_ne!(a.stable_hash(), b.stable_hash());
+        let mut c = SimConfig::paper_default();
+        c.adaptive = false;
+        assert_ne!(a.stable_hash(), c.stable_hash());
+        let mut d = SimConfig::paper_default();
+        d.watchdog_cycles += 1;
+        assert_eq!(a.stable_hash(), d.stable_hash());
     }
 
     #[test]

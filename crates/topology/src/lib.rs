@@ -36,6 +36,7 @@ pub mod ids;
 pub mod mask;
 pub mod metrics;
 pub mod reach;
+pub mod rng;
 pub mod routing;
 pub mod updown;
 pub mod zoo;

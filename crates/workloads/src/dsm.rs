@@ -15,11 +15,10 @@
 
 use crate::single::random_dests;
 use crate::stats::Summary;
+use irrnet_core::rng::SmallRng;
 use irrnet_core::{plan_multicast, Scheme, SchemeProtocol};
 use irrnet_sim::{Cycle, McastId, SimConfig, SimError, Simulator};
 use irrnet_topology::{Network, NodeId, NodeMask};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use std::sync::Arc;
 
 /// Parameters of the synthetic DSM workload.

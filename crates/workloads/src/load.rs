@@ -13,11 +13,10 @@
 //! the window, and a run is flagged saturated when too few of them
 //! complete by the end of the run.
 
+use irrnet_core::rng::SmallRng;
 use irrnet_core::{plan_multicast, Scheme, SchemeProtocol};
 use irrnet_sim::{Cycle, McastId, SimConfig, SimError, Simulator};
 use irrnet_topology::{Network, NodeId};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use std::sync::Arc;
 
 

@@ -5,11 +5,10 @@
 //! estimate of the best possible performance of each of the three schemes
 //! in isolation."
 
+use irrnet_core::rng::SmallRng;
 use irrnet_core::{plan_multicast, PlanMeta, Scheme, SchemeProtocol};
 use irrnet_sim::{McastId, SimConfig, SimError, Simulator};
 use irrnet_topology::{Network, NodeId, NodeMask};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use std::sync::Arc;
 
 /// Result of one single-multicast run.

@@ -3,13 +3,16 @@
 //!
 //! Each simulation is single-threaded and deterministic; the grid points
 //! are independent, so a simple shared-index work queue over scoped
-//! threads gives linear speedup without any extra dependencies.
+//! threads gives linear speedup without any extra dependencies. Results
+//! are identical whatever the worker count: per-point RNG streams are
+//! derived by hashing `(seed, point, topology)` — never from scheduling
+//! order.
 
+use irrnet_core::rng;
 use irrnet_core::Scheme;
 use irrnet_sim::SimConfig;
 use irrnet_topology::{gen, Network, RandomTopologyConfig};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 /// Run `f` over `tasks` on up to `available_parallelism` worker threads,
 /// returning results in task order.
@@ -19,28 +22,67 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
+    par_run_with(tasks, None, f)
+}
+
+/// [`par_run`] with an explicit worker count (`None` = one per core).
+///
+/// Workers pull indices from a shared atomic queue and accumulate
+/// `(index, result)` pairs in a thread-local buffer — one allocation per
+/// worker instead of the per-slot `Mutex<Option<R>>` this used to take —
+/// and the buffers are stitched back into task order after the scope
+/// joins.
+pub fn par_run_with<T, R, F>(tasks: &[T], workers: Option<usize>, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
     let n = tasks.len();
-    let workers = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(n.max(1));
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = workers
+        .filter(|&w| w > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+        })
+        .min(n);
+    if workers == 1 {
+        return tasks.iter().map(f).collect();
+    }
     let next = AtomicUsize::new(0);
-    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut buf: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        buf.push((i, f(&tasks[i])));
+                    }
+                    buf
+                })
+            })
+            .collect();
+        for h in handles {
+            match h.join() {
+                Ok(buf) => {
+                    for (i, r) in buf {
+                        slots[i] = Some(r);
+                    }
                 }
-                let r = f(&tasks[i]);
-                *results[i].lock().unwrap() = Some(r);
-            });
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
         }
     });
-    results
+    slots
         .into_iter()
-        .map(|m| m.into_inner().unwrap().expect("worker filled every slot"))
+        .map(|s| s.expect("workers cover every index"))
         .collect()
 }
 
@@ -87,6 +129,35 @@ pub struct SweepRow {
     pub mean_latency: f64,
 }
 
+/// The RNG stream seed for grid point `pi` on topology `ti` of a sweep
+/// with base seed `seed`: a splitmix64 hash of the triple. (The previous
+/// `seed ^ (pi << 32) ^ ti` xor-mixing made streams for consecutive
+/// indices trivially correlated and collided across panels.)
+#[inline]
+pub fn point_seed(seed: u64, pi: usize, ti: usize) -> u64 {
+    rng::hash3(seed, pi as u64, ti as u64)
+}
+
+fn eval_point(nets: &[&Network], p: &SinglePoint, pi: usize, trials: usize, seed: u64) -> SweepRow {
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    for (ti, net) in nets.iter().enumerate() {
+        let s = crate::single::mean_single_latency(
+            net,
+            &p.sim,
+            p.scheme,
+            p.degree,
+            p.message_flits,
+            trials,
+            point_seed(seed, pi, ti),
+        )
+        .expect("single multicast completes");
+        sum += s;
+        count += 1;
+    }
+    SweepRow { scheme: p.scheme, degree: p.degree, mean_latency: sum / count as f64 }
+}
+
 /// Run a single-multicast sweep: for every point, average
 /// `trials_per_topo` random multicasts on every network.
 pub fn single_sweep(
@@ -95,26 +166,26 @@ pub fn single_sweep(
     trials_per_topo: usize,
     seed: u64,
 ) -> Vec<SweepRow> {
+    let refs: Vec<&Network> = nets.iter().collect();
     let tasks: Vec<(usize, &SinglePoint)> = points.iter().enumerate().collect();
-    par_run(&tasks, |(pi, p)| {
-        let mut sum = 0.0;
-        let mut count = 0usize;
-        for (ti, net) in nets.iter().enumerate() {
-            let s = crate::single::mean_single_latency(
-                net,
-                &p.sim,
-                p.scheme,
-                p.degree,
-                p.message_flits,
-                trials_per_topo,
-                seed ^ ((*pi as u64) << 32) ^ (ti as u64),
-            )
-            .expect("single multicast completes");
-            sum += s;
-            count += 1;
-        }
-        SweepRow { scheme: p.scheme, degree: p.degree, mean_latency: sum / count as f64 }
-    })
+    par_run(&tasks, |(pi, p)| eval_point(&refs, p, *pi, trials_per_topo, seed))
+}
+
+/// Serial [`single_sweep`] over borrowed networks — the form the
+/// experiment harness uses, where parallelism lives one level up (the
+/// cross-experiment unit pool) and the networks come out of a shared
+/// cache. Produces bit-identical rows to [`single_sweep`].
+pub fn single_sweep_serial(
+    nets: &[&Network],
+    points: &[SinglePoint],
+    trials_per_topo: usize,
+    seed: u64,
+) -> Vec<SweepRow> {
+    points
+        .iter()
+        .enumerate()
+        .map(|(pi, p)| eval_point(nets, p, pi, trials_per_topo, seed))
+        .collect()
 }
 
 #[cfg(test)]
@@ -132,6 +203,25 @@ mod tests {
     fn par_run_empty() {
         let tasks: Vec<usize> = Vec::new();
         assert!(par_run(&tasks, |&t| t).is_empty());
+    }
+
+    #[test]
+    fn par_run_with_any_worker_count_matches_serial() {
+        let tasks: Vec<usize> = (0..57).collect();
+        let expect: Vec<usize> = tasks.iter().map(|&t| t * t + 1).collect();
+        for workers in [Some(1), Some(2), Some(3), Some(16), None] {
+            assert_eq!(par_run_with(&tasks, workers, |&t| t * t + 1), expect, "{workers:?}");
+        }
+    }
+
+    #[test]
+    fn point_seeds_are_collision_free_on_small_grids() {
+        let mut seen = std::collections::HashSet::new();
+        for pi in 0..32 {
+            for ti in 0..16 {
+                assert!(seen.insert(point_seed(0xBEEF, pi, ti)));
+            }
+        }
     }
 
     #[test]
@@ -161,5 +251,12 @@ mod tests {
         assert_eq!(rows.len(), 2);
         // More destinations can only slow a single multicast down.
         assert!(rows[1].mean_latency >= rows[0].mean_latency);
+
+        // The serial harness path is bit-identical to the pooled one.
+        let refs: Vec<&Network> = nets.iter().collect();
+        let serial = single_sweep_serial(&refs, &points, 2, 99);
+        for (a, b) in rows.iter().zip(&serial) {
+            assert_eq!(a.mean_latency, b.mean_latency);
+        }
     }
 }

@@ -1,0 +1,3 @@
+//! Carrier package for the opt-in proptest suites (`tests/`) and
+//! criterion benchmarks (`benches/`). See the manifest for why these
+//! live outside the main workspace. No library code.

@@ -1,0 +1,82 @@
+//! Property tests: every collective completes on arbitrary member sets,
+//! roots, fan-outs, schemes and payload sizes, with the expected message
+//! census.
+
+use irrnet_collectives::{run_collective, CollectiveOp};
+use irrnet_core::Scheme;
+use irrnet_sim::SimConfig;
+use irrnet_topology::{gen, Network, NodeId, NodeMask, RandomTopologyConfig};
+use proptest::prelude::*;
+
+fn op_strategy() -> impl Strategy<Value = CollectiveOp> {
+    prop_oneof![
+        Just(CollectiveOp::Broadcast),
+        Just(CollectiveOp::Reduce),
+        Just(CollectiveOp::Barrier),
+        Just(CollectiveOp::AllReduce),
+    ]
+}
+
+fn scheme_strategy() -> impl Strategy<Value = Scheme> {
+    prop_oneof![
+        Just(Scheme::UBinomial),
+        Just(Scheme::NiFpfs),
+        Just(Scheme::TreeWorm),
+        Just(Scheme::PathLessGreedy),
+        Just(Scheme::PathLgNi),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn collectives_always_complete(
+        seed in 0u64..6,
+        member_bits in 3u64..u64::MAX,
+        root_pick in 0usize..32,
+        op in op_strategy(),
+        scheme in scheme_strategy(),
+        fanout in 1usize..8,
+        data in prop_oneof![Just(8u32), Just(128), Just(300)],
+    ) {
+        let net = Network::analyze(
+            gen::generate(&RandomTopologyConfig::paper_default(seed)).unwrap(),
+        )
+        .unwrap();
+        // Carve ≥2 members out of the random bits, then pick the root
+        // among them.
+        let mut members = NodeMask::EMPTY;
+        for i in 0..32 {
+            if (member_bits >> i) & 1 == 1 {
+                members.insert(NodeId(i as u16));
+            }
+        }
+        while members.len() < 2 {
+            members.insert(NodeId((member_bits % 32) as u16));
+            members.insert(NodeId(((member_bits >> 8) % 32) as u16));
+            members.insert(NodeId(0));
+        }
+        let member_list: Vec<NodeId> = members.iter().collect();
+        let root = member_list[root_pick % member_list.len()];
+
+        let r = run_collective(&net, &SimConfig::paper_default(), op, root, members, scheme, fanout, data)
+            .expect("collective completes");
+        let others = members.len() - 1;
+        match op {
+            CollectiveOp::Broadcast => {
+                prop_assert_eq!(r.messages, 1);
+                prop_assert_eq!(r.edges, 0);
+            }
+            CollectiveOp::Reduce => {
+                prop_assert_eq!(r.edges, others);
+                prop_assert_eq!(r.messages, others);
+            }
+            CollectiveOp::Barrier | CollectiveOp::AllReduce => {
+                prop_assert_eq!(r.edges, others);
+                prop_assert_eq!(r.messages, others + 1);
+            }
+        }
+        prop_assert!(r.latency > 0);
+    }
+}

@@ -1,0 +1,93 @@
+//! Property test: the analytic unicast model matches the simulator
+//! *exactly* on arbitrary random topologies, endpoints, message lengths,
+//! and overhead settings — the strongest cross-validation of the engine's
+//! timing pipeline.
+
+use irrnet_core::{plan_multicast, LatencyModel, Scheme, SchemeProtocol};
+use irrnet_sim::{McastId, SimConfig, Simulator};
+use irrnet_topology::{gen, Network, NodeId, NodeMask, RandomTopologyConfig};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn unicast_model_matches_simulation_exactly(
+        seed in 0u64..10,
+        src in 0u16..32,
+        dst in 0u16..32,
+        msg in prop_oneof![Just(16u32), Just(100), Just(128), Just(129), Just(512), Just(1000)],
+        oh in prop_oneof![Just(10u64), Just(125), Just(500), Just(2000)],
+        r in prop_oneof![Just(0.5f64), Just(1.0), Just(4.0)],
+    ) {
+        prop_assume!(src != dst);
+        let net = Network::analyze(
+            gen::generate(&RandomTopologyConfig::paper_default(seed)).unwrap(),
+        )
+        .unwrap();
+        let mut cfg = SimConfig::paper_default();
+        cfg.o_send_host = oh;
+        cfg.o_recv_host = oh;
+        let cfg = cfg.with_r(r);
+        let (src, dst) = (NodeId(src), NodeId(dst));
+
+        let predicted = LatencyModel::new(&net, &cfg).unicast(src, dst, msg);
+
+        let plan = plan_multicast(&net, &cfg, Scheme::UBinomial, src, NodeMask::single(dst), msg);
+        let mut proto = SchemeProtocol::new();
+        proto.add(McastId(0), Arc::new(plan));
+        let mut sim = Simulator::new(&net, cfg, proto).unwrap();
+        sim.schedule_multicast(0, McastId(0), NodeMask::single(dst), msg);
+        sim.run_to_completion(500_000_000).unwrap();
+        let measured = sim.stats().latency_of(McastId(0)).unwrap();
+
+        prop_assert_eq!(
+            predicted, measured,
+            "seed {} {} -> {} msg {} oh {} r {}", seed, src, dst, msg, oh, r
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every worm any path plan emits satisfies the legality invariant
+    /// the simulator depends on (the deadlock-class guard).
+    #[test]
+    fn all_planned_path_worms_verify(
+        seed in 0u64..8,
+        switches in prop_oneof![Just(8usize), Just(16), Just(32)],
+        src in 0u16..32,
+        dest_bits in 1u64..u64::MAX,
+        variant_lg in any::<bool>(),
+    ) {
+        let net = Network::analyze(
+            gen::generate(&RandomTopologyConfig::with_switches(seed, switches)).unwrap(),
+        )
+        .unwrap();
+        let source = NodeId(src % 32);
+        let mut dests = NodeMask::EMPTY;
+        for i in 0..32u16 {
+            if i != source.0 && (dest_bits >> (i % 64)) & 1 == 1 {
+                dests.insert(NodeId(i));
+            }
+        }
+        if dests.is_empty() {
+            dests.insert(NodeId((source.0 + 1) % 32));
+        }
+        let variant = if variant_lg {
+            irrnet_core::PathVariant::LessGreedy
+        } else {
+            irrnet_core::PathVariant::Greedy
+        };
+        let plan = irrnet_core::plan_paths(&net, source, dests, variant);
+        for (sender, specs) in &plan.assignments {
+            let from = net.topo.host_switch(*sender);
+            for spec in specs {
+                irrnet_core::verify_path_spec(&net, from, spec)
+                    .map_err(TestCaseError::fail)?;
+            }
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Cross-crate property tests: on arbitrary feasible topologies, with
+//! arbitrary destination sets and message lengths, every scheme delivers
+//! the message to every destination exactly once — the fundamental
+//! multicast correctness invariant — and the flit accounting balances.
+
+use irrnet::prelude::*;
+use irrnet::topology::ExtraLinks;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+#[derive(Debug, Clone)]
+struct Case {
+    topo: RandomTopologyConfig,
+    source: usize,
+    dest_bits: u64,
+    message_flits: u32,
+    scheme_idx: usize,
+}
+
+fn case_strategy() -> impl Strategy<Value = Case> {
+    (2usize..=8, 0.0f64..=1.0, any::<u64>()).prop_flat_map(|(switches, extra, seed)| {
+        let tree_ports = 2 * (switches - 1);
+        let max_hosts = (switches * 8 - tree_ports).min(48);
+        (3usize..=max_hosts).prop_flat_map(move |hosts| {
+            (
+                Just(RandomTopologyConfig {
+                    num_switches: switches,
+                    ports_per_switch: 8,
+                    num_hosts: hosts,
+                    extra_links: ExtraLinks::Fraction(extra),
+                    seed,
+                }),
+                0..hosts,
+                1u64..u64::MAX,
+                prop_oneof![Just(16u32), Just(128), Just(300)],
+                0usize..Scheme::all().len(),
+            )
+                .prop_map(|(topo, source, dest_bits, message_flits, scheme_idx)| Case {
+                    topo,
+                    source,
+                    dest_bits,
+                    message_flits,
+                    scheme_idx,
+                })
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn exactly_once_delivery(case in case_strategy()) {
+        let net = Network::analyze(irrnet::topology::gen::generate(&case.topo).unwrap()).unwrap();
+        let n = net.topo.num_nodes();
+        let source = NodeId(case.source as u16);
+        // Carve a destination set out of the random bits.
+        let mut dests = NodeMask::EMPTY;
+        for i in 0..n {
+            if i != source.idx() && (case.dest_bits >> (i % 64)) & 1 == 1 {
+                dests.insert(NodeId(i as u16));
+            }
+        }
+        if dests.is_empty() {
+            // Ensure at least one destination.
+            let d = (source.idx() + 1) % n;
+            dests.insert(NodeId(d as u16));
+        }
+        let scheme = Scheme::all()[case.scheme_idx];
+        let cfg = SimConfig::paper_default();
+
+        let plan = plan_multicast(&net, &cfg, scheme, source, dests, case.message_flits);
+        let mut proto = SchemeProtocol::new();
+        proto.add(McastId(0), Arc::new(plan));
+        let mut sim = Simulator::new(&net, cfg.clone(), proto).unwrap();
+        sim.schedule_multicast(0, McastId(0), dests, case.message_flits);
+        sim.run_to_completion(200_000_000).expect("completes without deadlock");
+        let stats = sim.stats();
+
+        // Exactly-once delivery to exactly the destination set (the
+        // engine debug-asserts duplicates and wrong-destination
+        // deliveries; here we assert the release-visible outcome).
+        let rec = &stats.mcasts[&McastId(0)];
+        prop_assert_eq!(rec.deliveries.len(), dests.len());
+        for d in dests.iter() {
+            prop_assert!(rec.deliveries.contains_key(&d), "missing delivery to {}", d);
+        }
+
+        // Flit conservation: everything injected is eventually ejected or
+        // replicated; ejected >= injected for multicast (replication adds
+        // copies), and the packet count at NIs matches the deliveries
+        // times packets (plus FPFS forwarding receptions).
+        let pkts = cfg.packets_for(case.message_flits) as u64;
+        prop_assert_eq!(stats.net.packets_received, dests.len() as u64 * pkts);
+        prop_assert!(stats.net.injected_flits > 0);
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based tests of the topology substrate: any feasible random
+//! configuration yields a valid, connected, deadlock-free-routable
+//! network with consistent reachability strings.
+
+use irrnet_topology::{
+    gen, ExtraLinks, Network, NodeMask, Phase, RandomTopologyConfig, SwitchId,
+};
+use proptest::prelude::*;
+
+/// Feasible random topology configurations: ports always fit the
+/// spanning tree plus hosts.
+fn config_strategy() -> impl Strategy<Value = RandomTopologyConfig> {
+    (2usize..=12, 4u8..=8, 0.0f64..=1.5, any::<u64>()).prop_flat_map(
+        |(switches, ports, extra, seed)| {
+            let tree_ports = 2 * (switches - 1);
+            let max_hosts = switches * ports as usize - tree_ports;
+            (1usize..=max_hosts.min(64)).prop_map(move |hosts| RandomTopologyConfig {
+                num_switches: switches,
+                ports_per_switch: ports,
+                num_hosts: hosts,
+                extra_links: ExtraLinks::Fraction(extra),
+                seed,
+            })
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn generated_topologies_validate_and_analyze(cfg in config_strategy()) {
+        let topo = gen::generate(&cfg).expect("feasible config generates");
+        topo.validate().expect("generated topology is structurally valid");
+        let net = Network::analyze(topo).expect("generated topology analyzes");
+        net.updown.verify_acyclic(&net.topo).expect("up orientation acyclic");
+        prop_assert!(net.routing.fully_connected());
+    }
+
+    #[test]
+    fn next_hops_always_make_progress(cfg in config_strategy()) {
+        let net = Network::analyze(gen::generate(&cfg).unwrap()).unwrap();
+        let n = net.topo.num_switches();
+        for s in 0..n {
+            for t in 0..n {
+                for phase in [Phase::Up, Phase::Down] {
+                    let (s, t) = (SwitchId(s as u16), SwitchId(t as u16));
+                    let d = net.routing.distance(s, phase, t);
+                    if d == irrnet_topology::routing::UNREACHABLE || d == 0 {
+                        continue;
+                    }
+                    let hops = net.routing.next_hops(s, phase, t);
+                    prop_assert!(!hops.is_empty());
+                    for h in hops {
+                        // Monotone distance decrease = livelock-free.
+                        prop_assert_eq!(net.routing.distance(h.next, h.next_phase, t), d - 1);
+                        // No up traversal after a down traversal.
+                        if phase == Phase::Down {
+                            prop_assert_eq!(h.next_phase, Phase::Down);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn root_covers_everything_and_partition_is_exact(cfg in config_strategy()) {
+        let net = Network::analyze(gen::generate(&cfg).unwrap()).unwrap();
+        let all = NodeMask::all(net.topo.num_nodes());
+        let root = net.updown.root();
+        prop_assert!(net.reach.covers(root, all));
+        let parts = net.reach.partition(&net.topo, root, all);
+        let mut union = NodeMask::EMPTY;
+        for (_, m) in &parts {
+            prop_assert!(union.intersection(*m).is_empty(), "duplicate coverage");
+            union = union.union(*m);
+        }
+        prop_assert_eq!(union, all);
+    }
+
+    #[test]
+    fn cover_equals_union_of_port_strings(cfg in config_strategy()) {
+        let net = Network::analyze(gen::generate(&cfg).unwrap()).unwrap();
+        for (s, sw) in net.topo.switches() {
+            let mut union = NodeMask::EMPTY;
+            for p in 0..sw.num_ports() {
+                union = union.union(net.reach.port(s, irrnet_topology::PortIdx(p as u8)));
+            }
+            prop_assert_eq!(union, net.reach.cover(s));
+        }
+    }
+
+    #[test]
+    fn up_distance_decreases_along_up_ports(cfg in config_strategy()) {
+        use irrnet_topology::ApexPlan;
+        let net = Network::analyze(gen::generate(&cfg).unwrap()).unwrap();
+        let n_nodes = net.topo.num_nodes();
+        // Use the full destination set: apex guidance must be finite
+        // everywhere (the root covers everything).
+        let plan = ApexPlan::compute(&net.topo, &net.updown, &net.reach, NodeMask::all(n_nodes));
+        for (s, _) in net.topo.switches() {
+            let d = plan.up_distance(s);
+            prop_assert!(d != u16::MAX);
+            if d > 0 {
+                prop_assert!(!plan.up_ports(s).is_empty());
+            }
+        }
+    }
+}

@@ -1,8 +1,21 @@
 #!/bin/bash
-set -x
-for b in fig06_r_ratio fig07_switches fig08_msglen tab01_arch_costs ext_a_omitted_sweeps ext_b_unicast_saturation ext_c_switch_size ext_d_dsm_invalidation ext_e_collectives abl_ordering abl_adaptivity abl_mdp_variant abl_hybrid fig09_load_r fig10_load_switches fig11_load_msglen; do
-  /root/repo/target/release/$b > /root/repo/results/logs/$b.txt 2>&1
-  echo "DONE $b"
-done
-/root/repo/target/release/check_results > /root/repo/results/logs/check_results.txt 2>&1
+# Regenerate every figure/table CSV through the unified harness, then
+# regression-gate the output against the committed goldens in
+# results/golden/. Exits non-zero if any experiment or gate fails.
+#
+# Pass-through args go to the campaign run, e.g.:
+#   ./run_figs.sh                 # quick campaign + compare
+#   IRRNET_FULL=1 ./run_figs.sh   # full paper-scale campaign + compare
+set -euo pipefail
+cd "$(dirname "$0")"
+
+cargo build --release -p irrnet-harness
+RUN=target/release/irrnet-run
+
+if [ "${IRRNET_FULL:-0}" = "1" ]; then
+  "$RUN" --all "$@"
+else
+  "$RUN" --all --quick "$@"
+fi
+"$RUN" compare
 echo ALLDONE

@@ -1,57 +1,56 @@
-//! Cross-crate property tests: on arbitrary feasible topologies, with
+//! Cross-crate randomized tests: on arbitrary feasible topologies, with
 //! arbitrary destination sets and message lengths, every scheme delivers
 //! the message to every destination exactly once — the fundamental
 //! multicast correctness invariant — and the flit accounting balances.
+//!
+//! Deterministic port of the original proptest suite (now in
+//! `extdeps/tests/`): cases are drawn from the workspace PRNG with a
+//! fixed master seed, so the run is offline and replays identically.
 
 use irrnet::prelude::*;
+use irrnet::topology::rng::SmallRng;
 use irrnet::topology::ExtraLinks;
-use proptest::prelude::*;
 use std::sync::Arc;
 
-#[derive(Debug, Clone)]
 struct Case {
     topo: RandomTopologyConfig,
     source: usize,
     dest_bits: u64,
     message_flits: u32,
-    scheme_idx: usize,
+    scheme: Scheme,
 }
 
-fn case_strategy() -> impl Strategy<Value = Case> {
-    (2usize..=8, 0.0f64..=1.0, any::<u64>()).prop_flat_map(|(switches, extra, seed)| {
-        let tree_ports = 2 * (switches - 1);
-        let max_hosts = (switches * 8 - tree_ports).min(48);
-        (3usize..=max_hosts).prop_flat_map(move |hosts| {
-            (
-                Just(RandomTopologyConfig {
-                    num_switches: switches,
-                    ports_per_switch: 8,
-                    num_hosts: hosts,
-                    extra_links: ExtraLinks::Fraction(extra),
-                    seed,
-                }),
-                0..hosts,
-                1u64..u64::MAX,
-                prop_oneof![Just(16u32), Just(128), Just(300)],
-                0usize..Scheme::all().len(),
-            )
-                .prop_map(|(topo, source, dest_bits, message_flits, scheme_idx)| Case {
-                    topo,
-                    source,
-                    dest_bits,
-                    message_flits,
-                    scheme_idx,
-                })
-        })
-    })
+/// A feasible random case: ports always fit the spanning tree plus the
+/// sampled host count, and the source is a valid host index.
+fn sample_case(rng: &mut SmallRng) -> Case {
+    let switches = rng.gen_range(2..=8usize);
+    let extra = rng.gen_range(0.0..1.0);
+    let seed = rng.next_u64();
+    let tree_ports = 2 * (switches - 1);
+    let max_hosts = (switches * 8 - tree_ports).min(48);
+    let hosts = rng.gen_range(3..=max_hosts);
+    Case {
+        topo: RandomTopologyConfig {
+            num_switches: switches,
+            ports_per_switch: 8,
+            num_hosts: hosts,
+            extra_links: ExtraLinks::Fraction(extra),
+            seed,
+        },
+        source: rng.gen_range(0..hosts),
+        dest_bits: rng.next_u64() | 1,
+        message_flits: [16u32, 128, 300][rng.gen_range(0..3usize)],
+        scheme: Scheme::all()[rng.gen_range(0..Scheme::all().len())],
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn exactly_once_delivery(case in case_strategy()) {
-        let net = Network::analyze(irrnet::topology::gen::generate(&case.topo).unwrap()).unwrap();
+#[test]
+fn exactly_once_delivery() {
+    let mut rng = SmallRng::seed_from_u64(0x5EED5);
+    for _ in 0..48 {
+        let case = sample_case(&mut rng);
+        let net =
+            Network::analyze(irrnet::topology::gen::generate(&case.topo).unwrap()).unwrap();
         let n = net.topo.num_nodes();
         let source = NodeId(case.source as u16);
         // Carve a destination set out of the random bits.
@@ -66,10 +65,10 @@ proptest! {
             let d = (source.idx() + 1) % n;
             dests.insert(NodeId(d as u16));
         }
-        let scheme = Scheme::all()[case.scheme_idx];
         let cfg = SimConfig::paper_default();
+        let ctx = format!("{:?} source {} scheme {:?}", case.topo, case.source, case.scheme);
 
-        let plan = plan_multicast(&net, &cfg, scheme, source, dests, case.message_flits);
+        let plan = plan_multicast(&net, &cfg, case.scheme, source, dests, case.message_flits);
         let mut proto = SchemeProtocol::new();
         proto.add(McastId(0), Arc::new(plan));
         let mut sim = Simulator::new(&net, cfg.clone(), proto).unwrap();
@@ -81,9 +80,9 @@ proptest! {
         // engine debug-asserts duplicates and wrong-destination
         // deliveries; here we assert the release-visible outcome).
         let rec = &stats.mcasts[&McastId(0)];
-        prop_assert_eq!(rec.deliveries.len(), dests.len());
+        assert_eq!(rec.deliveries.len(), dests.len(), "{ctx}");
         for d in dests.iter() {
-            prop_assert!(rec.deliveries.contains_key(&d), "missing delivery to {}", d);
+            assert!(rec.deliveries.contains_key(&d), "missing delivery to {d} — {ctx}");
         }
 
         // Flit conservation: everything injected is eventually ejected or
@@ -91,7 +90,7 @@ proptest! {
         // copies), and the packet count at NIs matches the deliveries
         // times packets (plus FPFS forwarding receptions).
         let pkts = cfg.packets_for(case.message_flits) as u64;
-        prop_assert_eq!(stats.net.packets_received, dests.len() as u64 * pkts);
-        prop_assert!(stats.net.injected_flits > 0);
+        assert_eq!(stats.net.packets_received, dests.len() as u64 * pkts, "{ctx}");
+        assert!(stats.net.injected_flits > 0, "{ctx}");
     }
 }
