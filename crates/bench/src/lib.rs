@@ -15,5 +15,3 @@
 //! irrnet-run --all --quick     # regenerate every figure/table CSV
 //! irrnet-run compare           # regression-gate against results/golden/
 //! ```
-
-pub use irrnet_harness::opts::CampaignOptions;

@@ -1,0 +1,520 @@
+//! `irrnet-run bench` — the in-tree engine-throughput measurement
+//! surface.
+//!
+//! Every figure of the reproduction is produced by millions of
+//! cycle-engine steps, so campaign wall-clock is dominated by the
+//! simulator's inner loop. This module pins a small matrix of
+//! deterministic workloads (fixed seeds, fixed topologies) and measures
+//! how fast the engine chews through them:
+//!
+//! * **light** — isolated single multicasts on the paper's default
+//!   network: exercises the event-jump path and low-occupancy cycles.
+//! * **saturation** — an open-loop unicast-based load far past the
+//!   saturation point: every cycle is busy, switch/host scans dominate.
+//! * **large** — a 32-switch / 96-host topology under tree-worm load:
+//!   stresses per-cycle scans over many components.
+//!
+//! The *work* metric is `SimStats::cycles_run` — cycles the engine
+//! actually iterated (idle-period event jumps excluded) — which is a
+//! deterministic function of the workload, so two engines that both keep
+//! the determinism guarantee do identical work and their `cycles/sec`
+//! ratio is a pure speedup. Setup (topology analysis, multicast
+//! planning) is excluded from the timed region.
+//!
+//! Results are written to `BENCH_sim.json` at the repo root (override
+//! with `--out`); `--check FILE` additionally gates the run against a
+//! previously committed baseline and fails when `cycles/sec` regresses
+//! by more than 20% on any workload. No external dependencies: timing
+//! uses `std::time::Instant`, output uses the in-tree [`crate::json`]
+//! writer, and the parser below reads only the format that writer emits.
+
+use crate::json::JsonWriter;
+use irrnet_core::rng::SmallRng;
+use irrnet_core::{plan_multicast, McastPlan, Scheme, SchemeProtocol};
+use irrnet_sim::{Cycle, McastId, SimConfig, Simulator};
+use irrnet_topology::{gen, Network, NodeId, NodeMask};
+use irrnet_workloads::{random_dests, random_mcast, LoadConfig};
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Maximum tolerated `cycles/sec` drop vs. the `--check` baseline.
+pub const REGRESSION_TOLERANCE: f64 = 0.20;
+
+/// Options of one `irrnet-run bench` invocation.
+#[derive(Debug, Clone)]
+pub struct BenchOptions {
+    /// Where to write the JSON report (`None` = don't write).
+    pub out: Option<PathBuf>,
+    /// Baseline report to gate against (fail on >20% regression).
+    pub check: Option<PathBuf>,
+    /// Older report whose numbers are embedded as the `baseline` block
+    /// of the written report (for before/after bookkeeping).
+    pub baseline_from: Option<PathBuf>,
+    /// Timing repetitions per workload; the best (minimum) wall time
+    /// wins, since the simulated work is identical across repetitions.
+    pub iters: usize,
+}
+
+impl Default for BenchOptions {
+    fn default() -> Self {
+        BenchOptions { out: None, check: None, baseline_from: None, iters: 3 }
+    }
+}
+
+/// Measured outcome of one workload.
+#[derive(Debug, Clone)]
+pub struct WorkloadMeasurement {
+    /// Workload name (stable key used by `--check`).
+    pub name: &'static str,
+    /// One-line description.
+    pub desc: &'static str,
+    /// Engine-iterated cycles per repetition (deterministic).
+    pub cycles_run: u64,
+    /// Multicasts completed per repetition (deterministic).
+    pub units: u64,
+    /// Best wall time over the repetitions, in milliseconds.
+    pub wall_ms: f64,
+    /// `cycles_run / best wall seconds`.
+    pub cycles_per_sec: f64,
+    /// `units / best wall seconds`.
+    pub units_per_sec: f64,
+}
+
+/// One repetition's outcome: `(cycles_run, completed multicasts, timed)`.
+struct IterOutcome {
+    cycles_run: u64,
+    units: u64,
+    timed: Duration,
+}
+
+/// An open-loop load scenario with everything pre-planned so the timed
+/// region contains only engine work.
+struct PreparedLoad {
+    net: Arc<Network>,
+    cfg: SimConfig,
+    message_flits: u32,
+    horizon: Cycle,
+    drain: Cycle,
+    launches: Vec<(Cycle, McastId, NodeMask)>,
+    plans: Vec<(McastId, Arc<McastPlan>)>,
+}
+
+impl PreparedLoad {
+    fn prepare(net: Arc<Network>, scheme: Scheme, lc: &LoadConfig) -> Self {
+        let cfg = SimConfig::paper_default();
+        let n = net.topo.num_nodes();
+        let rate = lc.msgs_per_cycle_per_node();
+        let horizon = lc.warmup + lc.measure;
+        let mut rng = SmallRng::seed_from_u64(lc.seed);
+
+        // Same arrival process as `irrnet_workloads::run_load`.
+        let mut arrivals: Vec<(Cycle, NodeId)> = Vec::new();
+        for node in 0..n {
+            let mut t = 0.0f64;
+            loop {
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                t += -u.ln() / rate;
+                if t >= horizon as f64 {
+                    break;
+                }
+                arrivals.push((t as Cycle, NodeId(node as u16)));
+            }
+        }
+        arrivals.sort_unstable_by_key(|&(t, n)| (t, n.0));
+
+        let mut plans = Vec::with_capacity(arrivals.len());
+        let mut launches = Vec::with_capacity(arrivals.len());
+        for (i, &(t, source)) in arrivals.iter().enumerate() {
+            let dests = random_dests(&mut rng, n, lc.degree, source);
+            let id = McastId(i as u64);
+            let plan = plan_multicast(&net, &cfg, scheme, source, dests, lc.message_flits);
+            plans.push((id, Arc::new(plan)));
+            launches.push((t, id, dests));
+        }
+        PreparedLoad {
+            net,
+            cfg,
+            message_flits: lc.message_flits,
+            horizon,
+            drain: lc.drain,
+            launches,
+            plans,
+        }
+    }
+
+    /// Build a fresh simulator and time one full run.
+    fn run_once(&self) -> IterOutcome {
+        let mut proto = SchemeProtocol::new();
+        for (id, plan) in &self.plans {
+            proto.add(*id, plan.clone());
+        }
+        let mut sim = Simulator::new(&self.net, self.cfg.clone(), proto)
+            .expect("bench config is valid");
+        for &(t, id, dests) in &self.launches {
+            sim.schedule_multicast(t, id, dests, self.message_flits);
+        }
+        let t0 = Instant::now();
+        sim.run_until(self.horizon + self.drain).expect("bench load run failed");
+        let timed = t0.elapsed();
+        let stats = sim.stats();
+        IterOutcome {
+            cycles_run: stats.cycles_run,
+            units: stats.completed_count() as u64,
+            timed,
+        }
+    }
+}
+
+/// The `light` workload: isolated tree-worm multicasts, one at a time.
+struct PreparedSingles {
+    net: Arc<Network>,
+    cfg: SimConfig,
+    message_flits: u32,
+    mcasts: Vec<(NodeId, NodeMask, Arc<McastPlan>)>,
+}
+
+impl PreparedSingles {
+    fn prepare(net: Arc<Network>, scheme: Scheme, trials: usize, degree: usize) -> Self {
+        let cfg = SimConfig::paper_default();
+        let message_flits = 128;
+        let mut rng = SmallRng::seed_from_u64(0xB0B0_5EED);
+        let mcasts = (0..trials)
+            .map(|_| {
+                let (source, dests) = random_mcast(&mut rng, net.topo.num_nodes(), degree);
+                let plan =
+                    plan_multicast(&net, &cfg, scheme, source, dests, message_flits);
+                (source, dests, Arc::new(plan))
+            })
+            .collect();
+        PreparedSingles { net, cfg, message_flits, mcasts }
+    }
+
+    fn run_once(&self) -> IterOutcome {
+        let mut cycles = 0u64;
+        let mut timed = Duration::ZERO;
+        for (_, dests, plan) in &self.mcasts {
+            let mut proto = SchemeProtocol::new();
+            proto.add(McastId(0), plan.clone());
+            let mut sim = Simulator::new(&self.net, self.cfg.clone(), proto)
+                .expect("bench config is valid");
+            sim.schedule_multicast(0, McastId(0), *dests, self.message_flits);
+            let t0 = Instant::now();
+            sim.run_to_completion(500_000_000).expect("bench single run failed");
+            timed += t0.elapsed();
+            cycles += sim.stats().cycles_run;
+        }
+        IterOutcome { cycles_run: cycles, units: self.mcasts.len() as u64, timed }
+    }
+}
+
+fn analyzed(cfg: &gen::RandomTopologyConfig) -> Arc<Network> {
+    Arc::new(
+        Network::analyze(gen::generate(cfg).expect("bench topology generates"))
+            .expect("bench topology analyzes"),
+    )
+}
+
+fn measure(
+    name: &'static str,
+    desc: &'static str,
+    iters: usize,
+    mut iter: impl FnMut() -> IterOutcome,
+) -> WorkloadMeasurement {
+    let mut best: Option<IterOutcome> = None;
+    for _ in 0..iters.max(1) {
+        let o = iter();
+        if let Some(b) = &best {
+            assert_eq!(
+                (b.cycles_run, b.units),
+                (o.cycles_run, o.units),
+                "bench workload {name} is not deterministic across repetitions"
+            );
+        }
+        if best.as_ref().map_or(true, |b| o.timed < b.timed) {
+            best = Some(o);
+        }
+    }
+    let best = best.expect("at least one repetition");
+    let secs = best.timed.as_secs_f64().max(1e-9);
+    WorkloadMeasurement {
+        name,
+        desc,
+        cycles_run: best.cycles_run,
+        units: best.units,
+        wall_ms: best.timed.as_secs_f64() * 1e3,
+        cycles_per_sec: best.cycles_run as f64 / secs,
+        units_per_sec: best.units as f64 / secs,
+    }
+}
+
+/// Run the pinned workload matrix and return the measurements.
+pub fn run_workloads(iters: usize) -> Vec<WorkloadMeasurement> {
+    let paper_net = analyzed(&gen::RandomTopologyConfig::paper_default(0));
+    let mut out = Vec::new();
+
+    eprintln!("bench: preparing light workload ...");
+    let singles = PreparedSingles::prepare(paper_net.clone(), Scheme::TreeWorm, 48, 8);
+    out.push(measure(
+        "light",
+        "48 isolated 8-way tree-worm multicasts, paper default network",
+        iters,
+        || singles.run_once(),
+    ));
+
+    eprintln!("bench: preparing saturation workload ...");
+    let sat_lc = LoadConfig {
+        degree: 8,
+        message_flits: 128,
+        effective_load: 1.0,
+        warmup: 20_000,
+        measure: 180_000,
+        drain: 100_000,
+        seed: 0xBE9C_0001,
+    };
+    let sat = PreparedLoad::prepare(paper_net.clone(), Scheme::UBinomial, &sat_lc);
+    out.push(measure(
+        "saturation",
+        "open-loop 8-way unicast-binomial load at 1.0 effective load (saturated)",
+        iters,
+        || sat.run_once(),
+    ));
+
+    eprintln!("bench: preparing large-topology workload ...");
+    let large_net = analyzed(&gen::RandomTopologyConfig {
+        num_switches: 32,
+        ports_per_switch: 8,
+        num_hosts: 96,
+        extra_links: gen::ExtraLinks::Fraction(0.75),
+        seed: 7,
+    });
+    let large_lc = LoadConfig {
+        degree: 16,
+        message_flits: 256,
+        effective_load: 0.3,
+        warmup: 10_000,
+        measure: 120_000,
+        drain: 120_000,
+        seed: 0xBE9C_0002,
+    };
+    let large = PreparedLoad::prepare(large_net, Scheme::TreeWorm, &large_lc);
+    out.push(measure(
+        "large",
+        "open-loop 16-way tree-worm load on a 32-switch / 96-host topology",
+        iters,
+        || large.run_once(),
+    ));
+    out
+}
+
+/// Render the report JSON. `baseline` is an optional `(source label,
+/// prior measurements)` pair copied from an older report.
+fn render_json(
+    results: &[WorkloadMeasurement],
+    baseline: Option<&[(String, f64, f64)]>,
+) -> String {
+    let mut w = JsonWriter::new();
+    w.obj(None);
+    w.u64_field(Some("schema"), 1);
+    w.str_field(
+        Some("note"),
+        "engine throughput on the pinned bench matrix; cycles_run/units are \
+         deterministic, wall-clock fields are machine-dependent",
+    );
+    w.arr(Some("workloads"));
+    for r in results {
+        w.obj(None);
+        w.str_field(Some("name"), r.name);
+        w.str_field(Some("desc"), r.desc);
+        w.u64_field(Some("cycles_run"), r.cycles_run);
+        w.u64_field(Some("units"), r.units);
+        w.f64_field(Some("wall_ms"), r.wall_ms);
+        w.f64_field(Some("cycles_per_sec"), r.cycles_per_sec);
+        w.f64_field(Some("units_per_sec"), r.units_per_sec);
+        w.end_obj();
+    }
+    w.end_arr();
+    if let Some(base) = baseline {
+        w.obj(Some("baseline"));
+        w.str_field(Some("label"), "pre-overhaul engine");
+        w.arr(Some("workloads"));
+        for (name, cps, ups) in base {
+            w.obj(None);
+            w.str_field(Some("name"), name);
+            w.f64_field(Some("cycles_per_sec"), *cps);
+            w.f64_field(Some("units_per_sec"), *ups);
+            w.end_obj();
+        }
+        w.end_arr();
+        w.end_obj();
+    }
+    w.end_obj();
+    w.finish()
+}
+
+/// Extract `(name, cycles_per_sec, units_per_sec)` triples from the
+/// *top-level* `workloads` array of a report written by [`render_json`]
+/// (scanning stops at the `baseline` block). This is a line-oriented
+/// reader of our own writer's output, not a general JSON parser.
+pub fn parse_report(text: &str) -> Vec<(String, f64, f64)> {
+    let mut out: Vec<(String, f64, f64)> = Vec::new();
+    let mut name: Option<String> = None;
+    for line in text.lines() {
+        let t = line.trim().trim_end_matches(',');
+        if t.starts_with("\"baseline\"") {
+            break;
+        }
+        if let Some(v) = t.strip_prefix("\"name\": ") {
+            name = Some(v.trim_matches('"').to_string());
+        } else if let Some(v) = t.strip_prefix("\"cycles_per_sec\": ") {
+            if let (Some(n), Ok(x)) = (name.clone(), v.parse::<f64>()) {
+                out.push((n, x, 0.0));
+            }
+        } else if let Some(v) = t.strip_prefix("\"units_per_sec\": ") {
+            if let (Some(last), Ok(x)) = (out.last_mut(), v.parse::<f64>()) {
+                last.2 = x;
+            }
+        }
+    }
+    out
+}
+
+fn print_table(results: &[WorkloadMeasurement]) {
+    println!(
+        "{:<12} {:>14} {:>8} {:>12} {:>16} {:>14}",
+        "workload", "cycles_run", "units", "wall_ms", "cycles/sec", "units/sec"
+    );
+    for r in results {
+        println!(
+            "{:<12} {:>14} {:>8} {:>12.1} {:>16.0} {:>14.1}",
+            r.name, r.cycles_run, r.units, r.wall_ms, r.cycles_per_sec, r.units_per_sec
+        );
+    }
+}
+
+/// Gate `results` against the baseline report at `path`. Returns `Ok`
+/// when every matching workload is within [`REGRESSION_TOLERANCE`];
+/// unmatched baseline workloads are reported but not fatal (the matrix
+/// may grow).
+fn check_against(results: &[WorkloadMeasurement], path: &Path) -> io::Result<()> {
+    let text = std::fs::read_to_string(path)?;
+    let base = parse_report(&text);
+    if base.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("no workloads found in baseline {}", path.display()),
+        ));
+    }
+    let mut failures = Vec::new();
+    for (name, base_cps, _) in &base {
+        let Some(r) = results.iter().find(|r| r.name == name) else {
+            eprintln!("bench check: baseline workload '{name}' not in this run; skipped");
+            continue;
+        };
+        let ratio = r.cycles_per_sec / base_cps;
+        println!(
+            "check {:<12} baseline {:>14.0} c/s  now {:>14.0} c/s  ({:+.1}%)",
+            name,
+            base_cps,
+            r.cycles_per_sec,
+            (ratio - 1.0) * 100.0
+        );
+        if ratio < 1.0 - REGRESSION_TOLERANCE {
+            failures.push(format!(
+                "{name}: {:.0} c/s is {:.1}% below baseline {:.0} c/s",
+                r.cycles_per_sec,
+                (1.0 - ratio) * 100.0,
+                base_cps
+            ));
+        }
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(io::Error::new(
+            io::ErrorKind::Other,
+            format!("cycles/sec regression >20%: {}", failures.join("; ")),
+        ))
+    }
+}
+
+/// Run the bench matrix under `opts`: measure, print, optionally write
+/// the report and gate against a baseline.
+pub fn run_bench(opts: &BenchOptions) -> io::Result<()> {
+    let results = run_workloads(opts.iters);
+    print_table(&results);
+
+    let baseline = match &opts.baseline_from {
+        Some(p) => {
+            let triples = parse_report(&std::fs::read_to_string(p)?);
+            if triples.is_empty() {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("no workloads found in {}", p.display()),
+                ));
+            }
+            Some(triples)
+        }
+        None => None,
+    };
+    if let Some(out) = &opts.out {
+        std::fs::write(out, render_json(&results, baseline.as_deref()))?;
+        println!("wrote {}", out.display());
+    }
+    if let Some(check) = &opts.check {
+        check_against(&results, check)?;
+        println!("bench check passed (within 20% of {})", check.display());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake(name: &'static str, cps: f64) -> WorkloadMeasurement {
+        WorkloadMeasurement {
+            name,
+            desc: "",
+            cycles_run: 1000,
+            units: 10,
+            wall_ms: 1.0,
+            cycles_per_sec: cps,
+            units_per_sec: 10.0,
+        }
+    }
+
+    #[test]
+    fn report_roundtrips_through_parser() {
+        let results = vec![fake("light", 1234567.5), fake("saturation", 42.0)];
+        let json = render_json(&results, None);
+        let parsed = parse_report(&json);
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].0, "light");
+        assert!((parsed[0].1 - 1234567.5).abs() < 1.0);
+        assert_eq!(parsed[1].0, "saturation");
+    }
+
+    #[test]
+    fn parser_ignores_baseline_block() {
+        let results = vec![fake("light", 100.0)];
+        let base = vec![("light".to_string(), 50.0, 5.0)];
+        let json = render_json(&results, Some(&base));
+        let parsed = parse_report(&json);
+        assert_eq!(parsed.len(), 1, "baseline workloads must not be re-parsed");
+        assert!((parsed[0].1 - 100.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn check_flags_large_regressions_only() {
+        let dir = std::env::temp_dir().join(format!("irrnet-bench-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let base_path = dir.join("base.json");
+        std::fs::write(&base_path, render_json(&[fake("light", 100.0)], None)).unwrap();
+        // 10% slower: fine. 30% slower: gate fails.
+        assert!(check_against(&[fake("light", 90.0)], &base_path).is_ok());
+        assert!(check_against(&[fake("light", 70.0)], &base_path).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

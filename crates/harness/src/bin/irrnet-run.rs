@@ -6,8 +6,10 @@
 //! irrnet-run fig06 ext_b ...          # run selected experiments
 //! irrnet-run --list                   # show the registry
 //! irrnet-run compare [--out DIR] [--golden DIR] [--tol F]
+//! irrnet-run bench [--out FILE] [--check FILE] [--baseline-from FILE] [--iters N]
 //! ```
 
+use irrnet_harness::bench::{run_bench, BenchOptions};
 use irrnet_harness::compare::run_compare;
 use irrnet_harness::opts::CampaignOptions;
 use irrnet_harness::registry::{registry, resolve};
@@ -20,6 +22,7 @@ fn usage() -> ! {
          [--seeds N] [--trials N] [--out DIR]\n\
          \x20      irrnet-run --list\n\
          \x20      irrnet-run compare [--out DIR] [--golden DIR] [--tol F]\n\
+         \x20      irrnet-run bench [--out FILE] [--check FILE] [--baseline-from FILE] [--iters N]\n\
          experiments: {}",
         registry().iter().map(|s| s.name).collect::<Vec<_>>().join(", ")
     );
@@ -44,6 +47,9 @@ fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.first().map(String::as_str) == Some("compare") {
         return main_compare(argv[1..].to_vec());
+    }
+    if argv.first().map(String::as_str) == Some("bench") {
+        return main_bench(argv[1..].to_vec());
     }
 
     let mut all = false;
@@ -148,5 +154,34 @@ fn main_compare(argv: Vec<String>) -> ExitCode {
     match run_compare(&out, &golden, tol) {
         Ok(()) => ExitCode::SUCCESS,
         Err(_) => ExitCode::FAILURE,
+    }
+}
+
+fn main_bench(argv: Vec<String>) -> ExitCode {
+    let mut opts = BenchOptions { out: Some("BENCH_sim.json".into()), ..BenchOptions::default() };
+    let mut args = argv.into_iter();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => opts.out = Some(parse_value::<String>(&mut args, "--out").into()),
+            "--no-out" => opts.out = None,
+            "--check" => opts.check = Some(parse_value::<String>(&mut args, "--check").into()),
+            "--baseline-from" => {
+                opts.baseline_from =
+                    Some(parse_value::<String>(&mut args, "--baseline-from").into());
+            }
+            "--iters" => opts.iters = parse_value(&mut args, "--iters"),
+            "--help" | "-h" => usage(),
+            s => {
+                eprintln!("error: unknown bench argument '{s}'");
+                usage();
+            }
+        }
+    }
+    match run_bench(&opts) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
     }
 }

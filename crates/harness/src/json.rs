@@ -3,9 +3,9 @@
 //! The manifest is write-only structured output; pulling in a
 //! serialization framework for one file would reintroduce the external
 //! dependencies this workspace just shed. Emission is fully
-//! deterministic: callers control field order, and floats never appear
-//! (counts and hashes only), so two identical campaigns produce
-//! byte-identical manifests modulo the `*_ms` timing fields.
+//! deterministic: callers control field order, and floats render via
+//! Rust's shortest-roundtrip `Display`, so two identical campaigns
+//! produce byte-identical manifests modulo the `*_ms` timing fields.
 
 use std::fmt::Write as _;
 
@@ -111,6 +111,18 @@ impl JsonWriter {
 
     /// Unsigned-integer field.
     pub fn u64_field(&mut self, key: Option<&str>, value: u64) {
+        self.newline_item();
+        if let Some(k) = key {
+            let _ = write!(self.buf, "\"{}\": ", escape(k));
+        }
+        let _ = write!(self.buf, "{value}");
+    }
+
+    /// Float field. Finite values only — JSON has no `inf`/`NaN`
+    /// (debug-asserted); rendering is Rust's shortest-roundtrip form,
+    /// so `parse::<f64>()` on the emitted token recovers the value.
+    pub fn f64_field(&mut self, key: Option<&str>, value: f64) {
+        debug_assert!(value.is_finite(), "JSON cannot represent {value}");
         self.newline_item();
         if let Some(k) = key {
             let _ = write!(self.buf, "\"{}\": ", escape(k));

@@ -28,6 +28,7 @@
 //! runner::run_campaign(&specs, &opts).unwrap();
 //! ```
 
+pub mod bench;
 pub mod cache;
 pub mod compare;
 pub mod experiments;

@@ -22,7 +22,7 @@ use crate::trace::{TraceEvent, TraceLog};
 use crate::worm::{McastId, RouteInfo, SendSpec, WormCopy};
 use irrnet_topology::{Network, NodeId, NodeMask, Phase, PortIdx, PortUse, SwitchId};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 use std::sync::Arc;
 
 /// Where a flit is headed.
@@ -82,10 +82,34 @@ pub struct Simulator<'n, P: Protocol> {
     pmax: usize,
     /// Arrival calendar ring, indexed by `cycle % ring.len()`.
     ring: Vec<Vec<(SinkRef, FlitPayload)>>,
+    /// Ring slot of the cycle being executed (`now % ring.len()`),
+    /// refreshed once per `network_cycle` so per-flit pushes index the
+    /// ring with an add-and-wrap instead of a 64-bit division.
+    cur_slot: usize,
+    /// Spare buffer rotated through ring slots so their capacity
+    /// survives the per-cycle drain (no reallocation at steady state).
+    ring_scratch: Vec<(SinkRef, FlitPayload)>,
     heap: BinaryHeap<Reverse<(Cycle, u64, Event)>>,
     seq: u64,
     stats: SimStats,
-    mcasts: HashMap<McastId, McastInfo>,
+    /// Static multicast descriptions, indexed by the dense id interned
+    /// in `stats.mcasts` (the id→index map is consulted only at event
+    /// boundaries).
+    mcasts: Vec<McastInfo>,
+    /// Frames resident per switch, maintained incrementally (replaces
+    /// the per-cycle `frame_count()` port scan).
+    sw_frames: Vec<u32>,
+    /// Switches with resident frames, ascending (full-scan visit order).
+    active_sw: Vec<u16>,
+    /// Membership flags for `active_sw`.
+    sw_listed: Vec<bool>,
+    /// Hosts with a non-empty injection queue, ascending.
+    active_tx: Vec<u16>,
+    /// Membership flags for `active_tx`.
+    tx_listed: Vec<bool>,
+    /// Visit every component each cycle instead of using the active
+    /// lists (regression-testing aid; same results, slower).
+    full_scan: bool,
     wire_flits: u64,
     frames_alive: u64,
     tx_pending: u64,
@@ -145,13 +169,21 @@ impl<'n, P: Protocol> Simulator<'n, P> {
             inject_sink,
             pmax,
             ring: (0..ring_len).map(|_| Vec::new()).collect(),
+            cur_slot: 0,
+            ring_scratch: Vec::new(),
             heap: BinaryHeap::new(),
             seq: 0,
             stats: SimStats {
                 link_flits_per_dir: vec![0; net.topo.num_links() * 2],
                 ..SimStats::default()
             },
-            mcasts: HashMap::new(),
+            mcasts: Vec::new(),
+            sw_frames: vec![0; ns],
+            active_sw: Vec::with_capacity(ns),
+            sw_listed: vec![false; ns],
+            active_tx: Vec::with_capacity(nh),
+            tx_listed: vec![false; nh],
+            full_scan: false,
             wire_flits: 0,
             frames_alive: 0,
             tx_pending: 0,
@@ -206,19 +238,33 @@ impl<'n, P: Protocol> Simulator<'n, P> {
     /// hop of a reduction tree that fires only after its children
     /// arrive). Its latency is measured from that first send.
     pub fn register_multicast(&mut self, id: McastId, dests: NodeMask, message_flits: u32) {
-        assert!(
-            self.mcasts
-                .insert(
-                    id,
-                    McastInfo {
-                        dests,
-                        message_flits,
-                        total_pkts: self.cfg.packets_for(message_flits),
-                    },
-                )
-                .is_none(),
-            "duplicate multicast id"
-        );
+        let (idx, new) = self.stats.mcasts.intern(id);
+        assert!(new, "duplicate multicast id");
+        debug_assert_eq!(idx as usize, self.mcasts.len());
+        self.mcasts.push(McastInfo {
+            dests,
+            message_flits,
+            total_pkts: self.cfg.packets_for(message_flits),
+        });
+    }
+
+    /// Dense index + static description of a registered multicast.
+    #[inline]
+    fn minfo(&self, id: McastId) -> (u32, McastInfo) {
+        let idx = self
+            .stats
+            .mcasts
+            .idx_of(id)
+            .expect("send for unregistered multicast");
+        (idx, self.mcasts[idx as usize])
+    }
+
+    /// Visit every switch and host each cycle instead of only the
+    /// active ones. Results are identical by construction; this exists
+    /// so tests can assert that equivalence. Set it before running.
+    #[doc(hidden)]
+    pub fn set_full_scan(&mut self, on: bool) {
+        self.full_scan = on;
     }
 
     /// Run until `limit` or until all work drains, whichever is first.
@@ -241,6 +287,10 @@ impl<'n, P: Protocol> Simulator<'n, P> {
                 match self.heap.peek() {
                     Some(Reverse((c, _, _))) => {
                         self.now = (*c).min(limit);
+                        // An idle jump is progress: a long host-overhead
+                        // gap (overhead ≫ watchdog) must not trip the
+                        // deadlock watchdog once the network wakes up.
+                        self.last_progress = self.now;
                         if self.now == limit {
                             break;
                         }
@@ -282,15 +332,23 @@ impl<'n, P: Protocol> Simulator<'n, P> {
             .unwrap_or(self.now))
     }
 
-    /// Snapshot the statistics, folding in resource-utilization counters.
-    pub fn stats(&mut self) -> SimStats {
-        let mut s = self.stats.clone();
+    /// The statistics, with resource-utilization counters folded in.
+    /// Borrows instead of cloning (sweeps call this once per trial, and
+    /// the per-mcast tables can be large); the fold overwrites, so
+    /// calling repeatedly is idempotent.
+    pub fn stats(&mut self) -> &SimStats {
+        let mut ni = 0u64;
+        let mut host = 0u64;
+        let mut bus = 0u64;
         for h in &self.hosts {
-            s.net.ni_busy_cycles += h.ni.busy_cycles;
-            s.net.host_busy_cycles += h.cpu.busy_cycles;
-            s.net.io_bus_busy_cycles += h.bus.busy_cycles;
+            ni += h.ni.busy_cycles;
+            host += h.cpu.busy_cycles;
+            bus += h.bus.busy_cycles;
         }
-        s
+        self.stats.net.ni_busy_cycles = ni;
+        self.stats.net.host_busy_cycles = host;
+        self.stats.net.io_bus_busy_cycles = bus;
+        &self.stats
     }
 
     // ------------------------------------------------------------------
@@ -299,6 +357,28 @@ impl<'n, P: Protocol> Simulator<'n, P> {
 
     fn network_active(&self) -> bool {
         self.wire_flits > 0 || self.frames_alive > 0 || self.tx_pending > 0
+    }
+
+    /// Add `node` to the active-injection list (kept ascending so the
+    /// sweep visits hosts in exactly full-scan order).
+    fn activate_tx(&mut self, node: usize) {
+        if !self.tx_listed[node] {
+            self.tx_listed[node] = true;
+            let pos = self.active_tx.partition_point(|&n| (n as usize) < node);
+            self.active_tx.insert(pos, node as u16);
+        }
+    }
+
+    /// Add `sw` to the active-switch list (kept ascending so the sweep
+    /// visits switches in exactly full-scan order — the rotating
+    /// arbitration priority advances only on visited switches, so the
+    /// visit set and order must match the full scan bit for bit).
+    fn activate_sw(&mut self, sw: usize) {
+        if !self.sw_listed[sw] {
+            self.sw_listed[sw] = true;
+            let pos = self.active_sw.partition_point(|&s| (s as usize) < sw);
+            self.active_sw.insert(pos, sw as u16);
+        }
     }
 
     fn schedule(&mut self, at: Cycle, ev: Event) {
@@ -329,9 +409,15 @@ impl<'n, P: Protocol> Simulator<'n, P> {
         }
     }
 
+    /// Only callable from within `network_cycle` (relies on `cur_slot`
+    /// being the slot of `self.now`).
+    #[inline]
     fn push_flit(&mut self, at: Cycle, sink: SinkRef, payload: FlitPayload) {
         debug_assert!(at > self.now && at < self.now + self.ring.len() as u64);
-        let idx = (at % self.ring.len() as u64) as usize;
+        let mut idx = self.cur_slot + (at - self.now) as usize;
+        if idx >= self.ring.len() {
+            idx -= self.ring.len();
+        }
         self.ring[idx].push((sink, payload));
         self.wire_flits += 1;
     }
@@ -339,12 +425,9 @@ impl<'n, P: Protocol> Simulator<'n, P> {
     fn enqueue_host_send(&mut self, node: NodeId, mcast: McastId, spec: SendSpec) {
         // Dependent multicasts (registered, never explicitly launched)
         // begin their measured life at their first send.
-        let info = *self
-            .mcasts
-            .get(&mcast)
-            .expect("send for unregistered multicast");
-        if !self.stats.mcasts.contains_key(&mcast) {
-            self.stats.launch(mcast, self.now, info.dests);
+        let (idx, info) = self.minfo(mcast);
+        if !self.stats.mcasts.launched_at(idx) {
+            self.stats.launch_at(idx, self.now, info.dests);
         }
         self.emit(TraceEvent::HostSendStart { node, mcast });
         let dur = self.cfg.o_send_host;
@@ -357,7 +440,8 @@ impl<'n, P: Protocol> Simulator<'n, P> {
 
     /// Expand a spec into the worm copies injected for packet `pkt`.
     fn make_worms(&self, mcast: McastId, spec: &SendSpec, pkt: u32) -> Vec<Arc<WormCopy>> {
-        let info = &self.mcasts[&mcast];
+        let (_, info) = self.minfo(mcast);
+        let info = &info;
         let payload_flits = self.cfg.packet_payload(info.message_flits, pkt);
         let header_flits = spec.header_flits(&self.cfg, self.net.topo.num_nodes());
         let base = |route: RouteInfo| {
@@ -390,8 +474,8 @@ impl<'n, P: Protocol> Simulator<'n, P> {
         match ev {
             Event::Launch(id) => {
                 self.emit(TraceEvent::Launch { mcast: id });
-                let info = self.mcasts[&id];
-                self.stats.launch(id, self.now, info.dests);
+                let (idx, info) = self.minfo(id);
+                self.stats.launch_at(idx, self.now, info.dests);
                 let sends = self.protocol.on_launch(id, self.now);
                 for (node, spec) in sends {
                     self.enqueue_host_send(node, id, spec);
@@ -404,7 +488,7 @@ impl<'n, P: Protocol> Simulator<'n, P> {
                 }
                 match task {
                     HostTask::Send { mcast, spec } => {
-                        let info = self.mcasts[&mcast];
+                        let (_, info) = self.minfo(mcast);
                         let spec = Arc::new(spec);
                         for pkt in 0..info.total_pkts {
                             let dur = self
@@ -454,11 +538,11 @@ impl<'n, P: Protocol> Simulator<'n, P> {
                         }
                     }
                     DmaTask::ToHost { worm } => {
+                        let (idx, _) = self.minfo(worm.mcast);
                         let host = &mut self.hosts[n as usize];
-                        let cnt = host.reassembly.entry(worm.mcast).or_insert(0);
-                        *cnt += 1;
-                        if *cnt == worm.total_pkts {
-                            host.reassembly.remove(&worm.mcast);
+                        let cnt = host.reassemble(idx);
+                        if cnt == worm.total_pkts {
+                            host.reassembly_done(idx);
                             if let Some(c) = host.cpu.enqueue(
                                 HostTask::Recv(worm.mcast),
                                 self.cfg.o_recv_host,
@@ -484,6 +568,7 @@ impl<'n, P: Protocol> Simulator<'n, P> {
                         });
                         self.hosts[n as usize].tx_queue.push_back(worm);
                         self.tx_pending += 1;
+                        self.activate_tx(n as usize);
                     }
                     NiTask::Rx(worm) => {
                         let node = NodeId(n);
@@ -531,34 +616,47 @@ impl<'n, P: Protocol> Simulator<'n, P> {
         let mut moved = false;
 
         // --- 1. arrivals ---------------------------------------------
+        // The slot is swapped against a scratch buffer (not `take`n) so
+        // its capacity survives the drain; nothing lands in the current
+        // slot during the cycle (`push_flit` targets strictly future
+        // cycles within the ring span).
         let idx = (t % self.ring.len() as u64) as usize;
-        let arrivals = std::mem::take(&mut self.ring[idx]);
-        for (sink, payload) in arrivals {
+        self.cur_slot = idx;
+        let mut arrivals =
+            std::mem::replace(&mut self.ring[idx], std::mem::take(&mut self.ring_scratch));
+        for (sink, payload) in arrivals.drain(..) {
             self.wire_flits -= 1;
             moved = true;
             match sink {
                 SinkRef::SwIn { sw, port } => {
-                    let inp = &mut self.switches[sw as usize].inputs[port as usize];
                     match payload {
                         FlitPayload::Head(w) => {
                             let mut f = Frame::new(w);
                             f.received = 1;
-                            if f.received == f.worm.header_flits {
+                            if f.received == f.header_in {
                                 f.header_done_at = Some(t);
                             }
-                            inp.frames.push_back(f);
+                            let s = &mut self.switches[sw as usize];
+                            let q = &mut s.inputs[port as usize].frames;
+                            q.push_back(f);
+                            if q.len() == 1 {
+                                // Became the port's front frame: decode pending.
+                                s.undecoded |= 1 << port;
+                            }
                             self.frames_alive += 1;
+                            self.sw_frames[sw as usize] += 1;
+                            self.activate_sw(sw as usize);
                         }
                         FlitPayload::Body => {
-                            let f = inp
+                            let f = self.switches[sw as usize].inputs[port as usize]
                                 .frames
                                 .back_mut()
                                 .expect("body flit with no frame");
                             f.received += 1;
-                            if f.received == f.worm.header_flits {
+                            if f.received == f.header_in {
                                 f.header_done_at = Some(t);
                             }
-                            debug_assert!(f.received <= f.worm.total_flits());
+                            debug_assert!(f.received <= f.total_in);
                         }
                     }
                 }
@@ -572,15 +670,16 @@ impl<'n, P: Protocol> Simulator<'n, P> {
                             if total == 1 {
                                 Some(w)
                             } else {
-                                h.rx_current = Some((w, 1));
+                                h.rx_current = Some((w, 1, total));
                                 None
                             }
                         }
                         FlitPayload::Body => {
-                            let (w, got) = h.rx_current.as_mut().expect("body with no worm");
+                            let (_, got, total) =
+                                h.rx_current.as_mut().expect("body with no worm");
                             *got += 1;
-                            if *got == w.total_flits() {
-                                let (w, _) = h.rx_current.take().unwrap();
+                            if got == total {
+                                let (w, _, _) = h.rx_current.take().unwrap();
                                 Some(w)
                             } else {
                                 None
@@ -613,51 +712,99 @@ impl<'n, P: Protocol> Simulator<'n, P> {
                 }
             }
         }
+        self.ring_scratch = arrivals;
 
         // --- 2. host injection ----------------------------------------
-        for node in 0..self.hosts.len() {
-            if self.hosts[node].tx_queue.is_empty() {
-                continue;
-            }
-            let sink = self.inject_sink[node];
-            if !self.can_accept(sink) {
-                continue;
-            }
-            let (payload, done) = {
-                let h = &mut self.hosts[node];
-                let w = h.tx_queue.front().expect("checked nonempty").clone();
-                let payload = if h.tx_sent == 0 {
-                    FlitPayload::Head(w.clone())
-                } else {
-                    FlitPayload::Body
-                };
-                h.tx_sent += 1;
-                let done = h.tx_sent == w.total_flits();
-                if done {
-                    h.tx_queue.pop_front();
-                    h.tx_sent = 0;
+        // Active-list sweep: visit only hosts with queued worms, in
+        // ascending order (identical to the full scan); drop entries
+        // whose queue drains.
+        if self.full_scan {
+            for node in 0..self.hosts.len() {
+                if self.hosts[node].tx_queue.is_empty() {
+                    continue;
                 }
-                (payload, done)
-            };
-            if done {
-                self.tx_pending -= 1;
+                moved |= self.inject_from(node, t);
             }
-            self.reserve(sink);
-            self.push_flit(t + self.cfg.link_delay, sink, payload);
-            self.stats.net.injected_flits += 1;
-            moved = true;
+        } else {
+            let mut act = std::mem::take(&mut self.active_tx);
+            act.retain(|&n| {
+                let node = n as usize;
+                if self.hosts[node].tx_queue.is_empty() {
+                    self.tx_listed[node] = false;
+                    return false;
+                }
+                moved |= self.inject_from(node, t);
+                if self.hosts[node].tx_queue.is_empty() {
+                    self.tx_listed[node] = false;
+                    false
+                } else {
+                    true
+                }
+            });
+            debug_assert!(self.active_tx.is_empty());
+            self.active_tx = act;
         }
 
         // --- 3. switches ----------------------------------------------
-        for si in 0..self.switches.len() {
-            if self.switches[si].frame_count() == 0 {
-                continue;
+        // Same scheme: only switches with resident frames, ascending.
+        if self.full_scan {
+            for si in 0..self.switches.len() {
+                if self.sw_frames[si] == 0 {
+                    continue;
+                }
+                let mut sw = std::mem::take(&mut self.switches[si]);
+                moved |= self.switch_cycle(si, &mut sw);
+                self.switches[si] = sw;
             }
-            let mut sw = std::mem::take(&mut self.switches[si]);
-            moved |= self.switch_cycle(si, &mut sw);
-            self.switches[si] = sw;
+        } else {
+            let mut act = std::mem::take(&mut self.active_sw);
+            act.retain(|&s| {
+                let si = s as usize;
+                if self.sw_frames[si] == 0 {
+                    self.sw_listed[si] = false;
+                    return false;
+                }
+                let mut sw = std::mem::take(&mut self.switches[si]);
+                moved |= self.switch_cycle(si, &mut sw);
+                self.switches[si] = sw;
+                if self.sw_frames[si] == 0 {
+                    self.sw_listed[si] = false;
+                    false
+                } else {
+                    true
+                }
+            });
+            debug_assert!(self.active_sw.is_empty());
+            self.active_sw = act;
         }
         moved
+    }
+
+    /// Move one flit of `node`'s front queued worm onto its injection
+    /// link, if the downstream buffer accepts. Returns true on a move.
+    fn inject_from(&mut self, node: usize, t: Cycle) -> bool {
+        let sink = self.inject_sink[node];
+        if !self.can_accept(sink) {
+            return false;
+        }
+        let h = &mut self.hosts[node];
+        let payload = if h.tx_sent == 0 {
+            let front = h.tx_queue.front().expect("checked nonempty");
+            h.tx_total = front.total_flits();
+            FlitPayload::Head(front.clone())
+        } else {
+            FlitPayload::Body
+        };
+        h.tx_sent += 1;
+        if h.tx_sent == h.tx_total {
+            h.tx_queue.pop_front();
+            h.tx_sent = 0;
+            self.tx_pending -= 1;
+        }
+        self.reserve(sink);
+        self.push_flit(t + self.cfg.link_delay, sink, payload);
+        self.stats.net.injected_flits += 1;
+        true
     }
 
     /// Decode, arbitrate, transfer for one switch. `sw` is temporarily
@@ -669,55 +816,91 @@ impl<'n, P: Protocol> Simulator<'n, P> {
         let nports = sw.inputs.len();
         let mut moved = false;
 
-        // Decode head frames whose routing delay has elapsed.
-        for p in 0..nports {
-            let Some(f) = sw.inputs[p].frames.front_mut() else {
-                continue;
-            };
-            if f.decoded {
-                continue;
-            }
+        // Decode head frames whose routing delay has elapsed. Only ports
+        // flagged in `undecoded` can need work (ascending order, same as
+        // a full port scan).
+        let mut pending = sw.undecoded;
+        while pending != 0 {
+            let p = pending.trailing_zeros() as usize;
+            pending &= pending - 1;
+            let f = sw.inputs[p]
+                .frames
+                .front_mut()
+                .expect("undecoded bit without front frame");
+            debug_assert!(!f.decoded);
             let Some(hd) = f.header_done_at else { continue };
             if t >= hd + self.cfg.routing_delay {
                 f.branches = decode_branches(self.net, &self.cfg, here, &f.worm);
                 self.stats.net.replications += f.branches.len().saturating_sub(1) as u64;
                 f.decoded = true;
+                f.ungranted = f.branches.len() as u16;
+                sw.undecoded &= !(1 << p);
+                if f.ungranted > 0 {
+                    sw.waiting |= 1 << p;
+                }
             }
         }
 
         // Arbitration: rotating input priority; each ungranted branch
-        // takes the first free candidate output.
-        let start = sw.rr as usize % nports.max(1);
-        for k in 0..nports {
-            let p = (start + k) % nports;
-            let Some(f) = sw.inputs[p].frames.front_mut() else {
-                continue;
+        // takes the first free candidate output. Only ports flagged in
+        // `waiting` can grant, so walk that mask rotated to `rr` — the
+        // visit order over flagged ports is identical to the full rotated
+        // scan, and skipped ports were no-ops there. `rr` advances below
+        // regardless, exactly as after a no-op scan.
+        if sw.waiting != 0 {
+            let start = sw.rr as usize % nports.max(1);
+            let mut m = if start == 0 {
+                sw.waiting
+            } else {
+                // Rotate within the low `nports` bits: bit k of `m` is
+                // port (start + k) % nports.
+                (sw.waiting >> start)
+                    | ((sw.waiting << (nports - start)) & (u32::MAX >> (32 - nports)))
             };
-            if !f.decoded {
-                continue;
-            }
-            for (bi, b) in f.branches.iter_mut().enumerate() {
-                if b.done || b.port.is_some() {
-                    continue;
+            while m != 0 {
+                let k = m.trailing_zeros() as usize;
+                m &= m - 1;
+                let mut p = start + k;
+                if p >= nports {
+                    p -= nports;
                 }
-                for ci in 0..b.candidates.len() {
-                    let (cand, _) = b.candidates[ci];
-                    let op = &mut sw.outputs[cand.idx()];
-                    if op.owner.is_none() {
-                        op.owner = Some((p as u8, bi as u16));
-                        b.grant(cand);
-                        break;
+                let f = sw.inputs[p]
+                    .frames
+                    .front_mut()
+                    .expect("waiting bit without front frame");
+                debug_assert!(f.decoded && f.ungranted > 0);
+                for (bi, b) in f.branches.iter_mut().enumerate() {
+                    if b.done || b.port.is_some() {
+                        continue;
                     }
+                    for ci in 0..b.candidates.len() {
+                        let (cand, _) = b.candidates[ci];
+                        let op = &mut sw.outputs[cand.idx()];
+                        if op.owner.is_none() {
+                            op.owner = Some((p as u8, bi as u16));
+                            sw.owned |= 1 << cand.idx();
+                            f.ungranted -= 1;
+                            b.grant(cand);
+                            break;
+                        }
+                    }
+                }
+                if f.ungranted == 0 {
+                    sw.waiting &= !(1 << p);
                 }
             }
         }
         sw.rr = sw.rr.wrapping_add(1);
 
-        // Transfers: each owned output moves at most one flit.
-        for o in 0..nports {
-            let Some((p, bi)) = sw.outputs[o].owner else {
-                continue;
-            };
+        // Transfers: each owned output moves at most one flit. Iterate
+        // the `owned` mask ascending — identical to scanning all outputs
+        // and skipping the ownerless ones. Bits cleared mid-loop (branch
+        // drained) only affect later cycles; none are set here.
+        let mut owned = sw.owned;
+        while owned != 0 {
+            let o = owned.trailing_zeros() as usize;
+            owned &= owned - 1;
+            let (p, bi) = sw.outputs[o].owner.expect("owned bit without owner");
             let f = sw.inputs[p as usize]
                 .frames
                 .front_mut()
@@ -729,7 +912,7 @@ impl<'n, P: Protocol> Simulator<'n, P> {
             let available = if b.sent < b.out_header() {
                 true // header fully present (decode implies it)
             } else {
-                f.received > f.worm.header_flits + (b.sent - b.out_header())
+                f.received > f.header_in + (b.sent - b.out_header())
             };
             if !available {
                 continue;
@@ -748,14 +931,21 @@ impl<'n, P: Protocol> Simulator<'n, P> {
             if b.sent == b.out_total() {
                 b.done = true;
                 sw.outputs[o].owner = None;
+                sw.owned &= !(1 << o);
             }
-            let freed = f.advance_freed();
-            let frame_done = f.all_branches_done();
+            let (freed, frame_done) = f.advance();
             if frame_done {
-                debug_assert_eq!(f.received, f.worm.total_flits());
-                debug_assert_eq!(f.freed, f.worm.total_flits());
-                sw.inputs[p as usize].frames.pop_front();
+                debug_assert_eq!(f.received, f.total_in);
+                debug_assert_eq!(f.freed, f.total_in);
+                let q = &mut sw.inputs[p as usize].frames;
+                q.pop_front();
+                if !q.is_empty() {
+                    // The revealed frame was never front before, so its
+                    // header is still undecoded.
+                    sw.undecoded |= 1 << p;
+                }
                 self.frames_alive -= 1;
+                self.sw_frames[si] -= 1;
             }
             if freed > 0 {
                 let g = self.gidx(si as u16, p);

@@ -1,9 +1,78 @@
 //! Measurement collection: per-multicast latencies plus network counters.
+//!
+//! Hot-path storage is dense: multicast ids are interned to sequential
+//! `u32` indices the first time the engine sees them (registration
+//! order), and every per-multicast structure — the records here, the
+//! engine's static descriptions, the hosts' reassembly counters — is a
+//! `Vec` indexed by that dense index. The id→index map is consulted only
+//! at event boundaries (launch, delivery, host DMA completion), never
+//! inside the per-cycle loops. Readers keep the familiar map-like API
+//! (`len`/`values`/`contains_key`/`[&id]`), now with deterministic
+//! registration-order iteration.
 
 use crate::config::Cycle;
 use crate::worm::McastId;
 use irrnet_topology::{NodeId, NodeMask};
 use std::collections::HashMap;
+
+/// Delivery times of one multicast, in delivery order.
+///
+/// Destination sets are `NodeMask`s (≤ 128 nodes), so membership is a
+/// bit test and the `(node, cycle)` pairs live in a small vector instead
+/// of a per-multicast hash map.
+#[derive(Debug, Clone, Default)]
+pub struct Deliveries {
+    order: Vec<(NodeId, Cycle)>,
+    seen: NodeMask,
+}
+
+impl Deliveries {
+    fn with_capacity(n: usize) -> Self {
+        Deliveries { order: Vec::with_capacity(n), seen: NodeMask::EMPTY }
+    }
+
+    /// Record a delivery; returns true if `node` was already present.
+    fn insert(&mut self, node: NodeId, at: Cycle) -> bool {
+        if self.seen.contains(node) {
+            return true;
+        }
+        self.seen.insert(node);
+        self.order.push((node, at));
+        false
+    }
+
+    /// Number of destinations delivered.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// True when nothing has been delivered yet.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Has `node` been delivered?
+    pub fn contains_key(&self, node: &NodeId) -> bool {
+        self.seen.contains(*node)
+    }
+
+    /// Delivery cycle of `node`, if delivered.
+    pub fn get(&self, node: &NodeId) -> Option<&Cycle> {
+        self.order.iter().find(|(n, _)| n == node).map(|(_, c)| c)
+    }
+
+    /// `(node, delivery cycle)` pairs in delivery order.
+    pub fn iter(&self) -> impl Iterator<Item = (&NodeId, &Cycle)> {
+        self.order.iter().map(|(n, c)| (n, c))
+    }
+}
+
+impl std::ops::Index<&NodeId> for Deliveries {
+    type Output = Cycle;
+    fn index(&self, node: &NodeId) -> &Cycle {
+        self.get(node).expect("no delivery recorded for node")
+    }
+}
 
 /// Lifecycle record of one multicast operation.
 #[derive(Debug, Clone)]
@@ -15,7 +84,7 @@ pub struct McastRecord {
     /// Destinations that must be reached.
     pub expected: NodeMask,
     /// Delivery cycle per destination (completion of `O_{r,h}`).
-    pub deliveries: HashMap<NodeId, Cycle>,
+    pub deliveries: Deliveries,
     /// Cycle at which the last destination was delivered.
     pub completed: Option<Cycle>,
 }
@@ -29,6 +98,82 @@ impl McastRecord {
     /// Latency to a specific destination.
     pub fn dest_latency(&self, n: NodeId) -> Option<Cycle> {
         self.deliveries.get(&n).map(|c| c - self.launched)
+    }
+}
+
+/// Launched-multicast records, stored densely by interned index.
+///
+/// Ids are interned in registration order; a slot stays `None` until the
+/// multicast launches (dependent multicasts register without launching).
+/// Readers see only launched records, in registration order.
+#[derive(Debug, Clone, Default)]
+pub struct McastTable {
+    ids: Vec<McastId>,
+    recs: Vec<Option<McastRecord>>,
+    index: HashMap<McastId, u32>,
+    launched: usize,
+}
+
+impl McastTable {
+    /// Intern `id`, returning `(dense index, newly interned)`.
+    pub(crate) fn intern(&mut self, id: McastId) -> (u32, bool) {
+        if let Some(&i) = self.index.get(&id) {
+            return (i, false);
+        }
+        let i = self.ids.len() as u32;
+        self.ids.push(id);
+        self.recs.push(None);
+        self.index.insert(id, i);
+        (i, true)
+    }
+
+    /// Dense index of `id`, if interned.
+    pub(crate) fn idx_of(&self, id: McastId) -> Option<u32> {
+        self.index.get(&id).copied()
+    }
+
+    pub(crate) fn launched_at(&self, idx: u32) -> bool {
+        self.recs[idx as usize].is_some()
+    }
+
+    /// Number of launched multicasts.
+    pub fn len(&self) -> usize {
+        self.launched
+    }
+
+    /// True when no multicast has launched.
+    pub fn is_empty(&self) -> bool {
+        self.launched == 0
+    }
+
+    /// Has `id` launched?
+    pub fn contains_key(&self, id: &McastId) -> bool {
+        self.idx_of(*id).is_some_and(|i| self.launched_at(i))
+    }
+
+    /// Record of `id`, if launched.
+    pub fn get(&self, id: &McastId) -> Option<&McastRecord> {
+        self.idx_of(*id).and_then(|i| self.recs[i as usize].as_ref())
+    }
+
+    /// Launched records in registration order.
+    pub fn values(&self) -> impl Iterator<Item = &McastRecord> {
+        self.recs.iter().filter_map(|r| r.as_ref())
+    }
+
+    /// `(id, record)` pairs of launched multicasts in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = (&McastId, &McastRecord)> {
+        self.ids
+            .iter()
+            .zip(self.recs.iter())
+            .filter_map(|(id, r)| r.as_ref().map(|r| (id, r)))
+    }
+}
+
+impl std::ops::Index<&McastId> for McastTable {
+    type Output = McastRecord;
+    fn index(&self, id: &McastId) -> &McastRecord {
+        self.get(id).expect("no record for multicast id")
     }
 }
 
@@ -63,7 +208,7 @@ pub struct NetCounters {
 #[derive(Debug, Clone, Default)]
 pub struct SimStats {
     /// Per-multicast lifecycle records, keyed by id.
-    pub mcasts: HashMap<McastId, McastRecord>,
+    pub mcasts: McastTable,
     /// Aggregate network counters.
     pub net: NetCounters,
     /// Cycles actually iterated by the engine (diagnostic).
@@ -78,29 +223,39 @@ pub struct SimStats {
 impl SimStats {
     /// Register a multicast at launch time.
     pub fn launch(&mut self, id: McastId, at: Cycle, expected: NodeMask) {
-        self.mcasts.insert(
-            id,
-            McastRecord {
-                launched: at,
-                expected,
-                deliveries: HashMap::with_capacity(expected.len()),
-                completed: None,
-            },
-        );
+        let (idx, _) = self.mcasts.intern(id);
+        self.launch_at(idx, at, expected);
+    }
+
+    /// Launch by dense index (engine fast path).
+    pub(crate) fn launch_at(&mut self, idx: u32, at: Cycle, expected: NodeMask) {
+        let slot = &mut self.mcasts.recs[idx as usize];
+        if slot.is_none() {
+            self.mcasts.launched += 1;
+        }
+        *slot = Some(McastRecord {
+            launched: at,
+            expected,
+            deliveries: Deliveries::with_capacity(expected.len()),
+            completed: None,
+        });
     }
 
     /// Record a host-level delivery; returns true if this completed the
     /// multicast.
     pub fn deliver(&mut self, id: McastId, node: NodeId, at: Cycle) -> bool {
-        let rec = self
+        let idx = self
             .mcasts
-            .get_mut(&id)
+            .idx_of(id)
+            .expect("delivery for unknown multicast");
+        let rec = self.mcasts.recs[idx as usize]
+            .as_mut()
             .expect("delivery for unknown multicast");
         debug_assert!(
             rec.expected.contains(node),
             "delivery to non-destination {node}"
         );
-        let dup = rec.deliveries.insert(node, at).is_some();
+        let dup = rec.deliveries.insert(node, at);
         debug_assert!(!dup, "duplicate delivery of {id:?} at {node}");
         if rec.deliveries.len() == rec.expected.len() {
             rec.completed = Some(at);
@@ -225,6 +380,22 @@ mod tests {
         s.deliver(id, NodeId(0), 10);
         assert_eq!(s.latency_of(id), None);
         assert_eq!(s.completed_count(), 0);
+    }
+
+    #[test]
+    fn table_exposes_only_launched_records_in_registration_order() {
+        let mut s = SimStats::default();
+        // Interned (registered) but never launched: invisible to readers.
+        let (idx, new) = s.mcasts.intern(McastId(7));
+        assert!(new);
+        assert!(!s.mcasts.contains_key(&McastId(7)));
+        assert_eq!(s.mcasts.len(), 0);
+        s.launch(McastId(3), 5, NodeMask::single(NodeId(0)));
+        s.launch_at(idx, 9, NodeMask::single(NodeId(1)));
+        assert_eq!(s.mcasts.len(), 2);
+        // Registration order: id 7 was interned first.
+        let ids: Vec<McastId> = s.mcasts.iter().map(|(id, _)| *id).collect();
+        assert_eq!(ids, vec![McastId(7), McastId(3)]);
     }
 
     #[test]

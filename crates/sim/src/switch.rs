@@ -18,6 +18,25 @@ use irrnet_topology::{Network, NodeId, Phase, PortIdx, PortUse, SwitchId};
 use std::collections::VecDeque;
 use std::sync::Arc;
 
+/// Where a branch's outgoing worm descriptor comes from.
+///
+/// Replication fan-out used to deep-clone the full `WormCopy` into every
+/// branch and then clone it *again* into a fresh `Arc` at grant time.
+/// Most branches forward the incoming worm unchanged (local ejects,
+/// point-to-point hops, tree climbs, path legs between stops), so they
+/// now just hold another reference to the incoming descriptor and reuse
+/// it outright when the granted phase matches — zero copies, zero
+/// allocations. Only branches that genuinely rewrite the descriptor
+/// (narrowed tree masks, stripped path headers) carry a fresh copy.
+#[derive(Debug)]
+enum BranchSrc {
+    /// Forward the incoming worm as-is (modulo a possible phase change
+    /// finalized at grant).
+    Inherit(Arc<WormCopy>),
+    /// An edited descriptor (route/header differ from the incoming worm).
+    Fresh(WormCopy),
+}
+
 /// One outgoing copy of a frame's worm.
 #[derive(Debug)]
 pub struct Branch {
@@ -25,8 +44,8 @@ pub struct Branch {
     /// each — a singleton for deterministic (host / partitioned) branches,
     /// several entries for adaptive routing.
     pub candidates: Vec<(PortIdx, Phase)>,
-    /// The outgoing worm, with `phase` finalized at grant time.
-    pub template: WormCopy,
+    /// The outgoing worm descriptor, with `phase` finalized at grant.
+    src: BranchSrc,
     /// Bound output port once granted.
     pub port: Option<PortIdx>,
     /// The finalized outgoing copy (set at grant).
@@ -35,42 +54,108 @@ pub struct Branch {
     pub sent: u32,
     /// All flits sent.
     pub done: bool,
+    /// Cached `worm().header_flits` — read once per transferred flit, so
+    /// kept out of the (possibly `Arc`-indirected) descriptor.
+    out_hdr: u32,
+    /// Cached `worm().total_flits()`.
+    out_tot: u32,
 }
 
 impl Branch {
-    /// A branch with a fixed output port.
+    /// A branch with a fixed output port and an edited descriptor.
     pub fn fixed(port: PortIdx, template: WormCopy) -> Self {
         let phase = template.phase;
+        let (out_hdr, out_tot) = (template.header_flits, template.total_flits());
         Branch {
             candidates: vec![(port, phase)],
-            template,
+            src: BranchSrc::Fresh(template),
             port: None,
             out_worm: None,
             sent: 0,
             done: false,
+            out_hdr,
+            out_tot,
         }
     }
 
-    /// A branch that may take any of `candidates` (adaptive). When the
-    /// configuration disables adaptivity the caller truncates the list.
+    /// A branch that may take any of `candidates` (adaptive), carrying an
+    /// edited descriptor. When the configuration disables adaptivity the
+    /// caller truncates the list.
     pub fn adaptive(mut candidates: Vec<(PortIdx, Phase)>, template: WormCopy, adaptive: bool) -> Self {
         debug_assert!(!candidates.is_empty(), "adaptive branch with no candidates");
         if !adaptive {
             candidates.truncate(1);
         }
-        Branch { candidates, template, port: None, out_worm: None, sent: 0, done: false }
+        let (out_hdr, out_tot) = (template.header_flits, template.total_flits());
+        Branch {
+            candidates,
+            src: BranchSrc::Fresh(template),
+            port: None,
+            out_worm: None,
+            sent: 0,
+            done: false,
+            out_hdr,
+            out_tot,
+        }
+    }
+
+    /// A branch that forwards `worm` unchanged through a fixed port
+    /// (local ejects) — shares the incoming descriptor.
+    pub fn forward_fixed(port: PortIdx, worm: &Arc<WormCopy>) -> Self {
+        Branch {
+            candidates: vec![(port, worm.phase)],
+            src: BranchSrc::Inherit(worm.clone()),
+            port: None,
+            out_worm: None,
+            sent: 0,
+            done: false,
+            out_hdr: worm.header_flits,
+            out_tot: worm.total_flits(),
+        }
+    }
+
+    /// A branch that forwards `worm` unchanged through any of
+    /// `candidates` — shares the incoming descriptor.
+    pub fn forward(
+        mut candidates: Vec<(PortIdx, Phase)>,
+        worm: &Arc<WormCopy>,
+        adaptive: bool,
+    ) -> Self {
+        debug_assert!(!candidates.is_empty(), "forward branch with no candidates");
+        if !adaptive {
+            candidates.truncate(1);
+        }
+        Branch {
+            candidates,
+            src: BranchSrc::Inherit(worm.clone()),
+            port: None,
+            out_worm: None,
+            sent: 0,
+            done: false,
+            out_hdr: worm.header_flits,
+            out_tot: worm.total_flits(),
+        }
+    }
+
+    /// The outgoing worm descriptor (pre-grant phase).
+    #[inline]
+    pub fn worm(&self) -> &WormCopy {
+        match &self.src {
+            BranchSrc::Inherit(w) => w,
+            BranchSrc::Fresh(w) => w,
+        }
     }
 
     /// Header flits of the outgoing copy.
     #[inline]
     pub fn out_header(&self) -> u32 {
-        self.template.header_flits
+        self.out_hdr
     }
 
     /// Total flits of the outgoing copy.
     #[inline]
     pub fn out_total(&self) -> u32 {
-        self.template.total_flits()
+        self.out_tot
     }
 
     /// How many flits of the *incoming* worm this branch has fully
@@ -87,6 +172,8 @@ impl Branch {
     }
 
     /// Bind this branch to `port`, finalizing the outgoing copy's phase.
+    /// An inherited descriptor whose phase already matches is reused
+    /// without allocating.
     pub fn grant(&mut self, port: PortIdx) {
         debug_assert!(self.port.is_none());
         let phase = self
@@ -95,10 +182,21 @@ impl Branch {
             .find(|(p, _)| *p == port)
             .map(|(_, ph)| *ph)
             .expect("granted port not among candidates");
-        let mut w = self.template.clone();
-        w.phase = phase;
+        let out = match &self.src {
+            BranchSrc::Inherit(w) if w.phase == phase => w.clone(),
+            BranchSrc::Inherit(w) => {
+                let mut c = (**w).clone();
+                c.phase = phase;
+                Arc::new(c)
+            }
+            BranchSrc::Fresh(w) => {
+                let mut c = w.clone();
+                c.phase = phase;
+                Arc::new(c)
+            }
+        };
         self.port = Some(port);
-        self.out_worm = Some(Arc::new(w));
+        self.out_worm = Some(out);
     }
 }
 
@@ -117,12 +215,30 @@ pub struct Frame {
     pub decoded: bool,
     /// Incoming flits recycled so far (min over branch consumption).
     pub freed: u32,
+    /// Branches not yet granted an output port.
+    pub ungranted: u16,
+    /// Cached `worm.header_flits` — consulted on every arriving and
+    /// departing flit, so kept out of the `Arc`.
+    pub header_in: u32,
+    /// Cached `worm.total_flits()`.
+    pub total_in: u32,
 }
 
 impl Frame {
     /// Start absorbing a worm whose head flit just arrived.
     pub fn new(worm: Arc<WormCopy>) -> Self {
-        Frame { worm, received: 0, header_done_at: None, branches: Vec::new(), decoded: false, freed: 0 }
+        let (header_in, total_in) = (worm.header_flits, worm.total_flits());
+        Frame {
+            worm,
+            received: 0,
+            header_done_at: None,
+            branches: Vec::new(),
+            decoded: false,
+            freed: 0,
+            ungranted: 0,
+            header_in,
+            total_in,
+        }
     }
 
     /// True once every branch has drained.
@@ -133,19 +249,30 @@ impl Frame {
     /// Recompute `freed` from branch progress; returns the newly freed
     /// flit count (to release buffer reservations).
     pub fn advance_freed(&mut self) -> u32 {
+        self.advance().0
+    }
+
+    /// Single-pass combination of [`Frame::advance_freed`] and
+    /// [`Frame::all_branches_done`] — the transfer path calls both per
+    /// flit, and each walks the branch list.
+    #[inline]
+    pub fn advance(&mut self) -> (u32, bool) {
         if !self.decoded {
-            return 0;
+            return (0, false);
         }
-        let header_in = self.worm.header_flits;
-        let new_freed = self
-            .branches
-            .iter()
-            .map(|b| b.consumed_src(header_in))
-            .min()
-            .unwrap_or(0);
+        let header_in = self.header_in;
+        let mut new_freed = u32::MAX;
+        let mut all_done = true;
+        for b in &self.branches {
+            new_freed = new_freed.min(b.consumed_src(header_in));
+            all_done &= b.done;
+        }
+        if self.branches.is_empty() {
+            new_freed = 0;
+        }
         let delta = new_freed.saturating_sub(self.freed);
         self.freed = new_freed;
-        delta
+        (delta, all_done)
     }
 }
 
@@ -164,6 +291,18 @@ pub struct OutPort {
 }
 
 /// Full per-switch simulation state.
+///
+/// The three activity fields (`undecoded`, `ungranted`, `owned`) are
+/// denormalized views of the port state, maintained by the engine so
+/// the per-cycle decode/arbitrate/transfer passes touch only the ports
+/// that can make progress instead of scanning every port:
+///
+/// * `undecoded` — bit `p` set iff input `p` has a front frame whose
+///   header has not been decoded yet;
+/// * `waiting` — bit `p` set iff input `p`'s front frame has at least
+///   one decoded branch still awaiting an output grant (arbitration
+///   visits only these ports);
+/// * `owned` — bit `o` set iff `outputs[o].owner` is `Some`.
 #[derive(Debug, Default)]
 pub struct SwitchState {
     /// Input ports.
@@ -172,15 +311,25 @@ pub struct SwitchState {
     pub outputs: Vec<OutPort>,
     /// Rotating arbitration priority (input port to scan first).
     pub rr: u8,
+    /// Bitmask of input ports whose front frame awaits decode.
+    pub undecoded: u32,
+    /// Bitmask of input ports with ungranted decoded branches.
+    pub waiting: u32,
+    /// Bitmask of output ports with an owning branch.
+    pub owned: u32,
 }
 
 impl SwitchState {
     /// Fresh state for a switch with `ports` ports.
     pub fn new(ports: usize) -> Self {
+        assert!(ports <= 32, "switch degree {ports} exceeds the 32-port activity-mask limit");
         SwitchState {
             inputs: (0..ports).map(|_| InPort::default()).collect(),
             outputs: vec![OutPort::default(); ports],
             rr: 0,
+            undecoded: 0,
+            waiting: 0,
+            owned: 0,
         }
     }
 
@@ -231,7 +380,7 @@ pub fn decode_branches(
                     .map(|&p| (p, Phase::Up))
                     .collect();
                 debug_assert!(!cands.is_empty(), "tree worm stuck in up phase at {here}");
-                vec![Branch::adaptive(cands, (**worm).clone(), cfg.adaptive)]
+                vec![Branch::forward(cands, worm, cfg.adaptive)]
             }
         }
         RouteInfo::Path { spec, cursor } => {
@@ -261,7 +410,7 @@ pub fn decode_branches(
                 out
             } else {
                 let cands = path_leg_candidates(net, here, worm.phase, stop);
-                vec![Branch::adaptive(cands, (**worm).clone(), cfg.adaptive)]
+                vec![Branch::forward(cands, worm, cfg.adaptive)]
             }
         }
     }
@@ -278,10 +427,10 @@ fn decode_point_to_point(
     if ds == here {
         let port = net.topo.host_port(dest);
         debug_assert!(matches!(net.topo.switch(here).ports[port.idx()], PortUse::Host(n) if n == dest));
-        vec![Branch::fixed(port, (**worm).clone())]
+        vec![Branch::forward_fixed(port, worm)]
     } else {
         let cands = route_candidates(net, here, worm.phase, ds);
-        vec![Branch::adaptive(cands, (**worm).clone(), cfg.adaptive)]
+        vec![Branch::forward(cands, worm, cfg.adaptive)]
     }
 }
 
@@ -379,14 +528,14 @@ mod tests {
         assert_eq!(b.len(), 2);
         let masks: Vec<NodeMask> = b
             .iter()
-            .map(|br| match &br.template.route {
+            .map(|br| match &br.worm().route {
                 RouteInfo::Tree { dests, .. } => *dests,
                 _ => panic!("wrong route kind"),
             })
             .collect();
         let union = masks.iter().fold(NodeMask::EMPTY, |a, m| a.union(*m));
         assert_eq!(union, dests);
-        assert!(b.iter().all(|br| br.template.phase == Phase::Down));
+        assert!(b.iter().all(|br| br.worm().phase == Phase::Down));
     }
 
     #[test]
@@ -422,13 +571,13 @@ mod tests {
         // Drop branch: delivered header.
         let drop = b
             .iter()
-            .find(|br| matches!(br.template.route, RouteInfo::Delivered { .. }))
+            .find(|br| matches!(br.worm().route, RouteInfo::Delivered { .. }))
             .unwrap();
         assert_eq!(drop.out_header(), cfg.delivered_header_flits);
         // Forward branch: two fewer header flits (one stop consumed).
         let fwd = b
             .iter()
-            .find(|br| matches!(br.template.route, RouteInfo::Path { cursor: 1, .. }))
+            .find(|br| matches!(br.worm().route, RouteInfo::Path { cursor: 1, .. }))
             .unwrap();
         assert_eq!(fwd.out_header(), cfg.path_header_flits(1));
     }

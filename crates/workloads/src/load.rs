@@ -78,6 +78,9 @@ pub struct LoadResult {
     /// Distribution of the measured latencies (mean/σ/percentiles), when
     /// any multicast completed.
     pub latency: Option<crate::stats::Summary>,
+    /// Cycles the engine actually iterated (event jumps excluded) — the
+    /// work metric reported by `irrnet-run bench`.
+    pub cycles_run: u64,
 }
 
 /// Run one open-loop multicast load experiment.
@@ -145,7 +148,14 @@ pub fn run_load(
     }
     let saturated = launched > 0 && (completed as f64) < 0.9 * launched as f64;
     let latency = crate::stats::Summary::of(&samples);
-    Ok(LoadResult { mean_latency, launched, completed, saturated, latency })
+    Ok(LoadResult {
+        mean_latency,
+        launched,
+        completed,
+        saturated,
+        latency,
+        cycles_run: stats.cycles_run,
+    })
 }
 
 #[cfg(test)]

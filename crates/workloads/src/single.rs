@@ -18,6 +18,9 @@ pub struct SingleResult {
     pub latency: u64,
     /// Structural plan facts (worms, phases, k).
     pub meta: PlanMeta,
+    /// Cycles the engine actually iterated (event jumps excluded) — the
+    /// work metric reported by `irrnet-run bench`.
+    pub cycles_run: u64,
 }
 
 /// Run one multicast on an idle network and return its latency.
@@ -36,11 +39,11 @@ pub fn run_single(
     let mut sim = Simulator::new(net, cfg.clone(), proto)?;
     sim.schedule_multicast(0, McastId(0), dests, message_flits);
     sim.run_to_completion(500_000_000)?;
-    let latency = sim
-        .stats()
+    let stats = sim.stats();
+    let latency = stats
         .latency_of(McastId(0))
         .expect("run_to_completion guarantees completion");
-    Ok(SingleResult { latency, meta })
+    Ok(SingleResult { latency, meta, cycles_run: stats.cycles_run })
 }
 
 /// Draw a random (source, destination set) pair of the given degree.

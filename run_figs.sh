@@ -6,11 +6,21 @@
 # Pass-through args go to the campaign run, e.g.:
 #   ./run_figs.sh                 # quick campaign + compare
 #   IRRNET_FULL=1 ./run_figs.sh   # full paper-scale campaign + compare
+#   ./run_figs.sh bench           # perf gate vs committed BENCH_sim.json
 set -euo pipefail
 cd "$(dirname "$0")"
 
 cargo build --release -p irrnet-harness
 RUN=target/release/irrnet-run
+
+# Perf-regression mode: re-measure the bench matrix and fail if any
+# workload's cycles/sec drops more than 20% below the committed report.
+if [ "${1:-}" = "bench" ]; then
+  shift
+  # --no-out: measure only; never clobber the committed baseline report
+  # that --check gates against.
+  exec "$RUN" bench --no-out --check BENCH_sim.json "$@"
+fi
 
 if [ "${IRRNET_FULL:-0}" = "1" ]; then
   "$RUN" --all "$@"
