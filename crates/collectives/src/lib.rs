@@ -30,7 +30,7 @@
 //! use irrnet_sim::SimConfig;
 //! use irrnet_topology::{zoo, Network, NodeId, NodeMask};
 //!
-//! let net = Network::analyze(zoo::paper_example()).unwrap();
+//! let net = Network::analyze(zoo::paper_example().unwrap()).unwrap();
 //! let cfg = SimConfig::paper_default();
 //! let r = run_collective(
 //!     &net,

@@ -172,7 +172,7 @@ mod tests {
 
     fn setup() -> (Network, SimConfig) {
         (
-            Network::analyze(zoo::paper_example()).unwrap(),
+            Network::analyze(zoo::paper_example().unwrap()).unwrap(),
             SimConfig::paper_default(),
         )
     }

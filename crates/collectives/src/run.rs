@@ -75,7 +75,7 @@ mod tests {
     use irrnet_topology::{gen, zoo, RandomTopologyConfig};
 
     fn net() -> Network {
-        Network::analyze(zoo::paper_example()).unwrap()
+        Network::analyze(zoo::paper_example().unwrap()).unwrap()
     }
 
     fn all32() -> NodeMask {

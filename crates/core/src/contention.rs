@@ -99,7 +99,7 @@ mod tests {
 
     #[test]
     fn chain_over_one_switch_is_all_local() {
-        let net = irrnet_topology::Network::analyze(irrnet_topology::zoo::single_switch(8))
+        let net = irrnet_topology::Network::analyze(irrnet_topology::zoo::single_switch(8).unwrap())
             .unwrap();
         let dests: Vec<NodeId> = (1..=7).map(NodeId).collect();
         let t = build_k_binomial(NodeId(0), &dests, 2);
@@ -114,7 +114,7 @@ mod tests {
         // chain(4), k=1 over rank order: edges n0->n1->n2->n3, each
         // crossing exactly the links between consecutive switches once.
         let net =
-            irrnet_topology::Network::analyze(irrnet_topology::zoo::chain(4)).unwrap();
+            irrnet_topology::Network::analyze(irrnet_topology::zoo::chain(4).unwrap()).unwrap();
         let dests: Vec<NodeId> = (1..=3).map(NodeId).collect();
         let t = build_k_binomial(NodeId(0), &dests, 1);
         let s = tree_link_loads(&net, &t);

@@ -84,7 +84,7 @@ mod tests {
 
     #[test]
     fn launch_returns_source_sends() {
-        let net = Network::analyze(zoo::chain(3)).unwrap();
+        let net = Network::analyze(zoo::chain(3).unwrap()).unwrap();
         let cfg = SimConfig::paper_default();
         let dests = NodeMask::from_nodes([NodeId(1), NodeId(2)]);
         let plan = plan_multicast(&net, &cfg, Scheme::UBinomial, NodeId(0), dests, 128);
@@ -98,7 +98,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "duplicate plan")]
     fn duplicate_registration_panics() {
-        let net = Network::analyze(zoo::chain(2)).unwrap();
+        let net = Network::analyze(zoo::chain(2).unwrap()).unwrap();
         let cfg = SimConfig::paper_default();
         let plan = Arc::new(plan_multicast(
             &net,
@@ -115,7 +115,7 @@ mod tests {
 
     #[test]
     fn non_forwarding_nodes_return_nothing() {
-        let net = Network::analyze(zoo::chain(3)).unwrap();
+        let net = Network::analyze(zoo::chain(3).unwrap()).unwrap();
         let cfg = SimConfig::paper_default();
         let dests = NodeMask::from_nodes([NodeId(1), NodeId(2)]);
         let plan = plan_multicast(&net, &cfg, Scheme::TreeWorm, NodeId(0), dests, 128);

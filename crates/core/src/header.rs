@@ -104,7 +104,7 @@ mod tests {
     use irrnet_topology::{zoo, Network, NodeId};
 
     fn setup() -> (Network, SimConfig, NodeMask) {
-        let net = Network::analyze(zoo::paper_example()).unwrap();
+        let net = Network::analyze(zoo::paper_example().unwrap()).unwrap();
         let cfg = SimConfig::paper_default();
         let dests = NodeMask::from_nodes((1..=15).map(NodeId));
         (net, cfg, dests)

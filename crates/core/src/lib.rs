@@ -23,7 +23,7 @@
 //! use irrnet_topology::{zoo, Network, NodeId, NodeMask};
 //! use std::sync::Arc;
 //!
-//! let net = Network::analyze(zoo::paper_example()).unwrap();
+//! let net = Network::analyze(zoo::paper_example().unwrap()).unwrap();
 //! let cfg = SimConfig::paper_default();
 //! let dests = NodeMask::from_nodes((1..=8).map(NodeId));
 //! let plan = plan_multicast(&net, &cfg, Scheme::TreeWorm, NodeId(0), dests, 128);

@@ -322,7 +322,7 @@ mod tests {
     fn chain_broadcast_needs_one_worm() {
         // On a chain rooted at S0, one worm from n0 walks down the whole
         // chain and drops everywhere.
-        let net = Network::analyze(zoo::chain(4)).unwrap();
+        let net = Network::analyze(zoo::chain(4).unwrap()).unwrap();
         let plan = plan_paths(&net, NodeId(0), full_dests(&net, NodeId(0)), PathVariant::Greedy);
         assert_eq!(plan.worms.len(), 1);
         assert_eq!(plan.phases, 1);
@@ -334,7 +334,7 @@ mod tests {
         // Star with 4 leaves: any single path visits the core and at most
         // one leaf... with the up/down orientation the core is the root,
         // so a path from a leaf goes up to the core and down one leaf.
-        let net = Network::analyze(zoo::star(4, 2)).unwrap();
+        let net = Network::analyze(zoo::star(4, 2).unwrap()).unwrap();
         let src = NodeId(0);
         let dests = full_dests(&net, src);
         let plan = plan_paths(&net, src, dests, PathVariant::Greedy);
@@ -414,7 +414,7 @@ mod tests {
 
     #[test]
     fn leaders_are_destinations_and_distinct_sender_keys() {
-        let net = Network::analyze(zoo::paper_example()).unwrap();
+        let net = Network::analyze(zoo::paper_example().unwrap()).unwrap();
         let src = NodeId(5);
         let dests = NodeMask::from_nodes((8..24).map(NodeId));
         let plan = plan_paths(&net, src, dests, PathVariant::LessGreedy);
@@ -447,7 +447,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "empty destination set")]
     fn empty_dests_panics() {
-        let net = Network::analyze(zoo::chain(2)).unwrap();
+        let net = Network::analyze(zoo::chain(2).unwrap()).unwrap();
         plan_paths(&net, NodeId(0), NodeMask::EMPTY, PathVariant::Greedy);
     }
 }

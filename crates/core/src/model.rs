@@ -183,7 +183,7 @@ mod tests {
     fn unicast_model_is_exact_on_chains() {
         let cfg = SimConfig::paper_default();
         for n in 2..=5 {
-            let net = Network::analyze(zoo::chain(n)).unwrap();
+            let net = Network::analyze(zoo::chain(n).unwrap()).unwrap();
             let model = LatencyModel::new(&net, &cfg);
             for msg in [16u32, 128, 300, 512] {
                 let dst = NodeId((n - 1) as u16);

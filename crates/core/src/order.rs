@@ -64,7 +64,7 @@ mod tests {
 
     #[test]
     fn ranks_are_a_permutation() {
-        let net = Network::analyze(zoo::paper_example()).unwrap();
+        let net = Network::analyze(zoo::paper_example().unwrap()).unwrap();
         let ranks = node_ranks(&net);
         let mut seen = vec![false; ranks.len()];
         for &r in &ranks {
@@ -75,7 +75,7 @@ mod tests {
 
     #[test]
     fn same_switch_nodes_are_contiguous() {
-        let net = Network::analyze(zoo::paper_example()).unwrap();
+        let net = Network::analyze(zoo::paper_example().unwrap()).unwrap();
         let ranks = node_ranks(&net);
         // Gather ranks per switch; each switch's rank set must be a
         // contiguous interval.
@@ -95,7 +95,7 @@ mod tests {
 
     #[test]
     fn chain_topology_orders_along_the_chain() {
-        let net = Network::analyze(zoo::chain(4)).unwrap();
+        let net = Network::analyze(zoo::chain(4).unwrap()).unwrap();
         let ranks = node_ranks(&net);
         // chain roots at S0; DFS order follows the chain.
         assert!(ranks[0] < ranks[1]);
@@ -105,7 +105,7 @@ mod tests {
 
     #[test]
     fn sorting_respects_ranks() {
-        let net = Network::analyze(zoo::chain(3)).unwrap();
+        let net = Network::analyze(zoo::chain(3).unwrap()).unwrap();
         let ranks = node_ranks(&net);
         let mut v = vec![NodeId(2), NodeId(0), NodeId(1)];
         sort_by_rank(&mut v, &ranks);

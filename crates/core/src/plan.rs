@@ -300,7 +300,7 @@ mod tests {
     use irrnet_topology::zoo;
 
     fn net() -> Network {
-        Network::analyze(zoo::paper_example()).unwrap()
+        Network::analyze(zoo::paper_example().unwrap()).unwrap()
     }
 
     fn dests8() -> NodeMask {

@@ -48,7 +48,7 @@ fn every_scheme_delivers_on_random_topologies() {
 #[test]
 fn every_scheme_handles_broadcast() {
     let cfg = SimConfig::paper_default();
-    let net = Network::analyze(zoo::paper_example()).unwrap();
+    let net = Network::analyze(zoo::paper_example().unwrap()).unwrap();
     let source = NodeId(0);
     let mut dests = NodeMask::all(32);
     dests.remove(source);
@@ -60,7 +60,7 @@ fn every_scheme_handles_broadcast() {
 #[test]
 fn every_scheme_handles_multi_packet_messages() {
     let cfg = SimConfig::paper_default();
-    let net = Network::analyze(zoo::paper_example()).unwrap();
+    let net = Network::analyze(zoo::paper_example().unwrap()).unwrap();
     let source = NodeId(3);
     let dests = NodeMask::from_nodes([4, 9, 17, 25, 30].map(NodeId));
     for scheme in Scheme::all() {
@@ -72,7 +72,7 @@ fn every_scheme_handles_multi_packet_messages() {
 #[test]
 fn every_scheme_handles_single_destination() {
     let cfg = SimConfig::paper_default();
-    let net = Network::analyze(zoo::paper_example()).unwrap();
+    let net = Network::analyze(zoo::paper_example().unwrap()).unwrap();
     for scheme in Scheme::all() {
         run_one(&net, &cfg, scheme, NodeId(0), NodeMask::single(NodeId(31)), 128);
     }

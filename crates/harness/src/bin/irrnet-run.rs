@@ -29,7 +29,7 @@ fn usage() -> ! {
     std::process::exit(2);
 }
 
-fn parse_value<T: std::str::FromStr>(args: &mut std::vec::IntoIter<String>, flag: &str) -> T {
+fn parse_value<T: std::str::FromStr>(args: &mut impl Iterator<Item = String>, flag: &str) -> T {
     let Some(v) = args.next() else {
         eprintln!("error: {flag} needs a value");
         usage();
@@ -159,12 +159,19 @@ fn main_compare(argv: Vec<String>) -> ExitCode {
 
 fn main_bench(argv: Vec<String>) -> ExitCode {
     let mut opts = BenchOptions { out: Some("BENCH_sim.json".into()), ..BenchOptions::default() };
-    let mut args = argv.into_iter();
+    let mut args = argv.into_iter().peekable();
     while let Some(a) = args.next() {
         match a.as_str() {
             "--out" => opts.out = Some(parse_value::<String>(&mut args, "--out").into()),
             "--no-out" => opts.out = None,
-            "--check" => opts.check = Some(parse_value::<String>(&mut args, "--check").into()),
+            // The report path is optional: a bare `--check` gates against
+            // the committed default.
+            "--check" => {
+                opts.check = Some(match args.peek() {
+                    Some(v) if !v.starts_with("--") => args.next().unwrap().into(),
+                    _ => "BENCH_sim.json".into(),
+                });
+            }
             "--baseline-from" => {
                 opts.baseline_from =
                     Some(parse_value::<String>(&mut args, "--baseline-from").into());

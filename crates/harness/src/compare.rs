@@ -119,7 +119,9 @@ enum FileClass {
 }
 
 fn classify(name: &str) -> FileClass {
-    if name.starts_with("tab01_") || name.starts_with("ext_e_") {
+    if name.starts_with("tab01_") || name.starts_with("ext_e_") || name.starts_with("ext_f_") {
+        // ext_f runs the same pinned-seed grid in quick and full mode:
+        // every cell is a deterministic degradation story.
         FileClass::Exact
     } else if name.starts_with("fig09")
         || name.starts_with("fig10")

@@ -15,6 +15,7 @@ pub mod ext_b;
 pub mod ext_c;
 pub mod ext_d;
 pub mod ext_e;
+pub mod ext_f;
 pub mod fig06;
 pub mod fig07;
 pub mod fig08;

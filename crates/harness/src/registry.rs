@@ -159,6 +159,11 @@ pub fn registry() -> Vec<ExperimentSpec> {
             units: ex::ext_e::units,
         },
         ExperimentSpec {
+            name: "ext_f",
+            title: "Extension F — fault injection, reconfiguration, and NI retransmission",
+            units: ex::ext_f::units,
+        },
+        ExperimentSpec {
             name: "abl_ordering",
             title: "Ablation — k-binomial destination placement",
             units: ex::abl_ordering::units,

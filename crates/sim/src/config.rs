@@ -53,6 +53,13 @@ pub struct SimConfig {
     /// Cycles of inactivity after which the engine declares a deadlock /
     /// livelock and aborts with diagnostics.
     pub watchdog_cycles: Cycle,
+    /// Number of times the watchdog may *recover* instead of aborting:
+    /// each recovery kills the youngest stuck worm (the one whose head
+    /// arrived last) and resumes. 0 — the paper-faithful default — means
+    /// the first stall is fatal. Like `watchdog_cycles`, this bounds the
+    /// engine rather than the modeled system, so it is excluded from
+    /// [`SimConfig::canonical_string`].
+    pub watchdog_recovery_limit: u32,
     /// Adaptive routing (the paper's Autonet model): a worm may take any
     /// minimal legal port, first-free wins. Setting this to `false`
     /// restricts every adaptive decision to its first (lowest-port)
@@ -88,6 +95,7 @@ impl SimConfig {
             crossbar_delay: 1,
             routing_delay: 1,
             watchdog_cycles: 2_000_000,
+            watchdog_recovery_limit: 0,
             adaptive: true,
         }
     }
@@ -200,8 +208,8 @@ impl SimConfig {
 
     /// Stable 64-bit fingerprint of the config (FNV-1a over
     /// [`Self::canonical_string`]); identical across runs and platforms.
-    /// The watchdog limit is deliberately excluded — it bounds the
-    /// engine, not the modeled system.
+    /// The watchdog limit and recovery budget are deliberately excluded —
+    /// they bound the engine, not the modeled system.
     pub fn stable_hash(&self) -> u64 {
         irrnet_topology::rng::fnv1a(self.canonical_string().as_bytes())
     }
@@ -232,6 +240,56 @@ impl SimConfig {
 impl Default for SimConfig {
     fn default() -> Self {
         Self::paper_default()
+    }
+}
+
+/// NI-level retransmission policy (fault tolerance extension).
+///
+/// When installed via `Simulator::enable_retransmission`, the source NI
+/// of every multicast arms a delivery timer. Destinations still missing
+/// when it fires get the whole message retransmitted as plain unicast
+/// worms straight from the NI send queue (no host CPU, no fresh DMA —
+/// the NI still holds the packets), and the timer re-arms with seeded
+/// exponential backoff. This is how a multidestination worm whose tree
+/// branch died "degrades to unicast" for the stranded destinations.
+///
+/// The policy is engine machinery, not part of the modeled system, so —
+/// like the watchdog knobs — it never enters
+/// [`SimConfig::canonical_string`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetxPolicy {
+    /// Base delivery timeout: the first check fires this many cycles
+    /// after the source first sends.
+    pub timeout: Cycle,
+    /// Maximum retry rounds per multicast before giving up.
+    pub max_retries: u32,
+    /// Seed for the per-(multicast, attempt) backoff jitter.
+    pub seed: u64,
+}
+
+impl RetxPolicy {
+    /// A policy sized from the config: the timeout covers a full
+    /// host-send pipeline plus generous network time, so healthy traffic
+    /// essentially never retransmits spuriously.
+    pub fn default_for(cfg: &SimConfig) -> Self {
+        let pipeline = cfg.o_send_host
+            + cfg.o_send_ni
+            + cfg.o_recv_ni
+            + cfg.o_recv_host
+            + 4 * cfg.dma_cycles(cfg.packet_payload_flits);
+        RetxPolicy { timeout: 8 * pipeline.max(1), max_retries: 4, seed: 0x5eed_f417 }
+    }
+
+    /// Delay from attempt `attempt` (1-based: the value *after* the
+    /// increment) until the next check for multicast index `idx`:
+    /// `timeout << min(attempt, 6)` plus deterministic jitter derived
+    /// from `(seed, idx, attempt)`.
+    pub fn next_check_delay(&self, idx: u32, attempt: u32) -> Cycle {
+        let base = self.timeout << attempt.min(6);
+        let jitter =
+            irrnet_topology::rng::hash3(self.seed, idx as u64, attempt as u64)
+                % (self.timeout / 4 + 1);
+        base + jitter
     }
 }
 
@@ -311,7 +369,20 @@ mod tests {
         assert_ne!(a.stable_hash(), c.stable_hash());
         let mut d = SimConfig::paper_default();
         d.watchdog_cycles += 1;
+        d.watchdog_recovery_limit += 3;
         assert_eq!(a.stable_hash(), d.stable_hash());
+    }
+
+    #[test]
+    fn retx_policy_backoff_is_seeded_and_monotone() {
+        let p = RetxPolicy::default_for(&SimConfig::paper_default());
+        assert!(p.timeout > 0);
+        let a1 = p.next_check_delay(3, 1);
+        let a2 = p.next_check_delay(3, 2);
+        assert!(a2 >= 2 * p.timeout, "exponential backoff");
+        assert!(a1 >= p.timeout);
+        // Same (mcast, attempt) → same jitter; different mcast → usually not.
+        assert_eq!(a1, p.next_check_delay(3, 1));
     }
 
     #[test]

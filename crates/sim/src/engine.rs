@@ -12,15 +12,18 @@
 //! schedule). Arbitration uses rotating round-robin priorities; all queues
 //! are FIFO; there is no wall-clock or unseeded randomness anywhere.
 
-use crate::config::{Cycle, SimConfig};
-use crate::error::SimError;
+use crate::config::{Cycle, RetxPolicy, SimConfig};
+use crate::error::{BranchSnapshot, DeadlockDiagnostics, SimError, StuckFrame, TxBacklog};
 use crate::host::{DmaTask, HostState, HostTask, NiTask};
 use crate::protocol::Protocol;
 use crate::stats::SimStats;
-use crate::switch::{decode_branches, Frame, SwitchState};
+use crate::switch::{decode_branches, decode_branches_masked, Frame, SwitchState};
 use crate::trace::{TraceEvent, TraceLog};
 use crate::worm::{McastId, RouteInfo, SendSpec, WormCopy};
-use irrnet_topology::{Network, NodeId, NodeMask, Phase, PortIdx, PortUse, SwitchId};
+use irrnet_topology::{
+    FaultEvent, FaultPlan, FaultStatus, LinkId, Network, NodeId, NodeMask, Phase, PortIdx,
+    PortUse, SwitchId,
+};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::Arc;
@@ -43,13 +46,50 @@ enum FlitPayload {
     Body,
 }
 
-/// Host-side events driven by the heap.
+/// Host-side events driven by the heap. (Heap entries are ordered by
+/// `(cycle, seq)` with `seq` unique, so the `Ord` on `Event` is never
+/// consulted for ties — adding variants cannot perturb replay order.)
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 enum Event {
     Launch(McastId),
     HostDone(u16),
     NiDone(u16),
     BusDone(u16),
+    /// Apply the fault plan's due events (kill links/switches, truncate
+    /// worm chains, reconfigure routing).
+    Fault,
+    /// Delivery-timeout check for the multicast at this dense index.
+    RetxCheck(u32),
+}
+
+/// Which end of an input-port frame queue to kill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FrameSlot {
+    Front,
+    Back,
+}
+
+/// Runtime state of an installed fault plan.
+struct FaultRt {
+    /// Fault events sorted by cycle.
+    plan: Vec<FaultEvent>,
+    /// Next un-applied event.
+    next: usize,
+    /// Live up/down status of every link and switch.
+    status: FaultStatus,
+    /// Reconfigured network over the survivors (rebuilt after each fault
+    /// batch); `None` until the first kill.
+    degraded: Option<Box<Network>>,
+}
+
+/// Runtime state of NI retransmission.
+struct RetxRt {
+    policy: RetxPolicy,
+    /// Retry rounds used so far, per dense multicast index.
+    attempts: Vec<u32>,
+    /// Source node (first sender) per dense multicast index; the NI that
+    /// owns the delivery timer and the retransmit queue.
+    source: Vec<Option<NodeId>>,
 }
 
 /// Per-multicast static description.
@@ -115,6 +155,30 @@ pub struct Simulator<'n, P: Protocol> {
     tx_pending: u64,
     last_progress: Cycle,
     trace: Option<TraceLog>,
+    /// Installed fault plan, if any. `None` keeps every fault check off
+    /// the per-flit hot path (healthy runs are byte-identical to builds
+    /// without fault support).
+    faults: Option<FaultRt>,
+    /// NI retransmission, if enabled.
+    retx: Option<RetxRt>,
+    /// Per input channel (global index): true once the feeding link or
+    /// the owning switch died. Arrivals there are dropped.
+    dead_in: Vec<bool>,
+    /// Per node: true once its switch died.
+    dead_host: Vec<bool>,
+    /// Per input channel: worm whose remaining in-flight flits must be
+    /// swallowed on arrival (its downstream frame was killed while the
+    /// feeder keeps streaming). Cleared by the next foreign head.
+    purge_in: Vec<Option<Arc<WormCopy>>>,
+    /// Same, per NI receive side.
+    purge_ni: Vec<Option<Arc<WormCopy>>>,
+    /// Count of set purge markers — gates the arrival-path checks.
+    purge_active: u32,
+    /// Watchdog recoveries spent (bounded by `watchdog_recovery_limit`).
+    recoveries_used: u32,
+    /// Error raised mid-cycle (e.g. a partitioning fault) and surfaced
+    /// at the next `run_until` iteration boundary.
+    pending_fatal: Option<SimError>,
 }
 
 impl<'n, P: Protocol> Simulator<'n, P> {
@@ -189,7 +253,63 @@ impl<'n, P: Protocol> Simulator<'n, P> {
             tx_pending: 0,
             last_progress: 0,
             trace: None,
+            faults: None,
+            retx: None,
+            dead_in: vec![false; ns * pmax],
+            dead_host: vec![false; nh],
+            purge_in: vec![None; ns * pmax],
+            purge_ni: vec![None; nh],
+            purge_active: 0,
+            recoveries_used: 0,
+            pending_fatal: None,
         })
+    }
+
+    /// Install a fault plan. At each event's cycle the named link or
+    /// switch dies: resident worm frames there are discarded, in-flight
+    /// worm chains crossing it are truncated and drained, and routing is
+    /// reconfigured (up*/down* recomputed over the survivors). A fault
+    /// that partitions the surviving hosts ends the run with
+    /// [`SimError::Partitioned`]. An empty plan is a no-op — the run
+    /// stays byte-identical to one without this call. Call before
+    /// running.
+    pub fn install_faults(&mut self, plan: &FaultPlan) {
+        let mut events = plan.events().to_vec();
+        if events.is_empty() {
+            return;
+        }
+        events.sort_by_key(|e| e.at);
+        let first = events[0].at.max(self.now);
+        self.faults = Some(FaultRt {
+            plan: events,
+            next: 0,
+            status: FaultStatus::healthy(&self.net.topo),
+            degraded: None,
+        });
+        self.schedule(first, Event::Fault);
+    }
+
+    /// Live link/switch status of the installed fault plan, if any.
+    pub fn fault_status(&self) -> Option<&FaultStatus> {
+        self.faults.as_ref().map(|f| &f.status)
+    }
+
+    /// Enable per-multicast delivery timeouts at the source NI: a
+    /// multicast with undelivered (and still-alive) destinations when its
+    /// timer expires is re-sent to exactly those destinations as
+    /// unicasts, up to [`RetxPolicy::max_retries`] rounds with seeded
+    /// exponential backoff. Call before running.
+    pub fn enable_retransmission(&mut self, policy: RetxPolicy) {
+        self.retx = Some(RetxRt { policy, attempts: Vec::new(), source: Vec::new() });
+    }
+
+    /// Saturate the reservation counter of one switch input buffer so it
+    /// accepts nothing — a test-only lever to force a flow-control
+    /// stall/deadlock (mirrors [`Self::set_full_scan`]).
+    #[doc(hidden)]
+    pub fn jam_input(&mut self, sw: SwitchId, port: PortIdx) {
+        let g = self.gidx(sw.0, port.0);
+        self.in_reserved[g] = self.cfg.input_buffer_flits;
     }
 
     /// Start recording a [`TraceLog`] of multicast lifecycle events.
@@ -283,6 +403,9 @@ impl<'n, P: Protocol> Simulator<'n, P> {
             if processed_any {
                 self.last_progress = self.now;
             }
+            if let Some(e) = self.pending_fatal.take() {
+                return Err(e);
+            }
             if !self.network_active() {
                 match self.heap.peek() {
                     Some(Reverse((c, _, _))) => {
@@ -303,10 +426,20 @@ impl<'n, P: Protocol> Simulator<'n, P> {
             if moved {
                 self.last_progress = self.now;
             } else if self.now - self.last_progress > self.cfg.watchdog_cycles {
-                return Err(SimError::Deadlock {
-                    at: self.now,
-                    diagnostics: self.diagnostics(),
-                });
+                // Recovery mode: sacrifice the youngest stuck worm and
+                // retry, up to the configured budget; retransmission (if
+                // enabled) re-covers its destinations. Out of budget — or
+                // nothing to kill — means a genuine abort.
+                if self.recoveries_used < self.cfg.watchdog_recovery_limit
+                    && self.watchdog_recover()
+                {
+                    self.last_progress = self.now;
+                } else {
+                    return Err(SimError::Deadlock {
+                        at: self.now,
+                        diagnostics: self.diagnostics(),
+                    });
+                }
             }
             self.now += 1;
             self.stats.cycles_run += 1;
@@ -423,11 +556,17 @@ impl<'n, P: Protocol> Simulator<'n, P> {
     }
 
     fn enqueue_host_send(&mut self, node: NodeId, mcast: McastId, spec: SendSpec) {
+        if self.dead_host[node.idx()] {
+            return; // the sender died; nothing can be issued from it
+        }
         // Dependent multicasts (registered, never explicitly launched)
         // begin their measured life at their first send.
         let (idx, info) = self.minfo(mcast);
         if !self.stats.mcasts.launched_at(idx) {
             self.stats.launch_at(idx, self.now, info.dests);
+        }
+        if self.retx.is_some() {
+            self.arm_retx(idx, node);
         }
         self.emit(TraceEvent::HostSendStart { node, mcast });
         let dur = self.cfg.o_send_host;
@@ -481,10 +620,15 @@ impl<'n, P: Protocol> Simulator<'n, P> {
                     self.enqueue_host_send(node, id, spec);
                 }
             }
+            Event::Fault => self.process_fault_events(),
+            Event::RetxCheck(idx) => self.process_retx_check(idx),
             Event::HostDone(n) => {
                 let (task, next) = self.hosts[n as usize].cpu.complete(self.now);
                 if let Some(c) = next {
                     self.schedule(c, Event::HostDone(n));
+                }
+                if self.dead_host[n as usize] {
+                    return; // zombie completion on a dead host: drain silently
                 }
                 match task {
                     HostTask::Send { mcast, spec } => {
@@ -505,11 +649,20 @@ impl<'n, P: Protocol> Simulator<'n, P> {
                     }
                     HostTask::Recv(mcast) => {
                         let node = NodeId(n);
-                        self.emit(TraceEvent::Delivered { node, mcast });
-                        self.stats.deliver(mcast, node, self.now);
-                        let sends = self.protocol.on_message_delivered(node, mcast, self.now);
-                        for (mid, spec) in sends {
-                            self.enqueue_host_send(node, mid, spec);
+                        // A retransmitted copy can complete after the
+                        // original (or vice versa): the first delivery
+                        // wins, later ones are counted no-ops and do not
+                        // re-trigger the protocol.
+                        if self.stats.is_delivered(mcast, node) {
+                            self.stats.net.duplicate_deliveries += 1;
+                        } else {
+                            self.emit(TraceEvent::Delivered { node, mcast });
+                            self.stats.deliver(mcast, node, self.now);
+                            let sends =
+                                self.protocol.on_message_delivered(node, mcast, self.now);
+                            for (mid, spec) in sends {
+                                self.enqueue_host_send(node, mid, spec);
+                            }
                         }
                     }
                 }
@@ -518,6 +671,9 @@ impl<'n, P: Protocol> Simulator<'n, P> {
                 let (task, next) = self.hosts[n as usize].bus.complete(self.now);
                 if let Some(c) = next {
                     self.schedule(c, Event::BusDone(n));
+                }
+                if self.dead_host[n as usize] {
+                    return;
                 }
                 match task {
                     DmaTask::ToNi { mcast, spec, pkt } => {
@@ -541,7 +697,10 @@ impl<'n, P: Protocol> Simulator<'n, P> {
                         let (idx, _) = self.minfo(worm.mcast);
                         let host = &mut self.hosts[n as usize];
                         let cnt = host.reassemble(idx);
-                        if cnt == worm.total_pkts {
+                        // `>=` (not `==`): a retransmission restarts the
+                        // count at 0, but straggler packets of the
+                        // truncated original can still land afterwards.
+                        if cnt >= worm.total_pkts {
                             host.reassembly_done(idx);
                             if let Some(c) = host.cpu.enqueue(
                                 HostTask::Recv(worm.mcast),
@@ -558,6 +717,9 @@ impl<'n, P: Protocol> Simulator<'n, P> {
                 let (task, next) = self.hosts[n as usize].ni.complete(self.now);
                 if let Some(c) = next {
                     self.schedule(c, Event::NiDone(n));
+                }
+                if self.dead_host[n as usize] {
+                    return;
                 }
                 match task {
                     NiTask::Tx(worm) => {
@@ -624,15 +786,46 @@ impl<'n, P: Protocol> Simulator<'n, P> {
         self.cur_slot = idx;
         let mut arrivals =
             std::mem::replace(&mut self.ring[idx], std::mem::take(&mut self.ring_scratch));
+        // Hoisted fault-path gate: nothing during the arrivals drain can
+        // install a plan, kill a channel, or plant a purge marker (those
+        // happen only in event processing), so one register-resident test
+        // per flit is all a healthy run pays.
+        let fault_path = self.faults.is_some() || self.purge_active > 0;
         for (sink, payload) in arrivals.drain(..) {
             self.wire_flits -= 1;
             moved = true;
             match sink {
                 SinkRef::SwIn { sw, port } => {
+                    // Fault path (gated off entirely on healthy runs):
+                    // flits landing on a dead channel vanish; flits of a
+                    // killed worm's truncated tail are swallowed until
+                    // the channel's next foreign head.
+                    if fault_path {
+                        let g = self.gidx(sw, port);
+                        if self.dead_in[g] {
+                            self.stats.net.flits_dropped += 1;
+                            self.in_reserved[g] -= 1;
+                            continue;
+                        }
+                        if let Some(mark) = &self.purge_in[g] {
+                            let stale = match &payload {
+                                FlitPayload::Head(w) => Arc::ptr_eq(w, mark),
+                                FlitPayload::Body => true,
+                            };
+                            if stale {
+                                self.stats.net.flits_dropped += 1;
+                                self.in_reserved[g] -= 1;
+                                continue;
+                            }
+                            self.purge_in[g] = None;
+                            self.purge_active -= 1;
+                        }
+                    }
                     match payload {
                         FlitPayload::Head(w) => {
                             let mut f = Frame::new(w);
                             f.received = 1;
+                            f.born = t;
                             if f.received == f.header_in {
                                 f.header_done_at = Some(t);
                             }
@@ -661,6 +854,25 @@ impl<'n, P: Protocol> Simulator<'n, P> {
                     }
                 }
                 SinkRef::Ni { node } => {
+                    if fault_path {
+                        let ni = node as usize;
+                        if self.dead_host[ni] {
+                            self.stats.net.flits_dropped += 1;
+                            continue;
+                        }
+                        if let Some(mark) = &self.purge_ni[ni] {
+                            let stale = match &payload {
+                                FlitPayload::Head(w) => Arc::ptr_eq(w, mark),
+                                FlitPayload::Body => true,
+                            };
+                            if stale {
+                                self.stats.net.flits_dropped += 1;
+                                continue;
+                            }
+                            self.purge_ni[ni] = None;
+                            self.purge_active -= 1;
+                        }
+                    }
                     self.stats.net.ejected_flits += 1;
                     let h = &mut self.hosts[node as usize];
                     let complete = match payload {
@@ -829,15 +1041,39 @@ impl<'n, P: Protocol> Simulator<'n, P> {
                 .expect("undecoded bit without front frame");
             debug_assert!(!f.decoded);
             let Some(hd) = f.header_done_at else { continue };
-            if t >= hd + self.cfg.routing_delay {
-                f.branches = decode_branches(self.net, &self.cfg, here, &f.worm);
-                self.stats.net.replications += f.branches.len().saturating_sub(1) as u64;
-                f.decoded = true;
-                f.ungranted = f.branches.len() as u16;
+            if t < hd + self.cfg.routing_delay {
+                continue;
+            }
+            let faulted = self.faults.as_ref().is_some_and(|rt| !rt.status.is_healthy());
+            let branches = if faulted {
+                let rt = self.faults.as_ref().expect("faulted implies plan");
+                let view: &Network = rt.degraded.as_deref().unwrap_or(self.net);
+                decode_branches_masked(view, &self.cfg, here, &f.worm, &rt.status)
+            } else {
+                decode_branches(self.net, &self.cfg, here, &f.worm)
+            };
+            if branches.is_empty() {
+                debug_assert!(faulted, "healthy decode yielded no branches");
+                // The degraded network leaves this worm nowhere to go
+                // (dead destination / fully pruned subtree / severed path
+                // leg): discard it. Retransmission, if enabled, re-covers
+                // any live destinations it was carrying.
                 sw.undecoded &= !(1 << p);
-                if f.ungranted > 0 {
-                    sw.waiting |= 1 << p;
-                }
+                self.discard_undecoded_front(si, sw, p);
+                moved = true;
+                continue;
+            }
+            self.stats.net.replications += branches.len().saturating_sub(1) as u64;
+            let f = sw.inputs[p]
+                .frames
+                .front_mut()
+                .expect("undecoded bit without front frame");
+            f.branches = branches;
+            f.decoded = true;
+            f.ungranted = f.branches.len() as u16;
+            sw.undecoded &= !(1 << p);
+            if f.ungranted > 0 {
+                sw.waiting |= 1 << p;
             }
         }
 
@@ -966,38 +1202,392 @@ impl<'n, P: Protocol> Simulator<'n, P> {
         moved
     }
 
-    fn diagnostics(&self) -> String {
-        use std::fmt::Write as _;
-        let mut s = String::new();
-        let _ = writeln!(
-            s,
-            "wire_flits={} frames_alive={} tx_pending={}",
-            self.wire_flits, self.frames_alive, self.tx_pending
-        );
+    fn diagnostics(&self) -> DeadlockDiagnostics {
+        let mut d = DeadlockDiagnostics {
+            wire_flits: self.wire_flits,
+            frames_alive: self.frames_alive,
+            tx_pending: self.tx_pending,
+            recoveries_used: self.recoveries_used,
+            stuck_frames: Vec::new(),
+            tx_backlogs: Vec::new(),
+        };
         for (si, sw) in self.switches.iter().enumerate() {
             for (pi, inp) in sw.inputs.iter().enumerate() {
                 if let Some(f) = inp.frames.front() {
-                    let _ = writeln!(
-                        s,
-                        "S{si} in p{pi}: worm mcast={:?} pkt={} recv={}/{} decoded={} branches={:?}",
-                        f.worm.mcast,
-                        f.worm.pkt,
-                        f.received,
-                        f.worm.total_flits(),
-                        f.decoded,
-                        f.branches
+                    d.stuck_frames.push(StuckFrame {
+                        switch: si as u16,
+                        port: pi as u8,
+                        mcast: f.worm.mcast,
+                        pkt: f.worm.pkt,
+                        received: f.received,
+                        total: f.worm.total_flits(),
+                        decoded: f.decoded,
+                        branches: f
+                            .branches
                             .iter()
-                            .map(|b| (b.port, b.sent, b.done))
-                            .collect::<Vec<_>>()
-                    );
+                            .map(|b| BranchSnapshot {
+                                port: b.port.map(|p| p.0),
+                                sent: b.sent,
+                                done: b.done,
+                            })
+                            .collect(),
+                    });
                 }
             }
         }
         for (ni, h) in self.hosts.iter().enumerate() {
             if !h.tx_queue.is_empty() {
-                let _ = writeln!(s, "n{ni} tx_queue={} tx_sent={}", h.tx_queue.len(), h.tx_sent);
+                d.tx_backlogs.push(TxBacklog {
+                    node: ni as u16,
+                    queued: h.tx_queue.len(),
+                    sent: h.tx_sent,
+                });
             }
         }
-        s
+        d
+    }
+
+    // ------------------------------------------------------------------
+    // faults
+    // ------------------------------------------------------------------
+
+    /// Apply every fault event due at `now`, then schedule the next one.
+    fn process_fault_events(&mut self) {
+        let Some(mut frt) = self.faults.take() else { return };
+        let mut dead_links: Vec<LinkId> = Vec::new();
+        let mut dead_switches: Vec<SwitchId> = Vec::new();
+        while frt.next < frt.plan.len() && frt.plan[frt.next].at <= self.now {
+            let ev = frt.plan[frt.next];
+            frt.next += 1;
+            let (ls, ss) = frt.status.kill(&self.net.topo, ev.kind);
+            dead_links.extend(ls);
+            dead_switches.extend(ss);
+        }
+        if !dead_links.is_empty() || !dead_switches.is_empty() {
+            self.apply_faults(&mut frt, &dead_links, &dead_switches);
+        }
+        if frt.next < frt.plan.len() {
+            let at = frt.plan[frt.next].at.max(self.now + 1);
+            self.schedule(at, Event::Fault);
+        }
+        self.faults = Some(frt);
+    }
+
+    /// Synchronous fault sweep: mark dead channels/hosts, drop partial
+    /// state on the dead components, truncate worm chains that crossed a
+    /// dead link, and reconfigure routing over the survivors.
+    fn apply_faults(
+        &mut self,
+        frt: &mut FaultRt,
+        links: &[LinkId],
+        switches: &[SwitchId],
+    ) {
+        // 1. Mark dead input channels (both ends of each dead link, every
+        //    port of each dead switch) and dead hosts. Flits already in
+        //    flight toward them are dropped lazily on arrival.
+        for &l in links {
+            let lk = self.net.topo.link(l);
+            for side in 0..2u8 {
+                let (s, p) = lk.end(side);
+                let g = self.gidx(s.0, p.0);
+                self.dead_in[g] = true;
+            }
+        }
+        for &s in switches {
+            for pi in 0..self.net.topo.switch(s).num_ports() {
+                let g = self.gidx(s.0, pi as u8);
+                self.dead_in[g] = true;
+            }
+            for n in self.net.topo.nodes_at(s).iter() {
+                let ni = n.idx();
+                self.dead_host[ni] = true;
+                let queued = self.hosts[ni].tx_queue.len() as u64;
+                if queued > 0 {
+                    self.tx_pending -= queued;
+                    self.hosts[ni].tx_queue.clear();
+                    self.hosts[ni].tx_sent = 0;
+                }
+                if let Some((_, got, _)) = self.hosts[ni].rx_current.take() {
+                    self.stats.net.flits_dropped += got as u64;
+                    self.stats.net.worms_killed += 1;
+                }
+            }
+        }
+        // 2. Discard every frame resident on a dead switch. Cascades from
+        //    them are no-ops: their outgoing links died with them, so the
+        //    downstream channels are already marked dead.
+        for &s in switches {
+            let si = s.idx();
+            for p in 0..self.switches[si].inputs.len() {
+                while !self.switches[si].inputs[p].frames.is_empty() {
+                    self.kill_frame_at(si, p, FrameSlot::Front, false);
+                }
+            }
+        }
+        // 3. Newly dead channels into *surviving* switches: an incomplete
+        //    back frame there can never finish (its feeder is cut) — kill
+        //    it, cascading into whatever strand it was feeding downstream.
+        let mut cut: Vec<(usize, usize)> = Vec::new();
+        for &l in links {
+            let lk = self.net.topo.link(l);
+            for side in 0..2u8 {
+                let (s, p) = lk.end(side);
+                if frt.status.switch_up(s) {
+                    cut.push((s.idx(), p.idx()));
+                }
+            }
+        }
+        cut.sort_unstable();
+        cut.dedup();
+        for (si, p) in cut {
+            let truncated = self.switches[si].inputs[p]
+                .frames
+                .back()
+                .is_some_and(|f| f.received < f.total_in);
+            if truncated {
+                self.kill_frame_at(si, p, FrameSlot::Back, false);
+            }
+        }
+        // 4. Reconfigure: re-elect the root and recompute the up*/down*
+        //    orientation over the survivors. A partition is fatal.
+        match self.net.degrade(&frt.status) {
+            Ok(d) => frt.degraded = Some(Box::new(d)),
+            Err(cause) => {
+                self.pending_fatal = Some(SimError::Partitioned { at: self.now, cause });
+            }
+        }
+    }
+
+    /// Remove one frame from input `p` of switch `si`: release its buffer
+    /// reservations and output grants, and chase down the partial copies
+    /// it was feeding downstream. `purge_feeder` marks the channel so the
+    /// (live) feeder's remaining in-flight flits are swallowed on
+    /// arrival; pass false when the feeder is dead or is the caller.
+    fn kill_frame_at(&mut self, si: usize, p: usize, slot: FrameSlot, purge_feeder: bool) {
+        let g = self.gidx(si as u16, p as u8);
+        let q = &mut self.switches[si].inputs[p].frames;
+        let was_front = match slot {
+            FrameSlot::Front => true,
+            FrameSlot::Back => q.len() == 1,
+        };
+        let f = match slot {
+            FrameSlot::Front => q.pop_front(),
+            FrameSlot::Back => q.pop_back(),
+        }
+        .expect("kill on empty port");
+        let outstanding = f.received - f.freed;
+        self.in_reserved[g] -= outstanding;
+        self.stats.net.flits_dropped += outstanding as u64;
+        self.stats.net.worms_killed += 1;
+        self.frames_alive -= 1;
+        self.sw_frames[si] -= 1;
+        if purge_feeder && f.received < f.total_in && !self.dead_in[g] {
+            if self.purge_in[g].is_none() {
+                self.purge_active += 1;
+            }
+            self.purge_in[g] = Some(f.worm.clone());
+        }
+        if was_front {
+            let sw = &mut self.switches[si];
+            sw.undecoded &= !(1 << p);
+            sw.waiting &= !(1 << p);
+            for b in &f.branches {
+                if let Some(port) = b.port {
+                    if !b.done {
+                        sw.outputs[port.idx()].owner = None;
+                        sw.owned &= !(1 << port.idx());
+                    }
+                }
+            }
+            if !sw.inputs[p].frames.is_empty() {
+                sw.undecoded |= 1 << p;
+            }
+            for b in &f.branches {
+                if b.port.is_some() && !b.done && b.sent > 0 {
+                    self.cascade_strand(si, b);
+                }
+            }
+        } else {
+            debug_assert!(f.branches.is_empty(), "non-front frame with branches");
+        }
+    }
+
+    /// A killed frame had started transmitting on `b`: the partial copy
+    /// downstream can never finish. Mark its channel for purge (drops the
+    /// flits still in flight plus the head if it hasn't landed) and, if
+    /// the partial frame already exists, kill it too — recursing down the
+    /// worm chain. Terminates: a worm's path never revisits a channel.
+    fn cascade_strand(&mut self, si: usize, b: &crate::switch::Branch) {
+        let port = b.port.expect("cascade on ungranted branch");
+        let Some(sink) = self.out_sink[self.gidx(si as u16, port.0)] else { return };
+        let worm = b.out_worm.as_ref().expect("granted branch has worm").clone();
+        match sink {
+            SinkRef::SwIn { sw, port: p2 } => {
+                let g2 = self.gidx(sw, p2);
+                if self.dead_in[g2] {
+                    return; // arrivals there are dropped wholesale
+                }
+                if self.purge_in[g2].is_none() {
+                    self.purge_active += 1;
+                }
+                self.purge_in[g2] = Some(worm.clone());
+                let truncated = self.switches[sw as usize].inputs[p2 as usize]
+                    .frames
+                    .back()
+                    .is_some_and(|bf| Arc::ptr_eq(&bf.worm, &worm) && bf.received < bf.total_in);
+                if truncated {
+                    self.kill_frame_at(sw as usize, p2 as usize, FrameSlot::Back, false);
+                }
+            }
+            SinkRef::Ni { node } => {
+                let ni = node as usize;
+                if self.dead_host[ni] {
+                    return;
+                }
+                if self.purge_ni[ni].is_none() {
+                    self.purge_active += 1;
+                }
+                self.purge_ni[ni] = Some(worm.clone());
+                let matches = self.hosts[ni]
+                    .rx_current
+                    .as_ref()
+                    .is_some_and(|(w, _, _)| Arc::ptr_eq(w, &worm));
+                if matches {
+                    let (_, got, _) = self.hosts[ni].rx_current.take().expect("checked");
+                    self.stats.net.flits_dropped += got as u64;
+                    self.stats.net.worms_killed += 1;
+                }
+            }
+        }
+    }
+
+    /// Discard the (undecoded, branchless) front frame of port `p` on the
+    /// detached switch `sw` — the fault-masked decode found it nowhere to
+    /// go. Mirrors `kill_frame_at` but works on the detached state.
+    fn discard_undecoded_front(&mut self, si: usize, sw: &mut SwitchState, p: usize) {
+        let f = sw.inputs[p].frames.pop_front().expect("discard on empty port");
+        debug_assert!(f.branches.is_empty());
+        let g = self.gidx(si as u16, p as u8);
+        let outstanding = f.received - f.freed;
+        self.in_reserved[g] -= outstanding;
+        self.stats.net.flits_dropped += outstanding as u64;
+        self.stats.net.worms_killed += 1;
+        self.frames_alive -= 1;
+        self.sw_frames[si] -= 1;
+        if f.received < f.total_in && !self.dead_in[g] {
+            // The (live) feeder keeps streaming this worm: swallow the
+            // rest on arrival.
+            if self.purge_in[g].is_none() {
+                self.purge_active += 1;
+            }
+            self.purge_in[g] = Some(f.worm.clone());
+        }
+        if !sw.inputs[p].frames.is_empty() {
+            sw.undecoded |= 1 << p;
+        }
+    }
+
+    /// Recovery mode: kill the youngest resident front frame (latest head
+    /// arrival; ties resolve to the lowest switch/port — deterministic).
+    /// Returns false if no frame exists to kill (the stall is host-side
+    /// and killing nothing would loop forever).
+    fn watchdog_recover(&mut self) -> bool {
+        let mut best: Option<(usize, usize, Cycle)> = None;
+        for si in 0..self.switches.len() {
+            for p in 0..self.switches[si].inputs.len() {
+                if let Some(f) = self.switches[si].inputs[p].frames.front() {
+                    if best.is_none_or(|(_, _, born)| f.born > born) {
+                        best = Some((si, p, f.born));
+                    }
+                }
+            }
+        }
+        let Some((si, p, _)) = best else { return false };
+        self.kill_frame_at(si, p, FrameSlot::Front, true);
+        self.recoveries_used += 1;
+        self.stats.net.watchdog_recoveries += 1;
+        true
+    }
+
+    // ------------------------------------------------------------------
+    // retransmission
+    // ------------------------------------------------------------------
+
+    /// First send of a multicast with retransmission on: record the
+    /// source NI and start its delivery timer.
+    fn arm_retx(&mut self, idx: u32, node: NodeId) {
+        let rt = self.retx.as_mut().expect("retx enabled");
+        let i = idx as usize;
+        if rt.source.len() <= i {
+            rt.source.resize(i + 1, None);
+            rt.attempts.resize(i + 1, 0);
+        }
+        if rt.source[i].is_some() {
+            return;
+        }
+        rt.source[i] = Some(node);
+        let delay = rt.policy.next_check_delay(idx, 0);
+        self.schedule(self.now + delay, Event::RetxCheck(idx));
+    }
+
+    /// Delivery-timeout check: if the multicast still has undelivered
+    /// live destinations, re-send to exactly those as unicasts from the
+    /// source NI and back off; otherwise (done, dead source, or retry
+    /// budget exhausted) let the timer lapse.
+    fn process_retx_check(&mut self, idx: u32) {
+        let Some(rt) = &self.retx else { return };
+        let policy = rt.policy.clone();
+        let i = idx as usize;
+        let attempt = rt.attempts[i];
+        let source = rt.source[i];
+        let id = self.stats.mcasts.id_at(idx);
+        let Some(rec) = self.stats.mcasts.rec_at(idx) else { return };
+        if rec.completed.is_some() {
+            return;
+        }
+        let expected = rec.expected;
+        let mut missing: Vec<NodeId> = Vec::new();
+        for nd in expected.iter() {
+            if !self.stats.is_delivered(id, nd) && !self.dead_host[nd.idx()] {
+                missing.push(nd);
+            }
+        }
+        if missing.is_empty() {
+            return; // everything still alive got it; dead dests are lost
+        }
+        let Some(src) = source else { return };
+        if self.dead_host[src.idx()] || attempt >= policy.max_retries {
+            return; // give up: the run ends with delivery_ratio < 1
+        }
+        self.retx.as_mut().expect("retx enabled").attempts[i] = attempt + 1;
+        self.stats.net.retransmissions += missing.len() as u64;
+        let info = self.mcasts[i];
+        let dur = self.cfg.o_ni_per_packet();
+        for dest in missing {
+            // A truncated earlier copy may have partially reassembled at
+            // the destination; the retransmission restarts that count.
+            let h = &mut self.hosts[dest.idx()];
+            if h.reassembly.len() > i {
+                h.reassembly[i] = 0;
+            }
+            for pkt in 0..info.total_pkts {
+                let w = Arc::new(WormCopy {
+                    mcast: id,
+                    pkt,
+                    total_pkts: info.total_pkts,
+                    payload_flits: self.cfg.packet_payload(info.message_flits, pkt),
+                    header_flits: self.cfg.unicast_header_flits,
+                    phase: Phase::Up,
+                    route: RouteInfo::Unicast { dest },
+                });
+                if let Some(c) =
+                    self.hosts[src.idx()].ni.enqueue(NiTask::Tx(w), dur, self.now)
+                {
+                    self.schedule(c, Event::NiDone(src.0));
+                }
+            }
+        }
+        let at = self.now + policy.next_check_delay(idx, attempt + 1);
+        self.schedule(at, Event::RetxCheck(idx));
     }
 }

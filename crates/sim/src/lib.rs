@@ -24,7 +24,7 @@
 //! use irrnet_sim::{Simulator, SimConfig, McastId, SendSpec, StaticProtocol};
 //! use irrnet_topology::{zoo, Network, NodeId, NodeMask};
 //!
-//! let net = Network::analyze(zoo::chain(2)).unwrap();
+//! let net = Network::analyze(zoo::chain(2).unwrap()).unwrap();
 //! let mut proto = StaticProtocol::new();
 //! proto.set_launch(
 //!     McastId(0),
@@ -46,9 +46,9 @@ pub mod switch;
 pub mod trace;
 pub mod worm;
 
-pub use config::{Cycle, SimConfig};
+pub use config::{Cycle, RetxPolicy, SimConfig};
 pub use engine::Simulator;
-pub use error::SimError;
+pub use error::{BranchSnapshot, DeadlockDiagnostics, SimError, StuckFrame, TxBacklog};
 pub use protocol::{NullProtocol, Protocol, StaticProtocol};
 pub use stats::{McastRecord, NetCounters, SimStats};
 pub use trace::{TraceEvent, TraceLog};
@@ -56,9 +56,9 @@ pub use worm::{McastId, PathStop, PathWormSpec, RouteInfo, SendSpec, WormCopy};
 
 /// Common imports for downstream crates.
 pub mod prelude {
-    pub use crate::config::{Cycle, SimConfig};
+    pub use crate::config::{Cycle, RetxPolicy, SimConfig};
     pub use crate::engine::Simulator;
-    pub use crate::error::SimError;
+    pub use crate::error::{DeadlockDiagnostics, SimError};
     pub use crate::protocol::{NullProtocol, Protocol, StaticProtocol};
     pub use crate::stats::SimStats;
     pub use crate::worm::{McastId, PathStop, PathWormSpec, SendSpec, WormCopy};

@@ -136,6 +136,16 @@ impl McastTable {
         self.recs[idx as usize].is_some()
     }
 
+    /// Record at dense index `idx`, if that multicast has launched.
+    pub(crate) fn rec_at(&self, idx: u32) -> Option<&McastRecord> {
+        self.recs[idx as usize].as_ref()
+    }
+
+    /// Id interned at dense index `idx`.
+    pub(crate) fn id_at(&self, idx: u32) -> McastId {
+        self.ids[idx as usize]
+    }
+
     /// Number of launched multicasts.
     pub fn len(&self) -> usize {
         self.launched
@@ -178,7 +188,7 @@ impl std::ops::Index<&McastId> for McastTable {
 }
 
 /// Aggregate network activity counters.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct NetCounters {
     /// Flits transferred across inter-switch links.
     pub link_flits: u64,
@@ -202,6 +212,21 @@ pub struct NetCounters {
     pub host_busy_cycles: u64,
     /// Total busy cycles summed over all I/O buses.
     pub io_bus_busy_cycles: u64,
+    /// Flits lost to faults: buffered flits of discarded worms, flits
+    /// that arrived over a dead link, and in-flight flits of truncated
+    /// worm chains swallowed during drain.
+    pub flits_dropped: u64,
+    /// Worm copies discarded in flight — by a fault sweep, a downstream
+    /// truncation cascade, or watchdog deadlock recovery.
+    pub worms_killed: u64,
+    /// Per-destination retransmissions issued by the NI timeout layer
+    /// (one count per missing destination per retry round).
+    pub retransmissions: u64,
+    /// Stuck worms killed by the watchdog's recovery mode.
+    pub watchdog_recoveries: u64,
+    /// Deliveries suppressed because the destination had already received
+    /// the message (retransmission racing the original copy).
+    pub duplicate_deliveries: u64,
 }
 
 /// Everything measured during a run.
@@ -242,7 +267,8 @@ impl SimStats {
     }
 
     /// Record a host-level delivery; returns true if this completed the
-    /// multicast.
+    /// multicast. A repeated delivery (a retransmitted copy racing the
+    /// original) is a counted no-op, never a double count.
     pub fn deliver(&mut self, id: McastId, node: NodeId, at: Cycle) -> bool {
         let idx = self
             .mcasts
@@ -255,13 +281,39 @@ impl SimStats {
             rec.expected.contains(node),
             "delivery to non-destination {node}"
         );
-        let dup = rec.deliveries.insert(node, at);
-        debug_assert!(!dup, "duplicate delivery of {id:?} at {node}");
+        if rec.deliveries.insert(node, at) {
+            self.net.duplicate_deliveries += 1;
+            return false;
+        }
         if rec.deliveries.len() == rec.expected.len() {
             rec.completed = Some(at);
             true
         } else {
             false
+        }
+    }
+
+    /// Has `node` already been delivered for multicast `id`?
+    pub fn is_delivered(&self, id: McastId, node: NodeId) -> bool {
+        self.mcasts
+            .get(&id)
+            .is_some_and(|r| r.deliveries.contains_key(&node))
+    }
+
+    /// Fraction of expected `(multicast, destination)` pairs actually
+    /// delivered — 1.0 on a healthy run, below it when faults strand
+    /// destinations. Unlaunched registrations don't count.
+    pub fn delivery_ratio(&self) -> f64 {
+        let mut expected = 0usize;
+        let mut delivered = 0usize;
+        for r in self.mcasts.values() {
+            expected += r.expected.len();
+            delivered += r.deliveries.len();
+        }
+        if expected == 0 {
+            1.0
+        } else {
+            delivered as f64 / expected as f64
         }
     }
 
@@ -399,13 +451,35 @@ mod tests {
     }
 
     #[test]
-    #[cfg(debug_assertions)]
-    #[should_panic(expected = "duplicate delivery")]
-    fn duplicate_delivery_asserts() {
+    fn duplicate_delivery_is_a_counted_no_op() {
         let mut s = SimStats::default();
         let id = McastId(2);
-        s.launch(id, 0, NodeMask::single(NodeId(3)));
-        s.deliver(id, NodeId(3), 5);
-        s.deliver(id, NodeId(3), 6);
+        let dests = NodeMask::from_nodes([NodeId(3), NodeId(4)]);
+        s.launch(id, 0, dests);
+        assert!(!s.is_delivered(id, NodeId(3)));
+        assert!(!s.deliver(id, NodeId(3), 5));
+        assert!(s.is_delivered(id, NodeId(3)));
+        // A retransmitted copy arriving later neither double-counts nor
+        // completes the multicast; the first timestamp wins.
+        assert!(!s.deliver(id, NodeId(3), 6));
+        assert_eq!(s.net.duplicate_deliveries, 1);
+        let rec = &s.mcasts[&id];
+        assert_eq!(rec.deliveries.len(), 1);
+        assert_eq!(rec.deliveries[&NodeId(3)], 5);
+        assert!(s.deliver(id, NodeId(4), 9));
+        assert_eq!(s.latency_of(id), Some(9));
+    }
+
+    #[test]
+    fn delivery_ratio_tracks_missing_destinations() {
+        let mut s = SimStats::default();
+        s.launch(McastId(0), 0, NodeMask::from_nodes([NodeId(1), NodeId(2)]));
+        s.launch(McastId(1), 0, NodeMask::from_nodes([NodeId(1), NodeId(3)]));
+        assert_eq!(s.delivery_ratio(), 0.0);
+        s.deliver(McastId(0), NodeId(1), 10);
+        s.deliver(McastId(0), NodeId(2), 12);
+        s.deliver(McastId(1), NodeId(1), 11);
+        assert_eq!(s.delivery_ratio(), 0.75);
+        assert_eq!(SimStats::default().delivery_ratio(), 1.0);
     }
 }

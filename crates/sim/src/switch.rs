@@ -222,6 +222,10 @@ pub struct Frame {
     pub header_in: u32,
     /// Cached `worm.total_flits()`.
     pub total_in: u32,
+    /// Cycle the head flit arrived — the watchdog's recovery mode kills
+    /// the *youngest* stuck frame, which unwinds a cyclic wait from the
+    /// least-invested end.
+    pub born: u64,
 }
 
 impl Frame {
@@ -238,6 +242,7 @@ impl Frame {
             ungranted: 0,
             header_in,
             total_in,
+            born: 0,
         }
     }
 
@@ -416,6 +421,178 @@ pub fn decode_branches(
     }
 }
 
+/// Fault-aware variant of [`decode_branches`], used once a fault plan
+/// has killed something: `net` is the **degraded** network (masked
+/// up*/down* reconfiguration) and `status` the live fault map. The
+/// semantics are conservative truncation:
+///
+/// * destinations on dead hosts are pruned;
+/// * tree worms partition over the *degraded* reachability — subtrees
+///   severed by a fault are silently dropped (the NI retransmission
+///   layer recovers them as unicasts);
+/// * path worms truncate at the first unreachable stop;
+/// * a worm with nothing left to do decodes to **no branches**, which
+///   tells the engine to discard the frame (counted in `worms_killed`).
+///
+/// Unlike the healthy decoder this never panics on a missing route —
+/// mid-flight reorientation can legitimately strand a worm.
+pub fn decode_branches_masked(
+    net: &Network,
+    cfg: &SimConfig,
+    here: SwitchId,
+    worm: &Arc<WormCopy>,
+    status: &irrnet_topology::FaultStatus,
+) -> Vec<Branch> {
+    match &worm.route {
+        RouteInfo::Unicast { dest } | RouteInfo::Delivered { dest } => {
+            if !status.host_up(&net.topo, *dest) {
+                return Vec::new();
+            }
+            let ds = net.topo.host_switch(*dest);
+            if ds == here {
+                vec![Branch::forward_fixed(net.topo.host_port(*dest), worm)]
+            } else {
+                let hops = net.routing.next_hops(here, worm.phase, ds);
+                if hops.is_empty() {
+                    // The reorientation left this worm (typically already
+                    // descending) with no legal continuation.
+                    return Vec::new();
+                }
+                let cands = hops.iter().map(|h| (h.port, h.next_phase)).collect();
+                vec![Branch::forward(cands, worm, cfg.adaptive)]
+            }
+        }
+        RouteInfo::Tree { dests, plan } => {
+            let mut pruned = *dests;
+            for n in dests.iter() {
+                if !status.host_up(&net.topo, n) {
+                    pruned.remove(n);
+                }
+            }
+            if pruned.is_empty() {
+                return Vec::new();
+            }
+            let descending = worm.phase == Phase::Down || net.reach.covers(here, pruned);
+            if descending {
+                // Deliverable subset under the *degraded* orientation;
+                // dests whose subtree died are dropped here and later
+                // recovered by retransmission.
+                let take = pruned.intersection(net.reach.cover(here));
+                if take.is_empty() {
+                    return Vec::new();
+                }
+                net.reach
+                    .partition(&net.topo, here, take)
+                    .into_iter()
+                    .map(|(port, mask)| {
+                        let mut t = (**worm).clone();
+                        t.phase = Phase::Down;
+                        t.route = RouteInfo::Tree { dests: mask, plan: plan.clone() };
+                        Branch::fixed(port, t)
+                    })
+                    .collect()
+            } else {
+                // Climb along the healthy plan's up ports, minus dead
+                // links; coverage is re-checked per hop on the degraded
+                // reachability, so a broken apex just ends the climb.
+                let cands: Vec<(PortIdx, Phase)> = plan
+                    .up_ports(here)
+                    .iter()
+                    .filter(|&&p| port_alive(net, here, p, status))
+                    .map(|&p| (p, Phase::Up))
+                    .collect();
+                if cands.is_empty() {
+                    return Vec::new();
+                }
+                vec![Branch::forward(cands, worm, cfg.adaptive)]
+            }
+        }
+        RouteInfo::Path { spec, cursor } => {
+            let stop = &spec.stops[*cursor];
+            if stop.switch == here {
+                let mut out = Vec::with_capacity(stop.drops.len() + 1);
+                for &d in &stop.drops {
+                    if !status.host_up(&net.topo, d) {
+                        continue;
+                    }
+                    let mut t = (**worm).clone();
+                    t.header_flits = cfg.delivered_header_flits;
+                    t.route = RouteInfo::Delivered { dest: d };
+                    out.push(Branch::fixed(net.topo.host_port(d), t));
+                }
+                if *cursor + 1 < spec.stops.len() {
+                    let next_stop = &spec.stops[*cursor + 1];
+                    if let Some(cands) =
+                        masked_leg_candidates(net, here, worm.phase, next_stop, status)
+                    {
+                        let mut t = (**worm).clone();
+                        t.header_flits =
+                            cfg.path_header_flits(spec.stops.len() - (*cursor + 1));
+                        t.route =
+                            RouteInfo::Path { spec: spec.clone(), cursor: *cursor + 1 };
+                        out.push(Branch::adaptive(cands, t, cfg.adaptive));
+                    }
+                    // else: the path truncates here; remaining drops are
+                    // recovered by retransmission.
+                }
+                out
+            } else {
+                match masked_leg_candidates(net, here, worm.phase, stop, status) {
+                    Some(cands) => vec![Branch::forward(cands, worm, cfg.adaptive)],
+                    None => Vec::new(),
+                }
+            }
+        }
+    }
+}
+
+/// Is `port` of `here` a live exit (host port on a live switch, or a
+/// link whose far side survives)?
+fn port_alive(
+    net: &Network,
+    here: SwitchId,
+    port: PortIdx,
+    status: &irrnet_topology::FaultStatus,
+) -> bool {
+    match net.topo.switch(here).ports[port.idx()] {
+        PortUse::Open => false,
+        PortUse::Host(_) => status.switch_up(here),
+        PortUse::Link { link, .. } => status.link_up(&net.topo, link),
+    }
+}
+
+/// Masked equivalent of [`path_leg_candidates`]: `None` when the leg is
+/// broken (dead stop switch, dead up-only plane, or an unroutable
+/// detour after reorientation).
+fn masked_leg_candidates(
+    net: &Network,
+    here: SwitchId,
+    phase: Phase,
+    stop: &crate::worm::PathStop,
+    status: &irrnet_topology::FaultStatus,
+) -> Option<Vec<(PortIdx, Phase)>> {
+    if !status.switch_up(stop.switch) {
+        return None;
+    }
+    let hops = if stop.up_phase {
+        if phase != Phase::Up {
+            return None;
+        }
+        net.routing.up_only_next_hops(here, stop.switch)
+    } else {
+        net.routing.next_hops(here, phase, stop.switch)
+    };
+    if hops.is_empty() {
+        return None;
+    }
+    let cands = if stop.up_phase {
+        hops.iter().map(|h| (h.port, Phase::Up)).collect()
+    } else {
+        hops.iter().map(|h| (h.port, h.next_phase)).collect()
+    };
+    Some(cands)
+}
+
 fn decode_point_to_point(
     net: &Network,
     cfg: &SimConfig,
@@ -479,7 +656,7 @@ mod tests {
     use irrnet_topology::{zoo, ApexPlan, NodeMask};
 
     fn chain_net() -> Network {
-        Network::analyze(zoo::chain(3)).unwrap()
+        Network::analyze(zoo::chain(3).unwrap()).unwrap()
     }
 
     fn mk_worm(route: RouteInfo, header: u32) -> Arc<WormCopy> {

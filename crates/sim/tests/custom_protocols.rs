@@ -66,7 +66,7 @@ impl Protocol for NiRelay {
 }
 
 fn run<P: Protocol>(proto: P, msg: u32) -> (u64, u64) {
-    let net = Network::analyze(zoo::chain(3)).unwrap();
+    let net = Network::analyze(zoo::chain(3).unwrap()).unwrap();
     let dests = NodeMask::from_nodes([NodeId(1), NodeId(2)]);
     let mut sim = Simulator::new(&net, tiny_cfg(), proto).unwrap();
     sim.schedule_multicast(0, McastId(0), dests, msg);
@@ -121,7 +121,7 @@ fn ni_relay_pipelines_multi_packet_messages() {
 #[test]
 fn golden_trace_for_pinned_unicast() {
     use irrnet_sim::StaticProtocol;
-    let net = Network::analyze(zoo::chain(2)).unwrap();
+    let net = Network::analyze(zoo::chain(2).unwrap()).unwrap();
     let mut proto = StaticProtocol::new();
     proto.set_launch(McastId(0), vec![(NodeId(0), SendSpec::Unicast { dest: NodeId(1) })]);
     let mut sim = Simulator::new(&net, tiny_cfg(), proto).unwrap();

@@ -42,7 +42,7 @@ impl Protocol for ChainOfMcasts {
 
 #[test]
 fn dependent_mcasts_chain_and_measure_from_first_send() {
-    let net = Network::analyze(zoo::chain(4)).unwrap();
+    let net = Network::analyze(zoo::chain(4).unwrap()).unwrap();
     let mut sim = Simulator::new(&net, tiny_cfg(), ChainOfMcasts).unwrap();
     sim.schedule_multicast(0, McastId(0), NodeMask::single(NodeId(1)), 16);
     sim.register_multicast(McastId(1), NodeMask::single(NodeId(2)), 16);
@@ -82,7 +82,7 @@ fn sending_for_an_unregistered_mcast_panics() {
             Vec::new()
         }
     }
-    let net = Network::analyze(zoo::chain(2)).unwrap();
+    let net = Network::analyze(zoo::chain(2).unwrap()).unwrap();
     let mut sim = Simulator::new(&net, tiny_cfg(), Rogue).unwrap();
     sim.schedule_multicast(0, McastId(0), NodeMask::single(NodeId(1)), 16);
     let _ = sim.run_to_completion(1_000_000);
@@ -90,7 +90,7 @@ fn sending_for_an_unregistered_mcast_panics() {
 
 #[test]
 fn registered_but_never_fired_mcast_is_not_counted() {
-    let net = Network::analyze(zoo::chain(2)).unwrap();
+    let net = Network::analyze(zoo::chain(2).unwrap()).unwrap();
     let mut proto = irrnet_sim::StaticProtocol::new();
     proto.set_launch(McastId(0), vec![(NodeId(0), SendSpec::Unicast { dest: NodeId(1) })]);
     let mut sim = Simulator::new(&net, tiny_cfg(), proto).unwrap();

@@ -31,7 +31,7 @@ fn unicast_sim<'a>(
 
 #[test]
 fn trace_records_full_lifecycle_in_order() {
-    let net = Network::analyze(zoo::chain(2)).unwrap();
+    let net = Network::analyze(zoo::chain(2).unwrap()).unwrap();
     let mut sim = unicast_sim(&net, tiny_cfg(), NodeId(0), NodeId(1), 16);
     sim.enable_trace();
     sim.run_to_completion(100_000).unwrap();
@@ -56,7 +56,7 @@ fn trace_records_full_lifecycle_in_order() {
 
 #[test]
 fn trace_disabled_by_default() {
-    let net = Network::analyze(zoo::chain(2)).unwrap();
+    let net = Network::analyze(zoo::chain(2).unwrap()).unwrap();
     let mut sim = unicast_sim(&net, tiny_cfg(), NodeId(0), NodeId(1), 16);
     sim.run_to_completion(100_000).unwrap();
     assert!(sim.take_trace().is_none());
@@ -66,7 +66,7 @@ fn trace_disabled_by_default() {
 fn deterministic_routing_matches_adaptive_on_idle_network() {
     // With no contention, first-candidate routing takes one of the same
     // minimal routes: identical latency.
-    let net = Network::analyze(zoo::chain(4)).unwrap();
+    let net = Network::analyze(zoo::chain(4).unwrap()).unwrap();
     let lat = |adaptive: bool| {
         let mut cfg = tiny_cfg();
         cfg.adaptive = adaptive;
@@ -118,7 +118,7 @@ fn adaptivity_helps_under_contention() {
 fn small_buffers_still_deliver() {
     // Buffer exactly one worm (the validation minimum): throughput drops
     // but correctness holds.
-    let net = Network::analyze(zoo::chain(4)).unwrap();
+    let net = Network::analyze(zoo::chain(4).unwrap()).unwrap();
     let mut cfg = tiny_cfg();
     cfg.input_buffer_flits = cfg.packet_payload_flits + cfg.unicast_header_flits;
     let mut sim = unicast_sim(&net, cfg, NodeId(0), NodeId(3), 512);
@@ -129,7 +129,7 @@ fn small_buffers_still_deliver() {
 
 #[test]
 fn cycle_limit_error_reports_incomplete() {
-    let net = Network::analyze(zoo::chain(2)).unwrap();
+    let net = Network::analyze(zoo::chain(2).unwrap()).unwrap();
     let mut sim = unicast_sim(&net, tiny_cfg(), NodeId(0), NodeId(1), 128);
     // Limit far below the end-to-end latency.
     match sim.run_to_completion(50) {
@@ -140,7 +140,7 @@ fn cycle_limit_error_reports_incomplete() {
 
 #[test]
 fn run_until_is_resumable() {
-    let net = Network::analyze(zoo::chain(2)).unwrap();
+    let net = Network::analyze(zoo::chain(2).unwrap()).unwrap();
     let mut sim = unicast_sim(&net, tiny_cfg(), NodeId(0), NodeId(1), 16);
     sim.run_until(40).unwrap();
     assert!(!sim.stats().all_complete());
@@ -158,14 +158,14 @@ fn run_until_is_resumable() {
 #[test]
 #[should_panic(expected = "duplicate multicast id")]
 fn duplicate_mcast_id_panics() {
-    let net = Network::analyze(zoo::chain(2)).unwrap();
+    let net = Network::analyze(zoo::chain(2).unwrap()).unwrap();
     let mut sim = unicast_sim(&net, tiny_cfg(), NodeId(0), NodeId(1), 16);
     sim.schedule_multicast(10, McastId(0), NodeMask::single(NodeId(1)), 16);
 }
 
 #[test]
 fn resource_busy_counters_accumulate() {
-    let net = Network::analyze(zoo::chain(2)).unwrap();
+    let net = Network::analyze(zoo::chain(2).unwrap()).unwrap();
     let mut sim = unicast_sim(&net, tiny_cfg(), NodeId(0), NodeId(1), 16);
     sim.run_to_completion(100_000).unwrap();
     let st = sim.stats();
@@ -177,7 +177,7 @@ fn resource_busy_counters_accumulate() {
 
 #[test]
 fn flit_counters_are_consistent_for_unicast() {
-    let net = Network::analyze(zoo::chain(3)).unwrap();
+    let net = Network::analyze(zoo::chain(3).unwrap()).unwrap();
     let mut sim = unicast_sim(&net, tiny_cfg(), NodeId(0), NodeId(2), 16);
     sim.run_to_completion(100_000).unwrap();
     let st = sim.stats();
@@ -224,7 +224,7 @@ fn parallel_links_carry_concurrent_traffic() {
 
 #[test]
 fn bad_config_is_rejected_at_construction() {
-    let net = Network::analyze(zoo::chain(2)).unwrap();
+    let net = Network::analyze(zoo::chain(2).unwrap()).unwrap();
     let mut cfg = tiny_cfg();
     cfg.input_buffer_flits = 8;
     let r = Simulator::new(&net, cfg, StaticProtocol::new());
@@ -235,7 +235,7 @@ fn bad_config_is_rejected_at_construction() {
 fn per_message_ni_overhead_charged_once() {
     // 4-packet message: NI pays O_ni on the first packet and the light
     // per-packet cost on the rest, on both sides.
-    let net = Network::analyze(zoo::chain(2)).unwrap();
+    let net = Network::analyze(zoo::chain(2).unwrap()).unwrap();
     let mut cfg = tiny_cfg();
     cfg.o_send_ni = 100;
     cfg.o_recv_ni = 100;
@@ -251,7 +251,7 @@ fn per_message_ni_overhead_charged_once() {
 fn per_link_flit_counts_are_exact_on_a_chain() {
     // chain(3): S0-S1 (L0) and S1-S2 (L1). n0 -> n2 crosses both links
     // in one direction with every flit exactly once.
-    let net = Network::analyze(zoo::chain(3)).unwrap();
+    let net = Network::analyze(zoo::chain(3).unwrap()).unwrap();
     let mut sim = unicast_sim(&net, tiny_cfg(), NodeId(0), NodeId(2), 16);
     sim.run_to_completion(100_000).unwrap();
     let st = sim.stats();

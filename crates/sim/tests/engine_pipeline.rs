@@ -34,7 +34,7 @@ fn unicast_idle_network_latency_is_exact() {
     //   S1 header complete 34, decode 35, transmits 35..53,
     //   arriving the NI at 37..55 → packet complete at 55
     //   O_{r,ni} ends 65, DMA-to-host 6 → 71, O_{r,h} ends 81.
-    let net = Network::analyze(zoo::chain(2)).unwrap();
+    let net = Network::analyze(zoo::chain(2).unwrap()).unwrap();
     let mut proto = StaticProtocol::new();
     proto.set_launch(McastId(0), vec![(NodeId(0), SendSpec::Unicast { dest: NodeId(1) })]);
     let mut sim = Simulator::new(&net, tiny_cfg(), proto).unwrap();
@@ -54,7 +54,7 @@ fn unicast_latency_scales_with_hops_by_pipeline_depth() {
     // increment on an idle chain. Verify monotone, constant increments.
     let mut latencies = Vec::new();
     for n in 2..=5 {
-        let net = Network::analyze(zoo::chain(n)).unwrap();
+        let net = Network::analyze(zoo::chain(n).unwrap()).unwrap();
         let dest = NodeId((n - 1) as u16);
         let mut proto = StaticProtocol::new();
         proto.set_launch(McastId(0), vec![(NodeId(0), SendSpec::Unicast { dest })]);
@@ -74,7 +74,7 @@ fn unicast_latency_scales_with_hops_by_pipeline_depth() {
 
 #[test]
 fn tree_worm_reaches_all_destinations_once() {
-    let net = Network::analyze(zoo::chain(3)).unwrap();
+    let net = Network::analyze(zoo::chain(3).unwrap()).unwrap();
     let dests = NodeMask::from_nodes([NodeId(1), NodeId(2)]);
     let plan = Arc::new(ApexPlan::compute(&net.topo, &net.updown, &net.reach, dests));
     let mut proto = StaticProtocol::new();
@@ -95,7 +95,7 @@ fn tree_worm_reaches_all_destinations_once() {
 fn tree_worm_climbs_to_apex_before_descending() {
     // Source n2 (at S2, a leaf of the chain); destinations n0 and n1
     // require the worm to climb to S0.
-    let net = Network::analyze(zoo::chain(3)).unwrap();
+    let net = Network::analyze(zoo::chain(3).unwrap()).unwrap();
     let dests = NodeMask::from_nodes([NodeId(0), NodeId(1)]);
     let plan = Arc::new(ApexPlan::compute(&net.topo, &net.updown, &net.reach, dests));
     let mut proto = StaticProtocol::new();
@@ -108,7 +108,7 @@ fn tree_worm_climbs_to_apex_before_descending() {
 
 #[test]
 fn path_worm_multi_drop_delivers_along_path() {
-    let net = Network::analyze(zoo::chain(4)).unwrap();
+    let net = Network::analyze(zoo::chain(4).unwrap()).unwrap();
     // One worm from n0: drop at S1 (n1), S2 (n2), S3 (n3).
     let spec = Arc::new(PathWormSpec {
         stops: vec![
@@ -133,7 +133,7 @@ fn path_worm_multi_drop_delivers_along_path() {
 
 #[test]
 fn multi_packet_message_is_segmented_and_reassembled() {
-    let net = Network::analyze(zoo::chain(2)).unwrap();
+    let net = Network::analyze(zoo::chain(2).unwrap()).unwrap();
     let mut cfg = tiny_cfg();
     cfg.packet_payload_flits = 32;
     let mut proto = StaticProtocol::new();
@@ -149,7 +149,7 @@ fn multi_packet_message_is_segmented_and_reassembled() {
 
 #[test]
 fn two_concurrent_multicasts_complete_independently() {
-    let net = Network::analyze(zoo::chain(3)).unwrap();
+    let net = Network::analyze(zoo::chain(3).unwrap()).unwrap();
     let mut proto = StaticProtocol::new();
     proto.set_launch(McastId(0), vec![(NodeId(0), SendSpec::Unicast { dest: NodeId(2) })]);
     proto.set_launch(McastId(1), vec![(NodeId(2), SendSpec::Unicast { dest: NodeId(0) })]);
@@ -171,7 +171,7 @@ fn contention_serializes_on_shared_link() {
     // Two messages from n0 and n1 (both need S0->S1->... on chain(2)?).
     // Use chain(3): n0 -> n2 and n1 -> n2 share the S1->S2 link and the
     // n2 ejection port, so the second multicast must queue.
-    let net = Network::analyze(zoo::chain(3)).unwrap();
+    let net = Network::analyze(zoo::chain(3).unwrap()).unwrap();
     let mut proto = StaticProtocol::new();
     proto.set_launch(McastId(0), vec![(NodeId(0), SendSpec::Unicast { dest: NodeId(2) })]);
     proto.set_launch(McastId(1), vec![(NodeId(1), SendSpec::Unicast { dest: NodeId(2) })]);
@@ -203,7 +203,7 @@ fn contention_serializes_on_shared_link() {
 #[test]
 fn paper_default_config_runs_broadcast() {
     // Smoke test on the paper's default-shaped network.
-    let net = Network::analyze(zoo::paper_example()).unwrap();
+    let net = Network::analyze(zoo::paper_example().unwrap()).unwrap();
     let all_but_source = {
         let mut m = NodeMask::all(net.num_nodes());
         m.remove(NodeId(0));
@@ -225,7 +225,7 @@ fn paper_default_config_runs_broadcast() {
 
 #[test]
 fn watchdog_not_triggered_by_long_overheads() {
-    let net = Network::analyze(zoo::chain(2)).unwrap();
+    let net = Network::analyze(zoo::chain(2).unwrap()).unwrap();
     let mut cfg = tiny_cfg();
     cfg.o_send_host = 100_000;
     let mut proto = StaticProtocol::new();

@@ -122,7 +122,7 @@ mod tests {
         }
         let t = b.build().unwrap();
         let ud = UpDown::compute(&t, s[0]).unwrap();
-        let r = Reachability::compute(&t, &ud);
+        let r = Reachability::compute(&t, &ud).unwrap();
         (t, ud, r)
     }
 

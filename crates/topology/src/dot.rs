@@ -50,7 +50,7 @@ mod tests {
 
     #[test]
     fn renders_all_elements() {
-        let net = Network::analyze(zoo::chain(3)).unwrap();
+        let net = Network::analyze(zoo::chain(3).unwrap()).unwrap();
         let dot = to_dot(&net.topo, Some(&net.updown));
         assert!(dot.contains("graph irrnet"));
         assert!(dot.contains("S0"));
@@ -62,7 +62,7 @@ mod tests {
 
     #[test]
     fn renders_without_updown() {
-        let dot = to_dot(&zoo::chain(2), None);
+        let dot = to_dot(&zoo::chain(2).unwrap(), None);
         assert!(dot.contains("S1"));
         assert!(!dot.contains("lvl"));
     }

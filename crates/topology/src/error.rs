@@ -36,6 +36,16 @@ pub enum TopologyError {
     },
     /// The spanning-tree root is not a switch of this topology.
     BadRoot(SwitchId),
+    /// Faults have split the network: some surviving switches (and the
+    /// hosts attached to them) can no longer reach the rest. Produced by
+    /// [`crate::Network::degrade`] instead of silently building routing
+    /// tables with unreachable destinations.
+    PartitionedNetwork {
+        /// Surviving switches unreachable from the re-elected root.
+        unreachable_switches: Vec<SwitchId>,
+        /// Alive hosts stranded on those switches.
+        unreachable_hosts: Vec<NodeId>,
+    },
     /// Internal consistency failure (a bug if it ever fires).
     Inconsistent(&'static str),
 }
@@ -64,6 +74,15 @@ impl fmt::Display for TopologyError {
                 "configuration needs {needed} switch ports but only {available} exist"
             ),
             TopologyError::BadRoot(s) => write!(f, "spanning-tree root {s} is not a switch"),
+            TopologyError::PartitionedNetwork { unreachable_switches, unreachable_hosts } => {
+                write!(
+                    f,
+                    "faults partitioned the network: {} surviving switch(es) and {} host(s) \
+                     unreachable from the re-elected root",
+                    unreachable_switches.len(),
+                    unreachable_hosts.len()
+                )
+            }
             TopologyError::Inconsistent(what) => write!(f, "internal inconsistency: {what}"),
         }
     }

@@ -30,6 +30,7 @@ pub mod apex;
 pub mod builder;
 pub mod dot;
 pub mod error;
+pub mod fault;
 pub mod gen;
 pub mod graph;
 pub mod ids;
@@ -44,6 +45,7 @@ pub mod zoo;
 pub use apex::ApexPlan;
 pub use builder::TopologyBuilder;
 pub use error::TopologyError;
+pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultStatus, RandomFaultConfig};
 pub use gen::{generate, ExtraLinks, RandomTopologyConfig};
 pub use graph::{Link, PortUse, Switch, Topology};
 pub use ids::{LinkId, NodeId, PortIdx, SwitchId};
@@ -58,6 +60,7 @@ pub mod prelude {
     pub use crate::apex::ApexPlan;
     pub use crate::builder::TopologyBuilder;
     pub use crate::error::TopologyError;
+    pub use crate::fault::{FaultEvent, FaultKind, FaultPlan, FaultStatus, RandomFaultConfig};
     pub use crate::gen::{self, RandomTopologyConfig};
     pub use crate::graph::{Link, PortUse, Switch, Topology};
     pub use crate::ids::{LinkId, NodeId, PortIdx, SwitchId};
@@ -98,9 +101,36 @@ impl Network {
     pub fn analyze_rooted(topo: Topology, root: SwitchId) -> Result<Self, TopologyError> {
         topo.validate()?;
         let updown = UpDown::compute(&topo, root)?;
-        let routing = RoutingTables::compute(&topo, &updown);
-        let reach = Reachability::compute(&topo, &updown);
+        let routing = RoutingTables::compute(&topo, &updown)?;
+        let reach = Reachability::compute(&topo, &updown)?;
         Ok(Self { topo, updown, routing, reach })
+    }
+
+    /// Re-analyze the network after faults, Autonet-style: re-elect a root
+    /// (the previous root if it survived, else the lowest-id alive switch),
+    /// recompute the up/down orientation over surviving links only, and
+    /// rebuild routing tables and reachability strings so no route or tree
+    /// branch crosses a dead component.
+    ///
+    /// Returns [`TopologyError::PartitionedNetwork`] when the surviving
+    /// graph is disconnected — callers decide whether that is fatal.
+    pub fn degrade(&self, status: &fault::FaultStatus) -> Result<Self, TopologyError> {
+        if status.is_healthy() {
+            return Ok(self.clone());
+        }
+        let old_root = self.updown.root();
+        let root = if status.switch_up(old_root) {
+            old_root
+        } else {
+            status
+                .alive_switches()
+                .next()
+                .ok_or(TopologyError::Inconsistent("no alive switch left"))?
+        };
+        let updown = UpDown::compute_masked(&self.topo, root, status)?;
+        let routing = RoutingTables::compute_masked(&self.topo, &updown, status)?;
+        let reach = Reachability::compute_masked(&self.topo, &updown, status)?;
+        Ok(Self { topo: self.topo.clone(), updown, routing, reach })
     }
 
     /// Number of processing nodes attached to the network.

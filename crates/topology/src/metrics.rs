@@ -161,7 +161,7 @@ mod tests {
 
     #[test]
     fn chain_metrics() {
-        let net = Network::analyze(zoo::chain(4)).unwrap();
+        let net = Network::analyze(zoo::chain(4).unwrap()).unwrap();
         let m = network_metrics(&net);
         assert_eq!(m.switches, 4);
         assert_eq!(m.diameter, 3);
@@ -194,7 +194,7 @@ mod tests {
 
     #[test]
     fn removing_a_bridge_is_rejected() {
-        let t = zoo::chain(3);
+        let t = zoo::chain(3).unwrap();
         assert!(!link_is_redundant(&t, LinkId(0)));
         assert!(matches!(
             remove_link(&t, LinkId(0)),
@@ -228,17 +228,17 @@ mod tests {
 
     #[test]
     fn stretch_fraction_bounded() {
-        let net = Network::analyze(zoo::paper_example()).unwrap();
+        let net = Network::analyze(zoo::paper_example().unwrap()).unwrap();
         let f = updown_stretch_fraction(&net);
         assert!((0.0..=1.0).contains(&f));
         // A chain has no stretch (tree network: up*/down* is exact).
-        let chain = Network::analyze(zoo::chain(5)).unwrap();
+        let chain = Network::analyze(zoo::chain(5).unwrap()).unwrap();
         assert_eq!(updown_stretch_fraction(&chain), 0.0);
     }
 
     #[test]
     fn out_of_range_link_rejected() {
-        let t = zoo::chain(2);
+        let t = zoo::chain(2).unwrap();
         assert!(remove_link(&t, LinkId(99)).is_err());
     }
 }

@@ -11,6 +11,8 @@
 //! strings is a superset of the set; a tree-based worm climbs up links
 //! until it reaches a covering switch, then fans out downward.
 
+use crate::error::TopologyError;
+use crate::fault::FaultStatus;
 use crate::graph::{PortUse, Topology};
 use crate::ids::{PortIdx, SwitchId};
 use crate::mask::NodeMask;
@@ -36,13 +38,35 @@ impl Reachability {
     ///
     /// `descend(s) = nodes_at(s) ∪ ⋃ {descend(c) : s —down→ c}` — the down
     /// graph is acyclic, so a reverse-level-order pass suffices.
-    pub fn compute(topo: &Topology, updown: &UpDown) -> Self {
+    pub fn compute(topo: &Topology, updown: &UpDown) -> Result<Self, TopologyError> {
+        Self::compute_inner(topo, updown, None)
+    }
+
+    /// Compute strings over the surviving graph only: dead switches get
+    /// empty strings everywhere, and dead links (or links into dead
+    /// switches) contribute nothing to any port string, so a tree worm
+    /// never fans out across a failed component.
+    pub fn compute_masked(
+        topo: &Topology,
+        updown: &UpDown,
+        status: &FaultStatus,
+    ) -> Result<Self, TopologyError> {
+        Self::compute_inner(topo, updown, Some(status))
+    }
+
+    fn compute_inner(
+        topo: &Topology,
+        updown: &UpDown,
+        status: Option<&FaultStatus>,
+    ) -> Result<Self, TopologyError> {
         let n = topo.num_switches();
         let pmax = topo
             .switches()
             .map(|(_, sw)| sw.num_ports())
             .max()
             .unwrap_or(0);
+        let switch_alive = |s: SwitchId| status.is_none_or(|st| st.switch_up(s));
+        let link_alive = |l| status.is_none_or(|st| st.link_up(topo, l));
 
         // Order switches by decreasing (level, id): every down traversal
         // strictly decreases that key's order position... actually a down
@@ -58,9 +82,14 @@ impl Reachability {
         let mut descend = vec![NodeMask::EMPTY; n];
         for &si in &order {
             let s = SwitchId(si as u16);
+            if !switch_alive(s) {
+                continue; // dead switch reaches nothing, not even its hosts
+            }
             let mut m = topo.nodes_at(s);
-            for (_, peer, _) in updown.down_links(topo, s) {
-                m = m.union(descend[peer.idx()]);
+            for (l, peer, _) in updown.down_links(topo, s) {
+                if link_alive(l) {
+                    m = m.union(descend[peer.idx()]);
+                }
             }
             descend[si] = m;
         }
@@ -68,17 +97,22 @@ impl Reachability {
         let mut port_reach = vec![NodeMask::EMPTY; n * pmax];
         let mut cover = vec![NodeMask::EMPTY; n];
         for (s, sw) in topo.switches() {
+            if !switch_alive(s) {
+                continue;
+            }
             let mut c = NodeMask::EMPTY;
             for (pi, pu) in sw.ports.iter().enumerate() {
                 let m = match pu {
                     PortUse::Host(node) => NodeMask::single(*node),
                     PortUse::Link { link, .. } => {
-                        if updown.is_up_traversal(topo, *link, s) {
+                        if !link_alive(*link) || updown.is_up_traversal(topo, *link, s)? {
                             NodeMask::EMPTY
                         } else {
                             let peer = {
                                 let l = topo.link(*link);
-                                let side = l.side_of(s).expect("endpoint");
+                                let side = l
+                                    .side_of(s)
+                                    .ok_or(TopologyError::Inconsistent("switch not on link"))?;
                                 l.end(1 - side).0
                             };
                             descend[peer.idx()]
@@ -92,7 +126,7 @@ impl Reachability {
             cover[s.idx()] = c;
         }
 
-        Reachability { ports_per_switch: pmax, port_reach, cover, descend }
+        Ok(Reachability { ports_per_switch: pmax, port_reach, cover, descend })
     }
 
     /// The reachability string of one output port (empty for up/open ports).
@@ -179,7 +213,7 @@ mod tests {
         }
         let t = b.build().unwrap();
         let ud = UpDown::compute(&t, s[0]).unwrap();
-        let r = Reachability::compute(&t, &ud);
+        let r = Reachability::compute(&t, &ud).unwrap();
         (t, ud, r)
     }
 
@@ -217,7 +251,7 @@ mod tests {
             for pi in 0..sw.num_ports() {
                 let p = PortIdx(pi as u8);
                 if let PortUse::Link { link, .. } = sw.ports[pi] {
-                    if ud.is_up_traversal(&t, link, sid) {
+                    if ud.is_up_traversal(&t, link, sid).unwrap() {
                         assert!(r.port(sid, p).is_empty());
                     }
                 }

@@ -10,6 +10,8 @@
 //! destination switch over the two-phase state graph
 //! `(switch, phase ∈ {Up, Down})`.
 
+use crate::error::TopologyError;
+use crate::fault::FaultStatus;
 use crate::graph::Topology;
 use crate::ids::{LinkId, PortIdx, SwitchId};
 use crate::updown::UpDown;
@@ -71,20 +73,54 @@ pub struct RoutingTables {
 
 impl RoutingTables {
     /// Compute tables for a topology under a given up/down orientation.
-    pub fn compute(topo: &Topology, updown: &UpDown) -> Self {
+    pub fn compute(topo: &Topology, updown: &UpDown) -> Result<Self, TopologyError> {
+        Self::compute_inner(topo, updown, None)
+    }
+
+    /// Compute tables over the **surviving** graph of a degrading
+    /// network: dead links and links into dead switches contribute no
+    /// moves, so dead components are unreachable and never appear as
+    /// next-hop candidates. Rows for dead switches are all-`UNREACHABLE`.
+    pub fn compute_masked(
+        topo: &Topology,
+        updown: &UpDown,
+        status: &FaultStatus,
+    ) -> Result<Self, TopologyError> {
+        Self::compute_inner(topo, updown, Some(status))
+    }
+
+    fn compute_inner(
+        topo: &Topology,
+        updown: &UpDown,
+        status: Option<&FaultStatus>,
+    ) -> Result<Self, TopologyError> {
         let n = topo.num_switches();
         let mut dist = [vec![UNREACHABLE; n * n], vec![UNREACHABLE; n * n]];
 
-        // Forward adjacency with phases, per switch.
+        // Forward adjacency with phases, per switch. Masked computes drop
+        // every move across a dead link or into/out of a dead switch —
+        // this is the single point where faults enter the tables.
         // moves[s] = Vec of (port, link, next, traversal_is_up)
-        let moves: Vec<Vec<(PortIdx, LinkId, SwitchId, bool)>> = (0..n)
-            .map(|si| {
-                let s = SwitchId(si as u16);
-                topo.neighbors(s)
-                    .map(|(l, peer, port)| (port, l, peer, updown.is_up_traversal(topo, l, s)))
-                    .collect()
-            })
-            .collect();
+        let mut moves: Vec<Vec<(PortIdx, LinkId, SwitchId, bool)>> = Vec::with_capacity(n);
+        for si in 0..n {
+            let s = SwitchId(si as u16);
+            if let Some(st) = status {
+                if !st.switch_up(s) {
+                    moves.push(Vec::new());
+                    continue;
+                }
+            }
+            let mut ms = Vec::new();
+            for (l, peer, port) in topo.neighbors(s) {
+                if let Some(st) = status {
+                    if !st.link_up(topo, l) {
+                        continue;
+                    }
+                }
+                ms.push((port, l, peer, updown.is_up_traversal(topo, l, s)?));
+            }
+            moves.push(ms);
+        }
 
         // Reverse adjacency over states: rev[(s,phase)] lists (prev, prev_phase).
         // Transition rules (forward):
@@ -218,7 +254,7 @@ impl RoutingTables {
             }
         }
 
-        RoutingTables { num_switches: n, dist, hops, dist_up, hops_up }
+        Ok(RoutingTables { num_switches: n, dist, hops, dist_up, hops_up })
     }
 
     /// Minimal hop count from `s` to `t` using only up links, or
@@ -286,7 +322,7 @@ mod tests {
         }
         let t = b.build().unwrap();
         let ud = UpDown::compute(&t, s0).unwrap();
-        let rt = RoutingTables::compute(&t, &ud);
+        let rt = RoutingTables::compute(&t, &ud).unwrap();
         (t, ud, rt)
     }
 

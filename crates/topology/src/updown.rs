@@ -12,6 +12,7 @@
 //! links) deadlock-free.
 
 use crate::error::TopologyError;
+use crate::fault::FaultStatus;
 use crate::graph::{PortUse, Topology};
 use crate::ids::{LinkId, PortIdx, SwitchId};
 use std::collections::VecDeque;
@@ -37,9 +38,38 @@ impl UpDown {
     /// that with an explicit, deterministic choice (lowest switch id by
     /// default, see [`crate::Network::analyze`]).
     pub fn compute(topo: &Topology, root: SwitchId) -> Result<Self, TopologyError> {
+        Self::compute_inner(topo, root, None)
+    }
+
+    /// Recompute the spanning tree over the **surviving** graph of a
+    /// degrading network: dead links are never traversed and dead
+    /// switches never enqueued. Surviving switches that the BFS cannot
+    /// reach mean the faults split the network — reported as
+    /// [`TopologyError::PartitionedNetwork`] with the stranded switches
+    /// and hosts. Dead switches keep `level == u32::MAX`; every query
+    /// about them is meaningless and downstream consumers must mask them
+    /// out (the masked routing/reachability computes do).
+    pub fn compute_masked(
+        topo: &Topology,
+        root: SwitchId,
+        status: &FaultStatus,
+    ) -> Result<Self, TopologyError> {
+        Self::compute_inner(topo, root, Some(status))
+    }
+
+    fn compute_inner(
+        topo: &Topology,
+        root: SwitchId,
+        status: Option<&FaultStatus>,
+    ) -> Result<Self, TopologyError> {
         let n = topo.num_switches();
         if root.idx() >= n {
             return Err(TopologyError::BadRoot(root));
+        }
+        if let Some(st) = status {
+            if !st.switch_up(root) {
+                return Err(TopologyError::BadRoot(root));
+            }
         }
         let mut level = vec![u32::MAX; n];
         let mut parent = vec![None; n];
@@ -50,6 +80,11 @@ impl UpDown {
         while let Some(s) = q.pop_front() {
             // Deterministic neighbor order: ports in increasing index.
             for (link, peer, _port) in topo.neighbors(s) {
+                if let Some(st) = status {
+                    if !st.link_up(topo, link) {
+                        continue;
+                    }
+                }
                 if level[peer.idx()] == u32::MAX {
                     level[peer.idx()] = level[s.idx()] + 1;
                     parent[peer.idx()] = Some(s);
@@ -58,14 +93,40 @@ impl UpDown {
                 }
             }
         }
-        if let Some(u) = level.iter().position(|&l| l == u32::MAX) {
-            return Err(TopologyError::Disconnected { unreachable: SwitchId(u as u16) });
+        match status {
+            None => {
+                if let Some(u) = level.iter().position(|&l| l == u32::MAX) {
+                    return Err(TopologyError::Disconnected { unreachable: SwitchId(u as u16) });
+                }
+            }
+            Some(st) => {
+                // Only *surviving* switches must be reachable; stranded
+                // ones are a partition, reported with their hosts.
+                let unreachable_switches: Vec<SwitchId> = st
+                    .alive_switches()
+                    .filter(|s| level[s.idx()] == u32::MAX)
+                    .collect();
+                if !unreachable_switches.is_empty() {
+                    let unreachable_hosts = topo
+                        .hosts()
+                        .filter(|(_, h)| unreachable_switches.contains(&h.switch))
+                        .map(|(n, _)| n)
+                        .collect();
+                    return Err(TopologyError::PartitionedNetwork {
+                        unreachable_switches,
+                        unreachable_hosts,
+                    });
+                }
+            }
         }
         let mut up_side = Vec::with_capacity(topo.num_links());
         for (_, l) in topo.links() {
             let (sa, sb) = (l.a.0, l.b.0);
             let (la, lb) = (level[sa.idx()], level[sb.idx()]);
             // Up end: closer to root, ties broken by lower switch id.
+            // Dead switches sit at u32::MAX, so a link with one surviving
+            // end is oriented up toward the survivor — harmless either
+            // way, since dead links are masked out of every consumer.
             let side = if la < lb || (la == lb && sa < sb) { 0 } else { 1 };
             up_side.push(side);
         }
@@ -104,31 +165,48 @@ impl UpDown {
 
     /// True if traversing `link` out of switch `from` moves in the *up*
     /// direction (i.e. arrives at the link's up end).
-    pub fn is_up_traversal(&self, topo: &Topology, link: LinkId, from: SwitchId) -> bool {
+    ///
+    /// Errors with [`TopologyError::Inconsistent`] if `from` is not an
+    /// endpoint of `link` — a caller mixing up orientations and
+    /// topologies, reported instead of panicking.
+    pub fn is_up_traversal(
+        &self,
+        topo: &Topology,
+        link: LinkId,
+        from: SwitchId,
+    ) -> Result<bool, TopologyError> {
         let l = topo.link(link);
-        let from_side = l.side_of(from).expect("switch not on link");
+        let from_side = l
+            .side_of(from)
+            .ok_or(TopologyError::Inconsistent("switch not on link"))?;
         let to_side = 1 - from_side;
-        to_side == self.up_side[link.idx()]
+        Ok(to_side == self.up_side[link.idx()])
     }
 
     /// Links leaving `s` in the up direction, with `(link, peer, local port)`.
+    ///
+    /// Links on which the orientation query fails (mismatched topology)
+    /// are silently skipped — they belong to neither direction.
     pub fn up_links<'a>(
         &'a self,
         topo: &'a Topology,
         s: SwitchId,
     ) -> impl Iterator<Item = (LinkId, SwitchId, PortIdx)> + 'a {
         topo.neighbors(s)
-            .filter(move |(l, _, _)| self.is_up_traversal(topo, *l, s))
+            .filter(move |(l, _, _)| matches!(self.is_up_traversal(topo, *l, s), Ok(true)))
     }
 
     /// Links leaving `s` in the down direction, with `(link, peer, local port)`.
+    ///
+    /// Links on which the orientation query fails (mismatched topology)
+    /// are silently skipped — they belong to neither direction.
     pub fn down_links<'a>(
         &'a self,
         topo: &'a Topology,
         s: SwitchId,
     ) -> impl Iterator<Item = (LinkId, SwitchId, PortIdx)> + 'a {
         topo.neighbors(s)
-            .filter(move |(l, _, _)| !self.is_up_traversal(topo, *l, s))
+            .filter(move |(l, _, _)| matches!(self.is_up_traversal(topo, *l, s), Ok(false)))
     }
 
     /// Ports of `s` that lead in the down direction to another switch or to
@@ -142,10 +220,9 @@ impl UpDown {
         topo.switch(s).ports.iter().enumerate().filter_map(move |(pi, pu)| match pu {
             PortUse::Host(_) => Some(PortIdx(pi as u8)),
             PortUse::Link { link, .. } => {
-                if self.is_up_traversal(topo, *link, s) {
-                    None
-                } else {
-                    Some(PortIdx(pi as u8))
+                match self.is_up_traversal(topo, *link, s) {
+                    Ok(false) => Some(PortIdx(pi as u8)),
+                    _ => None,
                 }
             }
             PortUse::Open => None,
@@ -215,12 +292,12 @@ mod tests {
         let (t, ud) = diamond();
         // S1 -> S0 is up, S0 -> S1 is down.
         let l01 = LinkId(0);
-        assert!(ud.is_up_traversal(&t, l01, SwitchId(1)));
-        assert!(!ud.is_up_traversal(&t, l01, SwitchId(0)));
+        assert!(ud.is_up_traversal(&t, l01, SwitchId(1)).unwrap());
+        assert!(!ud.is_up_traversal(&t, l01, SwitchId(0)).unwrap());
         // Cross link S1-S2 at equal level: up end is the lower id, S1.
         let l12 = LinkId(4);
-        assert!(ud.is_up_traversal(&t, l12, SwitchId(2)));
-        assert!(!ud.is_up_traversal(&t, l12, SwitchId(1)));
+        assert!(ud.is_up_traversal(&t, l12, SwitchId(2)).unwrap());
+        assert!(!ud.is_up_traversal(&t, l12, SwitchId(1)).unwrap());
     }
 
     #[test]
@@ -273,7 +350,7 @@ mod tests {
         b.add_host(s1).unwrap();
         let t = b.build().unwrap();
         let ud = UpDown::compute(&t, s0).unwrap();
-        assert!(ud.is_up_traversal(&t, LinkId(0), s1));
-        assert!(ud.is_up_traversal(&t, LinkId(1), s1));
+        assert!(ud.is_up_traversal(&t, LinkId(0), s1).unwrap());
+        assert!(ud.is_up_traversal(&t, LinkId(1), s1).unwrap());
     }
 }

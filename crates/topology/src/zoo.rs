@@ -1,6 +1,7 @@
 //! Fixed example topologies for tests, examples, and documentation.
 
 use crate::builder::TopologyBuilder;
+use crate::error::TopologyError;
 use crate::graph::Topology;
 use crate::ids::SwitchId;
 
@@ -11,7 +12,7 @@ use crate::ids::SwitchId;
 /// The exact figure's wiring is not recoverable from the OCR'd text, so
 /// this is a representative irregular instance: a two-level core with
 /// cross links and one double link.
-pub fn paper_example() -> Topology {
+pub fn paper_example() -> Result<Topology, TopologyError> {
     let mut b = TopologyBuilder::new();
     let s: Vec<SwitchId> = (0..8).map(|_| b.add_switch(8)).collect();
     // Irregular wiring (11 links incl. one parallel pair).
@@ -29,93 +30,110 @@ pub fn paper_example() -> Topology {
         (1, 6), // parallel link
     ];
     for (a, c) in pairs {
-        b.add_link(s[a], s[c]).unwrap();
+        b.add_link(s[a], s[c])?;
     }
     for &sw in &s {
         for _ in 0..4 {
-            b.add_host(sw).unwrap();
+            b.add_host(sw)?;
         }
     }
-    b.build().expect("paper_example is valid")
+    b.build()
 }
 
 /// A chain of `n` switches, one host per switch. Minimal connectivity:
 /// useful for pinning down latency arithmetic in tests.
-pub fn chain(n: usize) -> Topology {
-    assert!(n >= 1);
+pub fn chain(n: usize) -> Result<Topology, TopologyError> {
+    if n < 1 {
+        return Err(TopologyError::Empty);
+    }
     let mut b = TopologyBuilder::new();
     let s: Vec<SwitchId> = (0..n).map(|_| b.add_switch(4)).collect();
     for w in s.windows(2) {
-        b.add_link(w[0], w[1]).unwrap();
+        b.add_link(w[0], w[1])?;
     }
     for &sw in &s {
-        b.add_host(sw).unwrap();
+        b.add_host(sw)?;
     }
-    b.build().expect("chain is valid")
+    b.build()
 }
 
 /// A single switch with `h` hosts — the degenerate "regular" case where
 /// every multicast is one switch hop.
-pub fn single_switch(h: usize) -> Topology {
-    assert!((1..=128).contains(&h));
+pub fn single_switch(h: usize) -> Result<Topology, TopologyError> {
+    if h == 0 {
+        return Err(TopologyError::Empty);
+    }
+    if h > 128 {
+        return Err(TopologyError::TooManyNodes(h));
+    }
     let mut b = TopologyBuilder::new();
     let s = b.add_switch(h.max(2) as u8);
     for _ in 0..h {
-        b.add_host(s).unwrap();
+        b.add_host(s)?;
     }
-    b.build().expect("single_switch is valid")
+    b.build()
 }
 
 /// A star: one core switch connected to `leaves` leaf switches, `hosts_per_leaf`
 /// hosts on each leaf and none on the core.
-pub fn star(leaves: usize, hosts_per_leaf: usize) -> Topology {
-    assert!(leaves >= 1);
+pub fn star(leaves: usize, hosts_per_leaf: usize) -> Result<Topology, TopologyError> {
+    if leaves < 1 {
+        return Err(TopologyError::Empty);
+    }
     let mut b = TopologyBuilder::new();
     let core = b.add_switch((leaves.max(2)) as u8);
     for _ in 0..leaves {
         let leaf = b.add_switch((hosts_per_leaf + 1).max(2) as u8);
-        b.add_link(core, leaf).unwrap();
+        b.add_link(core, leaf)?;
         for _ in 0..hosts_per_leaf {
-            b.add_host(leaf).unwrap();
+            b.add_host(leaf)?;
         }
     }
-    b.build().expect("star is valid")
+    b.build()
 }
 
 /// A ring of `n` switches (n ≥ 3), one host per switch. The up*/down*
 /// orientation breaks the ring's symmetry: one link becomes the "cross"
 /// link whose two ends sit at equal distance from the root.
-pub fn ring(n: usize) -> Topology {
-    assert!(n >= 3);
+pub fn ring(n: usize) -> Result<Topology, TopologyError> {
+    if n < 3 {
+        return Err(TopologyError::Empty);
+    }
     let mut b = TopologyBuilder::new();
     let s: Vec<SwitchId> = (0..n).map(|_| b.add_switch(4)).collect();
     for i in 0..n {
-        b.add_link(s[i], s[(i + 1) % n]).unwrap();
+        b.add_link(s[i], s[(i + 1) % n])?;
     }
     for &sw in &s {
-        b.add_host(sw).unwrap();
+        b.add_host(sw)?;
     }
-    b.build().expect("ring is valid")
+    b.build()
 }
 
 /// A two-level Clos-like fabric: `spines` spine switches (no hosts),
 /// `leaves` leaf switches each wired to every spine, `hosts_per_leaf`
 /// hosts per leaf. The closest thing to a *regular* NOW fabric — useful
 /// as a best-case contrast to the random irregular instances.
-pub fn two_level(spines: usize, leaves: usize, hosts_per_leaf: usize) -> Topology {
-    assert!(spines >= 1 && leaves >= 1);
+pub fn two_level(
+    spines: usize,
+    leaves: usize,
+    hosts_per_leaf: usize,
+) -> Result<Topology, TopologyError> {
+    if spines < 1 || leaves < 1 {
+        return Err(TopologyError::Empty);
+    }
     let mut b = TopologyBuilder::new();
     let sp: Vec<SwitchId> = (0..spines).map(|_| b.add_switch(leaves.max(2) as u8)).collect();
     for _ in 0..leaves {
         let leaf = b.add_switch((spines + hosts_per_leaf).max(2) as u8);
         for &s in &sp {
-            b.add_link(s, leaf).unwrap();
+            b.add_link(s, leaf)?;
         }
         for _ in 0..hosts_per_leaf {
-            b.add_host(leaf).unwrap();
+            b.add_host(leaf)?;
         }
     }
-    b.build().expect("two_level is valid")
+    b.build()
 }
 
 #[cfg(test)]
@@ -125,7 +143,7 @@ mod tests {
 
     #[test]
     fn paper_example_analyzes() {
-        let net = Network::analyze(paper_example()).unwrap();
+        let net = Network::analyze(paper_example().unwrap()).unwrap();
         assert_eq!(net.num_switches(), 8);
         assert_eq!(net.num_nodes(), 32);
         net.updown.verify_acyclic(&net.topo).unwrap();
@@ -134,29 +152,39 @@ mod tests {
 
     #[test]
     fn chain_has_linear_distances() {
-        let net = Network::analyze(chain(5)).unwrap();
+        let net = Network::analyze(chain(5).unwrap()).unwrap();
         use crate::routing::Phase;
         assert_eq!(net.routing.distance(SwitchId(0), Phase::Up, SwitchId(4)), 4);
         assert_eq!(net.routing.distance(SwitchId(4), Phase::Up, SwitchId(0)), 4);
     }
 
     #[test]
+    fn degenerate_sizes_are_errors_not_panics() {
+        assert!(chain(0).is_err());
+        assert!(single_switch(0).is_err());
+        assert!(single_switch(129).is_err());
+        assert!(star(0, 3).is_err());
+        assert!(ring(2).is_err());
+        assert!(two_level(0, 4, 4).is_err());
+    }
+
+    #[test]
     fn single_switch_all_local() {
-        let net = Network::analyze(single_switch(6)).unwrap();
+        let net = Network::analyze(single_switch(6).unwrap()).unwrap();
         assert_eq!(net.topo.nodes_at(SwitchId(0)).len(), 6);
         assert!(net.reach.covers(SwitchId(0), crate::NodeMask::all(6)));
     }
 
     #[test]
     fn star_analyzes() {
-        let net = Network::analyze(star(4, 3)).unwrap();
+        let net = Network::analyze(star(4, 3).unwrap()).unwrap();
         assert_eq!(net.num_switches(), 5);
         assert_eq!(net.num_nodes(), 12);
     }
 
     #[test]
     fn ring_analyzes_and_offers_two_routes_from_the_far_side() {
-        let net = Network::analyze(ring(6)).unwrap();
+        let net = Network::analyze(ring(6).unwrap()).unwrap();
         net.updown.verify_acyclic(&net.topo).unwrap();
         assert!(net.routing.fully_connected());
         // In a 6-ring rooted at S0, S3 is equidistant both ways; the
@@ -182,7 +210,7 @@ mod tests {
         // (level 2), so leaf→S1→leaf would be down-then-up — illegal.
         // All leaf-to-leaf traffic is forced through the root spine,
         // even though the physical fabric has two disjoint spines.
-        let net = Network::analyze(two_level(2, 4, 4)).unwrap();
+        let net = Network::analyze(two_level(2, 4, 4).unwrap()).unwrap();
         assert_eq!(net.num_switches(), 6);
         assert_eq!(net.num_nodes(), 16);
         use crate::routing::Phase;
@@ -194,7 +222,7 @@ mod tests {
 
     #[test]
     fn two_level_covers_from_any_spine() {
-        let net = Network::analyze(two_level(2, 3, 2)).unwrap();
+        let net = Network::analyze(two_level(2, 3, 2).unwrap()).unwrap();
         let all = crate::NodeMask::all(net.num_nodes());
         assert!(net.reach.covers(net.updown.root(), all));
     }

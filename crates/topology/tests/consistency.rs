@@ -12,9 +12,9 @@ fn networks() -> Vec<Network> {
                 .unwrap()
         })
         .collect();
-    v.push(Network::analyze(zoo::paper_example()).unwrap());
-    v.push(Network::analyze(zoo::ring(6)).unwrap());
-    v.push(Network::analyze(zoo::star(4, 3)).unwrap());
+    v.push(Network::analyze(zoo::paper_example().unwrap()).unwrap());
+    v.push(Network::analyze(zoo::ring(6).unwrap()).unwrap());
+    v.push(Network::analyze(zoo::star(4, 3).unwrap()).unwrap());
     v
 }
 

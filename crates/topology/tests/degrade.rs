@@ -1,0 +1,114 @@
+//! Up/down reconfiguration over a degrading network: `Network::degrade`
+//! must re-orient the surviving graph, re-elect a root when the old one
+//! dies, and report partitions as structured errors.
+
+use irrnet_topology::routing::{Phase, UNREACHABLE};
+use irrnet_topology::{
+    zoo, FaultKind, FaultStatus, Network, NodeId, SwitchId, TopologyError,
+};
+
+#[test]
+fn healthy_degrade_is_identity() {
+    let net = Network::analyze(zoo::paper_example().unwrap()).unwrap();
+    let st = FaultStatus::healthy(&net.topo);
+    let d = net.degrade(&st).unwrap();
+    assert_eq!(d.updown.root(), net.updown.root());
+    assert!(d.routing.fully_connected());
+}
+
+#[test]
+fn link_kill_reroutes_around_the_dead_link() {
+    let net = Network::analyze(zoo::ring(6).unwrap()).unwrap();
+    let mut st = FaultStatus::healthy(&net.topo);
+    // Kill the link S0-S1; the ring still connects everything the long
+    // way round, so every switch pair must stay mutually reachable.
+    let l01 = net
+        .topo
+        .links()
+        .find(|(_, l)| {
+            let (a, b) = (l.a.0, l.b.0);
+            (a, b) == (SwitchId(0), SwitchId(1)) || (a, b) == (SwitchId(1), SwitchId(0))
+        })
+        .map(|(id, _)| id)
+        .unwrap();
+    st.kill(&net.topo, FaultKind::Link(l01));
+    let d = net.degrade(&st).unwrap();
+    for a in 0..6u16 {
+        for b in 0..6u16 {
+            if a != b {
+                let dist = d.routing.distance(SwitchId(a), Phase::Up, SwitchId(b));
+                assert_ne!(dist, UNREACHABLE, "S{a} -> S{b} lost");
+            }
+        }
+    }
+    // S0->S1 must now go the long way: five hops, not one.
+    assert_eq!(d.routing.distance(SwitchId(0), Phase::Up, SwitchId(1)), 5);
+    // Tree worms must not fan out across the dead link either.
+    let all = irrnet_topology::NodeMask::all(net.topo.num_nodes());
+    assert!(d.reach.covers(d.updown.root(), all));
+}
+
+#[test]
+fn root_death_reelects_lowest_alive_switch() {
+    let net = Network::analyze(zoo::paper_example().unwrap()).unwrap();
+    let mut st = FaultStatus::healthy(&net.topo);
+    st.kill(&net.topo, FaultKind::Switch(net.updown.root()));
+    assert!(st.is_connected(&net.topo), "fixture must survive the root kill");
+    let d = net.degrade(&st).unwrap();
+    let expected = st.alive_switches().next().unwrap();
+    assert_eq!(d.updown.root(), expected);
+    // Dead switch rows are unreachable; alive pairs all route.
+    let dead = net.updown.root();
+    for a in st.alive_switches() {
+        for b in st.alive_switches() {
+            if a != b {
+                assert_ne!(d.routing.distance(a, Phase::Up, b), UNREACHABLE);
+            }
+        }
+        assert_eq!(d.routing.distance(a, Phase::Up, dead), UNREACHABLE);
+    }
+}
+
+#[test]
+fn bridge_kill_reports_structured_partition() {
+    // chain(4): every link is a bridge; killing S1-S2 strands S2, S3 and
+    // their hosts n2, n3.
+    let net = Network::analyze(zoo::chain(4).unwrap()).unwrap();
+    let mut st = FaultStatus::healthy(&net.topo);
+    let bridge = net
+        .topo
+        .links()
+        .find(|(_, l)| {
+            let (a, b) = (l.a.0, l.b.0);
+            a.min(b) == SwitchId(1) && a.max(b) == SwitchId(2)
+        })
+        .map(|(id, _)| id)
+        .unwrap();
+    st.kill(&net.topo, FaultKind::Link(bridge));
+    match net.degrade(&st) {
+        Err(TopologyError::PartitionedNetwork { unreachable_switches, unreachable_hosts }) => {
+            assert_eq!(unreachable_switches, vec![SwitchId(2), SwitchId(3)]);
+            assert_eq!(unreachable_hosts, vec![NodeId(2), NodeId(3)]);
+        }
+        other => panic!("expected PartitionedNetwork, got {other:?}"),
+    }
+}
+
+#[test]
+fn switch_kill_strands_its_hosts_only() {
+    // star(4, 2): killing one leaf switch takes down its two hosts but
+    // leaves the rest routable.
+    let net = Network::analyze(zoo::star(4, 2).unwrap()).unwrap();
+    let mut st = FaultStatus::healthy(&net.topo);
+    let victim = SwitchId(2); // a leaf
+    st.kill(&net.topo, FaultKind::Switch(victim));
+    let d = net.degrade(&st).unwrap();
+    for (n, h) in net.topo.hosts() {
+        if h.switch == victim {
+            assert!(!st.host_up(&net.topo, n));
+        } else {
+            assert!(st.host_up(&net.topo, n));
+            assert!(d.reach.covers(d.updown.root(), irrnet_topology::NodeMask::single(n)));
+        }
+    }
+}

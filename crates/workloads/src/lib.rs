@@ -20,6 +20,7 @@
 //! ```
 
 pub mod dsm;
+pub mod faults;
 pub mod load;
 pub mod report;
 pub mod single;
@@ -27,6 +28,7 @@ pub mod stats;
 pub mod sweep;
 
 pub use dsm::{generate_trace, run_dsm, DsmConfig, DsmResult, DsmTrace};
+pub use faults::{run_faulted, FaultConfig, FaultResult};
 pub use load::{run_load, LoadConfig, LoadResult};
 pub use report::Series;
 pub use single::{mean_single_latency, random_dests, random_mcast, run_single, SingleResult};

@@ -177,7 +177,7 @@ mod tests {
 
     #[test]
     fn light_load_is_unsaturated_and_near_isolated_latency() {
-        let net = Network::analyze(zoo::paper_example()).unwrap();
+        let net = Network::analyze(zoo::paper_example().unwrap()).unwrap();
         let cfg = SimConfig::paper_default();
         let r = run_load(&net, &cfg, Scheme::TreeWorm, &quick_lc(0.02)).unwrap();
         assert!(!r.saturated, "{r:?}");
@@ -190,7 +190,7 @@ mod tests {
 
     #[test]
     fn heavy_load_saturates() {
-        let net = Network::analyze(zoo::paper_example()).unwrap();
+        let net = Network::analyze(zoo::paper_example().unwrap()).unwrap();
         let cfg = SimConfig::paper_default();
         // Far beyond the unicast saturation point of ~0.8.
         let r = run_load(&net, &cfg, Scheme::UBinomial, &quick_lc(3.0)).unwrap();
@@ -199,7 +199,7 @@ mod tests {
 
     #[test]
     fn latency_grows_with_load() {
-        let net = Network::analyze(zoo::paper_example()).unwrap();
+        let net = Network::analyze(zoo::paper_example().unwrap()).unwrap();
         let cfg = SimConfig::paper_default();
         let lo = run_load(&net, &cfg, Scheme::TreeWorm, &quick_lc(0.02)).unwrap();
         let hi = run_load(&net, &cfg, Scheme::TreeWorm, &quick_lc(0.4)).unwrap();

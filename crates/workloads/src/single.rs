@@ -99,7 +99,7 @@ mod tests {
 
     #[test]
     fn run_single_reports_meta() {
-        let net = Network::analyze(zoo::paper_example()).unwrap();
+        let net = Network::analyze(zoo::paper_example().unwrap()).unwrap();
         let cfg = SimConfig::paper_default();
         let dests = NodeMask::from_nodes((1..=4).map(NodeId));
         let r = run_single(&net, &cfg, Scheme::TreeWorm, NodeId(0), dests, 128).unwrap();
@@ -119,7 +119,7 @@ mod tests {
 
     #[test]
     fn mean_is_deterministic_per_seed() {
-        let net = Network::analyze(zoo::paper_example()).unwrap();
+        let net = Network::analyze(zoo::paper_example().unwrap()).unwrap();
         let cfg = SimConfig::paper_default();
         let a = mean_single_latency(&net, &cfg, Scheme::NiFpfs, 6, 128, 3, 42).unwrap();
         let b = mean_single_latency(&net, &cfg, Scheme::NiFpfs, 6, 128, 3, 42).unwrap();

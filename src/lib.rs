@@ -43,10 +43,12 @@ pub use irrnet_workloads as workloads;
 pub mod prelude {
     pub use irrnet_core::{plan_multicast, McastPlan, PathVariant, PlanMeta, Scheme, SchemeProtocol};
     pub use irrnet_sim::{
-        Cycle, McastId, PathStop, PathWormSpec, SendSpec, SimConfig, SimError, SimStats, Simulator,
+        Cycle, DeadlockDiagnostics, McastId, PathStop, PathWormSpec, RetxPolicy, SendSpec,
+        SimConfig, SimError, SimStats, Simulator,
     };
     pub use irrnet_topology::{
-        gen, zoo, Network, NodeId, NodeMask, RandomTopologyConfig, SwitchId,
+        gen, zoo, FaultKind, FaultPlan, FaultStatus, Network, NodeId, NodeMask,
+        RandomFaultConfig, RandomTopologyConfig, SwitchId,
     };
     pub use irrnet_collectives::{run_collective, CollectiveOp, CollectiveResult};
     pub use irrnet_workloads::{

@@ -17,7 +17,7 @@ fn prelude_covers_the_quickstart_flow() {
 #[test]
 fn facade_module_paths_resolve() {
     // Types reachable through every facade module alias.
-    let _t: irrnet::topology::Topology = irrnet::topology::zoo::chain(2);
+    let _t: irrnet::topology::Topology = irrnet::topology::zoo::chain(2).unwrap();
     let _c: irrnet::sim::SimConfig = irrnet::sim::SimConfig::paper_default();
     let _s: irrnet::mcast::Scheme = irrnet::mcast::Scheme::TreeWorm;
     let _l: irrnet::workloads::LoadConfig = irrnet::workloads::LoadConfig::paper_default(8, 0.1);
@@ -26,7 +26,7 @@ fn facade_module_paths_resolve() {
 
 #[test]
 fn prelude_collective_flow() {
-    let net = Network::analyze(zoo::paper_example()).unwrap();
+    let net = Network::analyze(zoo::paper_example().unwrap()).unwrap();
     let cfg = SimConfig::paper_default();
     let r = run_collective(
         &net,
