@@ -1,0 +1,52 @@
+//! Typed failures for compiling and running collectives.
+
+use irrnet_core::PlanError;
+use irrnet_sim::SimError;
+
+/// Why a collective could not be compiled or run.
+#[derive(Debug, Clone)]
+pub enum CollectiveError {
+    /// The root is not part of the member set.
+    RootNotMember,
+    /// A collective needs at least two members.
+    TooFewMembers(usize),
+    /// The release-broadcast plan failed.
+    Plan(PlanError),
+    /// The simulation itself failed.
+    Sim(SimError),
+}
+
+impl std::fmt::Display for CollectiveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CollectiveError::RootNotMember => write!(f, "root must be a member"),
+            CollectiveError::TooFewMembers(n) => {
+                write!(f, "a collective needs at least two members, got {n}")
+            }
+            CollectiveError::Plan(e) => write!(f, "broadcast planning failed: {e}"),
+            CollectiveError::Sim(e) => write!(f, "simulation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CollectiveError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CollectiveError::Plan(e) => Some(e),
+            CollectiveError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PlanError> for CollectiveError {
+    fn from(e: PlanError) -> Self {
+        CollectiveError::Plan(e)
+    }
+}
+
+impl From<SimError> for CollectiveError {
+    fn from(e: SimError) -> Self {
+        CollectiveError::Sim(e)
+    }
+}

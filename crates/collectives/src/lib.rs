@@ -47,10 +47,12 @@
 //! assert_eq!(r.messages, 32); // 31 combining edges + 1 release broadcast
 //! ```
 
+pub mod error;
 pub mod plan;
 pub mod protocol;
 pub mod run;
 
+pub use error::CollectiveError;
 pub use plan::{CollectiveOp, CollectivePlan};
 pub use protocol::CollectiveProtocol;
 pub use run::{run_collective, CollectiveResult};

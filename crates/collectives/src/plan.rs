@@ -6,14 +6,16 @@
 //!   registered unicast multicast, fired when the child has locally
 //!   combined all of its own children's contributions;
 //! * the optional *release broadcast* is one multicast planned under the
-//!   chosen [`Scheme`], fired when the root's reduction completes.
+//!   chosen scheme (any registered [`SchemeId`]), fired when the root's
+//!   reduction completes.
 //!
 //! Ids are allocated densely from a caller-supplied base so several
 //! collectives can share one simulation.
 
+use crate::error::CollectiveError;
 use irrnet_core::kbinomial::{build_k_binomial, McastTree};
 use irrnet_core::order::{node_ranks, sort_by_rank};
-use irrnet_core::{plan_multicast, McastPlan, Scheme};
+use irrnet_core::{try_plan_multicast, McastPlan, SchemeId};
 use irrnet_sim::{McastId, SimConfig};
 use irrnet_topology::{Network, NodeId, NodeMask};
 use std::collections::HashMap;
@@ -30,6 +32,16 @@ pub enum CollectiveOp {
     Barrier,
     /// Reduce of `contrib_flits`, then broadcast of `data_flits`.
     AllReduce,
+}
+
+/// Payload of one constituent message: barriers carry a minimal token,
+/// everything else carries the caller's data. One helper sizes both the
+/// reduce-edge contributions and the release broadcast.
+fn payload_flits(op: CollectiveOp, data_flits: u32) -> u32 {
+    match op {
+        CollectiveOp::Barrier => 8,
+        _ => data_flits,
+    }
 }
 
 /// One child→parent edge of the combining tree.
@@ -73,9 +85,11 @@ impl CollectivePlan {
     /// Compile a collective over `members` rooted at `root`.
     ///
     /// `scheme` chooses the broadcast implementation (ignored for pure
-    /// reduce). `fanout` bounds the combining tree (the classic binomial
-    /// combining tree is `members-1`, i.e. unbounded; small fan-outs
-    /// trade depth for less combining serialization at the root).
+    /// reduce) — any registered [`SchemeId`] or a legacy
+    /// [`irrnet_core::Scheme`] variant. `fanout` bounds the combining
+    /// tree (the classic binomial combining tree is `members-1`, i.e.
+    /// unbounded; small fan-outs trade depth for less combining
+    /// serialization at the root).
     #[allow(clippy::too_many_arguments)]
     pub fn compile(
         net: &Network,
@@ -83,21 +97,20 @@ impl CollectivePlan {
         op: CollectiveOp,
         root: NodeId,
         members: NodeMask,
-        scheme: Scheme,
+        scheme: impl Into<SchemeId>,
         fanout: usize,
         data_flits: u32,
         base_id: u64,
-    ) -> Self {
-        assert!(members.contains(root), "root must be a member");
-        assert!(members.len() >= 2, "a collective needs at least two members");
-        let contrib_flits = match op {
-            CollectiveOp::Barrier => 8,
-            _ => data_flits,
-        };
-        let bcast_flits = match op {
-            CollectiveOp::Barrier => 8,
-            _ => data_flits,
-        };
+    ) -> Result<Self, CollectiveError> {
+        if !members.contains(root) {
+            return Err(CollectiveError::RootNotMember);
+        }
+        if members.len() < 2 {
+            return Err(CollectiveError::TooFewMembers(members.len()));
+        }
+        let scheme = scheme.into();
+        let contrib_flits = payload_flits(op, data_flits);
+        let bcast_flits = payload_flits(op, data_flits);
 
         let mut next_id = base_id;
         let mut edges = Vec::new();
@@ -132,12 +145,12 @@ impl CollectivePlan {
             dests.remove(root);
             let id = McastId(next_id);
             next_id += 1;
-            Some((id, plan_multicast(net, cfg, scheme, root, dests, bcast_flits)))
+            Some((id, try_plan_multicast(net, cfg, scheme, root, dests, bcast_flits)?))
         } else {
             None
         };
 
-        CollectivePlan {
+        Ok(CollectivePlan {
             op,
             root,
             members,
@@ -148,7 +161,7 @@ impl CollectivePlan {
             contrib_flits,
             data_flits: bcast_flits,
             id_count: next_id - base_id,
-        }
+        })
     }
 
     /// Members with nothing to wait for — they fire immediately at launch.
@@ -168,6 +181,7 @@ impl CollectivePlan {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use irrnet_core::Scheme;
     use irrnet_topology::zoo;
 
     fn setup() -> (Network, SimConfig) {
@@ -191,7 +205,8 @@ mod tests {
             4,
             8,
             0,
-        );
+        )
+        .unwrap();
         assert_eq!(p.edges.len(), 15, "one edge per non-root member");
         assert!(p.broadcast.is_some());
         assert_eq!(p.num_messages(), 16);
@@ -219,7 +234,8 @@ mod tests {
             2,
             128,
             10,
-        );
+        )
+        .unwrap();
         assert!(p.broadcast.is_none());
         assert_eq!(p.edges.len(), 7);
         // Dense ids from the base.
@@ -242,7 +258,8 @@ mod tests {
             4,
             128,
             0,
-        );
+        )
+        .unwrap();
         assert!(p.edges.is_empty());
         assert_eq!(p.num_messages(), 1);
     }
@@ -261,7 +278,8 @@ mod tests {
             3,
             64,
             0,
-        );
+        )
+        .unwrap();
         let total_children: usize = p.pending.values().sum();
         assert_eq!(total_children, p.edges.len());
         assert!(p.leaves().count() >= 1);
@@ -271,11 +289,10 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "root must be a member")]
-    fn root_outside_members_panics() {
+    fn bad_member_sets_are_typed_errors() {
         let (net, cfg) = setup();
         let members = NodeMask::from_nodes((1..8).map(NodeId));
-        CollectivePlan::compile(
+        let err = CollectivePlan::compile(
             &net,
             &cfg,
             CollectiveOp::Barrier,
@@ -285,6 +302,21 @@ mod tests {
             4,
             8,
             0,
-        );
+        )
+        .unwrap_err();
+        assert!(matches!(err, CollectiveError::RootNotMember), "{err}");
+        let err = CollectivePlan::compile(
+            &net,
+            &cfg,
+            CollectiveOp::Barrier,
+            NodeId(0),
+            NodeMask::single(NodeId(0)),
+            Scheme::TreeWorm,
+            4,
+            8,
+            0,
+        )
+        .unwrap_err();
+        assert!(matches!(err, CollectiveError::TooFewMembers(1)), "{err}");
     }
 }

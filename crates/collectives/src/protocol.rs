@@ -1,9 +1,13 @@
 //! Runtime driver for collectives: combines the reduction state machine
 //! with the multicast scheme driver for the release broadcast.
+//!
+//! All state-machine violations (callbacks for unknown ids, deliveries to
+//! non-members, over-counted contributions) surface as typed
+//! [`ProtocolError`]s; the engine turns them into `SimError::Protocol`.
 
 use crate::plan::CollectivePlan;
 use irrnet_core::SchemeProtocol;
-use irrnet_sim::{McastId, Protocol, SendSpec, WormCopy};
+use irrnet_sim::{McastId, Protocol, ProtocolError, SendSpec, WormCopy};
 use irrnet_topology::NodeId;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -52,44 +56,61 @@ impl CollectiveProtocol {
         &self.plans
     }
 
-    fn fire_if_ready(&mut self, idx: usize, node: NodeId, now: u64) -> Vec<(McastId, SendSpec)> {
+    fn role_of(&self, mcast: McastId) -> Result<Role, ProtocolError> {
+        self.roles.get(&mcast).copied().ok_or(ProtocolError::UnknownMcast(mcast))
+    }
+
+    fn fire_if_ready(
+        &mut self,
+        idx: usize,
+        node: NodeId,
+        now: u64,
+    ) -> Result<Vec<(McastId, SendSpec)>, ProtocolError> {
         let p = &self.plans[idx];
-        if self.pending[idx][&node] > 0 {
-            return Vec::new();
+        let remaining = *self.pending[idx]
+            .get(&node)
+            .ok_or_else(|| ProtocolError::State(format!("{node} is not a tree member")))?;
+        if remaining > 0 {
+            return Ok(Vec::new());
         }
         if node == p.root {
             // Reduction complete: release, if this op broadcasts.
             if let Some((bid, _)) = &p.broadcast {
                 let bid = *bid;
-                return self
+                return Ok(self
                     .bcast
-                    .on_launch(bid, now)
+                    .on_launch(bid, now)?
                     .into_iter()
                     .map(|(_, spec)| (bid, spec))
-                    .collect();
+                    .collect());
             }
-            Vec::new()
+            Ok(Vec::new())
         } else {
             // Interior node: contribute up.
-            let e = p.edge_of[&node];
-            vec![(e.id, SendSpec::Unicast { dest: e.parent })]
+            let e = self.plans[idx]
+                .edge_of
+                .get(&node)
+                .ok_or_else(|| ProtocolError::State(format!("{node} has no outgoing edge")))?;
+            Ok(vec![(e.id, SendSpec::Unicast { dest: e.parent })])
         }
     }
 }
 
 impl Protocol for CollectiveProtocol {
-    fn on_launch(&mut self, mcast: McastId, now: u64) -> Vec<(NodeId, SendSpec)> {
-        match self.roles[&mcast] {
+    fn on_launch(
+        &mut self,
+        mcast: McastId,
+        now: u64,
+    ) -> Result<Vec<(NodeId, SendSpec)>, ProtocolError> {
+        match self.role_of(mcast)? {
             Role::Edge(i) => {
                 // A leaf edge fires at launch time: the child contributes.
                 let p = &self.plans[i];
-                let e = p
-                    .edges
-                    .iter()
-                    .find(|e| e.id == mcast)
-                    .expect("launch of unknown edge");
+                let e = p.edges.iter().find(|e| e.id == mcast).ok_or_else(|| {
+                    ProtocolError::State(format!("launch of unknown edge {mcast:?}"))
+                })?;
                 debug_assert_eq!(p.pending[&e.child], 0, "launched edge must be a leaf's");
-                vec![(e.child, SendSpec::Unicast { dest: e.parent })]
+                Ok(vec![(e.child, SendSpec::Unicast { dest: e.parent })])
             }
             Role::Broadcast => self.bcast.on_launch(mcast, now),
         }
@@ -100,14 +121,18 @@ impl Protocol for CollectiveProtocol {
         node: NodeId,
         mcast: McastId,
         now: u64,
-    ) -> Vec<(McastId, SendSpec)> {
-        match self.roles[&mcast] {
+    ) -> Result<Vec<(McastId, SendSpec)>, ProtocolError> {
+        match self.role_of(mcast)? {
             Role::Edge(i) => {
                 // `node` (the parent) combined one more contribution.
-                let c = self.pending[i]
-                    .get_mut(&node)
-                    .expect("edge delivered to non-member");
-                debug_assert!(*c > 0, "more contributions than children");
+                let c = self.pending[i].get_mut(&node).ok_or_else(|| {
+                    ProtocolError::State(format!("edge delivered to non-member {node}"))
+                })?;
+                if *c == 0 {
+                    return Err(ProtocolError::State(format!(
+                        "more contributions than children at {node}"
+                    )));
+                }
                 *c -= 1;
                 self.fire_if_ready(i, node, now)
             }
@@ -115,10 +140,15 @@ impl Protocol for CollectiveProtocol {
         }
     }
 
-    fn on_packet_at_ni(&mut self, node: NodeId, worm: &WormCopy, now: u64) -> Vec<SendSpec> {
-        match self.roles[&worm.mcast] {
+    fn on_packet_at_ni(
+        &mut self,
+        node: NodeId,
+        worm: &WormCopy,
+        now: u64,
+    ) -> Result<Vec<SendSpec>, ProtocolError> {
+        match self.role_of(worm.mcast)? {
             Role::Broadcast => self.bcast.on_packet_at_ni(node, worm, now),
-            Role::Edge(_) => Vec::new(),
+            Role::Edge(_) => Ok(Vec::new()),
         }
     }
 }

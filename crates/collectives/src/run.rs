@@ -1,9 +1,10 @@
 //! One-shot collective execution and measurement.
 
+use crate::error::CollectiveError;
 use crate::plan::{CollectiveOp, CollectivePlan};
 use crate::protocol::CollectiveProtocol;
-use irrnet_core::Scheme;
-use irrnet_sim::{McastId, SimConfig, SimError, Simulator};
+use irrnet_core::SchemeId;
+use irrnet_sim::{McastId, SimConfig, Simulator};
 use irrnet_topology::{Network, NodeId, NodeMask};
 
 /// Outcome of one collective on an idle network.
@@ -30,11 +31,12 @@ pub fn run_collective(
     op: CollectiveOp,
     root: NodeId,
     members: NodeMask,
-    scheme: Scheme,
+    scheme: impl Into<SchemeId>,
     fanout: usize,
     data_flits: u32,
-) -> Result<CollectiveResult, SimError> {
-    let plan = CollectivePlan::compile(net, cfg, op, root, members, scheme, fanout, data_flits, 0);
+) -> Result<CollectiveResult, CollectiveError> {
+    let plan =
+        CollectivePlan::compile(net, cfg, op, root, members, scheme, fanout, data_flits, 0)?;
     let edges = plan.edges.len();
     let messages = plan.num_messages();
     let leaf_edges: Vec<McastId> = plan
@@ -72,6 +74,7 @@ pub fn run_collective(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use irrnet_core::Scheme;
     use irrnet_topology::{gen, zoo, RandomTopologyConfig};
 
     fn net() -> Network {

@@ -2,12 +2,14 @@
 //!
 //! [`SchemeProtocol`] implements [`irrnet_sim::Protocol`] by table lookup
 //! into the plans registered per multicast id — it is the "software" of
-//! all four schemes at once, so a single simulation can carry a mixed
+//! all schemes at once, so a single simulation can carry a mixed
 //! workload (and the load experiments run many concurrent multicasts of
-//! one scheme).
+//! one scheme). A callback for an unregistered multicast id is reported
+//! as a typed [`ProtocolError`] instead of a panic; the engine aborts the
+//! run with `SimError::Protocol`.
 
 use crate::plan::McastPlan;
-use irrnet_sim::{McastId, Protocol, SendSpec, WormCopy};
+use irrnet_sim::{McastId, Protocol, ProtocolError, SendSpec, WormCopy};
 use irrnet_topology::NodeId;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -34,16 +36,20 @@ impl SchemeProtocol {
     pub fn plan(&self, id: McastId) -> Option<&Arc<McastPlan>> {
         self.plans.get(&id)
     }
+
+    fn plan_or_err(&self, id: McastId) -> Result<&Arc<McastPlan>, ProtocolError> {
+        self.plans.get(&id).ok_or(ProtocolError::UnknownMcast(id))
+    }
 }
 
 impl Protocol for SchemeProtocol {
-    fn on_launch(&mut self, mcast: McastId, _now: u64) -> Vec<(NodeId, SendSpec)> {
-        let plan = self.plans.get(&mcast).expect("launch without plan");
-        plan.initial
-            .iter()
-            .cloned()
-            .map(|s| (plan.source, s))
-            .collect()
+    fn on_launch(
+        &mut self,
+        mcast: McastId,
+        _now: u64,
+    ) -> Result<Vec<(NodeId, SendSpec)>, ProtocolError> {
+        let plan = self.plan_or_err(mcast)?;
+        Ok(plan.initial.iter().cloned().map(|s| (plan.source, s)).collect())
     }
 
     fn on_message_delivered(
@@ -51,19 +57,31 @@ impl Protocol for SchemeProtocol {
         node: NodeId,
         mcast: McastId,
         _now: u64,
-    ) -> Vec<(McastId, SendSpec)> {
-        let plan = self.plans.get(&mcast).expect("delivery without plan");
-        plan.on_delivered
+    ) -> Result<Vec<(McastId, SendSpec)>, ProtocolError> {
+        let plan = self.plan_or_err(mcast)?;
+        Ok(plan
+            .on_delivered
             .get(&node)
             .cloned()
             .unwrap_or_default()
             .into_iter()
             .map(|s| (mcast, s))
-            .collect()
+            .collect())
     }
 
-    fn on_packet_at_ni(&mut self, node: NodeId, worm: &WormCopy, _now: u64) -> Vec<SendSpec> {
-        let plan = self.plans.get(&worm.mcast).expect("packet without plan");
+    fn on_packet_at_ni(
+        &mut self,
+        node: NodeId,
+        worm: &WormCopy,
+        _now: u64,
+    ) -> Result<Vec<SendSpec>, ProtocolError> {
+        let plan = self.plan_or_err(worm.mcast)?;
+        // Capability gate: only schemes declaring NI forwarding carry the
+        // side tables below (the registry enforces that the tables are
+        // empty otherwise).
+        if !plan.caps.ni_forwarding {
+            return Ok(Vec::new());
+        }
         let mut out = Vec::new();
         if let Some(children) = plan.fpfs_children.get(&node) {
             out.push(SendSpec::FpfsChildren { children: children.clone() });
@@ -71,7 +89,7 @@ impl Protocol for SchemeProtocol {
         if let Some(worms) = plan.ni_path_forwards.get(&node) {
             out.extend(worms.iter().cloned().map(|spec| SendSpec::Path { spec }));
         }
-        out
+        Ok(out)
     }
 }
 
@@ -90,7 +108,7 @@ mod tests {
         let plan = plan_multicast(&net, &cfg, Scheme::UBinomial, NodeId(0), dests, 128);
         let mut proto = SchemeProtocol::new();
         proto.add(McastId(7), Arc::new(plan));
-        let sends = proto.on_launch(McastId(7), 0);
+        let sends = proto.on_launch(McastId(7), 0).unwrap();
         assert!(!sends.is_empty());
         assert!(sends.iter().all(|(n, _)| *n == NodeId(0)));
     }
@@ -121,6 +139,13 @@ mod tests {
         let plan = plan_multicast(&net, &cfg, Scheme::TreeWorm, NodeId(0), dests, 128);
         let mut proto = SchemeProtocol::new();
         proto.add(McastId(1), Arc::new(plan));
-        assert!(proto.on_message_delivered(NodeId(1), McastId(1), 0).is_empty());
+        assert!(proto.on_message_delivered(NodeId(1), McastId(1), 0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn unknown_mcast_is_a_typed_error() {
+        let mut proto = SchemeProtocol::new();
+        let err = proto.on_launch(McastId(3), 0).unwrap_err();
+        assert_eq!(err, ProtocolError::UnknownMcast(McastId(3)));
     }
 }

@@ -5,7 +5,7 @@
 //! makes those costs computable so the `tab01_arch_costs` harness can
 //! print them quantitatively for any system size.
 
-use crate::plan::{McastPlan, Scheme};
+use crate::plan::McastPlan;
 use irrnet_sim::SendSpec;
 use irrnet_topology::{Network, NodeMask};
 
@@ -35,9 +35,10 @@ pub fn header_costs(net: &Network, plan: &McastPlan) -> HeaderCosts {
         max = max.max(h);
         worms += copies;
     }
-    // FPFS interior forwarding: each interior node re-injects one unicast
-    // copy per child.
-    if plan.scheme == Scheme::NiFpfs {
+    // FPFS-style interior forwarding: each interior node re-injects one
+    // unicast copy per child. Capability-driven — the table is only
+    // populated by schemes declaring `ni_forwarding`.
+    if plan.caps.ni_forwarding {
         for kids in plan.fpfs_children.values() {
             let h = cfg.unicast_header_flits as usize;
             total += h * kids.len();
@@ -99,7 +100,7 @@ pub fn bitstring_bytes(n_nodes: usize) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::plan::plan_multicast;
+    use crate::plan::{plan_multicast, Scheme};
     use irrnet_sim::SimConfig;
     use irrnet_topology::{zoo, Network, NodeId};
 

@@ -44,6 +44,7 @@ pub mod mdp;
 pub mod model;
 pub mod order;
 pub mod plan;
+pub mod schemes;
 
 pub use driver::SchemeProtocol;
 /// Deterministic PRNG + hash primitives (splitmix64, xoshiro256**,
@@ -54,10 +55,12 @@ pub use contention::{tree_link_loads, LinkLoadStats};
 pub use kbinomial::{build_k_binomial, build_k_binomial_scattered, choose_k, estimate_fpfs_completion, McastTree};
 pub use mdp::{plan_paths, verify_path_spec, PathPlan, PathVariant};
 pub use model::LatencyModel;
-pub use plan::{plan_multicast, McastPlan, PlanMeta, Scheme};
+pub use plan::{plan_multicast, try_plan_multicast, McastPlan, PlanMeta, Scheme};
+pub use schemes::{MulticastScheme, PlanCtx, PlanError, SchemeCaps, SchemeId, SchemeRegistry};
 
 /// Common imports for downstream crates.
 pub mod prelude {
     pub use crate::driver::SchemeProtocol;
-    pub use crate::plan::{plan_multicast, McastPlan, PlanMeta, Scheme};
+    pub use crate::plan::{plan_multicast, try_plan_multicast, McastPlan, PlanMeta, Scheme};
+    pub use crate::schemes::{MulticastScheme, SchemeCaps, SchemeId, SchemeRegistry};
 }

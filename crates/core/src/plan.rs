@@ -1,21 +1,32 @@
-//! Per-multicast planning for the four schemes under comparison.
+//! Per-multicast planning: the [`McastPlan`] product type, the legacy
+//! [`Scheme`] enum (now a thin compat layer over the scheme registry),
+//! and the [`plan_multicast`] / [`try_plan_multicast`] entry points.
 //!
 //! A [`McastPlan`] is everything the runtime driver needs to execute one
 //! multicast under one scheme: the sends the source issues at launch, the
 //! software forwarding table (who sends what after *receiving* the
-//! message — the multi-phase schemes), and the smart-NI forwarding table
-//! (who replicates what at the *NI* — the FPFS scheme).
+//! message — the multi-phase schemes), and the smart-NI forwarding tables
+//! (who replicates what at the *NI*). Which tables a plan may populate is
+//! governed by its scheme's [`SchemeCaps`], stamped by the registry.
+//!
+//! The actual planning logic lives in per-family plugin modules under
+//! [`crate::schemes`]; dispatch goes through the
+//! [`SchemeRegistry`](crate::schemes::SchemeRegistry).
 
-use crate::kbinomial::{build_k_binomial, choose_k, McastTree};
-use crate::mdp::{plan_paths, PathVariant};
-use crate::order::{node_ranks, sort_by_rank};
+use crate::schemes::{PlanError, SchemeCaps, SchemeId, SchemeRegistry};
 use irrnet_sim::{SendSpec, SimConfig};
-use irrnet_topology::{ApexPlan, Network, NodeId, NodeMask};
+use irrnet_topology::{Network, NodeId, NodeMask};
 use std::collections::HashMap;
 use std::sync::Arc;
 
 /// The multicast schemes compared in the paper (§3), plus the greedy
 /// path variant as an ablation.
+///
+/// This enum is a compat layer: each variant maps onto a dense registry
+/// [`SchemeId`] (variant order = id order), and every entry point that
+/// used to take a `Scheme` now takes `impl Into<SchemeId>`, so existing
+/// call sites compile unchanged while custom plugins registered at
+/// runtime flow through the same paths.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Scheme {
     /// Multi-phase software multicast over unicast: binomial tree,
@@ -55,6 +66,16 @@ impl Scheme {
             Scheme::PathLessGreedy => "path-lg",
             Scheme::PathLgNi => "path-lg+ni",
         }
+    }
+
+    /// The dense registry id of this builtin scheme.
+    pub fn id(self) -> SchemeId {
+        self.into()
+    }
+
+    /// The builtin scheme behind a registry id, if it is one of the six.
+    pub fn from_id(id: SchemeId) -> Option<Scheme> {
+        Scheme::all().get(id.index()).copied()
     }
 
     /// The three enhanced schemes the paper's figures compare.
@@ -97,8 +118,11 @@ pub struct PlanMeta {
 /// Everything needed to run one multicast under one scheme.
 #[derive(Debug, Clone)]
 pub struct McastPlan {
-    /// The scheme this plan realizes.
-    pub scheme: Scheme,
+    /// The registered scheme this plan realizes.
+    pub scheme: SchemeId,
+    /// Capability flags of the scheme (stamped by the registry): which of
+    /// the side tables below the runtime should consult.
+    pub caps: SchemeCaps,
     /// Multicast source.
     pub source: NodeId,
     /// Destination set (never contains the source).
@@ -111,187 +135,47 @@ pub struct McastPlan {
     /// delivered to its host.
     pub on_delivered: HashMap<NodeId, Vec<SendSpec>>,
     /// Smart-NI forwarding: children a node's NI replicates each packet
-    /// to (FPFS). Empty for all other schemes.
+    /// to (FPFS). Populated only by schemes with the `ni_forwarding`
+    /// capability.
     pub fpfs_children: HashMap<NodeId, Vec<NodeId>>,
     /// Smart-NI path forwarding (the NI+switch hybrid): path worms a
-    /// node's NI injects packet-by-packet as the message arrives. Empty
-    /// for all other schemes.
+    /// node's NI injects packet-by-packet as the message arrives.
+    /// Populated only by schemes with the `ni_forwarding` capability.
     pub ni_path_forwards: HashMap<NodeId, Vec<Arc<irrnet_sim::PathWormSpec>>>,
     /// Structural metadata.
     pub meta: PlanMeta,
 }
 
+/// Build the plan for one multicast through the scheme registry,
+/// reporting precondition violations and planner failures as typed
+/// errors.
+pub fn try_plan_multicast(
+    net: &Network,
+    cfg: &SimConfig,
+    scheme: impl Into<SchemeId>,
+    source: NodeId,
+    dests: NodeMask,
+    message_flits: u32,
+) -> Result<McastPlan, PlanError> {
+    SchemeRegistry::plan(scheme.into(), net, cfg, source, dests, message_flits)
+}
+
 /// Build the plan for one multicast.
 ///
-/// Panics if `dests` is empty or contains `source`.
+/// Panics if `dests` is empty or contains `source` (the historical
+/// contract); use [`try_plan_multicast`] for typed errors.
 pub fn plan_multicast(
     net: &Network,
     cfg: &SimConfig,
-    scheme: Scheme,
+    scheme: impl Into<SchemeId>,
     source: NodeId,
     dests: NodeMask,
     message_flits: u32,
 ) -> McastPlan {
-    assert!(!dests.is_empty(), "empty destination set");
-    assert!(!dests.contains(source), "source among destinations");
-    match scheme {
-        Scheme::UBinomial => plan_software_tree(net, source, dests, message_flits, None, cfg),
-        Scheme::NiFpfs => {
-            let ranks = node_ranks(net);
-            let mut ordered: Vec<NodeId> = dests.iter().collect();
-            sort_by_rank(&mut ordered, &ranks);
-            let k = choose_k(&ordered, cfg, message_flits, avg_hops_estimate(net));
-            plan_software_tree(net, source, dests, message_flits, Some(k), cfg)
-        }
-        Scheme::TreeWorm => {
-            let plan = Arc::new(ApexPlan::compute(&net.topo, &net.updown, &net.reach, dests));
-            McastPlan {
-                scheme,
-                source,
-                dests,
-                message_flits,
-                initial: vec![SendSpec::Tree { dests, plan }],
-                on_delivered: HashMap::new(),
-                fpfs_children: HashMap::new(),
-                ni_path_forwards: HashMap::new(),
-                meta: PlanMeta { worms: 1, phases: 1, k: 0 },
-            }
-        }
-        Scheme::PathGreedy | Scheme::PathLessGreedy | Scheme::PathLgNi => {
-            let variant = if scheme == Scheme::PathGreedy {
-                PathVariant::Greedy
-            } else {
-                PathVariant::LessGreedy
-            };
-            let ni_forwarding = scheme == Scheme::PathLgNi;
-            let pp = plan_paths(net, source, dests, variant);
-            let worms = pp.worms.len();
-            let phases = pp.phases;
-            let mut initial = Vec::new();
-            let mut on_delivered: HashMap<NodeId, Vec<SendSpec>> = HashMap::new();
-            let mut ni_path_forwards: HashMap<NodeId, Vec<Arc<irrnet_sim::PathWormSpec>>> =
-                HashMap::new();
-            for (sender, specs) in pp.assignments {
-                if sender == source {
-                    initial = specs.into_iter().map(|spec| SendSpec::Path { spec }).collect();
-                } else if ni_forwarding {
-                    // Hybrid: the leader's NI injects the next-phase
-                    // worms packet-by-packet, FPFS style.
-                    ni_path_forwards.insert(sender, specs);
-                } else {
-                    on_delivered.insert(
-                        sender,
-                        specs.into_iter().map(|spec| SendSpec::Path { spec }).collect(),
-                    );
-                }
-            }
-            McastPlan {
-                scheme,
-                source,
-                dests,
-                message_flits,
-                initial,
-                on_delivered,
-                fpfs_children: HashMap::new(),
-                ni_path_forwards,
-                meta: PlanMeta { worms, phases, k: 0 },
-            }
-        }
+    match try_plan_multicast(net, cfg, scheme, source, dests, message_flits) {
+        Ok(plan) => plan,
+        Err(e) => panic!("{e}"),
     }
-}
-
-/// Shared construction for the two software-tree schemes: binomial
-/// (`k = None` ⇒ unbounded fan-out, host forwarding) and k-binomial FPFS
-/// (`k = Some(_)`, NI forwarding).
-fn plan_software_tree(
-    net: &Network,
-    source: NodeId,
-    dests: NodeMask,
-    message_flits: u32,
-    fpfs_k: Option<usize>,
-    _cfg: &SimConfig,
-) -> McastPlan {
-    let ranks = node_ranks(net);
-    let mut ordered: Vec<NodeId> = dests.iter().collect();
-    sort_by_rank(&mut ordered, &ranks);
-    let k = fpfs_k.unwrap_or(ordered.len().max(1));
-    let tree: McastTree = build_k_binomial(source, &ordered, k);
-    debug_assert!(tree.verify().is_ok());
-    let phases = tree.rounds;
-    let worms = ordered.len(); // one message per tree edge
-
-    if let Some(k) = fpfs_k {
-        // NI-based FPFS: the source sends once (its NI fans out); every
-        // interior node forwards at the NI.
-        let initial = vec![SendSpec::FpfsChildren {
-            children: tree.children_of(source).to_vec(),
-        }];
-        let mut fpfs_children = HashMap::new();
-        for (&n, kids) in &tree.children {
-            if n != source && !kids.is_empty() {
-                fpfs_children.insert(n, kids.clone());
-            }
-        }
-        McastPlan {
-            scheme: Scheme::NiFpfs,
-            source,
-            dests,
-            message_flits,
-            initial,
-            on_delivered: HashMap::new(),
-            fpfs_children,
-            ni_path_forwards: HashMap::new(),
-            meta: PlanMeta { worms, phases, k },
-        }
-    } else {
-        // Software binomial: every edge is a separate host-level send.
-        let initial = tree
-            .children_of(source)
-            .iter()
-            .map(|&c| SendSpec::Unicast { dest: c })
-            .collect();
-        let mut on_delivered = HashMap::new();
-        for (&n, kids) in &tree.children {
-            if n != source && !kids.is_empty() {
-                on_delivered.insert(
-                    n,
-                    kids.iter().map(|&c| SendSpec::Unicast { dest: c }).collect(),
-                );
-            }
-        }
-        McastPlan {
-            scheme: Scheme::UBinomial,
-            source,
-            dests,
-            message_flits,
-            initial,
-            on_delivered,
-            fpfs_children: HashMap::new(),
-            ni_path_forwards: HashMap::new(),
-            meta: PlanMeta { worms, phases, k: 0 },
-        }
-    }
-}
-
-/// Rough average hop count for the FPFS cost model: the up*/down*
-/// diameter is small; use half of it plus one.
-fn avg_hops_estimate(net: &Network) -> u32 {
-    use irrnet_topology::Phase;
-    let n = net.topo.num_switches();
-    let mut max = 0u16;
-    for s in 0..n {
-        for t in 0..n {
-            let d = net.routing.distance(
-                irrnet_topology::SwitchId(s as u16),
-                Phase::Up,
-                irrnet_topology::SwitchId(t as u16),
-            );
-            if d != irrnet_topology::routing::UNREACHABLE {
-                max = max.max(d);
-            }
-        }
-    }
-    (max as u32) / 2 + 1
 }
 
 #[cfg(test)]
@@ -316,6 +200,7 @@ mod tests {
         // 9 nodes in the tree -> depth 4 (ceil(log2 9)).
         assert_eq!(p.meta.phases, 4);
         assert!(p.fpfs_children.is_empty());
+        assert!(!p.caps.ni_forwarding && !p.caps.switch_replication);
         // Every destination appears exactly once among all sends.
         let mut targets = Vec::new();
         for s in p.initial.iter().chain(p.on_delivered.values().flatten()) {
@@ -335,6 +220,7 @@ mod tests {
         let cfg = SimConfig::paper_default();
         let p = plan_multicast(&net, &cfg, Scheme::NiFpfs, NodeId(0), dests8(), 128);
         assert!(p.meta.k >= 1);
+        assert!(p.caps.ni_forwarding);
         let mut covered = NodeMask::EMPTY;
         let SendSpec::FpfsChildren { children } = &p.initial[0] else {
             panic!("fpfs initial send")
@@ -361,6 +247,7 @@ mod tests {
         assert_eq!(p.initial.len(), 1);
         assert!(p.on_delivered.is_empty());
         assert!(p.fpfs_children.is_empty());
+        assert!(p.caps.switch_replication);
     }
 
     #[test]
@@ -385,6 +272,10 @@ mod tests {
         assert_eq!(Scheme::NiFpfs.name(), "ni-fpfs");
         assert_eq!(Scheme::paper_three().len(), 3);
         assert_eq!(Scheme::all().len(), 6);
+        for s in Scheme::all() {
+            assert_eq!(s.id().name(), s.name());
+            assert_eq!(Scheme::from_id(s.id()), Some(s));
+        }
     }
 
     #[test]
@@ -395,5 +286,20 @@ mod tests {
         let mut d = dests8();
         d.insert(NodeId(0));
         plan_multicast(&net, &cfg, Scheme::TreeWorm, NodeId(0), d, 128);
+    }
+
+    #[test]
+    fn try_plan_reports_typed_precondition_errors() {
+        let net = net();
+        let cfg = SimConfig::paper_default();
+        let err = try_plan_multicast(
+            &net,
+            &cfg,
+            Scheme::TreeWorm,
+            NodeId(0),
+            NodeMask::EMPTY,
+            128,
+        );
+        assert_eq!(err.unwrap_err(), PlanError::EmptyDestinations);
     }
 }

@@ -30,7 +30,7 @@
 
 use crate::json::JsonWriter;
 use irrnet_core::rng::SmallRng;
-use irrnet_core::{plan_multicast, McastPlan, Scheme, SchemeProtocol};
+use irrnet_core::{plan_multicast, McastPlan, Scheme, SchemeId, SchemeProtocol};
 use irrnet_sim::{Cycle, McastId, SimConfig, Simulator};
 use irrnet_topology::{gen, Network, NodeId, NodeMask};
 use irrnet_workloads::{random_dests, random_mcast, LoadConfig};
@@ -102,7 +102,8 @@ struct PreparedLoad {
 }
 
 impl PreparedLoad {
-    fn prepare(net: Arc<Network>, scheme: Scheme, lc: &LoadConfig) -> Self {
+    fn prepare(net: Arc<Network>, scheme: impl Into<SchemeId>, lc: &LoadConfig) -> Self {
+        let scheme = scheme.into();
         let cfg = SimConfig::paper_default();
         let n = net.topo.num_nodes();
         let rate = lc.msgs_per_cycle_per_node();
@@ -176,7 +177,13 @@ struct PreparedSingles {
 }
 
 impl PreparedSingles {
-    fn prepare(net: Arc<Network>, scheme: Scheme, trials: usize, degree: usize) -> Self {
+    fn prepare(
+        net: Arc<Network>,
+        scheme: impl Into<SchemeId>,
+        trials: usize,
+        degree: usize,
+    ) -> Self {
+        let scheme = scheme.into();
         let cfg = SimConfig::paper_default();
         let message_flits = 128;
         let mut rng = SmallRng::seed_from_u64(0xB0B0_5EED);
@@ -232,7 +239,7 @@ fn measure(
                 "bench workload {name} is not deterministic across repetitions"
             );
         }
-        if best.as_ref().map_or(true, |b| o.timed < b.timed) {
+        if best.as_ref().is_none_or(|b| o.timed < b.timed) {
             best = Some(o);
         }
     }
@@ -432,10 +439,10 @@ fn check_against(results: &[WorkloadMeasurement], path: &Path) -> io::Result<()>
     if failures.is_empty() {
         Ok(())
     } else {
-        Err(io::Error::new(
-            io::ErrorKind::Other,
-            format!("cycles/sec regression >20%: {}", failures.join("; ")),
-        ))
+        Err(io::Error::other(format!(
+            "cycles/sec regression >20%: {}",
+            failures.join("; ")
+        )))
     }
 }
 

@@ -3,8 +3,10 @@
 //!
 //! ```text
 //! irrnet-run --all [--quick] [--threads N] [--seeds N] [--trials N] [--out DIR]
+//!            [--schemes a,b,c]
 //! irrnet-run fig06 ext_b ...          # run selected experiments
 //! irrnet-run --list                   # show the registry
+//! irrnet-run schemes                  # show the scheme registry
 //! irrnet-run compare [--out DIR] [--golden DIR] [--tol F]
 //! irrnet-run bench [--out FILE] [--check FILE] [--baseline-from FILE] [--iters N]
 //! ```
@@ -14,13 +16,15 @@ use irrnet_harness::compare::run_compare;
 use irrnet_harness::opts::CampaignOptions;
 use irrnet_harness::registry::{registry, resolve};
 use irrnet_harness::runner::run_campaign;
+use irrnet_harness::schemes::ensure_demo_schemes;
 use std::process::ExitCode;
 
 fn usage() -> ! {
     eprintln!(
         "usage: irrnet-run (--all | <experiment>...) [--quick] [--threads N] \
-         [--seeds N] [--trials N] [--out DIR]\n\
+         [--seeds N] [--trials N] [--out DIR] [--schemes a,b,c]\n\
          \x20      irrnet-run --list\n\
+         \x20      irrnet-run schemes\n\
          \x20      irrnet-run compare [--out DIR] [--golden DIR] [--tol F]\n\
          \x20      irrnet-run bench [--out FILE] [--check FILE] [--baseline-from FILE] [--iters N]\n\
          experiments: {}",
@@ -51,6 +55,9 @@ fn main() -> ExitCode {
     if argv.first().map(String::as_str) == Some("bench") {
         return main_bench(argv[1..].to_vec());
     }
+    if argv.first().map(String::as_str) == Some("schemes") {
+        return main_schemes(argv[1..].to_vec());
+    }
 
     let mut all = false;
     let mut list = false;
@@ -59,6 +66,7 @@ fn main() -> ExitCode {
     let mut seeds: Option<u64> = None;
     let mut trials: Option<usize> = None;
     let mut out: Option<String> = None;
+    let mut scheme_list: Option<String> = None;
     let mut names: Vec<String> = Vec::new();
     let mut args = argv.into_iter();
     while let Some(a) = args.next() {
@@ -70,6 +78,7 @@ fn main() -> ExitCode {
             "--seeds" => seeds = Some(parse_value(&mut args, "--seeds")),
             "--trials" => trials = Some(parse_value(&mut args, "--trials")),
             "--out" => out = Some(parse_value(&mut args, "--out")),
+            "--schemes" => scheme_list = Some(parse_value(&mut args, "--schemes")),
             "--help" | "-h" => usage(),
             s if s.starts_with('-') => {
                 eprintln!("error: unknown flag '{s}'");
@@ -112,6 +121,28 @@ fn main() -> ExitCode {
         opts.out_dir = dir.into();
     }
     opts.threads = threads;
+    if let Some(list) = scheme_list {
+        // Harness-local plugins are selectable by name, same as built-ins.
+        ensure_demo_schemes();
+        let mut ids = Vec::new();
+        for name in list.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            match irrnet_core::SchemeRegistry::resolve(name) {
+                Some(id) => ids.push(id),
+                None => {
+                    eprintln!(
+                        "error: unknown scheme '{name}'; registered schemes: {}",
+                        irrnet_core::SchemeRegistry::names().join(", ")
+                    );
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        if ids.is_empty() {
+            eprintln!("error: --schemes needs at least one scheme name");
+            return ExitCode::FAILURE;
+        }
+        opts.schemes = Some(ids);
+    }
 
     let specs = if all {
         registry()
@@ -155,6 +186,26 @@ fn main_compare(argv: Vec<String>) -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(_) => ExitCode::FAILURE,
     }
+}
+
+fn main_schemes(argv: Vec<String>) -> ExitCode {
+    if let Some(a) = argv.first() {
+        eprintln!("error: unknown schemes argument '{a}'");
+        usage();
+    }
+    ensure_demo_schemes();
+    println!("{:<4} {:<12} {:<14} switch-replication", "id", "name", "ni-forwarding");
+    for id in irrnet_core::SchemeRegistry::all() {
+        let caps = id.caps();
+        println!(
+            "{:<4} {:<12} {:<14} {}",
+            id.index(),
+            id.name(),
+            if caps.ni_forwarding { "yes" } else { "no" },
+            if caps.switch_replication { "yes" } else { "no" }
+        );
+    }
+    ExitCode::SUCCESS
 }
 
 fn main_bench(argv: Vec<String>) -> ExitCode {

@@ -7,7 +7,6 @@ use crate::registry::{Emit, RunCtx, Unit};
 use irrnet_sim::SimConfig;
 use irrnet_topology::RandomTopologyConfig;
 use irrnet_workloads::{mean_single_latency, run_load, LoadConfig};
-use irrnet_core::Scheme;
 use std::fmt::Write as _;
 
 fn seeds(quick: bool) -> &'static [u64] {
@@ -31,7 +30,10 @@ pub fn units(_opts: &CampaignOptions) -> Vec<Unit> {
             "scheme", "adaptive", "determ.", "delta%"
         );
         let mut csv = String::from("scheme,adaptive,deterministic\n");
-        for scheme in Scheme::paper_three() {
+        let schemes = ctx
+            .opts
+            .select_schemes(&crate::schemes::named(&["ni-fpfs", "tree", "path-lg"]));
+        for &scheme in &schemes {
             let mut lat = [0.0f64; 2];
             for (i, adaptive) in [true, false].into_iter().enumerate() {
                 let mut cfg = SimConfig::paper_default();
@@ -64,7 +66,10 @@ pub fn units(_opts: &CampaignOptions) -> Vec<Unit> {
             "-- 8-way multicasts at effective load 0.1 (mean latency; sat = saturated) --\n",
         );
         let _ = writeln!(table, "{:>12} {:>12} {:>12}", "scheme", "adaptive", "determ.");
-        for scheme in Scheme::paper_three() {
+        let schemes = ctx
+            .opts
+            .select_schemes(&crate::schemes::named(&["ni-fpfs", "tree", "path-lg"]));
+        for &scheme in &schemes {
             let _ = write!(table, "{:>12}", scheme.name());
             for adaptive in [true, false] {
                 let mut cfg = SimConfig::paper_default();

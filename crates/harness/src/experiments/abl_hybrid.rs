@@ -6,7 +6,6 @@
 
 use crate::opts::CampaignOptions;
 use crate::registry::{Emit, RunCtx, Unit};
-use irrnet_core::Scheme;
 use irrnet_sim::SimConfig;
 use irrnet_topology::RandomTopologyConfig;
 use irrnet_workloads::mean_single_latency;
@@ -19,16 +18,24 @@ pub fn units(_opts: &CampaignOptions) -> Vec<Unit> {
             .iter()
             .map(|&s| ctx.cache.network(&RandomTopologyConfig::paper_default(s)))
             .collect();
-        let schemes =
-            [Scheme::NiFpfs, Scheme::PathLessGreedy, Scheme::PathLgNi, Scheme::TreeWorm];
+        let schemes = ctx.opts.select_schemes(&crate::schemes::named(&[
+            "ni-fpfs",
+            "path-lg",
+            "path-lg+ni",
+            "tree",
+        ]));
         let mut table = String::new();
-        let mut csv = String::from("r,msg,ni-fpfs,path-lg,path-lg+ni,tree\n");
+        let mut csv = String::from("r,msg");
+        for &s in &schemes {
+            let _ = write!(csv, ",{}", s.name());
+        }
+        csv.push('\n');
         for r in [1.0f64, 4.0] {
             let cfg = SimConfig::paper_default().with_r(r);
             for msg in [128u32, 1024] {
                 let _ = writeln!(table, "-- R = {r}, {msg}-flit messages, 16-way --");
                 let mut row = format!("{r},{msg}");
-                for scheme in schemes {
+                for &scheme in &schemes {
                     let mut sum = 0.0;
                     for (ti, net) in nets.iter().enumerate() {
                         sum += mean_single_latency(net, &cfg, scheme, 16, msg, 3, ti as u64)

@@ -31,7 +31,8 @@ fn run_fpfs_tree(net: &Network, cfg: &SimConfig, tree: &McastTree, msg: u32) -> 
         }
     }
     let plan = McastPlan {
-        scheme: Scheme::NiFpfs,
+        scheme: Scheme::NiFpfs.id(),
+        caps: Scheme::NiFpfs.id().caps(),
         source: tree.source,
         dests,
         message_flits: msg,

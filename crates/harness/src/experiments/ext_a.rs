@@ -6,12 +6,12 @@
 use crate::opts::CampaignOptions;
 use crate::panel::{single_panel_units, PanelSpec};
 use crate::registry::Unit;
-use irrnet_core::Scheme;
 use irrnet_sim::SimConfig;
 use irrnet_topology::{ExtraLinks, RandomTopologyConfig};
 
-pub fn units(_opts: &CampaignOptions) -> Vec<Unit> {
-    let schemes = Scheme::paper_three().to_vec();
+pub fn units(opts: &CampaignOptions) -> Vec<Unit> {
+    let schemes =
+        opts.select_schemes(&crate::schemes::named(&["ni-fpfs", "tree", "path-lg"]));
     let mut out = Vec::new();
 
     // A1: host startup overhead O_h (keeping R = 1).

@@ -7,13 +7,12 @@
 use crate::opts::CampaignOptions;
 use crate::panel::{single_panel_units, PanelSpec};
 use crate::registry::Unit;
-use irrnet_core::Scheme;
 use irrnet_sim::SimConfig;
 use irrnet_topology::{ExtraLinks, RandomTopologyConfig};
 
-pub fn units(_opts: &CampaignOptions) -> Vec<Unit> {
-    let schemes =
-        vec![Scheme::NiFpfs, Scheme::TreeWorm, Scheme::PathLessGreedy, Scheme::PathLgNi];
+pub fn units(opts: &CampaignOptions) -> Vec<Unit> {
+    let schemes = opts
+        .select_schemes(&crate::schemes::named(&["ni-fpfs", "tree", "path-lg", "path-lg+ni"]));
     // (switches, ports): same node count, growing switch size.
     [(16usize, 6u8), (8, 8), (4, 12), (2, 20)]
         .into_iter()

@@ -6,7 +6,6 @@
 
 use crate::opts::CampaignOptions;
 use crate::registry::{Emit, RunCtx, Unit};
-use irrnet_core::Scheme;
 use irrnet_sim::SimConfig;
 use irrnet_topology::RandomTopologyConfig;
 use irrnet_workloads::{run_dsm, DsmConfig};
@@ -25,13 +24,11 @@ pub fn units(_opts: &CampaignOptions) -> Vec<Unit> {
             "writes/cyc", "scheme", "mean", "p95", "p99", "sat"
         );
         let mut csv = String::from("write_rate,scheme,mean,p95,p99,saturated\n");
+        let schemes = ctx
+            .opts
+            .select_schemes(&crate::schemes::named(&["ubinomial", "ni-fpfs", "tree", "path-lg"]));
         for &rate in rates {
-            for scheme in [
-                Scheme::UBinomial,
-                Scheme::NiFpfs,
-                Scheme::TreeWorm,
-                Scheme::PathLessGreedy,
-            ] {
+            for &scheme in &schemes {
                 let mut cfg = DsmConfig { write_rate: rate, ..DsmConfig::default() };
                 if !ctx.opts.quick {
                     cfg.measure = 400_000;

@@ -11,7 +11,6 @@
 
 use crate::opts::CampaignOptions;
 use crate::registry::{Emit, RunCtx, Unit};
-use irrnet_core::Scheme;
 use irrnet_sim::SimConfig;
 use irrnet_topology::RandomTopologyConfig;
 use irrnet_workloads::{run_faulted, FaultConfig};
@@ -35,9 +34,12 @@ pub fn units(_opts: &CampaignOptions) -> Vec<Unit> {
              flits_dropped,worms_killed,retransmissions,duplicate_deliveries,\
              watchdog_recoveries\n",
         );
+        let schemes = crate::schemes::named(&[
+            "ubinomial", "ni-fpfs", "tree", "path-g", "path-lg", "path-lg+ni",
+        ]);
         for &k in kills {
             let fc = FaultConfig::paper_default(k);
-            for scheme in Scheme::all() {
+            for &scheme in &schemes {
                 let r = run_faulted(&net, &sim, scheme, &fc).expect("faulted run");
                 let lat = r
                     .mean_latency

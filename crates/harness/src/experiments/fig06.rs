@@ -9,13 +9,12 @@
 use crate::opts::CampaignOptions;
 use crate::panel::{single_panel_units, PanelSpec};
 use crate::registry::Unit;
-use irrnet_core::Scheme;
 use irrnet_sim::SimConfig;
 use irrnet_topology::RandomTopologyConfig;
 
-pub fn units(_opts: &CampaignOptions) -> Vec<Unit> {
+pub fn units(opts: &CampaignOptions) -> Vec<Unit> {
     let schemes =
-        vec![Scheme::UBinomial, Scheme::NiFpfs, Scheme::TreeWorm, Scheme::PathLessGreedy];
+        opts.select_schemes(&crate::schemes::named(&["ubinomial", "ni-fpfs", "tree", "path-lg"]));
     [0.5, 1.0, 2.0, 4.0]
         .into_iter()
         .flat_map(|r| {

@@ -9,11 +9,11 @@
 use crate::opts::CampaignOptions;
 use crate::panel::{load_panel_units, PanelSpec};
 use crate::registry::Unit;
-use irrnet_core::Scheme;
 use irrnet_sim::SimConfig;
 use irrnet_topology::RandomTopologyConfig;
 
-pub fn units(_opts: &CampaignOptions) -> Vec<Unit> {
+pub fn units(opts: &CampaignOptions) -> Vec<Unit> {
+    let schemes = opts.select_schemes(&crate::schemes::named(&["ni-fpfs", "tree", "path-lg"]));
     let mut out = Vec::new();
     for switches in [8usize, 16, 32] {
         for degree in [8usize, 16] {
@@ -24,7 +24,7 @@ pub fn units(_opts: &CampaignOptions) -> Vec<Unit> {
                     topo: RandomTopologyConfig::with_switches(0, switches),
                     sim: SimConfig::paper_default(),
                     message_flits: 128,
-                    schemes: Scheme::paper_three().to_vec(),
+                    schemes: schemes.clone(),
                 },
                 degree,
             ));

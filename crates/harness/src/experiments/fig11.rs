@@ -10,11 +10,11 @@
 use crate::opts::CampaignOptions;
 use crate::panel::{load_panel_units, PanelSpec};
 use crate::registry::Unit;
-use irrnet_core::Scheme;
 use irrnet_sim::SimConfig;
 use irrnet_topology::RandomTopologyConfig;
 
-pub fn units(_opts: &CampaignOptions) -> Vec<Unit> {
+pub fn units(opts: &CampaignOptions) -> Vec<Unit> {
+    let schemes = opts.select_schemes(&crate::schemes::named(&["ni-fpfs", "tree", "path-lg"]));
     let mut out = Vec::new();
     for msg in [128u32, 512, 2048] {
         for degree in [8usize, 16] {
@@ -25,7 +25,7 @@ pub fn units(_opts: &CampaignOptions) -> Vec<Unit> {
                     topo: RandomTopologyConfig::paper_default(0),
                     sim: SimConfig::paper_default(),
                     message_flits: msg,
-                    schemes: Scheme::paper_three().to_vec(),
+                    schemes: schemes.clone(),
                 },
                 degree,
             ));

@@ -16,6 +16,7 @@ pub mod ext_c;
 pub mod ext_d;
 pub mod ext_e;
 pub mod ext_f;
+pub mod ext_g;
 pub mod fig06;
 pub mod fig07;
 pub mod fig08;

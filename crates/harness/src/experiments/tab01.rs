@@ -9,7 +9,7 @@ use irrnet_core::header::{
     bitstring_bytes, fpfs_ni_buffer_packets, header_costs, tree_scheme_switch_state_bits,
 };
 use irrnet_core::rng::SmallRng;
-use irrnet_core::{plan_multicast, Scheme};
+use irrnet_core::plan_multicast;
 use irrnet_sim::SimConfig;
 use irrnet_topology::{NodeId, NodeMask, RandomTopologyConfig};
 use irrnet_workloads::random_mcast;
@@ -64,7 +64,10 @@ pub fn units(_opts: &CampaignOptions) -> Vec<Unit> {
         );
         let net = ctx.cache.network(&RandomTopologyConfig::paper_default(0));
         let mut csv = String::from("scheme,dests,worms,phases,header_bytes,ni_buffer_pkts\n");
-        for scheme in Scheme::all() {
+        let schemes = crate::schemes::named(&[
+            "ubinomial", "ni-fpfs", "tree", "path-g", "path-lg", "path-lg+ni",
+        ]);
+        for &scheme in &schemes {
             for degree in [4usize, 8, 16, 31] {
                 let mut rng = SmallRng::seed_from_u64(degree as u64);
                 let (source, dests) = if degree == 31 {

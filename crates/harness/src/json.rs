@@ -37,6 +37,12 @@ pub struct JsonWriter {
     needs_comma: Vec<bool>,
 }
 
+impl Default for JsonWriter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl JsonWriter {
     /// Start with an empty document.
     pub fn new() -> Self {

@@ -38,4 +38,5 @@ pub mod opts;
 pub mod panel;
 pub mod registry;
 pub mod runner;
+pub mod schemes;
 pub mod shim;

@@ -35,6 +35,13 @@ pub fn write_manifest(
     }
     w.end_arr();
     w.u64_field(Some("trials"), opts.trials as u64);
+    if let Some(schemes) = &opts.schemes {
+        w.arr(Some("schemes"));
+        for &s in schemes {
+            w.str_field(None, s.name());
+        }
+        w.end_arr();
+    }
 
     w.arr(Some("experiments"));
     for e in &report.experiments {

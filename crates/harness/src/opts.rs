@@ -4,6 +4,7 @@
 //! campaign; it is recorded verbatim in the run manifest so a results
 //! directory is self-describing.
 
+use irrnet_core::SchemeId;
 use irrnet_workloads::LoadConfig;
 use std::path::PathBuf;
 
@@ -22,6 +23,12 @@ pub struct CampaignOptions {
     /// Worker threads for the cross-experiment unit pool (`None` = one
     /// per core).
     pub threads: Option<usize>,
+    /// Scheme filter (`--schemes a,b,c`): restrict scheme-panel and
+    /// per-scheme-row experiments to this subset. `None` = run every
+    /// scheme an experiment declares — the byte-identical default.
+    /// Experiments with a fixed structural layout (paired ablations like
+    /// `abl_mdp`/`abl_ordering`) ignore the filter.
+    pub schemes: Option<Vec<SchemeId>>,
 }
 
 impl CampaignOptions {
@@ -33,6 +40,7 @@ impl CampaignOptions {
             trials: 5,
             out_dir: "results".into(),
             threads: None,
+            schemes: None,
         }
     }
 
@@ -44,6 +52,7 @@ impl CampaignOptions {
             trials: 2,
             out_dir: "results".into(),
             threads: None,
+            schemes: None,
         }
     }
 
@@ -102,6 +111,19 @@ impl CampaignOptions {
         lc
     }
 
+    /// Apply the campaign's scheme filter to an experiment's declared
+    /// scheme list, preserving declaration order. With no filter the
+    /// declared list is returned unchanged, so default campaigns are
+    /// byte-identical to pre-filter ones.
+    pub fn select_schemes(&self, declared: &[SchemeId]) -> Vec<SchemeId> {
+        match &self.schemes {
+            None => declared.to_vec(),
+            Some(filter) => {
+                declared.iter().copied().filter(|s| filter.contains(s)).collect()
+            }
+        }
+    }
+
     /// How many of the seed batch's topologies the (expensive) load
     /// figures average over.
     pub fn load_seed_count(&self) -> usize {
@@ -136,6 +158,23 @@ mod tests {
         assert!(q.trials < f.trials);
         assert!(q.degrees().len() < f.degrees().len());
         assert!(q.loads().len() < f.loads().len());
+    }
+
+    #[test]
+    fn scheme_filter_preserves_declaration_order() {
+        use irrnet_core::Scheme;
+        let declared =
+            vec![Scheme::UBinomial.id(), Scheme::TreeWorm.id(), Scheme::PathLessGreedy.id()];
+        let mut o = CampaignOptions::quick();
+        assert_eq!(o.select_schemes(&declared), declared, "no filter = identity");
+        o.schemes = Some(vec![Scheme::PathLessGreedy.id(), Scheme::UBinomial.id()]);
+        assert_eq!(
+            o.select_schemes(&declared),
+            vec![Scheme::UBinomial.id(), Scheme::PathLessGreedy.id()],
+            "declaration order wins over filter order"
+        );
+        o.schemes = Some(vec![Scheme::NiFpfs.id()]);
+        assert!(o.select_schemes(&declared).is_empty());
     }
 
     #[test]

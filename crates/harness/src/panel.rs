@@ -9,7 +9,7 @@
 //! experiments share ten analyzed topologies.
 
 use crate::registry::{Emit, RunCtx, Unit};
-use irrnet_core::{rng, Scheme};
+use irrnet_core::{rng, SchemeId};
 use irrnet_sim::SimConfig;
 use irrnet_topology::{Network, RandomTopologyConfig};
 use irrnet_workloads::{run_load, single_sweep_serial, SinglePoint};
@@ -32,8 +32,10 @@ pub struct PanelSpec {
     pub sim: SimConfig,
     /// Message length in flits.
     pub message_flits: u32,
-    /// Schemes, in column order.
-    pub schemes: Vec<Scheme>,
+    /// Schemes, in column order (already filtered through
+    /// [`CampaignOptions::select_schemes`](crate::opts::CampaignOptions::select_schemes)
+    /// by the declaring experiment).
+    pub schemes: Vec<SchemeId>,
 }
 
 fn sim_fingerprint(sim: &SimConfig) -> Emit {

@@ -12,7 +12,7 @@
 
 use crate::cache::TopoCache;
 use crate::opts::CampaignOptions;
-use irrnet_core::Scheme;
+use irrnet_core::SchemeId;
 
 /// Shared state a unit executes against.
 pub struct RunCtx<'a> {
@@ -47,8 +47,9 @@ pub enum Emit {
         y_label: String,
         /// x values (identical for every column of a panel).
         xs: Vec<f64>,
-        /// Scheme this column belongs to.
-        scheme: Scheme,
+        /// Scheme this column belongs to (any registered id, including
+        /// harness-local plugins).
+        scheme: SchemeId,
         /// Column position within the panel (schemes array index).
         order: usize,
         /// y values; `None` = saturated.
@@ -66,12 +67,15 @@ pub enum Emit {
     },
 }
 
+/// The boxed work closure of a [`Unit`].
+pub type UnitFn = Box<dyn Fn(&RunCtx) -> Vec<Emit> + Send + Sync>;
+
 /// One schedulable work item.
 pub struct Unit {
     /// Progress label, e.g. `fig06_r0.5:tree`.
     pub label: String,
     /// The work; must depend only on `RunCtx`, never on execution order.
-    pub exec: Box<dyn Fn(&RunCtx) -> Vec<Emit> + Send + Sync>,
+    pub exec: UnitFn,
 }
 
 impl Unit {
@@ -162,6 +166,11 @@ pub fn registry() -> Vec<ExperimentSpec> {
             name: "ext_f",
             title: "Extension F — fault injection, reconfiguration, and NI retransmission",
             units: ex::ext_f::units,
+        },
+        ExperimentSpec {
+            name: "ext_g",
+            title: "Extension G — custom scheme plugin (fanout-capped tree)",
+            units: ex::ext_g::units,
         },
         ExperimentSpec {
             name: "abl_ordering",

@@ -49,7 +49,7 @@ struct PanelAcc {
     x_label: String,
     y_label: String,
     xs: Vec<f64>,
-    cols: Vec<(usize, irrnet_core::Scheme, Vec<Option<f64>>)>,
+    cols: Vec<(usize, irrnet_core::SchemeId, Vec<Option<f64>>)>,
 }
 
 fn resolved_threads(opts: &CampaignOptions) -> usize {

@@ -615,7 +615,13 @@ impl<'n, P: Protocol> Simulator<'n, P> {
                 self.emit(TraceEvent::Launch { mcast: id });
                 let (idx, info) = self.minfo(id);
                 self.stats.launch_at(idx, self.now, info.dests);
-                let sends = self.protocol.on_launch(id, self.now);
+                let sends = match self.protocol.on_launch(id, self.now) {
+                    Ok(sends) => sends,
+                    Err(e) => {
+                        self.pending_fatal = Some(SimError::Protocol(e));
+                        return;
+                    }
+                };
                 for (node, spec) in sends {
                     self.enqueue_host_send(node, id, spec);
                 }
@@ -659,7 +665,13 @@ impl<'n, P: Protocol> Simulator<'n, P> {
                             self.emit(TraceEvent::Delivered { node, mcast });
                             self.stats.deliver(mcast, node, self.now);
                             let sends =
-                                self.protocol.on_message_delivered(node, mcast, self.now);
+                                match self.protocol.on_message_delivered(node, mcast, self.now) {
+                                    Ok(sends) => sends,
+                                    Err(e) => {
+                                        self.pending_fatal = Some(SimError::Protocol(e));
+                                        return;
+                                    }
+                                };
                             for (mid, spec) in sends {
                                 self.enqueue_host_send(node, mid, spec);
                             }
@@ -735,7 +747,13 @@ impl<'n, P: Protocol> Simulator<'n, P> {
                     NiTask::Rx(worm) => {
                         let node = NodeId(n);
                         self.hosts[n as usize].ni_rx_pending -= 1;
-                        let replicas = self.protocol.on_packet_at_ni(node, &worm, self.now);
+                        let replicas = match self.protocol.on_packet_at_ni(node, &worm, self.now) {
+                            Ok(replicas) => replicas,
+                            Err(e) => {
+                                self.pending_fatal = Some(SimError::Protocol(e));
+                                return;
+                            }
+                        };
                         let tx_dur = if worm.pkt == 0 {
                             self.cfg.o_send_ni
                         } else {

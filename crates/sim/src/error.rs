@@ -132,6 +132,9 @@ pub enum SimError {
         /// switches and hosts).
         cause: TopologyError,
     },
+    /// The scheme-side [`Protocol`](crate::protocol::Protocol) failed in
+    /// a callback; the run is aborted at the end of the failing cycle.
+    Protocol(crate::protocol::ProtocolError),
 }
 
 impl fmt::Display for SimError {
@@ -147,11 +150,18 @@ impl fmt::Display for SimError {
             SimError::Partitioned { at, cause } => {
                 write!(f, "fault at cycle {at} partitioned the network: {cause}")
             }
+            SimError::Protocol(e) => write!(f, "protocol failure: {e}"),
         }
     }
 }
 
 impl std::error::Error for SimError {}
+
+impl From<crate::protocol::ProtocolError> for SimError {
+    fn from(e: crate::protocol::ProtocolError) -> Self {
+        SimError::Protocol(e)
+    }
+}
 
 #[cfg(test)]
 mod tests {

@@ -49,7 +49,7 @@ pub mod worm;
 pub use config::{Cycle, RetxPolicy, SimConfig};
 pub use engine::Simulator;
 pub use error::{BranchSnapshot, DeadlockDiagnostics, SimError, StuckFrame, TxBacklog};
-pub use protocol::{NullProtocol, Protocol, StaticProtocol};
+pub use protocol::{NullProtocol, Protocol, ProtocolError, StaticProtocol};
 pub use stats::{McastRecord, NetCounters, SimStats};
 pub use trace::{TraceEvent, TraceLog};
 pub use worm::{McastId, PathStop, PathWormSpec, RouteInfo, SendSpec, WormCopy};
@@ -59,7 +59,7 @@ pub mod prelude {
     pub use crate::config::{Cycle, RetxPolicy, SimConfig};
     pub use crate::engine::Simulator;
     pub use crate::error::{DeadlockDiagnostics, SimError};
-    pub use crate::protocol::{NullProtocol, Protocol, StaticProtocol};
+    pub use crate::protocol::{NullProtocol, Protocol, ProtocolError, StaticProtocol};
     pub use crate::stats::SimStats;
     pub use crate::worm::{McastId, PathStop, PathWormSpec, SendSpec, WormCopy};
 }

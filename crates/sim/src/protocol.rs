@@ -17,9 +17,38 @@
 //!   forwarding (FPFS) and are charged only `O_{s,ni}` per replica, with
 //!   no host involvement and no extra DMA (the packet is already in NI
 //!   memory) — exactly the saving of §3.2.1 / Fig. 3(b).
+//!
+//! Every callback returns a `Result`: a protocol that cannot answer (no
+//! plan registered for a multicast, inconsistent internal state) reports
+//! a [`ProtocolError`] instead of panicking, and the engine aborts the
+//! run with [`SimError::Protocol`](crate::error::SimError::Protocol) at
+//! the end of the failing cycle.
 
 use crate::worm::{McastId, SendSpec, WormCopy};
 use irrnet_topology::NodeId;
+
+/// A failure reported by a [`Protocol`] callback.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// A callback fired for a multicast id the protocol has no plan or
+    /// role for.
+    UnknownMcast(McastId),
+    /// The protocol's internal state is inconsistent (free-form detail).
+    State(String),
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::UnknownMcast(id) => {
+                write!(f, "callback for unknown multicast {id:?}")
+            }
+            ProtocolError::State(msg) => write!(f, "inconsistent protocol state: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
 
 /// Scheme-side logic invoked by the engine.
 pub trait Protocol {
@@ -27,7 +56,8 @@ pub trait Protocol {
     /// [`crate::engine::Simulator::schedule_multicast`] has reached its start
     /// time. Return the initial sends as `(sending node, spec)` pairs —
     /// typically one or more sends from the multicast's source.
-    fn on_launch(&mut self, mcast: McastId, now: u64) -> Vec<(NodeId, SendSpec)>;
+    fn on_launch(&mut self, mcast: McastId, now: u64)
+        -> Result<Vec<(NodeId, SendSpec)>, ProtocolError>;
 
     /// `node` has fully received the message of `mcast` (all packets DMA'd
     /// to host memory and `O_{r,h}` paid). Return follow-up sends *from
@@ -42,12 +72,17 @@ pub trait Protocol {
         node: NodeId,
         mcast: McastId,
         now: u64,
-    ) -> Vec<(McastId, SendSpec)>;
+    ) -> Result<Vec<(McastId, SendSpec)>, ProtocolError>;
 
     /// A packet addressed to `node` has been processed by its NI
     /// (`O_{r,ni}` paid). Return replica specs to inject *from the NI*
     /// (smart-NI forwarding). Conventional NIs return an empty vec.
-    fn on_packet_at_ni(&mut self, node: NodeId, worm: &WormCopy, now: u64) -> Vec<SendSpec>;
+    fn on_packet_at_ni(
+        &mut self,
+        node: NodeId,
+        worm: &WormCopy,
+        now: u64,
+    ) -> Result<Vec<SendSpec>, ProtocolError>;
 }
 
 /// A protocol that never forwards anything: plain point-to-point traffic.
@@ -56,8 +91,12 @@ pub trait Protocol {
 pub struct NullProtocol;
 
 impl Protocol for NullProtocol {
-    fn on_launch(&mut self, _mcast: McastId, _now: u64) -> Vec<(NodeId, SendSpec)> {
-        Vec::new()
+    fn on_launch(
+        &mut self,
+        _mcast: McastId,
+        _now: u64,
+    ) -> Result<Vec<(NodeId, SendSpec)>, ProtocolError> {
+        Ok(Vec::new())
     }
 
     fn on_message_delivered(
@@ -65,12 +104,17 @@ impl Protocol for NullProtocol {
         _node: NodeId,
         _mcast: McastId,
         _now: u64,
-    ) -> Vec<(McastId, SendSpec)> {
-        Vec::new()
+    ) -> Result<Vec<(McastId, SendSpec)>, ProtocolError> {
+        Ok(Vec::new())
     }
 
-    fn on_packet_at_ni(&mut self, _node: NodeId, _worm: &WormCopy, _now: u64) -> Vec<SendSpec> {
-        Vec::new()
+    fn on_packet_at_ni(
+        &mut self,
+        _node: NodeId,
+        _worm: &WormCopy,
+        _now: u64,
+    ) -> Result<Vec<SendSpec>, ProtocolError> {
+        Ok(Vec::new())
     }
 }
 
@@ -95,8 +139,12 @@ impl StaticProtocol {
 }
 
 impl Protocol for StaticProtocol {
-    fn on_launch(&mut self, mcast: McastId, _now: u64) -> Vec<(NodeId, SendSpec)> {
-        self.launches.remove(&mcast).unwrap_or_default()
+    fn on_launch(
+        &mut self,
+        mcast: McastId,
+        _now: u64,
+    ) -> Result<Vec<(NodeId, SendSpec)>, ProtocolError> {
+        Ok(self.launches.remove(&mcast).unwrap_or_default())
     }
 
     fn on_message_delivered(
@@ -104,11 +152,16 @@ impl Protocol for StaticProtocol {
         _node: NodeId,
         _mcast: McastId,
         _now: u64,
-    ) -> Vec<(McastId, SendSpec)> {
-        Vec::new()
+    ) -> Result<Vec<(McastId, SendSpec)>, ProtocolError> {
+        Ok(Vec::new())
     }
 
-    fn on_packet_at_ni(&mut self, _node: NodeId, _worm: &WormCopy, _now: u64) -> Vec<SendSpec> {
-        Vec::new()
+    fn on_packet_at_ni(
+        &mut self,
+        _node: NodeId,
+        _worm: &WormCopy,
+        _now: u64,
+    ) -> Result<Vec<SendSpec>, ProtocolError> {
+        Ok(Vec::new())
     }
 }

@@ -3,7 +3,7 @@
 //! forwarding from the simulator's own API surface (the scheme crate has
 //! its own tests; these pin the *engine* contract).
 
-use irrnet_sim::{McastId, Protocol, SendSpec, SimConfig, Simulator, WormCopy};
+use irrnet_sim::{McastId, Protocol, ProtocolError, SendSpec, SimConfig, Simulator, WormCopy};
 use irrnet_topology::{zoo, Network, NodeId, NodeMask};
 
 fn tiny_cfg() -> SimConfig {
@@ -20,23 +20,32 @@ fn tiny_cfg() -> SimConfig {
 struct HostRelay;
 
 impl Protocol for HostRelay {
-    fn on_launch(&mut self, _m: McastId, _now: u64) -> Vec<(NodeId, SendSpec)> {
-        vec![(NodeId(0), SendSpec::Unicast { dest: NodeId(1) })]
+    fn on_launch(
+        &mut self,
+        _m: McastId,
+        _now: u64,
+    ) -> Result<Vec<(NodeId, SendSpec)>, ProtocolError> {
+        Ok(vec![(NodeId(0), SendSpec::Unicast { dest: NodeId(1) })])
     }
     fn on_message_delivered(
         &mut self,
         node: NodeId,
         m: McastId,
         _now: u64,
-    ) -> Vec<(McastId, SendSpec)> {
+    ) -> Result<Vec<(McastId, SendSpec)>, ProtocolError> {
         if node == NodeId(1) {
-            vec![(m, SendSpec::Unicast { dest: NodeId(2) })]
+            Ok(vec![(m, SendSpec::Unicast { dest: NodeId(2) })])
         } else {
-            Vec::new()
+            Ok(Vec::new())
         }
     }
-    fn on_packet_at_ni(&mut self, _n: NodeId, _w: &WormCopy, _now: u64) -> Vec<SendSpec> {
-        Vec::new()
+    fn on_packet_at_ni(
+        &mut self,
+        _n: NodeId,
+        _w: &WormCopy,
+        _now: u64,
+    ) -> Result<Vec<SendSpec>, ProtocolError> {
+        Ok(Vec::new())
     }
 }
 
@@ -45,22 +54,31 @@ impl Protocol for HostRelay {
 struct NiRelay;
 
 impl Protocol for NiRelay {
-    fn on_launch(&mut self, _m: McastId, _now: u64) -> Vec<(NodeId, SendSpec)> {
-        vec![(NodeId(0), SendSpec::Unicast { dest: NodeId(1) })]
+    fn on_launch(
+        &mut self,
+        _m: McastId,
+        _now: u64,
+    ) -> Result<Vec<(NodeId, SendSpec)>, ProtocolError> {
+        Ok(vec![(NodeId(0), SendSpec::Unicast { dest: NodeId(1) })])
     }
     fn on_message_delivered(
         &mut self,
         _n: NodeId,
         _m: McastId,
         _now: u64,
-    ) -> Vec<(McastId, SendSpec)> {
-        Vec::new()
+    ) -> Result<Vec<(McastId, SendSpec)>, ProtocolError> {
+        Ok(Vec::new())
     }
-    fn on_packet_at_ni(&mut self, node: NodeId, _w: &WormCopy, _now: u64) -> Vec<SendSpec> {
+    fn on_packet_at_ni(
+        &mut self,
+        node: NodeId,
+        _w: &WormCopy,
+        _now: u64,
+    ) -> Result<Vec<SendSpec>, ProtocolError> {
         if node == NodeId(1) {
-            vec![SendSpec::Unicast { dest: NodeId(2) }]
+            Ok(vec![SendSpec::Unicast { dest: NodeId(2) }])
         } else {
-            Vec::new()
+            Ok(Vec::new())
         }
     }
 }

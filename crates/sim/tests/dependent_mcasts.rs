@@ -2,7 +2,7 @@
 //! launch that the protocol fires when another message is delivered —
 //! the mechanism the collectives crate builds reduction trees from.
 
-use irrnet_sim::{McastId, Protocol, SendSpec, SimConfig, Simulator, WormCopy};
+use irrnet_sim::{McastId, Protocol, ProtocolError, SendSpec, SimConfig, Simulator, WormCopy};
 use irrnet_topology::{zoo, Network, NodeId, NodeMask};
 
 fn tiny_cfg() -> SimConfig {
@@ -19,24 +19,33 @@ fn tiny_cfg() -> SimConfig {
 struct ChainOfMcasts;
 
 impl Protocol for ChainOfMcasts {
-    fn on_launch(&mut self, m: McastId, _now: u64) -> Vec<(NodeId, SendSpec)> {
+    fn on_launch(
+        &mut self,
+        m: McastId,
+        _now: u64,
+    ) -> Result<Vec<(NodeId, SendSpec)>, ProtocolError> {
         assert_eq!(m, McastId(0), "only mcast 0 has a timed launch");
-        vec![(NodeId(0), SendSpec::Unicast { dest: NodeId(1) })]
+        Ok(vec![(NodeId(0), SendSpec::Unicast { dest: NodeId(1) })])
     }
     fn on_message_delivered(
         &mut self,
         node: NodeId,
         m: McastId,
         _now: u64,
-    ) -> Vec<(McastId, SendSpec)> {
-        match (m, node) {
+    ) -> Result<Vec<(McastId, SendSpec)>, ProtocolError> {
+        Ok(match (m, node) {
             (McastId(0), NodeId(1)) => vec![(McastId(1), SendSpec::Unicast { dest: NodeId(2) })],
             (McastId(1), NodeId(2)) => vec![(McastId(2), SendSpec::Unicast { dest: NodeId(3) })],
             _ => Vec::new(),
-        }
+        })
     }
-    fn on_packet_at_ni(&mut self, _n: NodeId, _w: &WormCopy, _now: u64) -> Vec<SendSpec> {
-        Vec::new()
+    fn on_packet_at_ni(
+        &mut self,
+        _n: NodeId,
+        _w: &WormCopy,
+        _now: u64,
+    ) -> Result<Vec<SendSpec>, ProtocolError> {
+        Ok(Vec::new())
     }
 }
 
@@ -66,20 +75,29 @@ fn dependent_mcasts_chain_and_measure_from_first_send() {
 fn sending_for_an_unregistered_mcast_panics() {
     struct Rogue;
     impl Protocol for Rogue {
-        fn on_launch(&mut self, _m: McastId, _now: u64) -> Vec<(NodeId, SendSpec)> {
-            vec![(NodeId(0), SendSpec::Unicast { dest: NodeId(1) })]
+        fn on_launch(
+            &mut self,
+            _m: McastId,
+            _now: u64,
+        ) -> Result<Vec<(NodeId, SendSpec)>, ProtocolError> {
+            Ok(vec![(NodeId(0), SendSpec::Unicast { dest: NodeId(1) })])
         }
         fn on_message_delivered(
             &mut self,
             _n: NodeId,
             _m: McastId,
             _now: u64,
-        ) -> Vec<(McastId, SendSpec)> {
+        ) -> Result<Vec<(McastId, SendSpec)>, ProtocolError> {
             // Fires for an id nobody registered.
-            vec![(McastId(99), SendSpec::Unicast { dest: NodeId(0) })]
+            Ok(vec![(McastId(99), SendSpec::Unicast { dest: NodeId(0) })])
         }
-        fn on_packet_at_ni(&mut self, _n: NodeId, _w: &WormCopy, _now: u64) -> Vec<SendSpec> {
-            Vec::new()
+        fn on_packet_at_ni(
+            &mut self,
+            _n: NodeId,
+            _w: &WormCopy,
+            _now: u64,
+        ) -> Result<Vec<SendSpec>, ProtocolError> {
+            Ok(Vec::new())
         }
     }
     let net = Network::analyze(zoo::chain(2).unwrap()).unwrap();

@@ -16,7 +16,7 @@
 use crate::single::random_dests;
 use crate::stats::Summary;
 use irrnet_core::rng::SmallRng;
-use irrnet_core::{plan_multicast, Scheme, SchemeProtocol};
+use irrnet_core::{plan_multicast, SchemeId, SchemeProtocol};
 use irrnet_sim::{Cycle, McastId, SimConfig, SimError, Simulator};
 use irrnet_topology::{Network, NodeId, NodeMask};
 use std::sync::Arc;
@@ -141,9 +141,10 @@ pub struct DsmResult {
 pub fn run_dsm(
     net: &Network,
     sim_cfg: &SimConfig,
-    scheme: Scheme,
+    scheme: impl Into<SchemeId>,
     cfg: &DsmConfig,
 ) -> Result<DsmResult, SimError> {
+    let scheme = scheme.into();
     let trace = generate_trace(net.topo.num_nodes(), cfg);
     let mut proto = SchemeProtocol::new();
     let mut launches = Vec::with_capacity(trace.events.len());
@@ -182,6 +183,7 @@ pub fn run_dsm(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use irrnet_core::Scheme;
     use irrnet_topology::{gen, RandomTopologyConfig};
 
     fn net() -> Network {

@@ -12,7 +12,7 @@
 //! results, and zero kills is byte-identical to a healthy run.
 
 use irrnet_core::rng::SmallRng;
-use irrnet_core::{plan_multicast, Scheme, SchemeProtocol};
+use irrnet_core::{plan_multicast, SchemeId, SchemeProtocol};
 use irrnet_sim::{Cycle, McastId, RetxPolicy, SimConfig, SimError, Simulator};
 use irrnet_topology::{FaultPlan, Network, RandomFaultConfig};
 use std::sync::Arc;
@@ -99,9 +99,10 @@ pub struct FaultResult {
 pub fn run_faulted(
     net: &Network,
     cfg: &SimConfig,
-    scheme: Scheme,
+    scheme: impl Into<SchemeId>,
     fc: &FaultConfig,
 ) -> Result<FaultResult, SimError> {
+    let scheme = scheme.into();
     let n = net.topo.num_nodes();
     let mut rng = SmallRng::seed_from_u64(fc.seed);
     let mut proto = SchemeProtocol::new();
@@ -174,6 +175,7 @@ pub fn run_faulted(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use irrnet_core::Scheme;
     use irrnet_topology::zoo;
 
     fn quick(kills: usize) -> FaultConfig {

@@ -14,7 +14,7 @@
 //! complete by the end of the run.
 
 use irrnet_core::rng::SmallRng;
-use irrnet_core::{plan_multicast, Scheme, SchemeProtocol};
+use irrnet_core::{plan_multicast, SchemeId, SchemeProtocol};
 use irrnet_sim::{Cycle, McastId, SimConfig, SimError, Simulator};
 use irrnet_topology::{Network, NodeId};
 use std::sync::Arc;
@@ -87,9 +87,10 @@ pub struct LoadResult {
 pub fn run_load(
     net: &Network,
     cfg: &SimConfig,
-    scheme: Scheme,
+    scheme: impl Into<SchemeId>,
     lc: &LoadConfig,
 ) -> Result<LoadResult, SimError> {
+    let scheme = scheme.into();
     let n = net.topo.num_nodes();
     let rate = lc.msgs_per_cycle_per_node();
     assert!(rate > 0.0, "load must be positive");
@@ -161,6 +162,7 @@ pub fn run_load(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use irrnet_core::Scheme;
     use irrnet_topology::zoo;
 
     fn quick_lc(load: f64) -> LoadConfig {

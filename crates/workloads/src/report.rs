@@ -1,7 +1,7 @@
 //! Text/CSV rendering of experiment results in the shape of the paper's
 //! figures: one series per scheme, x values down the rows.
 
-use irrnet_core::Scheme;
+use irrnet_core::SchemeId;
 use std::fmt::Write as _;
 
 /// A figure-shaped result: named x-axis, one series per scheme.
@@ -14,7 +14,7 @@ pub struct Series {
     /// x values, in row order.
     pub xs: Vec<f64>,
     /// (scheme, y values aligned with `xs`; `None` = saturated/no data).
-    pub series: Vec<(Scheme, Vec<Option<f64>>)>,
+    pub series: Vec<(SchemeId, Vec<Option<f64>>)>,
 }
 
 impl Series {
@@ -24,9 +24,9 @@ impl Series {
     }
 
     /// Add one scheme's column of y values.
-    pub fn push(&mut self, scheme: Scheme, ys: Vec<Option<f64>>) {
+    pub fn push(&mut self, scheme: impl Into<SchemeId>, ys: Vec<Option<f64>>) {
         assert_eq!(ys.len(), self.xs.len(), "series length mismatch");
-        self.series.push((scheme, ys));
+        self.series.push((scheme.into(), ys));
     }
 
     /// Aligned human-readable table.
@@ -80,7 +80,7 @@ impl Series {
     }
 
     /// For each x row, which scheme wins (lowest y)?
-    pub fn winners(&self) -> Vec<Option<Scheme>> {
+    pub fn winners(&self) -> Vec<Option<SchemeId>> {
         (0..self.xs.len())
             .map(|i| {
                 self.series
@@ -96,6 +96,7 @@ impl Series {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use irrnet_core::Scheme;
 
     fn sample() -> Series {
         let mut s = Series::new("destinations", "latency", vec![4.0, 8.0]);
@@ -126,7 +127,7 @@ mod tests {
     #[test]
     fn winners_ignore_saturated() {
         let w = sample().winners();
-        assert_eq!(w, vec![Some(Scheme::TreeWorm), Some(Scheme::TreeWorm)]);
+        assert_eq!(w, vec![Some(Scheme::TreeWorm.id()), Some(Scheme::TreeWorm.id())]);
     }
 
     #[test]

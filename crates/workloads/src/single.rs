@@ -6,7 +6,7 @@
 //! in isolation."
 
 use irrnet_core::rng::SmallRng;
-use irrnet_core::{plan_multicast, PlanMeta, Scheme, SchemeProtocol};
+use irrnet_core::{plan_multicast, PlanMeta, SchemeId, SchemeProtocol};
 use irrnet_sim::{McastId, SimConfig, SimError, Simulator};
 use irrnet_topology::{Network, NodeId, NodeMask};
 use std::sync::Arc;
@@ -27,7 +27,7 @@ pub struct SingleResult {
 pub fn run_single(
     net: &Network,
     cfg: &SimConfig,
-    scheme: Scheme,
+    scheme: impl Into<SchemeId>,
     source: NodeId,
     dests: NodeMask,
     message_flits: u32,
@@ -77,12 +77,13 @@ pub fn random_dests(
 pub fn mean_single_latency(
     net: &Network,
     cfg: &SimConfig,
-    scheme: Scheme,
+    scheme: impl Into<SchemeId>,
     degree: usize,
     message_flits: u32,
     trials: usize,
     seed: u64,
 ) -> Result<f64, SimError> {
+    let scheme = scheme.into();
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut sum = 0u64;
     for _ in 0..trials {
@@ -95,6 +96,7 @@ pub fn mean_single_latency(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use irrnet_core::Scheme;
     use irrnet_topology::zoo;
 
     #[test]

@@ -9,7 +9,7 @@
 //! order.
 
 use irrnet_core::rng;
-use irrnet_core::Scheme;
+use irrnet_core::SchemeId;
 use irrnet_sim::SimConfig;
 use irrnet_topology::{gen, Network, RandomTopologyConfig};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -109,7 +109,7 @@ pub fn default_seeds() -> Vec<u64> {
 #[derive(Debug, Clone)]
 pub struct SinglePoint {
     /// Scheme under test.
-    pub scheme: Scheme,
+    pub scheme: SchemeId,
     /// Multicast degree (x-axis of Figs. 6–8).
     pub degree: usize,
     /// Message length in flits.
@@ -122,7 +122,7 @@ pub struct SinglePoint {
 #[derive(Debug, Clone)]
 pub struct SweepRow {
     /// Scheme under test.
-    pub scheme: Scheme,
+    pub scheme: SchemeId,
     /// Multicast degree.
     pub degree: usize,
     /// Mean latency in cycles across topologies × trials.
@@ -191,6 +191,7 @@ pub fn single_sweep_serial(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use irrnet_core::Scheme;
 
     #[test]
     fn par_run_preserves_order() {
@@ -235,13 +236,13 @@ mod tests {
         let nets = build_networks(&RandomTopologyConfig::paper_default(0), &[0, 1]);
         let points = vec![
             SinglePoint {
-                scheme: Scheme::TreeWorm,
+                scheme: Scheme::TreeWorm.id(),
                 degree: 4,
                 message_flits: 128,
                 sim: SimConfig::paper_default(),
             },
             SinglePoint {
-                scheme: Scheme::TreeWorm,
+                scheme: Scheme::TreeWorm.id(),
                 degree: 16,
                 message_flits: 128,
                 sim: SimConfig::paper_default(),

@@ -41,7 +41,10 @@ pub use irrnet_workloads as workloads;
 
 /// One-stop imports for applications.
 pub mod prelude {
-    pub use irrnet_core::{plan_multicast, McastPlan, PathVariant, PlanMeta, Scheme, SchemeProtocol};
+    pub use irrnet_core::{
+        plan_multicast, try_plan_multicast, McastPlan, MulticastScheme, PathVariant, PlanCtx,
+        PlanError, PlanMeta, Scheme, SchemeCaps, SchemeId, SchemeProtocol, SchemeRegistry,
+    };
     pub use irrnet_sim::{
         Cycle, DeadlockDiagnostics, McastId, PathStop, PathWormSpec, RetxPolicy, SendSpec,
         SimConfig, SimError, SimStats, Simulator,
@@ -50,7 +53,7 @@ pub mod prelude {
         gen, zoo, FaultKind, FaultPlan, FaultStatus, Network, NodeId, NodeMask,
         RandomFaultConfig, RandomTopologyConfig, SwitchId,
     };
-    pub use irrnet_collectives::{run_collective, CollectiveOp, CollectiveResult};
+    pub use irrnet_collectives::{run_collective, CollectiveError, CollectiveOp, CollectiveResult};
     pub use irrnet_workloads::{
         mean_single_latency, run_load, run_single, LoadConfig, LoadResult, Series, SingleResult,
     };
