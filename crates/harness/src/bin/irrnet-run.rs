@@ -3,19 +3,26 @@
 //!
 //! ```text
 //! irrnet-run --all [--quick] [--threads N] [--seeds N] [--trials N] [--out DIR]
-//!            [--schemes a,b,c]
+//!            [--schemes a,b,c] [--unit-timeout SECS] [--unit-retries N] [--audit]
 //! irrnet-run fig06 ext_b ...          # run selected experiments
+//! irrnet-run resume DIR [--threads N] # finish an interrupted campaign
 //! irrnet-run --list                   # show the registry
 //! irrnet-run schemes                  # show the scheme registry
 //! irrnet-run compare [--out DIR] [--golden DIR] [--tol F]
 //! irrnet-run bench [--out FILE] [--check FILE] [--baseline-from FILE] [--iters N]
 //! ```
+//!
+//! Exit codes: 0 = campaign completed cleanly, 1 = completed with failed
+//! units (see the manifest's `"failures"`), 130 = interrupted (resume
+//! with `irrnet-run resume DIR`).
 
 use irrnet_harness::bench::{run_bench, BenchOptions};
 use irrnet_harness::compare::run_compare;
 use irrnet_harness::opts::CampaignOptions;
 use irrnet_harness::registry::{registry, resolve};
-use irrnet_harness::runner::run_campaign;
+use irrnet_harness::runner::{
+    install_sigint_handler, resume_campaign, run_campaign, CampaignReport,
+};
 use irrnet_harness::schemes::ensure_demo_schemes;
 use std::process::ExitCode;
 
@@ -23,6 +30,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: irrnet-run (--all | <experiment>...) [--quick] [--threads N] \
          [--seeds N] [--trials N] [--out DIR] [--schemes a,b,c]\n\
+         \x20                 [--unit-timeout SECS] [--unit-retries N] [--audit]\n\
+         \x20      irrnet-run resume DIR [--threads N]\n\
          \x20      irrnet-run --list\n\
          \x20      irrnet-run schemes\n\
          \x20      irrnet-run compare [--out DIR] [--golden DIR] [--tol F]\n\
@@ -31,6 +40,19 @@ fn usage() -> ! {
         registry().iter().map(|s| s.name).collect::<Vec<_>>().join(", ")
     );
     std::process::exit(2);
+}
+
+/// Map a finished campaign to the documented exit codes.
+fn campaign_exit(report: &CampaignReport) -> ExitCode {
+    if report.interrupted {
+        // The conventional 128+SIGINT code, also used for stop-flag
+        // interruption: either way the campaign is resumable.
+        ExitCode::from(130)
+    } else if report.failures.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }
 
 fn parse_value<T: std::str::FromStr>(args: &mut impl Iterator<Item = String>, flag: &str) -> T {
@@ -58,6 +80,9 @@ fn main() -> ExitCode {
     if argv.first().map(String::as_str) == Some("schemes") {
         return main_schemes(argv[1..].to_vec());
     }
+    if argv.first().map(String::as_str) == Some("resume") {
+        return main_resume(argv[1..].to_vec());
+    }
 
     let mut all = false;
     let mut list = false;
@@ -67,6 +92,9 @@ fn main() -> ExitCode {
     let mut trials: Option<usize> = None;
     let mut out: Option<String> = None;
     let mut scheme_list: Option<String> = None;
+    let mut unit_timeout: Option<f64> = None;
+    let mut unit_retries: u32 = 0;
+    let mut audit = false;
     let mut names: Vec<String> = Vec::new();
     let mut args = argv.into_iter();
     while let Some(a) = args.next() {
@@ -79,6 +107,9 @@ fn main() -> ExitCode {
             "--trials" => trials = Some(parse_value(&mut args, "--trials")),
             "--out" => out = Some(parse_value(&mut args, "--out")),
             "--schemes" => scheme_list = Some(parse_value(&mut args, "--schemes")),
+            "--unit-timeout" => unit_timeout = Some(parse_value(&mut args, "--unit-timeout")),
+            "--unit-retries" => unit_retries = parse_value(&mut args, "--unit-retries"),
+            "--audit" => audit = true,
             "--help" | "-h" => usage(),
             s if s.starts_with('-') => {
                 eprintln!("error: unknown flag '{s}'");
@@ -121,6 +152,19 @@ fn main() -> ExitCode {
         opts.out_dir = dir.into();
     }
     opts.threads = threads;
+    if let Some(secs) = unit_timeout {
+        if !secs.is_finite() || secs <= 0.0 {
+            eprintln!("error: --unit-timeout needs a positive number of seconds");
+            return ExitCode::FAILURE;
+        }
+        opts.unit_timeout = Some(std::time::Duration::from_secs_f64(secs));
+    }
+    opts.unit_retries = unit_retries;
+    if audit {
+        opts.audit = true;
+        // Every simulator built from here on audits its invariants.
+        irrnet_sim::set_audit_default(true);
+    }
     if let Some(list) = scheme_list {
         // Harness-local plugins are selectable by name, same as built-ins.
         ensure_demo_schemes();
@@ -155,8 +199,42 @@ fn main() -> ExitCode {
             }
         }
     };
+    install_sigint_handler();
     match run_campaign(&specs, &opts) {
-        Ok(_) => ExitCode::SUCCESS,
+        Ok(report) => campaign_exit(&report),
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn main_resume(argv: Vec<String>) -> ExitCode {
+    let mut dir: Option<std::path::PathBuf> = None;
+    let mut threads: Option<usize> = None;
+    let mut args = argv.into_iter();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--threads" => threads = Some(parse_value(&mut args, "--threads")),
+            "--help" | "-h" => usage(),
+            s if s.starts_with('-') => {
+                eprintln!("error: unknown resume flag '{s}'");
+                usage();
+            }
+            s if dir.is_none() => dir = Some(s.into()),
+            s => {
+                eprintln!("error: unexpected resume argument '{s}'");
+                usage();
+            }
+        }
+    }
+    let Some(dir) = dir else {
+        eprintln!("error: resume needs the results directory of an interrupted campaign");
+        usage();
+    };
+    install_sigint_handler();
+    match resume_campaign(&dir, threads, None) {
+        Ok(report) => campaign_exit(&report),
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE

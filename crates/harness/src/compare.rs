@@ -42,7 +42,11 @@ fn load(path: &Path) -> Option<Csv> {
         }
         let cells: Vec<String> = line.split(',').map(str::to_string).collect();
         for (h, cell) in header.iter().zip(&cells) {
-            cols.get_mut(h).unwrap().push(cell.parse().ok());
+            // A duplicate header name would drop the earlier column in
+            // the map above; never panic on a malformed artifact.
+            if let Some(col) = cols.get_mut(h) {
+                col.push(cell.parse().ok());
+            }
         }
         rows.push(cells);
     }

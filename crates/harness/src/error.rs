@@ -1,0 +1,117 @@
+//! Typed unit failures.
+//!
+//! A campaign unit that fails — by returning an error, panicking, or
+//! overrunning its wall-clock budget — produces a [`UnitError`] instead
+//! of killing the campaign. The runner records it (with the unit's label
+//! and retry count) in the manifest's `"failures"` array and leaves a
+//! gap in the affected CSV columns; every other unit still runs.
+
+use irrnet_collectives::CollectiveError;
+use irrnet_core::PlanError;
+use irrnet_sim::SimError;
+use irrnet_topology::TopologyError;
+use irrnet_workloads::IsolationError;
+use std::fmt;
+use std::time::Duration;
+
+/// Why a single campaign unit failed to produce its emits.
+#[derive(Debug, Clone)]
+pub enum UnitError {
+    /// The unit's closure panicked (caught at the isolation boundary).
+    Panicked(String),
+    /// The unit exceeded `--unit-timeout`.
+    TimedOut(Duration),
+    /// A simulation run inside the unit failed.
+    Sim(SimError),
+    /// A collective run inside the unit failed.
+    Collective(CollectiveError),
+    /// Topology generation or analysis failed.
+    Topology(TopologyError),
+    /// Multicast planning failed.
+    Plan(PlanError),
+    /// Anything else, as a message.
+    Msg(String),
+}
+
+impl UnitError {
+    /// Short machine-stable kind tag for the manifest/journal.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            UnitError::Panicked(_) => "panic",
+            UnitError::TimedOut(_) => "timeout",
+            UnitError::Sim(_) => "sim",
+            UnitError::Collective(_) => "collective",
+            UnitError::Topology(_) => "topology",
+            UnitError::Plan(_) => "plan",
+            UnitError::Msg(_) => "other",
+        }
+    }
+}
+
+impl fmt::Display for UnitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnitError::Panicked(msg) => write!(f, "panicked: {msg}"),
+            UnitError::TimedOut(d) => {
+                write!(f, "exceeded its {:.1}s wall-clock budget", d.as_secs_f64())
+            }
+            UnitError::Sim(e) => write!(f, "simulation failed: {e}"),
+            UnitError::Collective(e) => write!(f, "collective failed: {e}"),
+            UnitError::Topology(e) => write!(f, "topology failed: {e}"),
+            UnitError::Plan(e) => write!(f, "planning failed: {e}"),
+            UnitError::Msg(msg) => f.write_str(msg),
+        }
+    }
+}
+
+impl std::error::Error for UnitError {}
+
+impl From<SimError> for UnitError {
+    fn from(e: SimError) -> Self {
+        UnitError::Sim(e)
+    }
+}
+
+impl From<CollectiveError> for UnitError {
+    fn from(e: CollectiveError) -> Self {
+        UnitError::Collective(e)
+    }
+}
+
+impl From<TopologyError> for UnitError {
+    fn from(e: TopologyError) -> Self {
+        UnitError::Topology(e)
+    }
+}
+
+impl From<PlanError> for UnitError {
+    fn from(e: PlanError) -> Self {
+        UnitError::Plan(e)
+    }
+}
+
+impl From<IsolationError> for UnitError {
+    fn from(e: IsolationError) -> Self {
+        match e {
+            IsolationError::Panicked(msg) => UnitError::Panicked(msg),
+            IsolationError::TimedOut(d) => UnitError::TimedOut(d),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_and_display_are_stable() {
+        let e = UnitError::Panicked("boom".into());
+        assert_eq!(e.kind(), "panic");
+        assert_eq!(e.to_string(), "panicked: boom");
+        let e = UnitError::TimedOut(Duration::from_millis(1500));
+        assert_eq!(e.kind(), "timeout");
+        assert!(e.to_string().contains("1.5s"));
+        let e: UnitError = IsolationError::Panicked("p".into()).into();
+        assert!(matches!(e, UnitError::Panicked(_)));
+    }
+}

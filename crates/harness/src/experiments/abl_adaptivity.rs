@@ -22,7 +22,7 @@ pub fn units(_opts: &CampaignOptions) -> Vec<Unit> {
         let nets: Vec<_> = seeds(ctx.opts.quick)
             .iter()
             .map(|&s| ctx.cache.network(&RandomTopologyConfig::paper_default(s)))
-            .collect();
+            .collect::<Result<_, _>>()?;
         let mut table = String::from("-- single 16-way multicast latency (cycles) --\n");
         let _ = writeln!(
             table,
@@ -39,8 +39,7 @@ pub fn units(_opts: &CampaignOptions) -> Vec<Unit> {
                 let mut cfg = SimConfig::paper_default();
                 cfg.adaptive = adaptive;
                 for (ti, net) in nets.iter().enumerate() {
-                    lat[i] +=
-                        mean_single_latency(net, &cfg, scheme, 16, 128, 3, ti as u64).unwrap();
+                    lat[i] += mean_single_latency(net, &cfg, scheme, 16, 128, 3, ti as u64)?;
                 }
                 lat[i] /= nets.len() as f64;
             }
@@ -54,14 +53,14 @@ pub fn units(_opts: &CampaignOptions) -> Vec<Unit> {
             );
             let _ = writeln!(csv, "{},{:.0},{:.0}", scheme.name(), lat[0], lat[1]);
         }
-        vec![
+        Ok(vec![
             Emit::Table(table),
             Emit::Csv { name: "abl_adaptivity_single.csv".into(), content: csv },
-        ]
+        ])
     });
 
     let load = Unit::new("abl_adaptivity:load", |ctx: &RunCtx| {
-        let net = ctx.cache.network(&RandomTopologyConfig::paper_default(0));
+        let net = ctx.cache.network(&RandomTopologyConfig::paper_default(0))?;
         let mut table = String::from(
             "-- 8-way multicasts at effective load 0.1 (mean latency; sat = saturated) --\n",
         );
@@ -84,7 +83,7 @@ pub fn units(_opts: &CampaignOptions) -> Vec<Unit> {
                     lc.measure = 300_000;
                     lc.drain = 150_000;
                 }
-                let r = run_load(&net, &cfg, scheme, &lc).unwrap();
+                let r = run_load(&net, &cfg, scheme, &lc)?;
                 match (r.saturated, r.mean_latency) {
                     (false, Some(l)) => {
                         let _ = write!(table, " {l:>12.0}");
@@ -100,7 +99,7 @@ pub fn units(_opts: &CampaignOptions) -> Vec<Unit> {
             "\nadaptivity should matter most under load (contention avoidance) and\n\
              least for the single tree-based worm (one worm, no competing traffic).\n",
         );
-        vec![Emit::Table(table)]
+        Ok(vec![Emit::Table(table)])
     });
 
     vec![single, load]

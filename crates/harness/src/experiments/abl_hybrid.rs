@@ -17,7 +17,7 @@ pub fn units(_opts: &CampaignOptions) -> Vec<Unit> {
         let nets: Vec<_> = seeds
             .iter()
             .map(|&s| ctx.cache.network(&RandomTopologyConfig::paper_default(s)))
-            .collect();
+            .collect::<Result<_, _>>()?;
         let schemes = ctx.opts.select_schemes(&crate::schemes::named(&[
             "ni-fpfs",
             "path-lg",
@@ -38,8 +38,7 @@ pub fn units(_opts: &CampaignOptions) -> Vec<Unit> {
                 for &scheme in &schemes {
                     let mut sum = 0.0;
                     for (ti, net) in nets.iter().enumerate() {
-                        sum += mean_single_latency(net, &cfg, scheme, 16, msg, 3, ti as u64)
-                            .unwrap();
+                        sum += mean_single_latency(net, &cfg, scheme, 16, msg, 3, ti as u64)?;
                     }
                     let mean = sum / nets.len() as f64;
                     let _ = writeln!(table, "  {:>12}: {mean:>10.0}", scheme.name());
@@ -53,6 +52,6 @@ pub fn units(_opts: &CampaignOptions) -> Vec<Unit> {
             "expected: path-lg+ni strictly improves on path-lg (host overheads\n\
              vanish between phases) and narrows the gap to the tree-based scheme.\n",
         );
-        vec![Emit::Table(table), Emit::Csv { name: "abl_hybrid.csv".into(), content: csv }]
+        Ok(vec![Emit::Table(table), Emit::Csv { name: "abl_hybrid.csv".into(), content: csv }])
     })]
 }

@@ -28,7 +28,8 @@ pub fn units(_opts: &CampaignOptions) -> Vec<Unit> {
             let mut phases = [0usize; 2];
             let mut lat = [0.0f64; 2];
             for &seed in seeds {
-                let net = ctx.cache.network(&RandomTopologyConfig::with_switches(seed, switches));
+                let net =
+                    ctx.cache.network(&RandomTopologyConfig::with_switches(seed, switches))?;
                 let mut rng = SmallRng::seed_from_u64(seed);
                 let (src, dests) = random_mcast(&mut rng, 32, 16);
                 for (i, variant) in
@@ -41,7 +42,7 @@ pub fn units(_opts: &CampaignOptions) -> Vec<Unit> {
                 for (i, scheme) in
                     [Scheme::PathGreedy, Scheme::PathLessGreedy].into_iter().enumerate()
                 {
-                    lat[i] += mean_single_latency(&net, &cfg, scheme, 16, 128, 2, seed).unwrap();
+                    lat[i] += mean_single_latency(&net, &cfg, scheme, 16, 128, 2, seed)?;
                 }
             }
             let n = seeds.len();
@@ -66,6 +67,6 @@ pub fn units(_opts: &CampaignOptions) -> Vec<Unit> {
                 lat[1] / n as f64
             );
         }
-        vec![Emit::Table(table), Emit::Csv { name: "abl_mdp_variant.csv".into(), content: csv }]
+        Ok(vec![Emit::Table(table), Emit::Csv { name: "abl_mdp_variant.csv".into(), content: csv }])
     })]
 }

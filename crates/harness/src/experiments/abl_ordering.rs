@@ -17,7 +17,12 @@ use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::sync::Arc;
 
-fn run_fpfs_tree(net: &Network, cfg: &SimConfig, tree: &McastTree, msg: u32) -> u64 {
+fn run_fpfs_tree(
+    net: &Network,
+    cfg: &SimConfig,
+    tree: &McastTree,
+    msg: u32,
+) -> Result<u64, crate::error::UnitError> {
     let dests: NodeMask = tree
         .bfs_order
         .iter()
@@ -46,10 +51,12 @@ fn run_fpfs_tree(net: &Network, cfg: &SimConfig, tree: &McastTree, msg: u32) -> 
     };
     let mut proto = SchemeProtocol::new();
     proto.add(McastId(0), Arc::new(plan));
-    let mut sim = Simulator::new(net, cfg.clone(), proto).expect("config valid");
+    let mut sim = Simulator::new(net, cfg.clone(), proto)?;
     sim.schedule_multicast(0, McastId(0), dests, msg);
-    sim.run_to_completion(400_000_000).expect("completes");
-    sim.stats().latency_of(McastId(0)).expect("completed")
+    sim.run_to_completion(400_000_000)?;
+    sim.stats()
+        .latency_of(McastId(0))
+        .ok_or_else(|| crate::error::UnitError::Msg("fpfs tree multicast never completed".into()))
 }
 
 pub fn units(_opts: &CampaignOptions) -> Vec<Unit> {
@@ -72,7 +79,7 @@ pub fn units(_opts: &CampaignOptions) -> Vec<Unit> {
                 let mut xing = [0usize; 2];
                 let mut maxl = [0usize; 2];
                 for &seed in seeds {
-                    let net = ctx.cache.network(&RandomTopologyConfig::paper_default(seed));
+                    let net = ctx.cache.network(&RandomTopologyConfig::paper_default(seed))?;
                     let ranks = node_ranks(&net);
                     let mut dests: Vec<NodeId> = (1..=16).map(NodeId).collect();
                     sort_by_rank(&mut dests, &ranks);
@@ -84,7 +91,7 @@ pub fn units(_opts: &CampaignOptions) -> Vec<Unit> {
                         let s = tree_link_loads(&net, t);
                         xing[i] += s.crossings;
                         maxl[i] = maxl[i].max(s.max_load);
-                        lat[i] += run_fpfs_tree(&net, &cfg, t, msg);
+                        lat[i] += run_fpfs_tree(&net, &cfg, t, msg)?;
                     }
                 }
                 let n = seeds.len() as u64;
@@ -112,6 +119,6 @@ pub fn units(_opts: &CampaignOptions) -> Vec<Unit> {
             "\ncontiguous placement should show fewer crossings and lower latency,\n\
              with the gap widening for longer messages (steady-state contention).\n",
         );
-        vec![Emit::Table(table), Emit::Csv { name: "abl_ordering.csv".into(), content: csv }]
+        Ok(vec![Emit::Table(table), Emit::Csv { name: "abl_ordering.csv".into(), content: csv }])
     })]
 }

@@ -30,7 +30,7 @@ pub fn units(_opts: &CampaignOptions) -> Vec<Unit> {
         let n = if ctx.opts.quick { 1 } else { 3.min(ctx.opts.seeds.len()) };
         let nets = ctx
             .cache
-            .networks(&RandomTopologyConfig::paper_default(0), &ctx.opts.seeds[..n]);
+            .networks(&RandomTopologyConfig::paper_default(0), &ctx.opts.seeds[..n])?;
 
         let loads: &[f64] = if ctx.opts.quick {
             &[0.1, 0.3, 0.6]
@@ -60,7 +60,7 @@ pub fn units(_opts: &CampaignOptions) -> Vec<Unit> {
             let mut lat_n = 0usize;
             let mut saturated = false;
             for net in nets.iter() {
-                let r = run_load(net, &sim, Scheme::UBinomial, &lc).expect("unicast load run");
+                let r = run_load(net, &sim, Scheme::UBinomial, &lc)?;
                 // Delivered throughput = completed/launched × offered.
                 delivered += load * (r.completed as f64 / r.launched.max(1) as f64);
                 if let Some(l) = r.mean_latency {
@@ -78,7 +78,7 @@ pub fn units(_opts: &CampaignOptions) -> Vec<Unit> {
             let _ = writeln!(csv, "{load},{delivered:.4},{lat:.1},{saturated}");
         }
         table.push_str("\npaper: saturation below 0.8 offered load.\n");
-        vec![
+        Ok(vec![
             Emit::Config {
                 kind: "sim".into(),
                 canonical: sim.canonical_string(),
@@ -86,6 +86,6 @@ pub fn units(_opts: &CampaignOptions) -> Vec<Unit> {
             },
             Emit::Table(table),
             Emit::Csv { name: "ext_b_unicast_saturation.csv".into(), content: csv },
-        ]
+        ])
     })]
 }

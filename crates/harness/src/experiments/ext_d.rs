@@ -14,7 +14,7 @@ use std::fmt::Write as _;
 pub fn units(_opts: &CampaignOptions) -> Vec<Unit> {
     vec![Unit::new("ext_d:dsm-invalidation", |ctx: &RunCtx| {
         let sim = SimConfig::paper_default();
-        let net = ctx.cache.network(&RandomTopologyConfig::paper_default(0));
+        let net = ctx.cache.network(&RandomTopologyConfig::paper_default(0))?;
         let rates: &[f64] =
             if ctx.opts.quick { &[2e-4, 1e-3] } else { &[1e-4, 5e-4, 1e-3, 2e-3] };
         let mut table = String::new();
@@ -34,7 +34,7 @@ pub fn units(_opts: &CampaignOptions) -> Vec<Unit> {
                     cfg.measure = 400_000;
                     cfg.drain = 200_000;
                 }
-                let r = run_dsm(&net, &sim, scheme, &cfg).expect("dsm run");
+                let r = run_dsm(&net, &sim, scheme, &cfg)?;
                 match r.latency {
                     Some(s) => {
                         let _ = writeln!(
@@ -76,7 +76,7 @@ pub fn units(_opts: &CampaignOptions) -> Vec<Unit> {
             "invalidations are short and latency-critical: hardware tree multicast\n\
              keeps the p99 an order of magnitude below the software baseline.\n",
         );
-        vec![
+        Ok(vec![
             Emit::Config {
                 kind: "sim".into(),
                 canonical: sim.canonical_string(),
@@ -84,6 +84,6 @@ pub fn units(_opts: &CampaignOptions) -> Vec<Unit> {
             },
             Emit::Table(table),
             Emit::Csv { name: "ext_d_dsm.csv".into(), content: csv },
-        ]
+        ])
     })]
 }

@@ -42,7 +42,7 @@ pub fn units(_opts: &CampaignOptions) -> Vec<Unit> {
                 num_hosts: nodes,
                 extra_links: ExtraLinks::Fraction(0.75),
                 seed: 0,
-            });
+            })?;
             let _ = write!(table, "{nodes:>8}");
             let mut row = format!("{nodes}");
             for &scheme in &schemes {
@@ -55,20 +55,19 @@ pub fn units(_opts: &CampaignOptions) -> Vec<Unit> {
                     scheme,
                     4,
                     8,
-                )
-                .expect("barrier completes");
+                )?;
                 let _ = write!(table, " {:>12}", r.latency);
                 let _ = write!(row, ",{}", r.latency);
             }
             table.push('\n');
             let _ = writeln!(csv, "{row}");
         }
-        vec![Emit::Table(table), Emit::Csv { name: "ext_e_barrier.csv".into(), content: csv }]
+        Ok(vec![Emit::Table(table), Emit::Csv { name: "ext_e_barrier.csv".into(), content: csv }])
     });
 
     let allreduce = Unit::new("ext_e:allreduce-fanout", |ctx: &RunCtx| {
         let cfg = SimConfig::paper_default();
-        let net = ctx.cache.network(&RandomTopologyConfig::paper_default(0));
+        let net = ctx.cache.network(&RandomTopologyConfig::paper_default(0))?;
         let mut table = String::from(
             "-- 32-node allreduce (128 flits) vs combining fan-out, tree release --\n",
         );
@@ -85,8 +84,7 @@ pub fn units(_opts: &CampaignOptions) -> Vec<Unit> {
                 tree,
                 fanout,
                 128,
-            )
-            .expect("allreduce completes");
+            )?;
             let _ = writeln!(table, "{fanout:>8} {:>12}", r.latency);
             let _ = writeln!(csv, "{fanout},{}", r.latency);
         }
@@ -94,10 +92,10 @@ pub fn units(_opts: &CampaignOptions) -> Vec<Unit> {
             "\nthe reduce phase is software either way; the release broadcast is where\n\
              NI or switch multicast support shows up in collective latency.\n",
         );
-        vec![
+        Ok(vec![
             Emit::Table(table),
             Emit::Csv { name: "ext_e_allreduce_fanout.csv".into(), content: csv },
-        ]
+        ])
     });
 
     vec![barrier, allreduce]

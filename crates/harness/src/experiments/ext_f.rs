@@ -19,7 +19,7 @@ use std::fmt::Write as _;
 pub fn units(_opts: &CampaignOptions) -> Vec<Unit> {
     vec![Unit::new("ext_f:faults", |ctx: &RunCtx| {
         let sim = SimConfig::paper_default();
-        let net = ctx.cache.network(&RandomTopologyConfig::paper_default(0));
+        let net = ctx.cache.network(&RandomTopologyConfig::paper_default(0))?;
         // Same grid in quick and full mode: each run is one deterministic
         // degradation story, not a seed-batch average.
         let kills: &[usize] = &[0, 1, 2, 4, 8];
@@ -40,7 +40,7 @@ pub fn units(_opts: &CampaignOptions) -> Vec<Unit> {
         for &k in kills {
             let fc = FaultConfig::paper_default(k);
             for &scheme in &schemes {
-                let r = run_faulted(&net, &sim, scheme, &fc).expect("faulted run");
+                let r = run_faulted(&net, &sim, scheme, &fc)?;
                 let lat = r
                     .mean_latency
                     .map(|l| format!("{l:.0}"))
@@ -79,7 +79,7 @@ pub fn units(_opts: &CampaignOptions) -> Vec<Unit> {
              hardest on NI retransmission; per-destination unicast schemes degrade\n\
              most gracefully as faults accumulate.\n",
         );
-        vec![
+        Ok(vec![
             Emit::Config {
                 kind: "sim".into(),
                 canonical: sim.canonical_string(),
@@ -87,6 +87,6 @@ pub fn units(_opts: &CampaignOptions) -> Vec<Unit> {
             },
             Emit::Table(table),
             Emit::Csv { name: "ext_f_faults.csv".into(), content: csv },
-        ]
+        ])
     })]
 }

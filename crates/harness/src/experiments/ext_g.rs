@@ -25,7 +25,7 @@ pub fn units(opts: &CampaignOptions) -> Vec<Unit> {
         .map(|scheme| {
             Unit::new(format!("ext_g:{}", scheme.name()), move |ctx: &RunCtx| {
                 let cfg = SimConfig::paper_default();
-                let net = ctx.cache.network(&RandomTopologyConfig::paper_default(0));
+                let net = ctx.cache.network(&RandomTopologyConfig::paper_default(0))?;
                 let degrees: &[usize] =
                     if ctx.opts.quick { &[4, 8, 16] } else { &[4, 8, 16, 31] };
                 let trials = ctx.opts.trials.min(3);
@@ -36,8 +36,7 @@ pub fn units(opts: &CampaignOptions) -> Vec<Unit> {
                     // A fixed broadcast-prefix destination set keeps the
                     // worm count a pure function of the scheme.
                     let dests = NodeMask::from_nodes((1..=degree as u16).map(NodeId));
-                    let plan = try_plan_multicast(&net, &cfg, scheme, NodeId(0), dests, 128)
-                        .expect("registered scheme plans");
+                    let plan = try_plan_multicast(&net, &cfg, scheme, NodeId(0), dests, 128)?;
                     let lat = mean_single_latency(
                         &net,
                         &cfg,
@@ -46,8 +45,7 @@ pub fn units(opts: &CampaignOptions) -> Vec<Unit> {
                         128,
                         trials,
                         degree as u64,
-                    )
-                    .expect("single run completes");
+                    )?;
                     let _ = writeln!(
                         table,
                         "{degree:>8} {:>8} {lat:>12.0}",
@@ -55,7 +53,7 @@ pub fn units(opts: &CampaignOptions) -> Vec<Unit> {
                     );
                     let _ = writeln!(csv, "{degree},{},{lat:.0}", plan.meta.worms);
                 }
-                vec![
+                Ok(vec![
                     Emit::Config {
                         kind: "sim".into(),
                         canonical: cfg.canonical_string(),
@@ -66,7 +64,7 @@ pub fn units(opts: &CampaignOptions) -> Vec<Unit> {
                         name: format!("ext_g_{}.csv", scheme.name().replace('+', "_")),
                         content: csv,
                     },
-                ]
+                ])
             })
         })
         .collect()

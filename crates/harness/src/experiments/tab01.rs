@@ -45,7 +45,7 @@ pub fn units(_opts: &CampaignOptions) -> Vec<Unit> {
         let _ = writeln!(table, "{:>10} {:>14} {:>14}", "switches", "tree-based", "path-based");
         let mut csv = String::from("switches,tree_state_bits,path_state_bits\n");
         for switches in [8usize, 16, 32] {
-            let net = ctx.cache.network(&RandomTopologyConfig::with_switches(0, switches));
+            let net = ctx.cache.network(&RandomTopologyConfig::with_switches(0, switches))?;
             let bits = tree_scheme_switch_state_bits(&net);
             let _ = writeln!(table, "{switches:>10} {bits:>14} {:>14}", 0);
             let _ = writeln!(csv, "{switches},{bits},0");
@@ -62,7 +62,7 @@ pub fn units(_opts: &CampaignOptions) -> Vec<Unit> {
             "{:>10} {:>10} {:>8} {:>8} {:>14} {:>12}",
             "scheme", "dests", "worms", "phases", "hdr bytes", "NI buf pkts"
         );
-        let net = ctx.cache.network(&RandomTopologyConfig::paper_default(0));
+        let net = ctx.cache.network(&RandomTopologyConfig::paper_default(0))?;
         let mut csv = String::from("scheme,dests,worms,phases,header_bytes,ni_buffer_pkts\n");
         let schemes = crate::schemes::named(&[
             "ubinomial", "ni-fpfs", "tree", "path-g", "path-lg", "path-lg+ni",
@@ -107,6 +107,6 @@ pub fn units(_opts: &CampaignOptions) -> Vec<Unit> {
             canonical: cfg.canonical_string(),
             hash: cfg.stable_hash(),
         });
-        emits
+        Ok(emits)
     })]
 }

@@ -1,0 +1,638 @@
+//! The crash-safe run journal: `results/journal.jsonl`.
+//!
+//! A campaign appends one fsync'd JSONL line per completed unit — its
+//! index, label, wall time, the topology-cache keys it touched, and its
+//! full emit list — after a header line describing the campaign
+//! configuration (fingerprinted so a journal can't silently resume under
+//! different options). Because every line is synced before the next unit
+//! is acknowledged, a crash or SIGKILL loses at most the units that were
+//! mid-flight; `irrnet-run resume <dir>` replays the journaled units and
+//! executes only the remainder, producing byte-identical artifacts to an
+//! uninterrupted run.
+//!
+//! Line order is completion order (nondeterministic under threading);
+//! replay keys strictly on the unit index, and the determinism suite
+//! excludes this file from byte comparisons.
+//!
+//! This module also owns the crash-safe file primitives (`atomic_write`,
+//! `sync_dir`) the runner and manifest writer use for artifacts.
+
+use crate::json::{self, escape, Value};
+use crate::registry::Emit;
+use irrnet_core::rng::fnv1a;
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{self, Seek as _, SeekFrom, Write as _};
+use std::path::Path;
+use std::sync::Mutex;
+
+/// Journal file name inside the campaign output directory.
+pub const JOURNAL_FILE: &str = "journal.jsonl";
+
+/// The journal's first line: enough campaign configuration to rebuild
+/// the exact unit pool on resume.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignHeader {
+    /// Quick-mode flag.
+    pub quick: bool,
+    /// Topology seed batch.
+    pub seeds: Vec<u64>,
+    /// Trials per topology.
+    pub trials: usize,
+    /// Selected experiment names, registry order.
+    pub experiments: Vec<String>,
+    /// Scheme filter by name (`None` = no filter).
+    pub schemes: Option<Vec<String>>,
+    /// Per-unit wall-clock budget in milliseconds, if any.
+    pub unit_timeout_ms: Option<u64>,
+    /// Retries per failed unit.
+    pub unit_retries: u32,
+    /// Simulator invariant auditing enabled.
+    pub audit: bool,
+    /// Every unit label, pool order — resume refuses a journal whose
+    /// pool no longer matches the code's expansion.
+    pub labels: Vec<String>,
+}
+
+impl CampaignHeader {
+    fn canonical(&self) -> String {
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "quick={};seeds={:?};trials={};experiments={:?};schemes={:?};timeout={:?};retries={};audit={};labels={:?}",
+            self.quick,
+            self.seeds,
+            self.trials,
+            self.experiments,
+            self.schemes,
+            self.unit_timeout_ms,
+            self.unit_retries,
+            self.audit,
+            self.labels,
+        );
+        s
+    }
+
+    /// Stable hash of the campaign configuration.
+    pub fn fingerprint(&self) -> u64 {
+        fnv1a(self.canonical().as_bytes())
+    }
+}
+
+/// One journaled (already completed) unit, reconstructed on resume.
+#[derive(Debug)]
+pub struct ReplayedUnit {
+    /// Unit index in the pool.
+    pub index: usize,
+    /// Unit label at journaling time.
+    pub label: String,
+    /// Wall time of the original execution, for `busy_ms` accounting.
+    pub ms: u64,
+    /// Topology-cache keys the unit touched, lookup order.
+    pub cache: Vec<String>,
+    /// The unit's emits, verbatim.
+    pub emits: Vec<Emit>,
+}
+
+// ---- compact one-line serialization -------------------------------------
+
+fn push_str_field(out: &mut String, key: &str, value: &str) {
+    let _ = write!(out, "\"{key}\":\"{}\"", escape(value));
+}
+
+fn push_f64(out: &mut String, v: f64) {
+    // Shortest-roundtrip Display: parse::<f64>() recovers the bits.
+    let _ = write!(out, "{v}");
+}
+
+fn emit_json(e: &Emit) -> String {
+    let mut s = String::from("{");
+    match e {
+        Emit::Table(text) => {
+            s.push_str("\"t\":\"table\",");
+            push_str_field(&mut s, "text", text);
+        }
+        Emit::Csv { name, content } => {
+            s.push_str("\"t\":\"csv\",");
+            push_str_field(&mut s, "name", name);
+            s.push(',');
+            push_str_field(&mut s, "content", content);
+        }
+        Emit::Column { csv, title, x_label, y_label, xs, scheme, order, ys } => {
+            s.push_str("\"t\":\"col\",");
+            push_str_field(&mut s, "csv", csv);
+            s.push(',');
+            push_str_field(&mut s, "title", title);
+            s.push(',');
+            push_str_field(&mut s, "x", x_label);
+            s.push(',');
+            push_str_field(&mut s, "y", y_label);
+            s.push(',');
+            push_str_field(&mut s, "scheme", scheme.name());
+            let _ = write!(s, ",\"order\":{order},\"xs\":[");
+            for (i, x) in xs.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                push_f64(&mut s, *x);
+            }
+            s.push_str("],\"ys\":[");
+            for (i, y) in ys.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                match y {
+                    Some(v) => push_f64(&mut s, *v),
+                    None => s.push_str("null"),
+                }
+            }
+            s.push(']');
+        }
+        Emit::Config { kind, canonical, hash } => {
+            s.push_str("\"t\":\"config\",");
+            push_str_field(&mut s, "kind", kind);
+            s.push(',');
+            push_str_field(&mut s, "canonical", canonical);
+            let _ = write!(s, ",\"hash\":\"0x{hash:016x}\"");
+        }
+    }
+    s.push('}');
+    s
+}
+
+/// The header line (with trailing newline).
+pub fn header_line(h: &CampaignHeader) -> String {
+    let mut s = String::from("{\"kind\":\"campaign\",\"version\":1,");
+    let _ = write!(s, "\"fingerprint\":\"0x{:016x}\",", h.fingerprint());
+    let _ = write!(s, "\"quick\":{},\"seeds\":[", h.quick);
+    for (i, seed) in h.seeds.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "{seed}");
+    }
+    let _ = write!(s, "],\"trials\":{},\"experiments\":[", h.trials);
+    for (i, e) in h.experiments.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "\"{}\"", escape(e));
+    }
+    s.push(']');
+    if let Some(schemes) = &h.schemes {
+        s.push_str(",\"schemes\":[");
+        for (i, n) in schemes.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "\"{}\"", escape(n));
+        }
+        s.push(']');
+    }
+    if let Some(ms) = h.unit_timeout_ms {
+        let _ = write!(s, ",\"unit_timeout_ms\":{ms}");
+    }
+    let _ = write!(s, ",\"unit_retries\":{},\"audit\":{},\"labels\":[", h.unit_retries, h.audit);
+    for (i, l) in h.labels.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "\"{}\"", escape(l));
+    }
+    s.push_str("]}\n");
+    s
+}
+
+/// One completed-unit line (with trailing newline).
+pub fn unit_line(index: usize, label: &str, ms: u64, cache: &[String], emits: &[Emit]) -> String {
+    let mut s = String::from("{\"kind\":\"unit\",");
+    let _ = write!(s, "\"index\":{index},");
+    push_str_field(&mut s, "label", label);
+    let _ = write!(s, ",\"ms\":{ms},\"cache\":[");
+    for (i, k) in cache.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "\"{}\"", escape(k));
+    }
+    s.push_str("],\"emits\":[");
+    for (i, e) in emits.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&emit_json(e));
+    }
+    s.push_str("]}\n");
+    s
+}
+
+// ---- parsing -------------------------------------------------------------
+
+fn str_list(v: Option<&Value>) -> Option<Vec<String>> {
+    v?.as_arr()?.iter().map(|x| x.as_str().map(str::to_string)).collect()
+}
+
+fn parse_hex_hash(s: &str) -> Option<u64> {
+    u64::from_str_radix(s.strip_prefix("0x")?, 16).ok()
+}
+
+fn parse_header(v: &Value) -> Result<CampaignHeader, String> {
+    if v.get("kind").and_then(Value::as_str) != Some("campaign") {
+        return Err("first journal line is not a campaign header".into());
+    }
+    if v.get("version").and_then(Value::as_u64) != Some(1) {
+        return Err("unsupported journal version".into());
+    }
+    let seeds = v
+        .get("seeds")
+        .and_then(Value::as_arr)
+        .ok_or("header missing seeds")?
+        .iter()
+        .map(|s| s.as_u64().ok_or("bad seed"))
+        .collect::<Result<Vec<_>, _>>()?;
+    let header = CampaignHeader {
+        quick: v.get("quick").and_then(Value::as_bool).ok_or("header missing quick")?,
+        seeds,
+        trials: v.get("trials").and_then(Value::as_u64).ok_or("header missing trials")? as usize,
+        experiments: str_list(v.get("experiments")).ok_or("header missing experiments")?,
+        schemes: v.get("schemes").map(|s| str_list(Some(s)).ok_or("bad schemes")).transpose()?,
+        unit_timeout_ms: v.get("unit_timeout_ms").and_then(Value::as_u64),
+        unit_retries: v.get("unit_retries").and_then(Value::as_u64).unwrap_or(0) as u32,
+        audit: v.get("audit").and_then(Value::as_bool).unwrap_or(false),
+        labels: str_list(v.get("labels")).ok_or("header missing labels")?,
+    };
+    let stamped = v
+        .get("fingerprint")
+        .and_then(Value::as_str)
+        .and_then(parse_hex_hash)
+        .ok_or("header missing fingerprint")?;
+    if stamped != header.fingerprint() {
+        return Err("journal fingerprint does not match its own header fields".into());
+    }
+    Ok(header)
+}
+
+fn parse_emit(v: &Value) -> Result<Emit, String> {
+    let s = |key: &str| -> Result<String, String> {
+        v.get(key)
+            .and_then(Value::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| format!("emit missing '{key}'"))
+    };
+    match v.get("t").and_then(Value::as_str) {
+        Some("table") => Ok(Emit::Table(s("text")?)),
+        Some("csv") => Ok(Emit::Csv { name: s("name")?, content: s("content")? }),
+        Some("config") => Ok(Emit::Config {
+            kind: s("kind")?,
+            canonical: s("canonical")?,
+            hash: v
+                .get("hash")
+                .and_then(Value::as_str)
+                .and_then(parse_hex_hash)
+                .ok_or("config emit missing hash")?,
+        }),
+        Some("col") => {
+            let scheme_name = s("scheme")?;
+            let scheme = irrnet_core::SchemeRegistry::resolve(&scheme_name)
+                .ok_or_else(|| format!("journal names unregistered scheme '{scheme_name}'"))?;
+            let xs = v
+                .get("xs")
+                .and_then(Value::as_arr)
+                .ok_or("col emit missing xs")?
+                .iter()
+                .map(|x| x.as_f64().ok_or("bad x value"))
+                .collect::<Result<Vec<_>, _>>()?;
+            let ys = v
+                .get("ys")
+                .and_then(Value::as_arr)
+                .ok_or("col emit missing ys")?
+                .iter()
+                .map(|y| match y {
+                    Value::Null => Ok(None),
+                    Value::Num(n) => Ok(Some(*n)),
+                    _ => Err("bad y value"),
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(Emit::Column {
+                csv: s("csv")?,
+                title: s("title")?,
+                x_label: s("x")?,
+                y_label: s("y")?,
+                xs,
+                scheme,
+                order: v.get("order").and_then(Value::as_u64).ok_or("col emit missing order")?
+                    as usize,
+                ys,
+            })
+        }
+        _ => Err("emit with unknown 't'".into()),
+    }
+}
+
+fn parse_unit(v: &Value) -> Result<ReplayedUnit, String> {
+    Ok(ReplayedUnit {
+        index: v.get("index").and_then(Value::as_u64).ok_or("unit missing index")? as usize,
+        label: v
+            .get("label")
+            .and_then(Value::as_str)
+            .ok_or("unit missing label")?
+            .to_string(),
+        ms: v.get("ms").and_then(Value::as_u64).unwrap_or(0),
+        cache: str_list(v.get("cache")).ok_or("unit missing cache keys")?,
+        emits: v
+            .get("emits")
+            .and_then(Value::as_arr)
+            .ok_or("unit missing emits")?
+            .iter()
+            .map(parse_emit)
+            .collect::<Result<Vec<_>, _>>()?,
+    })
+}
+
+/// A parsed journal: the header, every intact completed-unit record, and
+/// the byte length of the valid prefix (a torn final line — the crash
+/// signature — is excluded; resume truncates to this length before
+/// appending).
+#[derive(Debug)]
+pub struct ParsedJournal {
+    /// The campaign header.
+    pub header: CampaignHeader,
+    /// Intact completed units, journal order.
+    pub units: Vec<ReplayedUnit>,
+    /// Bytes of the valid prefix.
+    pub valid_len: u64,
+}
+
+/// Parse journal text. The header must be intact (a campaign that never
+/// journaled a header has nothing to resume); unit records are read
+/// until the first torn or truncated line, which is dropped — only the
+/// final line can be torn, because every earlier line was fsync'd before
+/// its successor was written.
+pub fn parse_journal(text: &str) -> Result<ParsedJournal, String> {
+    let mut offset = 0u64;
+    let mut units = Vec::new();
+    let mut header: Option<CampaignHeader> = None;
+    for line in text.split_inclusive('\n') {
+        let intact = line.ends_with('\n');
+        let parsed = if intact { json::parse(line.trim_end()) } else { Err("torn line".into()) };
+        match (&header, parsed) {
+            (None, Ok(v)) => header = Some(parse_header(&v)?),
+            (None, Err(e)) => return Err(format!("journal header unreadable: {e}")),
+            (Some(_), Ok(v)) => match v.get("kind").and_then(Value::as_str) {
+                Some("unit") => units.push(parse_unit(&v)?),
+                _ => return Err("unexpected record kind in journal".into()),
+            },
+            // A torn or unparseable trailing line: the crash happened
+            // mid-write. Stop here; resume re-runs that unit.
+            (Some(_), Err(_)) => break,
+        }
+        offset += line.len() as u64;
+    }
+    let header = header.ok_or("journal is empty")?;
+    Ok(ParsedJournal { header, units, valid_len: offset })
+}
+
+// ---- the writer ----------------------------------------------------------
+
+/// Append-only journal writer; every record is fsync'd before the call
+/// returns, so acknowledged units survive any crash.
+pub struct JournalWriter {
+    file: Mutex<File>,
+}
+
+impl JournalWriter {
+    /// Start a fresh journal for a new campaign: truncate, write the
+    /// header, fsync file and directory.
+    pub fn create(dir: &Path, header: &CampaignHeader) -> io::Result<Self> {
+        std::fs::create_dir_all(dir)?;
+        let mut file = File::create(dir.join(JOURNAL_FILE))?;
+        file.write_all(header_line(header).as_bytes())?;
+        file.sync_data()?;
+        sync_dir(dir)?;
+        Ok(JournalWriter { file: Mutex::new(file) })
+    }
+
+    /// Reopen an existing journal for resume: truncate the torn tail (if
+    /// any) to `valid_len` and position at the end for appending.
+    pub fn reopen(dir: &Path, valid_len: u64) -> io::Result<Self> {
+        let file = std::fs::OpenOptions::new().write(true).open(dir.join(JOURNAL_FILE))?;
+        file.set_len(valid_len)?;
+        let mut file = file;
+        file.seek(SeekFrom::Start(valid_len))?;
+        file.sync_data()?;
+        Ok(JournalWriter { file: Mutex::new(file) })
+    }
+
+    /// Durably record one completed unit.
+    pub fn record(
+        &self,
+        index: usize,
+        label: &str,
+        ms: u64,
+        cache: &[String],
+        emits: &[Emit],
+    ) -> io::Result<()> {
+        let line = unit_line(index, label, ms, cache, emits);
+        let mut file = self.file.lock().unwrap_or_else(|e| e.into_inner());
+        file.write_all(line.as_bytes())?;
+        file.sync_data()
+    }
+}
+
+// ---- crash-safe file primitives ------------------------------------------
+
+/// Durably sync a directory so a just-created or just-renamed entry
+/// survives power loss (no-op off unix).
+pub fn sync_dir(dir: &Path) -> io::Result<()> {
+    #[cfg(unix)]
+    File::open(dir)?.sync_all()?;
+    #[cfg(not(unix))]
+    let _ = dir;
+    Ok(())
+}
+
+/// Atomically replace `path` with `content`: write a `.tmp` sibling,
+/// fsync it, rename over the target, fsync the directory. Readers never
+/// observe a half-written artifact, and a crash leaves either the old
+/// file or the new one — never a torn hybrid.
+pub fn atomic_write(path: &Path, content: &str) -> io::Result<()> {
+    let tmp = path.with_extension(match path.extension().and_then(|e| e.to_str()) {
+        Some(ext) => format!("{ext}.tmp"),
+        None => "tmp".to_string(),
+    });
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(content.as_bytes())?;
+        f.sync_data()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            sync_dir(dir)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use irrnet_core::Scheme;
+
+    fn sample_header() -> CampaignHeader {
+        CampaignHeader {
+            quick: true,
+            seeds: vec![0, 1, 2],
+            trials: 2,
+            experiments: vec!["fig06".into(), "tab01".into()],
+            schemes: None,
+            unit_timeout_ms: Some(30_000),
+            unit_retries: 1,
+            audit: false,
+            labels: vec!["a:tree".into(), "b:path".into()],
+        }
+    }
+
+    fn sample_emits() -> Vec<Emit> {
+        vec![
+            Emit::Table("hello\nworld".into()),
+            Emit::Csv { name: "x.csv".into(), content: "a,b\n1,2\n".into() },
+            Emit::Column {
+                csv: "p.csv".into(),
+                title: "R = 0.5".into(),
+                x_label: "destinations".into(),
+                y_label: "latency (cycles)".into(),
+                xs: vec![4.0, 8.0],
+                scheme: Scheme::TreeWorm.id(),
+                order: 1,
+                ys: vec![Some(1234.5678901), None],
+            },
+            Emit::Config { kind: "sim".into(), canonical: "sim{}".into(), hash: 0xdead_beef },
+        ]
+    }
+
+    fn assert_emits_eq(a: &Emit, b: &Emit) {
+        match (a, b) {
+            (Emit::Table(x), Emit::Table(y)) => assert_eq!(x, y),
+            (
+                Emit::Csv { name: n1, content: c1 },
+                Emit::Csv { name: n2, content: c2 },
+            ) => {
+                assert_eq!(n1, n2);
+                assert_eq!(c1, c2);
+            }
+            (
+                Emit::Column { csv, title, x_label, y_label, xs, scheme, order, ys },
+                Emit::Column {
+                    csv: csv2,
+                    title: t2,
+                    x_label: x2,
+                    y_label: y2,
+                    xs: xs2,
+                    scheme: s2,
+                    order: o2,
+                    ys: ys2,
+                },
+            ) => {
+                assert_eq!((csv, title, x_label, y_label), (csv2, t2, x2, y2));
+                assert_eq!(xs, xs2);
+                assert_eq!(scheme, s2);
+                assert_eq!(order, o2);
+                assert_eq!(ys, ys2, "floats must round-trip bit-exactly");
+            }
+            (
+                Emit::Config { kind, canonical, hash },
+                Emit::Config { kind: k2, canonical: c2, hash: h2 },
+            ) => {
+                assert_eq!((kind, canonical), (k2, c2));
+                assert_eq!(hash, h2);
+            }
+            _ => panic!("emit kinds differ after round-trip"),
+        }
+    }
+
+    #[test]
+    fn journal_round_trips_byte_exactly() {
+        let header = sample_header();
+        let emits = sample_emits();
+        let text = format!(
+            "{}{}",
+            header_line(&header),
+            unit_line(1, "b:path", 42, &["topo{seed=0}".to_string()], &emits)
+        );
+        let parsed = parse_journal(&text).unwrap();
+        assert_eq!(parsed.header, header);
+        assert_eq!(parsed.valid_len as usize, text.len());
+        assert_eq!(parsed.units.len(), 1);
+        let u = &parsed.units[0];
+        assert_eq!((u.index, u.label.as_str(), u.ms), (1, "b:path", 42));
+        assert_eq!(u.cache, vec!["topo{seed=0}".to_string()]);
+        assert_eq!(u.emits.len(), emits.len());
+        for (a, b) in u.emits.iter().zip(&emits) {
+            assert_emits_eq(a, b);
+        }
+    }
+
+    #[test]
+    fn torn_trailing_line_is_dropped_not_fatal() {
+        let header = sample_header();
+        let good = unit_line(0, "a:tree", 7, &[], &[Emit::Table("t".into())]);
+        let torn = &unit_line(1, "b:path", 9, &[], &[Emit::Table("u".into())])[..20];
+        let text = format!("{}{good}{torn}", header_line(&header));
+        let parsed = parse_journal(&text).unwrap();
+        assert_eq!(parsed.units.len(), 1, "only the intact unit survives");
+        assert_eq!(
+            parsed.valid_len as usize,
+            header_line(&header).len() + good.len(),
+            "valid prefix excludes the torn line"
+        );
+    }
+
+    #[test]
+    fn header_fingerprint_detects_tampering() {
+        let header = sample_header();
+        let tampered = header_line(&header).replace("\"trials\":2", "\"trials\":5");
+        assert!(parse_journal(&tampered).unwrap_err().contains("fingerprint"));
+    }
+
+    #[test]
+    fn atomic_write_replaces_and_leaves_no_tmp() {
+        let dir = std::env::temp_dir().join(format!("irrnet-aw-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let target = dir.join("f.csv");
+        atomic_write(&target, "one").unwrap();
+        atomic_write(&target, "two").unwrap();
+        assert_eq!(std::fs::read_to_string(&target).unwrap(), "two");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "tmp files must not survive");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn writer_creates_reopens_and_truncates() {
+        let dir = std::env::temp_dir().join(format!("irrnet-jw-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let header = sample_header();
+        let w = JournalWriter::create(&dir, &header).unwrap();
+        w.record(0, "a:tree", 5, &[], &[Emit::Table("t".into())]).unwrap();
+        drop(w);
+        // Simulate a torn tail.
+        let path = dir.join(JOURNAL_FILE);
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        let valid = text.len() as u64;
+        text.push_str("{\"kind\":\"unit\",\"index\":1,\"lab");
+        std::fs::write(&path, &text).unwrap();
+        let parsed = parse_journal(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(parsed.valid_len, valid);
+        let w = JournalWriter::reopen(&dir, parsed.valid_len).unwrap();
+        w.record(1, "b:path", 6, &[], &[Emit::Table("u".into())]).unwrap();
+        drop(w);
+        let parsed = parse_journal(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(parsed.units.len(), 2, "truncate-then-append yields a clean journal");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

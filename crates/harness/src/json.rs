@@ -1,4 +1,5 @@
-//! A deliberately tiny JSON writer for the run manifest.
+//! A deliberately tiny JSON writer (for the run manifest) and parser
+//! (for the run journal).
 //!
 //! The manifest is write-only structured output; pulling in a
 //! serialization framework for one file would reintroduce the external
@@ -6,6 +7,9 @@
 //! deterministic: callers control field order, and floats render via
 //! Rust's shortest-roundtrip `Display`, so two identical campaigns
 //! produce byte-identical manifests modulo the `*_ms` timing fields.
+//! The parser exists for `irrnet-run resume`, which reads the journal
+//! lines the harness itself wrote — same escaping rules, same float
+//! rendering, so serialize → parse round-trips exactly.
 
 use std::fmt::Write as _;
 
@@ -152,6 +156,231 @@ impl JsonWriter {
     }
 }
 
+/// A parsed JSON value. Numbers are kept as `f64` — journal floats are
+/// written in shortest-roundtrip form, so parsing recovers them exactly;
+/// values that must survive beyond 53 bits (config hashes) are written
+/// as hex strings instead.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string (unescaped).
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, in declaration order.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Object field lookup (first match).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as an integer (must be a whole number).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Parse one JSON document. Rejects trailing non-whitespace.
+pub fn parse(text: &str) -> Result<Value, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let v = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing garbage at byte {pos}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect_byte(b: &[u8], pos: &mut usize, want: u8) -> Result<(), String> {
+    if *pos < b.len() && b[*pos] == want {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {}", want as char, *pos))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Obj(fields));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                expect_byte(b, pos, b':')?;
+                let val = parse_value(b, pos)?;
+                fields.push((key, val));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Obj(fields));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+                }
+            }
+        }
+        Some(b'"') => Ok(Value::Str(parse_string(b, pos)?)),
+        Some(b't') if b[*pos..].starts_with(b"true") => {
+            *pos += 4;
+            Ok(Value::Bool(true))
+        }
+        Some(b'f') if b[*pos..].starts_with(b"false") => {
+            *pos += 5;
+            Ok(Value::Bool(false))
+        }
+        Some(b'n') if b[*pos..].starts_with(b"null") => {
+            *pos += 4;
+            Ok(Value::Null)
+        }
+        Some(_) => {
+            let start = *pos;
+            while *pos < b.len()
+                && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            {
+                *pos += 1;
+            }
+            let tok = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
+            tok.parse::<f64>()
+                .map(Value::Num)
+                .map_err(|_| format!("bad number '{tok}' at byte {start}"))
+        }
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect_byte(b, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or("truncated \\u escape")?;
+                        let hex = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
+                        let code =
+                            u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
+                        // The writer only emits \u for control characters,
+                        // so surrogate pairs never appear in our own output.
+                        out.push(char::from_u32(code).ok_or("bad \\u escape")?);
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {}", *pos)),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (journal text is valid UTF-8:
+                // it came from read_to_string).
+                let rest = std::str::from_utf8(&b[*pos..]).map_err(|e| e.to_string())?;
+                let c = rest.chars().next().ok_or("unterminated string")?;
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -188,5 +417,44 @@ mod tests {
         // Every field sits on its own line — the determinism test filters
         // timing fields line-by-line.
         assert!(doc.lines().any(|l| l.trim() == "\"version\": 1,"));
+    }
+
+    #[test]
+    fn parses_what_the_writer_writes() {
+        let mut w = JsonWriter::new();
+        w.obj(None);
+        w.u64_field(Some("version"), 1);
+        w.bool_field(Some("quick"), true);
+        w.f64_field(Some("x"), 0.1 + 0.2);
+        w.str_field(Some("s"), "a\"b\\c\nd\u{1}");
+        w.arr(Some("ys"));
+        w.f64_field(None, 1.5);
+        w.str_field(None, "two");
+        w.end_arr();
+        w.end_obj();
+        let v = parse(&w.finish()).unwrap();
+        assert_eq!(v.get("version").and_then(Value::as_u64), Some(1));
+        assert_eq!(v.get("quick").and_then(Value::as_bool), Some(true));
+        assert_eq!(v.get("x").and_then(Value::as_f64), Some(0.1 + 0.2), "floats round-trip");
+        assert_eq!(v.get("s").and_then(Value::as_str), Some("a\"b\\c\nd\u{1}"));
+        let ys = v.get("ys").and_then(Value::as_arr).unwrap();
+        assert_eq!(ys[0].as_f64(), Some(1.5));
+        assert_eq!(ys[1].as_str(), Some("two"));
+    }
+
+    #[test]
+    fn parses_null_negatives_and_exponents() {
+        let v = parse(r#"{"a": null, "b": -2.5e3, "c": []}"#).unwrap();
+        assert_eq!(v.get("a"), Some(&Value::Null));
+        assert_eq!(v.get("b").and_then(Value::as_f64), Some(-2500.0));
+        assert_eq!(v.get("c").and_then(Value::as_arr).map(<[Value]>::len), Some(0));
+    }
+
+    #[test]
+    fn rejects_torn_documents() {
+        assert!(parse("{\"a\": 1").is_err(), "unterminated object");
+        assert!(parse("{\"a\": \"tru").is_err(), "unterminated string");
+        assert!(parse("{} trailing").is_err(), "trailing garbage");
+        assert!(parse("").is_err(), "empty input");
     }
 }

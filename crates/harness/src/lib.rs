@@ -18,6 +18,10 @@
 //! * [`compare`] — the regression gate: diffs run CSVs against committed
 //!   goldens within tolerance and re-checks the paper's qualitative
 //!   conclusions.
+//! * [`journal`] — the crash-safe per-unit run journal behind
+//!   `irrnet-run resume`.
+//! * [`error`] — the typed per-unit error surfaced in the manifest's
+//!   `"failures"` array instead of killing the campaign.
 //! * [`shim`] — the legacy binaries' compatibility entry points.
 //!
 //! ```no_run
@@ -25,13 +29,16 @@
 //!
 //! let opts = CampaignOptions::quick();
 //! let specs = registry::resolve(&["fig06".into()]).unwrap();
-//! runner::run_campaign(&specs, &opts).unwrap();
+//! let report = runner::run_campaign(&specs, &opts).unwrap();
+//! assert!(report.failures.is_empty());
 //! ```
 
 pub mod bench;
 pub mod cache;
 pub mod compare;
+pub mod error;
 pub mod experiments;
+pub mod journal;
 pub mod json;
 pub mod manifest;
 pub mod opts;

@@ -42,6 +42,12 @@ pub fn write_manifest(
         }
         w.end_arr();
     }
+    if let Some(t) = opts.unit_timeout {
+        w.u64_field(Some("unit_timeout_ms"), t.as_millis() as u64);
+    }
+    w.u64_field(Some("unit_retries"), opts.unit_retries as u64);
+    w.bool_field(Some("audit"), opts.audit);
+    w.bool_field(Some("interrupted"), report.interrupted);
 
     w.arr(Some("experiments"));
     for e in &report.experiments {
@@ -64,6 +70,19 @@ pub fn write_manifest(
         }
         w.end_arr();
         w.u64_field(Some("busy_ms"), e.busy_ms as u64);
+        w.end_obj();
+    }
+    w.end_arr();
+
+    w.arr(Some("failures"));
+    for f in &report.failures {
+        w.obj(None);
+        w.str_field(Some("experiment"), f.experiment);
+        w.str_field(Some("label"), &f.label);
+        w.u64_field(Some("index"), f.index as u64);
+        w.str_field(Some("kind"), f.kind);
+        w.str_field(Some("error"), &f.error);
+        w.u64_field(Some("attempts"), f.attempts as u64);
         w.end_obj();
     }
     w.end_arr();
@@ -94,7 +113,9 @@ pub fn write_manifest(
     if let Some(dir) = path.parent() {
         std::fs::create_dir_all(dir)?;
     }
-    std::fs::write(path, w.finish())
+    // Atomic: a crash mid-write leaves the previous manifest (or none),
+    // never a torn one.
+    crate::journal::atomic_write(path, &w.finish())
 }
 
 /// Read the `"quick"` flag back out of a manifest (used by `compare` to

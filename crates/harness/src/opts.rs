@@ -7,6 +7,9 @@
 use irrnet_core::SchemeId;
 use irrnet_workloads::LoadConfig;
 use std::path::PathBuf;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::time::Duration;
 
 /// Options shared by every experiment of a campaign.
 #[derive(Debug, Clone)]
@@ -29,6 +32,22 @@ pub struct CampaignOptions {
     /// Experiments with a fixed structural layout (paired ablations like
     /// `abl_mdp`/`abl_ordering`) ignore the filter.
     pub schemes: Option<Vec<SchemeId>>,
+    /// Wall-clock budget per unit (`--unit-timeout`); a unit that
+    /// overruns it becomes a recorded failure, not a hung campaign.
+    /// `None` (the default) runs units inline with no budget — the
+    /// byte-identical-with-older-harnesses path.
+    pub unit_timeout: Option<Duration>,
+    /// Retries per failed unit (`--unit-retries`); each retry perturbs
+    /// the seed batch so a pathological topology draw isn't replayed
+    /// verbatim.
+    pub unit_retries: u32,
+    /// Enable the simulator's debug invariant auditor (`--audit`) for
+    /// every unit of the campaign.
+    pub audit: bool,
+    /// Cooperative stop flag: when set to `true` (by a SIGINT handler or
+    /// a test), the runner finishes in-flight units, journals them, skips
+    /// the rest, and marks the manifest `"interrupted"`.
+    pub stop: Option<Arc<AtomicBool>>,
 }
 
 impl CampaignOptions {
@@ -41,6 +60,10 @@ impl CampaignOptions {
             out_dir: "results".into(),
             threads: None,
             schemes: None,
+            unit_timeout: None,
+            unit_retries: 0,
+            audit: false,
+            stop: None,
         }
     }
 
@@ -53,6 +76,10 @@ impl CampaignOptions {
             out_dir: "results".into(),
             threads: None,
             schemes: None,
+            unit_timeout: None,
+            unit_retries: 0,
+            audit: false,
+            stop: None,
         }
     }
 

@@ -63,7 +63,7 @@ pub fn single_panel_units(panel: &PanelSpec) -> Vec<Unit> {
         .map(|(order, &scheme)| {
             let p = panel.clone();
             Unit::new(format!("{}:{}", p.csv.trim_end_matches(".csv"), scheme.name()), move |ctx: &RunCtx| {
-                let nets = ctx.cache.networks(&p.topo, &ctx.opts.seeds);
+                let nets = ctx.cache.networks(&p.topo, &ctx.opts.seeds)?;
                 let refs: Vec<&Network> = nets.iter().map(Arc::as_ref).collect();
                 // A destination count must leave room for the source
                 // (small-system panels of the extension sweeps).
@@ -80,7 +80,7 @@ pub fn single_panel_units(panel: &PanelSpec) -> Vec<Unit> {
                     })
                     .collect();
                 let rows = single_sweep_serial(&refs, &points, ctx.opts.trials, SWEEP_SEED);
-                vec![
+                Ok(vec![
                     sim_fingerprint(&p.sim),
                     topo_fingerprint(&p.topo),
                     Emit::Column {
@@ -93,7 +93,7 @@ pub fn single_panel_units(panel: &PanelSpec) -> Vec<Unit> {
                         order,
                         ys: rows.into_iter().map(|r| Some(r.mean_latency)).collect(),
                     },
-                ]
+                ])
             })
         })
         .collect()
@@ -111,37 +111,35 @@ pub fn load_panel_units(panel: &PanelSpec, degree: usize) -> Vec<Unit> {
             let p = panel.clone();
             Unit::new(format!("{}:{}", p.csv.trim_end_matches(".csv"), scheme.name()), move |ctx: &RunCtx| {
                 let n = ctx.opts.load_seed_count();
-                let nets = ctx.cache.networks(&p.topo, &ctx.opts.seeds[..n]);
+                let nets = ctx.cache.networks(&p.topo, &ctx.opts.seeds[..n])?;
                 let loads = ctx.opts.loads();
-                let ys: Vec<Option<f64>> = loads
-                    .iter()
-                    .map(|&load| {
-                        let mut lc = ctx.opts.load_config(degree, load);
-                        lc.message_flits = p.message_flits;
-                        // Average over the topology batch; any saturated
-                        // topology marks the point saturated (the paper's
-                        // curves shoot up there).
-                        let mut sum = 0.0;
-                        let mut count = 0usize;
-                        let mut saturated = false;
-                        for (i, net) in nets.iter().enumerate() {
-                            let mut lc = lc.clone();
-                            lc.seed = rng::hash2(lc.seed, i as u64);
-                            let r = run_load(net, &p.sim, scheme, &lc).expect("load run");
-                            saturated |= r.saturated;
-                            if let Some(l) = r.mean_latency {
-                                sum += l;
-                                count += 1;
-                            }
+                let mut ys: Vec<Option<f64>> = Vec::with_capacity(loads.len());
+                for &load in &loads {
+                    let mut lc = ctx.opts.load_config(degree, load);
+                    lc.message_flits = p.message_flits;
+                    // Average over the topology batch; any saturated
+                    // topology marks the point saturated (the paper's
+                    // curves shoot up there).
+                    let mut sum = 0.0;
+                    let mut count = 0usize;
+                    let mut saturated = false;
+                    for (i, net) in nets.iter().enumerate() {
+                        let mut lc = lc.clone();
+                        lc.seed = rng::hash2(lc.seed, i as u64);
+                        let r = run_load(net, &p.sim, scheme, &lc)?;
+                        saturated |= r.saturated;
+                        if let Some(l) = r.mean_latency {
+                            sum += l;
+                            count += 1;
                         }
-                        if saturated || count == 0 {
-                            None
-                        } else {
-                            Some(sum / count as f64)
-                        }
-                    })
-                    .collect();
-                vec![
+                    }
+                    ys.push(if saturated || count == 0 {
+                        None
+                    } else {
+                        Some(sum / count as f64)
+                    });
+                }
+                Ok(vec![
                     sim_fingerprint(&p.sim),
                     topo_fingerprint(&p.topo),
                     Emit::Column {
@@ -154,7 +152,7 @@ pub fn load_panel_units(panel: &PanelSpec, degree: usize) -> Vec<Unit> {
                         order,
                         ys,
                     },
-                ]
+                ])
             })
         })
         .collect()

@@ -10,19 +10,26 @@
 //! order, and renders the emits deterministically in unit order — so
 //! campaign output is byte-identical for any `--threads` value.
 
-use crate::cache::TopoCache;
+use crate::cache::CacheHandle;
+use crate::error::UnitError;
 use crate::opts::CampaignOptions;
 use irrnet_core::SchemeId;
+use std::sync::Arc;
 
-/// Shared state a unit executes against.
-pub struct RunCtx<'a> {
+/// Shared state a unit executes against. Owned (everything behind
+/// `Arc`s) so a unit can be moved onto its own thread when a wall-clock
+/// budget is in force, and so each attempt gets a fresh cache handle
+/// whose touch log feeds the run journal.
+#[derive(Clone)]
+pub struct RunCtx {
     /// Campaign-wide options (grids, seeds, trials).
-    pub opts: &'a CampaignOptions,
-    /// The campaign's shared analyzed-network cache.
-    pub cache: &'a TopoCache,
+    pub opts: Arc<CampaignOptions>,
+    /// This attempt's logging view of the shared analyzed-network cache.
+    pub cache: CacheHandle,
 }
 
 /// One output fragment produced by a unit.
+#[derive(Debug, Clone)]
 pub enum Emit {
     /// Preformatted text printed to stdout (in unit order).
     Table(String),
@@ -67,8 +74,9 @@ pub enum Emit {
     },
 }
 
-/// The boxed work closure of a [`Unit`].
-pub type UnitFn = Box<dyn Fn(&RunCtx) -> Vec<Emit> + Send + Sync>;
+/// The boxed work closure of a [`Unit`]. Fallible: an `Err` is recorded
+/// as a campaign failure (manifest `"failures"`), never a crash.
+pub type UnitFn = Box<dyn Fn(&RunCtx) -> Result<Vec<Emit>, UnitError> + Send + Sync>;
 
 /// One schedulable work item.
 pub struct Unit {
@@ -82,7 +90,7 @@ impl Unit {
     /// Convenience constructor.
     pub fn new(
         label: impl Into<String>,
-        exec: impl Fn(&RunCtx) -> Vec<Emit> + Send + Sync + 'static,
+        exec: impl Fn(&RunCtx) -> Result<Vec<Emit>, UnitError> + Send + Sync + 'static,
     ) -> Self {
         Unit { label: label.into(), exec: Box::new(exec) }
     }

@@ -6,13 +6,36 @@
 //! count affects wall-clock time and nothing else: CSVs, tables, and the
 //! manifest (modulo `*_ms` timing fields) are byte-identical for any
 //! `--threads` value.
+//!
+//! This module also owns the campaign-resilience machinery:
+//!
+//! * every unit runs behind `catch_unwind` (and, under `--unit-timeout`,
+//!   on a deadline thread), so a panicking or runaway unit becomes a
+//!   typed [`UnitFailure`] in the manifest's `"failures"` array — a gap
+//!   in its CSV column, never a dead campaign;
+//! * failed units are retried up to `--unit-retries` times with a
+//!   perturbed seed batch;
+//! * every completed unit is durably journaled, and [`resume_campaign`]
+//!   replays a journal to finish an interrupted campaign with
+//!   byte-identical artifacts;
+//! * SIGINT (or a test's [`CampaignOptions::stop`] flag) stops the
+//!   campaign cooperatively: in-flight units finish and are journaled,
+//!   the rest are skipped, and the manifest says `"interrupted": true`.
 
-use crate::cache::{CacheStats, TopoCache};
+use crate::cache::{CacheHandle, CacheStats, TopoCache};
+use crate::error::UnitError;
+use crate::journal::{
+    atomic_write, parse_journal, CampaignHeader, JournalWriter, ReplayedUnit, JOURNAL_FILE,
+};
 use crate::manifest;
 use crate::opts::CampaignOptions;
-use crate::registry::{Emit, ExperimentSpec, RunCtx, Unit};
-use irrnet_workloads::{par_run_with, Series};
+use crate::registry::{self, Emit, ExperimentSpec, RunCtx, Unit};
+use irrnet_workloads::{catch_panics, par_run_with, run_with_deadline, Series};
+use std::collections::HashMap;
 use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// What one experiment contributed to the campaign.
@@ -21,7 +44,7 @@ pub struct ExperimentReport {
     pub name: &'static str,
     /// Human title.
     pub title: &'static str,
-    /// Number of scheduled units.
+    /// Number of completed units.
     pub units: usize,
     /// CSV artifacts written, in write order.
     pub artifacts: Vec<String>,
@@ -31,16 +54,50 @@ pub struct ExperimentReport {
     pub busy_ms: u128,
 }
 
+/// One unit's recorded failure: the campaign completed around it, its
+/// panel column simply has a gap, and this record lands in the
+/// manifest's `"failures"` array.
+#[derive(Debug, Clone)]
+pub struct UnitFailure {
+    /// Owning experiment's selector name.
+    pub experiment: &'static str,
+    /// The unit's progress label.
+    pub label: String,
+    /// The unit's index in the campaign pool.
+    pub index: usize,
+    /// Error category (`"panic"`, `"timeout"`, `"sim"`, ...).
+    pub kind: &'static str,
+    /// Rendered error message of the final attempt.
+    pub error: String,
+    /// Total attempts made (1 + retries).
+    pub attempts: u32,
+}
+
 /// Summary of a whole campaign run.
 pub struct CampaignReport {
     /// Per-experiment reports, in registry order.
     pub experiments: Vec<ExperimentReport>,
+    /// Units that failed every attempt, in pool order.
+    pub failures: Vec<UnitFailure>,
+    /// The campaign was stopped early (SIGINT / stop flag); artifacts
+    /// were not rendered and the journal holds the completed units.
+    pub interrupted: bool,
     /// Topology-cache counters.
     pub cache: CacheStats,
     /// Resolved worker-thread count.
     pub threads: usize,
     /// End-to-end wall-clock time.
     pub total_wall_ms: u128,
+}
+
+/// What happened to one pool unit.
+enum UnitOutcome {
+    /// The unit produced emits (live or replayed from the journal).
+    Done { emits: Vec<Emit>, ms: u128 },
+    /// Every attempt failed.
+    Failed { error: UnitError, attempts: u32 },
+    /// Never ran: the campaign was interrupted first.
+    Skipped,
 }
 
 /// Accumulates one figure panel's scheme columns until rendering.
@@ -52,42 +109,281 @@ struct PanelAcc {
     cols: Vec<(usize, irrnet_core::SchemeId, Vec<Option<f64>>)>,
 }
 
+// ---- interruption --------------------------------------------------------
+
+/// Process-wide SIGINT latch (set by [`install_sigint_handler`]).
+static INTERRUPTED: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn sigint_latch(_signum: i32) {
+    // Only an atomic store: async-signal-safe.
+    INTERRUPTED.store(true, Ordering::Relaxed);
+}
+
+/// Install a SIGINT handler that flips the cooperative-stop latch
+/// instead of killing the process: the runner finishes in-flight units,
+/// journals them, and writes an `"interrupted"` manifest so
+/// `irrnet-run resume` can pick up where the campaign stopped. Only the
+/// `irrnet-run` binary installs this; library users (and tests) pass a
+/// [`CampaignOptions::stop`] flag instead.
+pub fn install_sigint_handler() {
+    #[cfg(unix)]
+    {
+        extern "C" {
+            fn signal(
+                signum: i32,
+                handler: Option<unsafe extern "C" fn(i32)>,
+            ) -> Option<unsafe extern "C" fn(i32)>;
+        }
+        const SIGINT: i32 = 2;
+        unsafe {
+            signal(SIGINT, Some(sigint_latch as unsafe extern "C" fn(i32)));
+        }
+    }
+}
+
+fn stop_requested(opts: &CampaignOptions) -> bool {
+    INTERRUPTED.load(Ordering::Relaxed)
+        || opts.stop.as_ref().is_some_and(|s| s.load(Ordering::Relaxed))
+}
+
+// ---- pool construction ---------------------------------------------------
+
 fn resolved_threads(opts: &CampaignOptions) -> usize {
     opts.threads
         .filter(|&t| t > 0)
         .unwrap_or_else(|| std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1))
 }
 
+/// Expand specs into the flat unit pool, remembering each unit's owning
+/// experiment. Units are `Arc`ed so a deadline thread can own its unit.
+fn expand(specs: &[ExperimentSpec], opts: &CampaignOptions) -> (Vec<Arc<Unit>>, Vec<usize>) {
+    let mut owners: Vec<usize> = Vec::new();
+    let mut pool: Vec<Arc<Unit>> = Vec::new();
+    for (si, spec) in specs.iter().enumerate() {
+        for unit in (spec.units)(opts) {
+            owners.push(si);
+            pool.push(Arc::new(unit));
+        }
+    }
+    (pool, owners)
+}
+
+fn header_for(
+    specs: &[ExperimentSpec],
+    opts: &CampaignOptions,
+    pool: &[Arc<Unit>],
+) -> CampaignHeader {
+    CampaignHeader {
+        quick: opts.quick,
+        seeds: opts.seeds.clone(),
+        trials: opts.trials,
+        experiments: specs.iter().map(|s| s.name.to_string()).collect(),
+        schemes: opts
+            .schemes
+            .as_ref()
+            .map(|v| v.iter().map(|s| s.name().to_string()).collect()),
+        unit_timeout_ms: opts.unit_timeout.map(|d| d.as_millis() as u64),
+        unit_retries: opts.unit_retries,
+        audit: opts.audit,
+        labels: pool.iter().map(|u| u.label.clone()).collect(),
+    }
+}
+
+/// Seed batch for retry `attempt` (1-based): each seed is perturbed
+/// through `hash2` so a pathological topology draw isn't replayed
+/// verbatim, while staying deterministic per (seed, attempt).
+fn reseeded(opts: &CampaignOptions, attempt: u32) -> CampaignOptions {
+    let mut o = opts.clone();
+    o.seeds = o.seeds.iter().map(|&s| irrnet_core::rng::hash2(s, attempt as u64)).collect();
+    o
+}
+
 fn write_artifact(opts: &CampaignOptions, name: &str, content: &str) -> io::Result<()> {
     std::fs::create_dir_all(&opts.out_dir)?;
     let path = opts.out_dir.join(name);
-    std::fs::write(&path, content)?;
+    atomic_write(&path, content)?;
     println!("  wrote {}", path.display());
     Ok(())
 }
 
+// ---- execution -----------------------------------------------------------
+
+/// Run one unit to its final outcome: attempt, catch panics/timeouts,
+/// retry with perturbed seeds, journal on success.
+#[allow(clippy::too_many_arguments)]
+fn run_unit(
+    index: usize,
+    unit: &Arc<Unit>,
+    opts: &Arc<CampaignOptions>,
+    cache: &Arc<TopoCache>,
+    journal: &JournalWriter,
+    journal_err: &Mutex<Option<io::Error>>,
+    done: &AtomicUsize,
+    total: usize,
+) -> UnitOutcome {
+    if stop_requested(opts) {
+        return UnitOutcome::Skipped;
+    }
+    let mut attempts = 0u32;
+    loop {
+        attempts += 1;
+        // Attempt 1 runs the campaign options verbatim (the
+        // byte-identical path); retries perturb the seed batch.
+        let attempt_opts = if attempts == 1 {
+            Arc::clone(opts)
+        } else {
+            Arc::new(reseeded(opts, attempts - 1))
+        };
+        let handle = CacheHandle::new(Arc::clone(cache));
+        let ctx = RunCtx { opts: attempt_opts, cache: handle.clone() };
+        let t0 = Instant::now();
+        let caught = match opts.unit_timeout {
+            // No budget: run inline behind catch_unwind only.
+            None => catch_panics(|| (unit.exec)(&ctx)),
+            // Budget: run on a deadline thread that owns its unit; a
+            // runaway unit is abandoned, not joined.
+            Some(budget) => {
+                let u = Arc::clone(unit);
+                run_with_deadline(budget, move || (u.exec)(&ctx))
+            }
+        };
+        let ms = t0.elapsed().as_millis();
+        let result: Result<Vec<Emit>, UnitError> = match caught {
+            Ok(inner) => inner,
+            Err(iso) => Err(iso.into()),
+        };
+        match result {
+            Ok(emits) => {
+                if let Err(e) =
+                    journal.record(index, &unit.label, ms as u64, &handle.touched(), &emits)
+                {
+                    let mut slot = journal_err.lock().unwrap_or_else(|p| p.into_inner());
+                    slot.get_or_insert(e);
+                }
+                let n = 1 + done.fetch_add(1, Ordering::Relaxed);
+                eprintln!("[{n:>4}/{total}] {} ({ms} ms)", unit.label);
+                return UnitOutcome::Done { emits, ms };
+            }
+            Err(error) => {
+                if attempts <= opts.unit_retries && !stop_requested(opts) {
+                    eprintln!(
+                        "[ RETRY ] {} failed ({}): {error}; retrying with perturbed seeds",
+                        unit.label,
+                        error.kind()
+                    );
+                    continue;
+                }
+                let n = 1 + done.fetch_add(1, Ordering::Relaxed);
+                eprintln!("[{n:>4}/{total}] {} FAILED ({}): {error}", unit.label, error.kind());
+                return UnitOutcome::Failed { error, attempts };
+            }
+        }
+    }
+}
+
 /// Run `specs` under `opts`: execute every unit on the shared pool, print
 /// tables, write CSVs, and write `manifest.json` into the output
-/// directory.
+/// directory. Starts a fresh journal (truncating any previous one in the
+/// output directory).
 pub fn run_campaign(
     specs: &[ExperimentSpec],
     opts: &CampaignOptions,
 ) -> io::Result<CampaignReport> {
+    let (pool, owners) = expand(specs, opts);
+    let header = header_for(specs, opts, &pool);
+    let journal = JournalWriter::create(&opts.out_dir, &header)?;
+    run_pool(specs, opts, pool, owners, HashMap::new(), journal)
+}
+
+/// Resume an interrupted campaign from its journal in `dir`: replay the
+/// journaled units, execute only the remainder, and render artifacts
+/// byte-identical to an uninterrupted run. `threads` overrides the
+/// worker count (wall-clock only); `stop` is the cooperative-stop flag
+/// for the resumed run itself.
+pub fn resume_campaign(
+    dir: &Path,
+    threads: Option<usize>,
+    stop: Option<Arc<AtomicBool>>,
+) -> io::Result<CampaignReport> {
+    let invalid = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
+    let text = std::fs::read_to_string(dir.join(JOURNAL_FILE))?;
+    // Plugins must exist before journal parsing resolves scheme names.
+    crate::schemes::ensure_demo_schemes();
+    let parsed = parse_journal(&text).map_err(invalid)?;
+    let h = &parsed.header;
+
+    let mut opts =
+        if h.quick { CampaignOptions::quick() } else { CampaignOptions::paper_default() };
+    opts.seeds = h.seeds.clone();
+    opts.trials = h.trials;
+    opts.out_dir = dir.to_path_buf();
+    opts.threads = threads;
+    opts.schemes = h
+        .schemes
+        .as_ref()
+        .map(|names| {
+            names
+                .iter()
+                .map(|n| {
+                    irrnet_core::SchemeRegistry::resolve(n)
+                        .ok_or_else(|| invalid(format!("journal names unknown scheme '{n}'")))
+                })
+                .collect::<io::Result<Vec<_>>>()
+        })
+        .transpose()?;
+    opts.unit_timeout = h.unit_timeout_ms.map(std::time::Duration::from_millis);
+    opts.unit_retries = h.unit_retries;
+    opts.audit = h.audit;
+    opts.stop = stop;
+
+    let specs = registry::resolve(&h.experiments).map_err(invalid)?;
+    let (pool, owners) = expand(&specs, &opts);
+    let labels: Vec<String> = pool.iter().map(|u| u.label.clone()).collect();
+    if labels != h.labels {
+        return Err(invalid(format!(
+            "journal unit pool does not match this build: journal has {} unit(s), \
+             this build expands to {} — was the journal written by a different version?",
+            h.labels.len(),
+            labels.len()
+        )));
+    }
+
+    let mut replayed: HashMap<usize, ReplayedUnit> = HashMap::new();
+    for u in parsed.units {
+        if u.index >= pool.len() || pool[u.index].label != u.label {
+            return Err(invalid(format!(
+                "journaled unit #{} '{}' does not match the pool",
+                u.index, u.label
+            )));
+        }
+        replayed.insert(u.index, u);
+    }
+    println!(
+        "resuming {}: {} of {} unit(s) already journaled",
+        dir.display(),
+        replayed.len(),
+        pool.len()
+    );
+    let journal = JournalWriter::reopen(dir, parsed.valid_len)?;
+    run_pool(&specs, &opts, pool, owners, replayed, journal)
+}
+
+fn run_pool(
+    specs: &[ExperimentSpec],
+    opts: &CampaignOptions,
+    pool: Vec<Arc<Unit>>,
+    owners: Vec<usize>,
+    mut replayed: HashMap<usize, ReplayedUnit>,
+    journal: JournalWriter,
+) -> io::Result<CampaignReport> {
     let campaign_start = Instant::now();
     let threads = resolved_threads(opts);
-    let cache = TopoCache::new();
-    let ctx = RunCtx { opts, cache: &cache };
-
-    // Expand specs into the flat unit pool, remembering each unit's
-    // owning experiment.
-    let mut owners: Vec<usize> = Vec::new();
-    let mut pool: Vec<Unit> = Vec::new();
-    for (si, spec) in specs.iter().enumerate() {
-        for unit in (spec.units)(opts) {
-            owners.push(si);
-            pool.push(unit);
-        }
+    if opts.audit {
+        irrnet_sim::set_audit_default(true);
     }
+    let cache = Arc::new(TopoCache::new());
+    let opts_arc = Arc::new(opts.clone());
+
     println!(
         "running {} experiment(s), {} unit(s) on {} thread(s){}",
         specs.len(),
@@ -101,21 +397,45 @@ pub fn run_campaign(
         opts.trials
     );
 
-    // Execute. Results come back in unit order regardless of scheduling.
-    // Liveness goes to stderr (stdout stays deterministic for diffing).
-    let done = std::sync::atomic::AtomicUsize::new(0);
+    // Replayed units contribute their journaled emits, wall time, and
+    // cache touches without re-running anything — the cache counters in
+    // the manifest come out identical to an uninterrupted run.
+    let mut outcomes: Vec<Option<UnitOutcome>> = (0..pool.len()).map(|_| None).collect();
+    for (i, slot) in outcomes.iter_mut().enumerate() {
+        if let Some(r) = replayed.remove(&i) {
+            for key in &r.cache {
+                cache.replay(key);
+            }
+            *slot = Some(UnitOutcome::Done { emits: r.emits, ms: r.ms as u128 });
+        }
+    }
+
+    // Execute the remainder. Results come back in unit order regardless
+    // of scheduling. Liveness goes to stderr (stdout stays deterministic
+    // for diffing).
+    let todo: Vec<usize> =
+        (0..pool.len()).filter(|&i| outcomes[i].is_none()).collect();
+    let done = AtomicUsize::new(pool.len() - todo.len());
     let total = pool.len();
-    let outputs: Vec<(Vec<Emit>, u128)> = par_run_with(&pool, Some(threads), |unit| {
-        let t0 = Instant::now();
-        let emits = (unit.exec)(&ctx);
-        let ms = t0.elapsed().as_millis();
-        let n = 1 + done.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        eprintln!("[{n:>4}/{total}] {} ({ms} ms)", unit.label);
-        (emits, ms)
+    let journal_err: Mutex<Option<io::Error>> = Mutex::new(None);
+    let fresh: Vec<UnitOutcome> = par_run_with(&todo, Some(threads), |&i| {
+        run_unit(i, &pool[i], &opts_arc, &cache, &journal, &journal_err, &done, total)
     });
+    for (&i, outcome) in todo.iter().zip(fresh) {
+        outcomes[i] = Some(outcome);
+    }
+    let outcomes: Vec<UnitOutcome> =
+        outcomes.into_iter().map(|o| o.expect("every unit has an outcome")).collect();
+    if let Some(e) = journal_err.into_inner().unwrap_or_else(|p| p.into_inner()) {
+        return Err(e);
+    }
+    let interrupted =
+        stop_requested(opts) || outcomes.iter().any(|o| matches!(o, UnitOutcome::Skipped));
 
     // Render per experiment, in registry order, units in declaration
-    // order — fully deterministic.
+    // order — fully deterministic. An interrupted campaign skips
+    // rendering entirely (partial panels would be misleading); the
+    // journal already holds everything a resume needs.
     let mut reports: Vec<ExperimentReport> = specs
         .iter()
         .map(|s| ExperimentReport {
@@ -127,28 +447,49 @@ pub fn run_campaign(
             busy_ms: 0,
         })
         .collect();
+    let mut failures: Vec<UnitFailure> = Vec::new();
 
-    for (si, _spec) in specs.iter().enumerate() {
-        println!("\n=== {} ===", specs[si].title);
+    for si in 0..specs.len() {
+        if !interrupted {
+            println!("\n=== {} ===", specs[si].title);
+        }
         // First-seen panel order, keyed by CSV name.
         let mut panel_order: Vec<String> = Vec::new();
-        let mut panels: std::collections::HashMap<String, PanelAcc> =
-            std::collections::HashMap::new();
+        let mut panels: HashMap<String, PanelAcc> = HashMap::new();
         let report = &mut reports[si];
-        for (ui, (emits, ms)) in outputs.iter().enumerate() {
+        for (ui, outcome) in outcomes.iter().enumerate() {
             if owners[ui] != si {
                 continue;
             }
+            let (emits, ms) = match outcome {
+                UnitOutcome::Done { emits, ms } => (emits, *ms),
+                UnitOutcome::Failed { error, attempts } => {
+                    failures.push(UnitFailure {
+                        experiment: specs[si].name,
+                        label: pool[ui].label.clone(),
+                        index: ui,
+                        kind: error.kind(),
+                        error: error.to_string(),
+                        attempts: *attempts,
+                    });
+                    continue;
+                }
+                UnitOutcome::Skipped => continue,
+            };
             report.units += 1;
             report.busy_ms += ms;
             for emit in emits {
                 match emit {
                     Emit::Table(text) => {
-                        println!("{text}");
+                        if !interrupted {
+                            println!("{text}");
+                        }
                     }
                     Emit::Csv { name, content } => {
-                        write_artifact(opts, name, content)?;
-                        report.artifacts.push(name.clone());
+                        if !interrupted {
+                            write_artifact(opts, name, content)?;
+                            report.artifacts.push(name.clone());
+                        }
                     }
                     Emit::Column { csv, title, x_label, y_label, xs, scheme, order, ys } => {
                         let acc = panels.entry(csv.clone()).or_insert_with(|| {
@@ -173,22 +514,26 @@ pub fn run_campaign(
                 }
             }
         }
-        for csv in &panel_order {
-            let mut acc = panels.remove(csv).expect("panel accumulated");
-            acc.cols.sort_by_key(|(order, _, _)| *order);
-            let mut series = Series::new(&acc.x_label, &acc.y_label, acc.xs.clone());
-            for (_, scheme, ys) in acc.cols {
-                series.push(scheme, ys);
+        if !interrupted {
+            for csv in &panel_order {
+                let mut acc = panels.remove(csv).expect("panel accumulated");
+                acc.cols.sort_by_key(|(order, _, _)| *order);
+                let mut series = Series::new(&acc.x_label, &acc.y_label, acc.xs.clone());
+                for (_, scheme, ys) in acc.cols {
+                    series.push(scheme, ys);
+                }
+                print!("{}", series.to_table(&acc.title));
+                write_artifact(opts, csv, &series.to_csv())?;
+                report.artifacts.push(csv.clone());
             }
-            print!("{}", series.to_table(&acc.title));
-            write_artifact(opts, csv, &series.to_csv())?;
-            report.artifacts.push(csv.clone());
         }
         report.configs.sort();
     }
 
     let report = CampaignReport {
         experiments: reports,
+        failures,
+        interrupted,
         cache: cache.stats(),
         threads,
         total_wall_ms: campaign_start.elapsed().as_millis(),
@@ -199,5 +544,18 @@ pub fn run_campaign(
         report.cache.unique, report.cache.generated, report.cache.hits
     );
     println!("wrote {}", opts.out_dir.join("manifest.json").display());
+    if !report.failures.is_empty() {
+        eprintln!("\n{} unit(s) failed after all retries:", report.failures.len());
+        for f in &report.failures {
+            eprintln!("  {} [{}] after {} attempt(s): {}", f.label, f.kind, f.attempts, f.error);
+        }
+    }
+    if report.interrupted {
+        eprintln!(
+            "\ncampaign interrupted — completed units are journaled; \
+             finish with `irrnet-run resume {}`",
+            opts.out_dir.display()
+        );
+    }
     Ok(report)
 }

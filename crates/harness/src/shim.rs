@@ -27,7 +27,10 @@ pub fn run_legacy(binary: &str, experiments: &[&str]) -> ExitCode {
         }
     };
     match run_campaign(&specs, &opts) {
-        Ok(_) => ExitCode::SUCCESS,
+        // A completed campaign with failed or skipped units is not a
+        // success — legacy callers gate CI on this exit code.
+        Ok(r) if r.failures.is_empty() && !r.interrupted => ExitCode::SUCCESS,
+        Ok(_) => ExitCode::FAILURE,
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE

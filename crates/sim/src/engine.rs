@@ -179,6 +179,18 @@ pub struct Simulator<'n, P: Protocol> {
     /// Error raised mid-cycle (e.g. a partitioning fault) and surfaced
     /// at the next `run_until` iteration boundary.
     pending_fatal: Option<SimError>,
+    /// Invariant auditor (see [`crate::audit`]); `None` keeps every
+    /// audit check off the per-cycle path.
+    audit: Option<Box<crate::audit::Auditor>>,
+    /// Cumulative buffer flits recycled by branch progress (the freed
+    /// counterpart of `flits_dropped`, needed to close the auditor's
+    /// flit-conservation equation; an unconditional add, so healthy runs
+    /// pay nothing branchy for it).
+    audit_freed: u64,
+    /// Flits counted in `flits_dropped` that had already been counted
+    /// ejected (a fault re-drops a partially reassembled NI worm); the
+    /// conservation equation must not double-count them.
+    audit_redropped: u64,
 }
 
 impl<'n, P: Protocol> Simulator<'n, P> {
@@ -262,6 +274,9 @@ impl<'n, P: Protocol> Simulator<'n, P> {
             purge_active: 0,
             recoveries_used: 0,
             pending_fatal: None,
+            audit: crate::audit::default_enabled().then(Box::default),
+            audit_freed: 0,
+            audit_redropped: 0,
         })
     }
 
@@ -310,6 +325,33 @@ impl<'n, P: Protocol> Simulator<'n, P> {
     pub fn jam_input(&mut self, sw: SwitchId, port: PortIdx) {
         let g = self.gidx(sw.0, port.0);
         self.in_reserved[g] = self.cfg.input_buffer_flits;
+        // The reservation counter now deliberately disagrees with ground
+        // truth; auditing a rigged simulator would only report the rig.
+        self.audit = None;
+    }
+
+    /// Turn on per-sweep invariant auditing for this simulator (see
+    /// [`crate::audit`]). A failed check ends the run with
+    /// [`SimError::InvariantViolation`]. Call before running.
+    pub fn enable_audit(&mut self) {
+        if self.audit.is_none() {
+            self.audit = Some(Box::default());
+        }
+    }
+
+    /// Whether this simulator audits its invariants each sweep.
+    pub fn audit_enabled(&self) -> bool {
+        self.audit.is_some()
+    }
+
+    /// Overwrite one switch input's reservation counter with an
+    /// arbitrary value — a test-only lever to seed a buffer-occupancy
+    /// violation for the auditor (mirrors [`Self::jam_input`], which
+    /// stays within the legal bound).
+    #[doc(hidden)]
+    pub fn rig_reserved(&mut self, sw: SwitchId, port: PortIdx, flits: u32) {
+        let g = self.gidx(sw.0, port.0);
+        self.in_reserved[g] = flits;
     }
 
     /// Start recording a [`TraceLog`] of multicast lifecycle events.
@@ -423,6 +465,9 @@ impl<'n, P: Protocol> Simulator<'n, P> {
                 continue;
             }
             let moved = self.network_cycle();
+            if self.audit.is_some() {
+                self.audit_sweep()?;
+            }
             if moved {
                 self.last_progress = self.now;
             } else if self.now - self.last_progress > self.cfg.watchdog_cycles {
@@ -1204,6 +1249,7 @@ impl<'n, P: Protocol> Simulator<'n, P> {
             if freed > 0 {
                 let g = self.gidx(si as u16, p);
                 self.in_reserved[g] -= freed;
+                self.audit_freed += freed as u64;
             }
             self.reserve(sink);
             self.push_flit(
@@ -1263,6 +1309,188 @@ impl<'n, P: Protocol> Simulator<'n, P> {
             }
         }
         d
+    }
+
+    // ------------------------------------------------------------------
+    // auditing
+    // ------------------------------------------------------------------
+
+    /// Run one audit pass (caller has checked `audit.is_some()`). The
+    /// auditor is taken out for the duration so the checks can borrow
+    /// `self` immutably while the progress map updates.
+    fn audit_sweep(&mut self) -> Result<(), SimError> {
+        let Some(mut aud) = self.audit.take() else { return Ok(()) };
+        let r = self.audit_check(&mut aud);
+        self.audit = Some(aud);
+        r.map_err(|violation| SimError::InvariantViolation { at: self.now, violation })
+    }
+
+    /// Recompute every denormalized counter from ground truth and check
+    /// the invariants documented in [`crate::audit`].
+    fn audit_check(
+        &self,
+        aud: &mut crate::audit::Auditor,
+    ) -> Result<(), crate::audit::InvariantViolation> {
+        use crate::audit::{InvariantKind, InvariantViolation};
+        let fail = |kind: InvariantKind, detail: String| Err(InvariantViolation { kind, detail });
+
+        // Wire conservation: the ring holds exactly `wire_flits` flits.
+        let ring_flits: u64 = self.ring.iter().map(|s| s.len() as u64).sum();
+        if ring_flits != self.wire_flits {
+            return fail(
+                InvariantKind::WireConservation,
+                format!("ring holds {ring_flits} flits, wire_flits says {}", self.wire_flits),
+            );
+        }
+
+        // In-flight flits per switch input channel (one ring scan).
+        let mut inflight = vec![0u32; self.in_reserved.len()];
+        for slot in &self.ring {
+            for (sink, _) in slot {
+                if let SinkRef::SwIn { sw, port } = sink {
+                    inflight[self.gidx(*sw, *port)] += 1;
+                }
+            }
+        }
+
+        // Per-switch buffer and frame accounting.
+        let mut frames_total = 0u64;
+        let mut buffered_total = 0u64;
+        for (si, sw) in self.switches.iter().enumerate() {
+            let mut count = 0u32;
+            for (pi, inp) in sw.inputs.iter().enumerate() {
+                let g = self.gidx(si as u16, pi as u8);
+                let mut buffered = 0u32;
+                for f in inp.frames.iter() {
+                    if f.received > f.total_in || f.freed > f.received {
+                        return fail(
+                            InvariantKind::FrameAccounting,
+                            format!(
+                                "S{si} p{pi}: frame freed {} / received {} / total {}",
+                                f.freed, f.received, f.total_in
+                            ),
+                        );
+                    }
+                    for b in &f.branches {
+                        if b.sent > b.out_total() {
+                            return fail(
+                                InvariantKind::FrameAccounting,
+                                format!(
+                                    "S{si} p{pi}: branch sent {} of {}",
+                                    b.sent,
+                                    b.out_total()
+                                ),
+                            );
+                        }
+                    }
+                    buffered += f.received - f.freed;
+                }
+                count += inp.frames.len() as u32;
+                buffered_total += buffered as u64;
+                if self.in_reserved[g] > self.cfg.input_buffer_flits {
+                    return fail(
+                        InvariantKind::OccupancyBound {
+                            switch: si as u16,
+                            port: pi as u8,
+                        },
+                        format!(
+                            "reserved {} > capacity {}",
+                            self.in_reserved[g], self.cfg.input_buffer_flits
+                        ),
+                    );
+                }
+                if self.in_reserved[g] != buffered + inflight[g] {
+                    return fail(
+                        InvariantKind::OccupancyConservation {
+                            switch: si as u16,
+                            port: pi as u8,
+                        },
+                        format!(
+                            "reserved {} != buffered {} + in-flight {}",
+                            self.in_reserved[g], buffered, inflight[g]
+                        ),
+                    );
+                }
+            }
+            if count != self.sw_frames[si] {
+                return fail(
+                    InvariantKind::FrameAccounting,
+                    format!("S{si}: {count} resident frames, sw_frames says {}", self.sw_frames[si]),
+                );
+            }
+            frames_total += count as u64;
+        }
+        if frames_total != self.frames_alive {
+            return fail(
+                InvariantKind::FrameAccounting,
+                format!("{frames_total} resident frames, frames_alive says {}", self.frames_alive),
+            );
+        }
+
+        // Injection accounting.
+        let queued: u64 = self.hosts.iter().map(|h| h.tx_queue.len() as u64).sum();
+        if queued != self.tx_pending {
+            return fail(
+                InvariantKind::TxAccounting,
+                format!("{queued} worms queued, tx_pending says {}", self.tx_pending),
+            );
+        }
+
+        // Flit conservation: everything ever put on a wire (injections
+        // plus switch transfers) must be ejected, dropped (minus the
+        // fault-path re-drops of already-ejected flits), recycled from a
+        // buffer, still on a wire, or still buffered.
+        let n = &self.stats.net;
+        let inflow = n.injected_flits + n.link_flits;
+        let outflow = n.ejected_flits + (n.flits_dropped - self.audit_redropped)
+            + self.audit_freed
+            + self.wire_flits
+            + buffered_total;
+        if inflow != outflow {
+            return fail(
+                InvariantKind::FlitConservation,
+                format!(
+                    "injected {} + forwarded {} != ejected {} + dropped {} - redropped {} \
+                     + recycled {} + wire {} + buffered {buffered_total}",
+                    n.injected_flits,
+                    n.link_flits,
+                    n.ejected_flits,
+                    n.flits_dropped,
+                    self.audit_redropped,
+                    self.audit_freed,
+                    self.wire_flits
+                ),
+            );
+        }
+
+        // Monotonic per-worm progress across sweeps.
+        let mut next = std::collections::HashMap::with_capacity(aud.progress.len());
+        for (si, sw) in self.switches.iter().enumerate() {
+            for (pi, inp) in sw.inputs.iter().enumerate() {
+                for f in inp.frames.iter() {
+                    let sent: u64 = f.branches.iter().map(|b| b.sent as u64).sum();
+                    let key = (si as u16, pi as u8, Arc::as_ptr(&f.worm) as usize, f.born);
+                    if let Some(&(pr, pf, ps)) = aud.progress.get(&key) {
+                        if f.received < pr || f.freed < pf || sent < ps {
+                            return fail(
+                                InvariantKind::WormRegression {
+                                    switch: si as u16,
+                                    port: pi as u8,
+                                },
+                                format!(
+                                    "received {} (was {pr}), freed {} (was {pf}), \
+                                     sent {sent} (was {ps})",
+                                    f.received, f.freed
+                                ),
+                            );
+                        }
+                    }
+                    next.insert(key, (f.received, f.freed, sent));
+                }
+            }
+        }
+        aud.progress = next;
+        Ok(())
     }
 
     // ------------------------------------------------------------------
@@ -1327,6 +1555,7 @@ impl<'n, P: Protocol> Simulator<'n, P> {
                 }
                 if let Some((_, got, _)) = self.hosts[ni].rx_current.take() {
                     self.stats.net.flits_dropped += got as u64;
+                    self.audit_redropped += got as u64;
                     self.stats.net.worms_killed += 1;
                 }
             }
@@ -1473,6 +1702,7 @@ impl<'n, P: Protocol> Simulator<'n, P> {
                 if matches {
                     let (_, got, _) = self.hosts[ni].rx_current.take().expect("checked");
                     self.stats.net.flits_dropped += got as u64;
+                    self.audit_redropped += got as u64;
                     self.stats.net.worms_killed += 1;
                 }
             }

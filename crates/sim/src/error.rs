@@ -135,6 +135,16 @@ pub enum SimError {
     /// The scheme-side [`Protocol`](crate::protocol::Protocol) failed in
     /// a callback; the run is aborted at the end of the failing cycle.
     Protocol(crate::protocol::ProtocolError),
+    /// The debug auditor (see [`crate::audit`]) found an engine
+    /// invariant broken — flit conservation, buffer occupancy, or worm
+    /// progress monotonicity. The run is aborted rather than allowed to
+    /// produce silently corrupted results.
+    InvariantViolation {
+        /// Cycle at which the audit sweep failed.
+        at: Cycle,
+        /// The failed invariant with diagnostics.
+        violation: crate::audit::InvariantViolation,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -151,6 +161,9 @@ impl fmt::Display for SimError {
                 write!(f, "fault at cycle {at} partitioned the network: {cause}")
             }
             SimError::Protocol(e) => write!(f, "protocol failure: {e}"),
+            SimError::InvariantViolation { at, violation } => {
+                write!(f, "invariant violated at cycle {at}: {violation}")
+            }
         }
     }
 }

@@ -36,6 +36,7 @@
 //! assert!(done > 0);
 //! ```
 
+pub mod audit;
 pub mod config;
 pub mod engine;
 pub mod error;
@@ -46,6 +47,7 @@ pub mod switch;
 pub mod trace;
 pub mod worm;
 
+pub use audit::{set_audit_default, InvariantKind, InvariantViolation};
 pub use config::{Cycle, RetxPolicy, SimConfig};
 pub use engine::Simulator;
 pub use error::{BranchSnapshot, DeadlockDiagnostics, SimError, StuckFrame, TxBacklog};

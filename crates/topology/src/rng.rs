@@ -221,7 +221,7 @@ mod tests {
             let f = rng.gen_range(0.25f64..0.75);
             assert!((0.25..0.75).contains(&f));
             let u = rng.gen_range(f64::EPSILON..1.0);
-            assert!(u >= f64::EPSILON && u < 1.0);
+            assert!((f64::EPSILON..1.0).contains(&u));
         }
     }
 

@@ -1,0 +1,124 @@
+//! Failure isolation for independent work units.
+//!
+//! The campaign runner executes hundreds of independent simulation units
+//! per run; one panicking or runaway unit must not take the whole
+//! campaign down with it. These primitives convert the two failure modes
+//! into values:
+//!
+//! * [`catch_panics`] — run a closure under `catch_unwind`, turning a
+//!   panic into [`IsolationError::Panicked`] with the payload message;
+//! * [`run_with_deadline`] — run a closure on its own thread with a
+//!   wall-clock budget, turning an overrun into
+//!   [`IsolationError::TimedOut`]. The runaway thread is detached (it
+//!   holds only `Arc`s into shared state, so letting it finish in the
+//!   background is safe); its eventual result is discarded.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::time::Duration;
+
+/// Why an isolated unit of work failed to produce a result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IsolationError {
+    /// The closure panicked; carries the rendered panic payload.
+    Panicked(String),
+    /// The closure exceeded its wall-clock budget.
+    TimedOut(Duration),
+}
+
+impl std::fmt::Display for IsolationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IsolationError::Panicked(msg) => write!(f, "panicked: {msg}"),
+            IsolationError::TimedOut(d) => {
+                write!(f, "exceeded its {:.1}s wall-clock budget", d.as_secs_f64())
+            }
+        }
+    }
+}
+
+impl std::error::Error for IsolationError {}
+
+/// Render a `catch_unwind` payload the way the default panic hook does.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Run `f`, converting a panic into [`IsolationError::Panicked`].
+///
+/// Uses `AssertUnwindSafe`: callers hand in closures over `Arc`-shared
+/// immutable state (networks, options), so a unwound unit cannot leave
+/// torn state behind for its siblings.
+pub fn catch_panics<R>(f: impl FnOnce() -> R) -> Result<R, IsolationError> {
+    catch_unwind(AssertUnwindSafe(f)).map_err(|p| IsolationError::Panicked(panic_message(p)))
+}
+
+/// Run `f` on a fresh thread with a wall-clock `budget`, catching panics
+/// as well. On overrun the worker thread is detached — it keeps running
+/// to completion in the background (holding only its own `Arc`s), but
+/// its result is dropped.
+pub fn run_with_deadline<R: Send + 'static>(
+    budget: Duration,
+    f: impl FnOnce() -> R + Send + 'static,
+) -> Result<R, IsolationError> {
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        // A send can only fail if the caller timed out and dropped the
+        // receiver; the result is discarded either way.
+        let _ = tx.send(catch_panics(f));
+    });
+    match rx.recv_timeout(budget) {
+        Ok(r) => r,
+        Err(mpsc::RecvTimeoutError::Timeout) => Err(IsolationError::TimedOut(budget)),
+        Err(mpsc::RecvTimeoutError::Disconnected) => {
+            // The worker died without sending — only possible if the
+            // catch_unwind machinery itself aborted.
+            Err(IsolationError::Panicked("worker thread vanished".into()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catches_value_returns() {
+        assert_eq!(catch_panics(|| 42), Ok(42));
+    }
+
+    #[test]
+    fn catches_str_and_string_panics() {
+        let e = catch_panics(|| -> u32 { panic!("boom") }).unwrap_err();
+        assert_eq!(e, IsolationError::Panicked("boom".into()));
+        let e = catch_panics(|| -> u32 { panic!("fmt {}", 7) }).unwrap_err();
+        assert_eq!(e, IsolationError::Panicked("fmt 7".into()));
+    }
+
+    #[test]
+    fn deadline_passes_fast_work_through() {
+        let r = run_with_deadline(Duration::from_secs(10), || 7u64);
+        assert_eq!(r, Ok(7));
+    }
+
+    #[test]
+    fn deadline_times_out_slow_work() {
+        let r = run_with_deadline(Duration::from_millis(20), || {
+            std::thread::sleep(Duration::from_secs(5));
+            0u64
+        });
+        assert_eq!(r, Err(IsolationError::TimedOut(Duration::from_millis(20))));
+    }
+
+    #[test]
+    fn deadline_catches_panics() {
+        let r = run_with_deadline(Duration::from_secs(10), || -> u32 { panic!("late boom") });
+        assert_eq!(r, Err(IsolationError::Panicked("late boom".into())));
+    }
+}

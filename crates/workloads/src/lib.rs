@@ -21,6 +21,7 @@
 
 pub mod dsm;
 pub mod faults;
+pub mod isolate;
 pub mod load;
 pub mod report;
 pub mod single;
@@ -29,6 +30,7 @@ pub mod sweep;
 
 pub use dsm::{generate_trace, run_dsm, DsmConfig, DsmResult, DsmTrace};
 pub use faults::{run_faulted, FaultConfig, FaultResult};
+pub use isolate::{catch_panics, run_with_deadline, IsolationError};
 pub use load::{run_load, LoadConfig, LoadResult};
 pub use report::Series;
 pub use single::{mean_single_latency, random_dests, random_mcast, run_single, SingleResult};
