@@ -279,6 +279,7 @@ pub fn run_workloads(iters: usize) -> Vec<WorkloadMeasurement> {
         measure: 180_000,
         drain: 100_000,
         seed: 0xBE9C_0001,
+        stream_stats: false,
     };
     let sat = PreparedLoad::prepare(paper_net.clone(), Scheme::UBinomial, &sat_lc);
     out.push(measure(
@@ -304,6 +305,7 @@ pub fn run_workloads(iters: usize) -> Vec<WorkloadMeasurement> {
         measure: 120_000,
         drain: 120_000,
         seed: 0xBE9C_0002,
+        stream_stats: false,
     };
     let large = PreparedLoad::prepare(large_net, Scheme::TreeWorm, &large_lc);
     out.push(measure(

@@ -4,8 +4,13 @@
 //! ```text
 //! irrnet-run --all [--quick] [--threads N] [--seeds N] [--trials N] [--out DIR]
 //!            [--schemes a,b,c] [--unit-timeout SECS] [--unit-retries N] [--audit]
+//!            [--stream-stats]
 //! irrnet-run fig06 ext_b ...          # run selected experiments
 //! irrnet-run resume DIR [--threads N] # finish an interrupted campaign
+//! irrnet-run work DIR --shard i/N (--all | <experiment>...) [flags]
+//!                                     # run one shard of a distributed campaign
+//! irrnet-run merge DIR [--threads N]  # merge completed shards, render artifacts
+//! irrnet-run status DIR               # live progress from the journal(s)
 //! irrnet-run --list                   # show the registry
 //! irrnet-run schemes                  # show the scheme registry
 //! irrnet-run compare [--out DIR] [--golden DIR] [--tol F]
@@ -14,7 +19,7 @@
 //!
 //! Exit codes: 0 = campaign completed cleanly, 1 = completed with failed
 //! units (see the manifest's `"failures"`), 130 = interrupted (resume
-//! with `irrnet-run resume DIR`).
+//! with `irrnet-run resume DIR`, or re-run the same `work` command).
 
 use irrnet_harness::bench::{run_bench, BenchOptions};
 use irrnet_harness::compare::run_compare;
@@ -24,14 +29,19 @@ use irrnet_harness::runner::{
     install_sigint_handler, resume_campaign, run_campaign, CampaignReport,
 };
 use irrnet_harness::schemes::ensure_demo_schemes;
+use irrnet_harness::shard::{merge_campaign, run_shard, ShardSpec};
+use irrnet_harness::status::{campaign_status, render_status};
 use std::process::ExitCode;
 
 fn usage() -> ! {
     eprintln!(
         "usage: irrnet-run (--all | <experiment>...) [--quick] [--threads N] \
          [--seeds N] [--trials N] [--out DIR] [--schemes a,b,c]\n\
-         \x20                 [--unit-timeout SECS] [--unit-retries N] [--audit]\n\
+         \x20                 [--unit-timeout SECS] [--unit-retries N] [--audit] [--stream-stats]\n\
          \x20      irrnet-run resume DIR [--threads N]\n\
+         \x20      irrnet-run work DIR --shard i/N (--all | <experiment>...) [flags as above]\n\
+         \x20      irrnet-run merge DIR [--threads N]\n\
+         \x20      irrnet-run status DIR\n\
          \x20      irrnet-run --list\n\
          \x20      irrnet-run schemes\n\
          \x20      irrnet-run compare [--out DIR] [--golden DIR] [--tol F]\n\
@@ -69,139 +79,300 @@ fn parse_value<T: std::str::FromStr>(args: &mut impl Iterator<Item = String>, fl
     }
 }
 
-fn main() -> ExitCode {
-    let argv: Vec<String> = std::env::args().skip(1).collect();
-    if argv.first().map(String::as_str) == Some("compare") {
-        return main_compare(argv[1..].to_vec());
-    }
-    if argv.first().map(String::as_str) == Some("bench") {
-        return main_bench(argv[1..].to_vec());
-    }
-    if argv.first().map(String::as_str) == Some("schemes") {
-        return main_schemes(argv[1..].to_vec());
-    }
-    if argv.first().map(String::as_str) == Some("resume") {
-        return main_resume(argv[1..].to_vec());
+/// Campaign-shaping flags shared by the default run mode and `work`.
+#[derive(Default)]
+struct CampaignCli {
+    all: bool,
+    list: bool,
+    quick: bool,
+    threads: Option<usize>,
+    seeds: Option<u64>,
+    trials: Option<usize>,
+    out: Option<String>,
+    scheme_list: Option<String>,
+    unit_timeout: Option<f64>,
+    unit_retries: u32,
+    audit: bool,
+    stream_stats: bool,
+    shard: Option<ShardSpec>,
+    names: Vec<String>,
+}
+
+impl CampaignCli {
+    /// Parse run/work argument lists. `--shard` is only legal when
+    /// `allow_shard` (the `work` subcommand).
+    fn parse(argv: Vec<String>, allow_shard: bool) -> Self {
+        let mut cli = CampaignCli::default();
+        let mut args = argv.into_iter();
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--all" => cli.all = true,
+                "--list" => cli.list = true,
+                "--quick" => cli.quick = true,
+                "--threads" => cli.threads = Some(parse_value(&mut args, "--threads")),
+                "--seeds" => cli.seeds = Some(parse_value(&mut args, "--seeds")),
+                "--trials" => cli.trials = Some(parse_value(&mut args, "--trials")),
+                "--out" => cli.out = Some(parse_value(&mut args, "--out")),
+                "--schemes" => cli.scheme_list = Some(parse_value(&mut args, "--schemes")),
+                "--unit-timeout" => {
+                    cli.unit_timeout = Some(parse_value(&mut args, "--unit-timeout"));
+                }
+                "--unit-retries" => cli.unit_retries = parse_value(&mut args, "--unit-retries"),
+                "--audit" => cli.audit = true,
+                "--stream-stats" => cli.stream_stats = true,
+                "--shard" if allow_shard => {
+                    let spec: String = parse_value(&mut args, "--shard");
+                    match spec.parse() {
+                        Ok(s) => cli.shard = Some(s),
+                        Err(e) => {
+                            eprintln!("error: {e}");
+                            usage();
+                        }
+                    }
+                }
+                "--help" | "-h" => usage(),
+                s if s.starts_with('-') => {
+                    eprintln!("error: unknown flag '{s}'");
+                    usage();
+                }
+                s => cli.names.push(s.to_string()),
+            }
+        }
+        cli
     }
 
-    let mut all = false;
-    let mut list = false;
-    let mut quick = false;
-    let mut threads: Option<usize> = None;
-    let mut seeds: Option<u64> = None;
-    let mut trials: Option<usize> = None;
-    let mut out: Option<String> = None;
-    let mut scheme_list: Option<String> = None;
-    let mut unit_timeout: Option<f64> = None;
-    let mut unit_retries: u32 = 0;
-    let mut audit = false;
-    let mut names: Vec<String> = Vec::new();
-    let mut args = argv.into_iter();
-    while let Some(a) = args.next() {
-        match a.as_str() {
-            "--all" => all = true,
-            "--list" => list = true,
-            "--quick" => quick = true,
-            "--threads" => threads = Some(parse_value(&mut args, "--threads")),
-            "--seeds" => seeds = Some(parse_value(&mut args, "--seeds")),
-            "--trials" => trials = Some(parse_value(&mut args, "--trials")),
-            "--out" => out = Some(parse_value(&mut args, "--out")),
-            "--schemes" => scheme_list = Some(parse_value(&mut args, "--schemes")),
-            "--unit-timeout" => unit_timeout = Some(parse_value(&mut args, "--unit-timeout")),
-            "--unit-retries" => unit_retries = parse_value(&mut args, "--unit-retries"),
-            "--audit" => audit = true,
-            "--help" | "-h" => usage(),
-            s if s.starts_with('-') => {
-                eprintln!("error: unknown flag '{s}'");
-                usage();
+    /// Validate and build the `CampaignOptions`; `argv` is the full
+    /// original invocation, recorded in the journal header.
+    fn build_opts(&self, argv: Vec<String>) -> Result<CampaignOptions, ExitCode> {
+        let mut opts =
+            if self.quick { CampaignOptions::quick() } else { CampaignOptions::paper_default() };
+        if let Some(n) = self.seeds {
+            if n == 0 {
+                eprintln!("error: --seeds must be at least 1");
+                return Err(ExitCode::FAILURE);
             }
-            s => names.push(s.to_string()),
+            opts.seeds = (0..n).collect();
+        }
+        if let Some(t) = self.trials {
+            if t == 0 {
+                eprintln!("error: --trials must be at least 1");
+                return Err(ExitCode::FAILURE);
+            }
+            opts.trials = t;
+        }
+        if let Some(dir) = &self.out {
+            opts.out_dir = dir.into();
+        }
+        opts.threads = self.threads;
+        if let Some(secs) = self.unit_timeout {
+            if !secs.is_finite() || secs <= 0.0 {
+                eprintln!("error: --unit-timeout needs a positive number of seconds");
+                return Err(ExitCode::FAILURE);
+            }
+            opts.unit_timeout = Some(std::time::Duration::from_secs_f64(secs));
+        }
+        opts.unit_retries = self.unit_retries;
+        opts.stream_stats = self.stream_stats;
+        opts.argv = argv;
+        if self.audit {
+            opts.audit = true;
+            // Every simulator built from here on audits its invariants.
+            irrnet_sim::set_audit_default(true);
+        }
+        if let Some(list) = &self.scheme_list {
+            // Harness-local plugins are selectable by name, same as built-ins.
+            ensure_demo_schemes();
+            let mut ids = Vec::new();
+            for name in list.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+                match irrnet_core::SchemeRegistry::resolve(name) {
+                    Some(id) => ids.push(id),
+                    None => {
+                        eprintln!(
+                            "error: unknown scheme '{name}'; registered schemes: {}",
+                            irrnet_core::SchemeRegistry::names().join(", ")
+                        );
+                        return Err(ExitCode::FAILURE);
+                    }
+                }
+            }
+            if ids.is_empty() {
+                eprintln!("error: --schemes needs at least one scheme name");
+                return Err(ExitCode::FAILURE);
+            }
+            opts.schemes = Some(ids);
+        }
+        Ok(opts)
+    }
+
+    /// Resolve the selected experiment specs.
+    fn specs(&self) -> Result<Vec<irrnet_harness::registry::ExperimentSpec>, ExitCode> {
+        if !self.all && self.names.is_empty() {
+            usage();
+        }
+        if self.all && !self.names.is_empty() {
+            eprintln!("error: --all conflicts with naming experiments");
+            usage();
+        }
+        if self.all {
+            Ok(registry())
+        } else {
+            match resolve(&self.names) {
+                Ok(s) => Ok(s),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    Err(ExitCode::FAILURE)
+                }
+            }
         }
     }
+}
 
-    if list {
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.first().map(String::as_str) {
+        Some("compare") => return main_compare(argv[1..].to_vec()),
+        Some("bench") => return main_bench(argv[1..].to_vec()),
+        Some("schemes") => return main_schemes(argv[1..].to_vec()),
+        Some("resume") => return main_resume(argv[1..].to_vec()),
+        Some("work") => return main_work(argv.clone(), argv[1..].to_vec()),
+        Some("merge") => return main_merge(argv[1..].to_vec()),
+        Some("status") => return main_status(argv[1..].to_vec()),
+        _ => {}
+    }
+
+    let cli = CampaignCli::parse(argv.clone(), false);
+    if cli.list {
         for spec in registry() {
             println!("{:<16} {}", spec.name, spec.title);
         }
         return ExitCode::SUCCESS;
     }
-    if !all && names.is_empty() {
-        usage();
-    }
-    if all && !names.is_empty() {
-        eprintln!("error: --all conflicts with naming experiments");
-        usage();
-    }
-
-    let mut opts = if quick { CampaignOptions::quick() } else { CampaignOptions::paper_default() };
-    if let Some(n) = seeds {
-        if n == 0 {
-            eprintln!("error: --seeds must be at least 1");
-            return ExitCode::FAILURE;
-        }
-        opts.seeds = (0..n).collect();
-    }
-    if let Some(t) = trials {
-        if t == 0 {
-            eprintln!("error: --trials must be at least 1");
-            return ExitCode::FAILURE;
-        }
-        opts.trials = t;
-    }
-    if let Some(dir) = out {
-        opts.out_dir = dir.into();
-    }
-    opts.threads = threads;
-    if let Some(secs) = unit_timeout {
-        if !secs.is_finite() || secs <= 0.0 {
-            eprintln!("error: --unit-timeout needs a positive number of seconds");
-            return ExitCode::FAILURE;
-        }
-        opts.unit_timeout = Some(std::time::Duration::from_secs_f64(secs));
-    }
-    opts.unit_retries = unit_retries;
-    if audit {
-        opts.audit = true;
-        // Every simulator built from here on audits its invariants.
-        irrnet_sim::set_audit_default(true);
-    }
-    if let Some(list) = scheme_list {
-        // Harness-local plugins are selectable by name, same as built-ins.
-        ensure_demo_schemes();
-        let mut ids = Vec::new();
-        for name in list.split(',').map(str::trim).filter(|s| !s.is_empty()) {
-            match irrnet_core::SchemeRegistry::resolve(name) {
-                Some(id) => ids.push(id),
-                None => {
-                    eprintln!(
-                        "error: unknown scheme '{name}'; registered schemes: {}",
-                        irrnet_core::SchemeRegistry::names().join(", ")
-                    );
-                    return ExitCode::FAILURE;
-                }
-            }
-        }
-        if ids.is_empty() {
-            eprintln!("error: --schemes needs at least one scheme name");
-            return ExitCode::FAILURE;
-        }
-        opts.schemes = Some(ids);
-    }
-
-    let specs = if all {
-        registry()
-    } else {
-        match resolve(&names) {
-            Ok(s) => s,
-            Err(e) => {
-                eprintln!("error: {e}");
-                return ExitCode::FAILURE;
-            }
-        }
+    let specs = match cli.specs() {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    let opts = match cli.build_opts(argv) {
+        Ok(o) => o,
+        Err(code) => return code,
     };
     install_sigint_handler();
     match run_campaign(&specs, &opts) {
         Ok(report) => campaign_exit(&report),
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn main_work(full_argv: Vec<String>, rest: Vec<String>) -> ExitCode {
+    let mut cli = CampaignCli::parse(rest, true);
+    // First positional argument is the shared campaign directory; the
+    // remainder are experiment names, exactly as in the default mode.
+    if cli.names.is_empty() && !cli.all {
+        eprintln!("error: work needs the campaign directory and experiments (or --all)");
+        usage();
+    }
+    if cli.names.is_empty() {
+        eprintln!("error: work needs the campaign directory as its first argument");
+        usage();
+    }
+    let dir = cli.names.remove(0);
+    if cli.out.is_some() {
+        eprintln!("error: work takes the output directory positionally, not via --out");
+        usage();
+    }
+    cli.out = Some(dir);
+    let Some(shard) = cli.shard else {
+        eprintln!("error: work needs --shard i/N (which worker slot this process is)");
+        usage();
+    };
+    let specs = match cli.specs() {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    let opts = match cli.build_opts(full_argv) {
+        Ok(o) => o,
+        Err(code) => return code,
+    };
+    install_sigint_handler();
+    match run_shard(&specs, &opts, shard) {
+        Ok(report) => {
+            if report.interrupted {
+                ExitCode::from(130)
+            } else if report.failed > 0 {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn main_merge(argv: Vec<String>) -> ExitCode {
+    let mut dir: Option<std::path::PathBuf> = None;
+    let mut threads: Option<usize> = None;
+    let mut args = argv.into_iter();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--threads" => threads = Some(parse_value(&mut args, "--threads")),
+            "--help" | "-h" => usage(),
+            s if s.starts_with('-') => {
+                eprintln!("error: unknown merge flag '{s}'");
+                usage();
+            }
+            s if dir.is_none() => dir = Some(s.into()),
+            s => {
+                eprintln!("error: unexpected merge argument '{s}'");
+                usage();
+            }
+        }
+    }
+    let Some(dir) = dir else {
+        eprintln!("error: merge needs the campaign directory holding the shard journals");
+        usage();
+    };
+    match merge_campaign(&dir, threads) {
+        Ok(report) => campaign_exit(&report),
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn main_status(argv: Vec<String>) -> ExitCode {
+    let mut dir: Option<std::path::PathBuf> = None;
+    for a in argv {
+        match a.as_str() {
+            "--help" | "-h" => usage(),
+            s if s.starts_with('-') => {
+                eprintln!("error: unknown status flag '{s}'");
+                usage();
+            }
+            s if dir.is_none() => dir = Some(s.into()),
+            s => {
+                eprintln!("error: unexpected status argument '{s}'");
+                usage();
+            }
+        }
+    }
+    let Some(dir) = dir else {
+        eprintln!("error: status needs a campaign directory");
+        usage();
+    };
+    // Status may race live workers; journal parsing tolerates the torn
+    // tail a mid-write worker leaves.
+    ensure_demo_schemes();
+    match campaign_status(&dir) {
+        Ok(progress) => {
+            print!("{}", render_status(&dir, &progress));
+            ExitCode::SUCCESS
+        }
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE

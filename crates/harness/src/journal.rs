@@ -1,33 +1,51 @@
-//! The crash-safe run journal: `results/journal.jsonl`.
+//! The crash-safe run journal: `results/journal.jsonl` — and, for
+//! distributed campaigns, one `journal.shard-<i>-of-<N>.jsonl` per
+//! worker.
 //!
 //! A campaign appends one fsync'd JSONL line per completed unit — its
 //! index, label, wall time, the topology-cache keys it touched, and its
 //! full emit list — after a header line describing the campaign
 //! configuration (fingerprinted so a journal can't silently resume under
-//! different options). Because every line is synced before the next unit
-//! is acknowledged, a crash or SIGKILL loses at most the units that were
-//! mid-flight; `irrnet-run resume <dir>` replays the journaled units and
-//! executes only the remainder, producing byte-identical artifacts to an
-//! uninterrupted run.
+//! different options). Units that fail every attempt are journaled too
+//! (a `"fail"` record), so a resumed or merged campaign reproduces the
+//! manifest's `"failures"` array without re-running the failing unit.
+//! Because every line is synced before the next unit is acknowledged, a
+//! crash or SIGKILL loses at most the units that were mid-flight;
+//! `irrnet-run resume <dir>` replays the journaled units and executes
+//! only the remainder, producing byte-identical artifacts to an
+//! uninterrupted run. Shard journals carry the same campaign fingerprint
+//! as each other (the shard assignment is *not* part of the fingerprint),
+//! which is how `irrnet-run merge` proves N shard journals describe one
+//! campaign.
 //!
 //! Line order is completion order (nondeterministic under threading);
 //! replay keys strictly on the unit index, and the determinism suite
-//! excludes this file from byte comparisons.
+//! excludes journal files from byte comparisons.
 //!
 //! This module also owns the crash-safe file primitives (`atomic_write`,
 //! `sync_dir`) the runner and manifest writer use for artifacts.
 
 use crate::json::{self, escape, Value};
 use crate::registry::Emit;
+use crate::shard::ShardSpec;
 use irrnet_core::rng::fnv1a;
 use std::fmt::Write as _;
 use std::fs::File;
 use std::io::{self, Seek as _, SeekFrom, Write as _};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
 /// Journal file name inside the campaign output directory.
 pub const JOURNAL_FILE: &str = "journal.jsonl";
+
+/// Journal format version this build reads and writes. Version 2 added
+/// the `stream_stats`/`argv`/`shard` header fields and `"fail"` records.
+pub const JOURNAL_VERSION: u64 = 2;
+
+/// The shard journal file name for shard `spec` of a campaign directory.
+pub fn shard_journal_file(spec: ShardSpec) -> String {
+    format!("journal.shard-{}-of-{}.jsonl", spec.index, spec.count)
+}
 
 /// The journal's first line: enough campaign configuration to rebuild
 /// the exact unit pool on resume.
@@ -49,6 +67,18 @@ pub struct CampaignHeader {
     pub unit_retries: u32,
     /// Simulator invariant auditing enabled.
     pub audit: bool,
+    /// Bounded-memory streaming statistics enabled (`--stream-stats`).
+    /// Fingerprinted: it changes artifact bytes.
+    pub stream_stats: bool,
+    /// Which shard of a distributed campaign this journal belongs to
+    /// (`None` for a single-process journal). Deliberately *excluded*
+    /// from the fingerprint: all shards of one campaign — and the merged
+    /// journal — share the campaign fingerprint.
+    pub shard: Option<ShardSpec>,
+    /// The CLI invocation that wrote this journal (diagnostic only, not
+    /// fingerprinted — mismatch errors quote it so the operator can see
+    /// which options the journal was created under).
+    pub argv: Vec<String>,
     /// Every unit label, pool order — resume refuses a journal whose
     /// pool no longer matches the code's expansion.
     pub labels: Vec<String>,
@@ -59,7 +89,7 @@ impl CampaignHeader {
         let mut s = String::new();
         let _ = write!(
             s,
-            "quick={};seeds={:?};trials={};experiments={:?};schemes={:?};timeout={:?};retries={};audit={};labels={:?}",
+            "quick={};seeds={:?};trials={};experiments={:?};schemes={:?};timeout={:?};retries={};audit={};stream={};labels={:?}",
             self.quick,
             self.seeds,
             self.trials,
@@ -68,14 +98,28 @@ impl CampaignHeader {
             self.unit_timeout_ms,
             self.unit_retries,
             self.audit,
+            self.stream_stats,
             self.labels,
         );
         s
     }
 
-    /// Stable hash of the campaign configuration.
+    /// Stable hash of the campaign configuration. Shard assignment and
+    /// argv are excluded: every worker of one campaign (and its merged
+    /// journal) fingerprints identically.
     pub fn fingerprint(&self) -> u64 {
         fnv1a(self.canonical().as_bytes())
+    }
+
+    /// The originating invocation, rendered for error messages:
+    /// `` `irrnet-run --all --quick` `` or `"<library call>"` when the
+    /// campaign was started through the API.
+    pub fn describe_argv(&self) -> String {
+        if self.argv.is_empty() {
+            "<library call>".to_string()
+        } else {
+            format!("`irrnet-run {}`", self.argv.join(" "))
+        }
     }
 }
 
@@ -92,6 +136,23 @@ pub struct ReplayedUnit {
     pub cache: Vec<String>,
     /// The unit's emits, verbatim.
     pub emits: Vec<Emit>,
+}
+
+/// One journaled permanently-failed unit (all attempts exhausted),
+/// reconstructed on resume or merge so the manifest's `"failures"` array
+/// is reproduced without re-running the unit.
+#[derive(Debug, Clone)]
+pub struct ReplayedFailure {
+    /// Unit index in the pool.
+    pub index: usize,
+    /// Unit label at journaling time.
+    pub label: String,
+    /// Failure kind (`"panic"`, `"timeout"`, `"error"`).
+    pub kind: String,
+    /// Human-readable error text.
+    pub error: String,
+    /// Attempts made (1 + retries).
+    pub attempts: u32,
 }
 
 // ---- compact one-line serialization -------------------------------------
@@ -160,9 +221,21 @@ fn emit_json(e: &Emit) -> String {
     s
 }
 
+fn push_str_array(s: &mut String, items: &[String]) {
+    s.push('[');
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "\"{}\"", escape(item));
+    }
+    s.push(']');
+}
+
 /// The header line (with trailing newline).
 pub fn header_line(h: &CampaignHeader) -> String {
-    let mut s = String::from("{\"kind\":\"campaign\",\"version\":1,");
+    let mut s = String::from("{\"kind\":\"campaign\",");
+    let _ = write!(s, "\"version\":{JOURNAL_VERSION},");
     let _ = write!(s, "\"fingerprint\":\"0x{:016x}\",", h.fingerprint());
     let _ = write!(s, "\"quick\":{},\"seeds\":[", h.quick);
     for (i, seed) in h.seeds.iter().enumerate() {
@@ -171,35 +244,28 @@ pub fn header_line(h: &CampaignHeader) -> String {
         }
         let _ = write!(s, "{seed}");
     }
-    let _ = write!(s, "],\"trials\":{},\"experiments\":[", h.trials);
-    for (i, e) in h.experiments.iter().enumerate() {
-        if i > 0 {
-            s.push(',');
-        }
-        let _ = write!(s, "\"{}\"", escape(e));
-    }
-    s.push(']');
+    let _ = write!(s, "],\"trials\":{},\"experiments\":", h.trials);
+    push_str_array(&mut s, &h.experiments);
     if let Some(schemes) = &h.schemes {
-        s.push_str(",\"schemes\":[");
-        for (i, n) in schemes.iter().enumerate() {
-            if i > 0 {
-                s.push(',');
-            }
-            let _ = write!(s, "\"{}\"", escape(n));
-        }
-        s.push(']');
+        s.push_str(",\"schemes\":");
+        push_str_array(&mut s, schemes);
     }
     if let Some(ms) = h.unit_timeout_ms {
         let _ = write!(s, ",\"unit_timeout_ms\":{ms}");
     }
-    let _ = write!(s, ",\"unit_retries\":{},\"audit\":{},\"labels\":[", h.unit_retries, h.audit);
-    for (i, l) in h.labels.iter().enumerate() {
-        if i > 0 {
-            s.push(',');
-        }
-        let _ = write!(s, "\"{}\"", escape(l));
+    let _ = write!(
+        s,
+        ",\"unit_retries\":{},\"audit\":{},\"stream_stats\":{}",
+        h.unit_retries, h.audit, h.stream_stats
+    );
+    if let Some(shard) = h.shard {
+        let _ = write!(s, ",\"shard\":{{\"index\":{},\"count\":{}}}", shard.index, shard.count);
     }
-    s.push_str("]}\n");
+    s.push_str(",\"argv\":");
+    push_str_array(&mut s, &h.argv);
+    s.push_str(",\"labels\":");
+    push_str_array(&mut s, &h.labels);
+    s.push_str("}\n");
     s
 }
 
@@ -226,6 +292,19 @@ pub fn unit_line(index: usize, label: &str, ms: u64, cache: &[String], emits: &[
     s
 }
 
+/// One permanently-failed-unit line (with trailing newline).
+pub fn fail_line(index: usize, label: &str, kind: &str, error: &str, attempts: u32) -> String {
+    let mut s = String::from("{\"kind\":\"fail\",");
+    let _ = write!(s, "\"index\":{index},");
+    push_str_field(&mut s, "label", label);
+    s.push(',');
+    push_str_field(&mut s, "fkind", kind);
+    s.push(',');
+    push_str_field(&mut s, "error", error);
+    let _ = writeln!(s, ",\"attempts\":{attempts}}}");
+    s
+}
+
 // ---- parsing -------------------------------------------------------------
 
 fn str_list(v: Option<&Value>) -> Option<Vec<String>> {
@@ -240,8 +319,15 @@ fn parse_header(v: &Value) -> Result<CampaignHeader, String> {
     if v.get("kind").and_then(Value::as_str) != Some("campaign") {
         return Err("first journal line is not a campaign header".into());
     }
-    if v.get("version").and_then(Value::as_u64) != Some(1) {
-        return Err("unsupported journal version".into());
+    match v.get("version").and_then(Value::as_u64) {
+        Some(JOURNAL_VERSION) => {}
+        Some(other) => {
+            return Err(format!(
+                "unsupported journal version {other} (this build reads and writes \
+                 version {JOURNAL_VERSION}); re-run the campaign from scratch"
+            ));
+        }
+        None => return Err("header missing version".into()),
     }
     let seeds = v
         .get("seeds")
@@ -250,6 +336,13 @@ fn parse_header(v: &Value) -> Result<CampaignHeader, String> {
         .iter()
         .map(|s| s.as_u64().ok_or("bad seed"))
         .collect::<Result<Vec<_>, _>>()?;
+    let shard = match v.get("shard") {
+        None => None,
+        Some(sv) => Some(ShardSpec {
+            index: sv.get("index").and_then(Value::as_u64).ok_or("bad shard index")? as usize,
+            count: sv.get("count").and_then(Value::as_u64).ok_or("bad shard count")? as usize,
+        }),
+    };
     let header = CampaignHeader {
         quick: v.get("quick").and_then(Value::as_bool).ok_or("header missing quick")?,
         seeds,
@@ -259,6 +352,9 @@ fn parse_header(v: &Value) -> Result<CampaignHeader, String> {
         unit_timeout_ms: v.get("unit_timeout_ms").and_then(Value::as_u64),
         unit_retries: v.get("unit_retries").and_then(Value::as_u64).unwrap_or(0) as u32,
         audit: v.get("audit").and_then(Value::as_bool).unwrap_or(false),
+        stream_stats: v.get("stream_stats").and_then(Value::as_bool).unwrap_or(false),
+        shard,
+        argv: str_list(v.get("argv")).unwrap_or_default(),
         labels: str_list(v.get("labels")).ok_or("header missing labels")?,
     };
     let stamped = v
@@ -267,7 +363,12 @@ fn parse_header(v: &Value) -> Result<CampaignHeader, String> {
         .and_then(parse_hex_hash)
         .ok_or("header missing fingerprint")?;
     if stamped != header.fingerprint() {
-        return Err("journal fingerprint does not match its own header fields".into());
+        return Err(format!(
+            "journal fingerprint mismatch: the header stamps 0x{stamped:016x} but its fields \
+             hash to 0x{:016x}; the journal was written by {}",
+            header.fingerprint(),
+            header.describe_argv(),
+        ));
     }
     Ok(header)
 }
@@ -349,16 +450,34 @@ fn parse_unit(v: &Value) -> Result<ReplayedUnit, String> {
     })
 }
 
-/// A parsed journal: the header, every intact completed-unit record, and
-/// the byte length of the valid prefix (a torn final line — the crash
-/// signature — is excluded; resume truncates to this length before
-/// appending).
+fn parse_fail(v: &Value) -> Result<ReplayedFailure, String> {
+    let s = |key: &str| -> Result<String, String> {
+        v.get(key)
+            .and_then(Value::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| format!("fail record missing '{key}'"))
+    };
+    Ok(ReplayedFailure {
+        index: v.get("index").and_then(Value::as_u64).ok_or("fail record missing index")? as usize,
+        label: s("label")?,
+        kind: s("fkind")?,
+        error: s("error")?,
+        attempts: v.get("attempts").and_then(Value::as_u64).unwrap_or(1) as u32,
+    })
+}
+
+/// A parsed journal: the header, every intact completed-unit and
+/// failed-unit record, and the byte length of the valid prefix (a torn
+/// final line — the crash signature — is excluded; resume truncates to
+/// this length before appending).
 #[derive(Debug)]
 pub struct ParsedJournal {
     /// The campaign header.
     pub header: CampaignHeader,
     /// Intact completed units, journal order.
     pub units: Vec<ReplayedUnit>,
+    /// Intact permanently-failed units, journal order.
+    pub failures: Vec<ReplayedFailure>,
     /// Bytes of the valid prefix.
     pub valid_len: u64,
 }
@@ -371,6 +490,7 @@ pub struct ParsedJournal {
 pub fn parse_journal(text: &str) -> Result<ParsedJournal, String> {
     let mut offset = 0u64;
     let mut units = Vec::new();
+    let mut failures = Vec::new();
     let mut header: Option<CampaignHeader> = None;
     for line in text.split_inclusive('\n') {
         let intact = line.ends_with('\n');
@@ -380,6 +500,7 @@ pub fn parse_journal(text: &str) -> Result<ParsedJournal, String> {
             (None, Err(e)) => return Err(format!("journal header unreadable: {e}")),
             (Some(_), Ok(v)) => match v.get("kind").and_then(Value::as_str) {
                 Some("unit") => units.push(parse_unit(&v)?),
+                Some("fail") => failures.push(parse_fail(&v)?),
                 _ => return Err("unexpected record kind in journal".into()),
             },
             // A torn or unparseable trailing line: the crash happened
@@ -389,7 +510,14 @@ pub fn parse_journal(text: &str) -> Result<ParsedJournal, String> {
         offset += line.len() as u64;
     }
     let header = header.ok_or("journal is empty")?;
-    Ok(ParsedJournal { header, units, valid_len: offset })
+    Ok(ParsedJournal { header, units, failures, valid_len: offset })
+}
+
+/// Read and parse the journal file at `path`.
+pub fn load_journal(path: &Path) -> Result<ParsedJournal, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    parse_journal(&text)
 }
 
 // ---- the writer ----------------------------------------------------------
@@ -401,26 +529,39 @@ pub struct JournalWriter {
 }
 
 impl JournalWriter {
-    /// Start a fresh journal for a new campaign: truncate, write the
-    /// header, fsync file and directory.
-    pub fn create(dir: &Path, header: &CampaignHeader) -> io::Result<Self> {
-        std::fs::create_dir_all(dir)?;
-        let mut file = File::create(dir.join(JOURNAL_FILE))?;
+    /// Start a fresh journal for a new campaign at `path` (the
+    /// single-process `journal.jsonl` or a worker's shard journal):
+    /// truncate, write the header, fsync file and directory.
+    pub fn create(path: &Path, header: &CampaignHeader) -> io::Result<Self> {
+        let dir = path.parent().map(PathBuf::from).unwrap_or_default();
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(&dir)?;
+        }
+        let mut file = File::create(path)?;
         file.write_all(header_line(header).as_bytes())?;
         file.sync_data()?;
-        sync_dir(dir)?;
+        if !dir.as_os_str().is_empty() {
+            sync_dir(&dir)?;
+        }
         Ok(JournalWriter { file: Mutex::new(file) })
     }
 
-    /// Reopen an existing journal for resume: truncate the torn tail (if
-    /// any) to `valid_len` and position at the end for appending.
-    pub fn reopen(dir: &Path, valid_len: u64) -> io::Result<Self> {
-        let file = std::fs::OpenOptions::new().write(true).open(dir.join(JOURNAL_FILE))?;
+    /// Reopen the existing journal at `path` for resume: truncate the
+    /// torn tail (if any) to `valid_len` and position at the end for
+    /// appending.
+    pub fn reopen(path: &Path, valid_len: u64) -> io::Result<Self> {
+        let file = std::fs::OpenOptions::new().write(true).open(path)?;
         file.set_len(valid_len)?;
         let mut file = file;
         file.seek(SeekFrom::Start(valid_len))?;
         file.sync_data()?;
         Ok(JournalWriter { file: Mutex::new(file) })
+    }
+
+    fn append(&self, line: &str) -> io::Result<()> {
+        let mut file = self.file.lock().unwrap_or_else(|e| e.into_inner());
+        file.write_all(line.as_bytes())?;
+        file.sync_data()
     }
 
     /// Durably record one completed unit.
@@ -432,10 +573,19 @@ impl JournalWriter {
         cache: &[String],
         emits: &[Emit],
     ) -> io::Result<()> {
-        let line = unit_line(index, label, ms, cache, emits);
-        let mut file = self.file.lock().unwrap_or_else(|e| e.into_inner());
-        file.write_all(line.as_bytes())?;
-        file.sync_data()
+        self.append(&unit_line(index, label, ms, cache, emits))
+    }
+
+    /// Durably record one permanently-failed unit.
+    pub fn record_failure(
+        &self,
+        index: usize,
+        label: &str,
+        kind: &str,
+        error: &str,
+        attempts: u32,
+    ) -> io::Result<()> {
+        self.append(&fail_line(index, label, kind, error, attempts))
     }
 }
 
@@ -489,6 +639,9 @@ mod tests {
             unit_timeout_ms: Some(30_000),
             unit_retries: 1,
             audit: false,
+            stream_stats: false,
+            shard: None,
+            argv: vec!["--quick".into(), "--all".into()],
             labels: vec!["a:tree".into(), "b:path".into()],
         }
     }
@@ -592,7 +745,57 @@ mod tests {
     fn header_fingerprint_detects_tampering() {
         let header = sample_header();
         let tampered = header_line(&header).replace("\"trials\":2", "\"trials\":5");
-        assert!(parse_journal(&tampered).unwrap_err().contains("fingerprint"));
+        let err = parse_journal(&tampered).unwrap_err();
+        assert!(err.contains("fingerprint"), "{err}");
+        // The mismatch report names both fingerprints and the invocation
+        // that wrote the journal.
+        assert!(err.contains(&format!("0x{:016x}", header.fingerprint())), "{err}");
+        assert!(err.contains("`irrnet-run --quick --all`"), "{err}");
+    }
+
+    #[test]
+    fn shard_and_argv_round_trip_without_changing_fingerprint() {
+        let base = sample_header();
+        let mut sharded = base.clone();
+        sharded.shard = Some(ShardSpec { index: 1, count: 3 });
+        sharded.argv = vec!["work".into(), "out".into(), "--shard".into(), "1/3".into()];
+        assert_eq!(
+            base.fingerprint(),
+            sharded.fingerprint(),
+            "shard assignment and argv must not perturb the campaign fingerprint"
+        );
+        let parsed = parse_journal(&header_line(&sharded)).unwrap();
+        assert_eq!(parsed.header, sharded);
+        // stream_stats IS fingerprinted (it changes artifact bytes).
+        let mut streaming = base.clone();
+        streaming.stream_stats = true;
+        assert_ne!(base.fingerprint(), streaming.fingerprint());
+    }
+
+    #[test]
+    fn old_journal_version_is_rejected_with_guidance() {
+        let header = sample_header();
+        let old = header_line(&header).replace("\"version\":2", "\"version\":1");
+        let err = parse_journal(&old).unwrap_err();
+        assert!(err.contains("version 1") && err.contains("version 2"), "{err}");
+    }
+
+    #[test]
+    fn fail_records_round_trip() {
+        let header = sample_header();
+        let text = format!(
+            "{}{}{}",
+            header_line(&header),
+            unit_line(0, "a:tree", 7, &[], &[Emit::Table("t".into())]),
+            fail_line(1, "b:path", "timeout", "unit exceeded 30000 ms \"budget\"", 2),
+        );
+        let parsed = parse_journal(&text).unwrap();
+        assert_eq!(parsed.units.len(), 1);
+        assert_eq!(parsed.failures.len(), 1);
+        let f = &parsed.failures[0];
+        assert_eq!((f.index, f.label.as_str(), f.kind.as_str(), f.attempts), (1, "b:path", "timeout", 2));
+        assert_eq!(f.error, "unit exceeded 30000 ms \"budget\"");
+        assert_eq!(parsed.valid_len as usize, text.len());
     }
 
     #[test]
@@ -617,18 +820,18 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("irrnet-jw-{}", std::process::id()));
         std::fs::remove_dir_all(&dir).ok();
         let header = sample_header();
-        let w = JournalWriter::create(&dir, &header).unwrap();
+        let path = dir.join(JOURNAL_FILE);
+        let w = JournalWriter::create(&path, &header).unwrap();
         w.record(0, "a:tree", 5, &[], &[Emit::Table("t".into())]).unwrap();
         drop(w);
         // Simulate a torn tail.
-        let path = dir.join(JOURNAL_FILE);
         let mut text = std::fs::read_to_string(&path).unwrap();
         let valid = text.len() as u64;
         text.push_str("{\"kind\":\"unit\",\"index\":1,\"lab");
         std::fs::write(&path, &text).unwrap();
         let parsed = parse_journal(&std::fs::read_to_string(&path).unwrap()).unwrap();
         assert_eq!(parsed.valid_len, valid);
-        let w = JournalWriter::reopen(&dir, parsed.valid_len).unwrap();
+        let w = JournalWriter::reopen(&path, parsed.valid_len).unwrap();
         w.record(1, "b:path", 6, &[], &[Emit::Table("u".into())]).unwrap();
         drop(w);
         let parsed = parse_journal(&std::fs::read_to_string(&path).unwrap()).unwrap();

@@ -19,7 +19,15 @@
 //!   goldens within tolerance and re-checks the paper's qualitative
 //!   conclusions.
 //! * [`journal`] — the crash-safe per-unit run journal behind
-//!   `irrnet-run resume`.
+//!   `irrnet-run resume` and the shard journals behind `work`/`merge`.
+//! * [`shard`] — distributed campaigns: the deterministic round-robin
+//!   shard planner, the `irrnet-run work` shard executor, and the
+//!   byte-identical `irrnet-run merge` reconstruction.
+//! * [`status`] — `irrnet-run status`: live per-shard progress, failure
+//!   counts, and ETA read straight from the journals.
+//! * [`stats`] — campaign-level streaming statistics (re-exports the
+//!   bounded-memory `irrnet_workloads` sketches, adds unit-duration
+//!   accumulators).
 //! * [`error`] — the typed per-unit error surfaced in the manifest's
 //!   `"failures"` array instead of killing the campaign.
 //! * [`shim`] — the legacy binaries' compatibility entry points.
@@ -46,4 +54,7 @@ pub mod panel;
 pub mod registry;
 pub mod runner;
 pub mod schemes;
+pub mod shard;
 pub mod shim;
+pub mod stats;
+pub mod status;

@@ -47,6 +47,7 @@ pub fn write_manifest(
     }
     w.u64_field(Some("unit_retries"), opts.unit_retries as u64);
     w.bool_field(Some("audit"), opts.audit);
+    w.bool_field(Some("stream_stats"), opts.stream_stats);
     w.bool_field(Some("interrupted"), report.interrupted);
 
     w.arr(Some("experiments"));
@@ -80,7 +81,7 @@ pub fn write_manifest(
         w.str_field(Some("experiment"), f.experiment);
         w.str_field(Some("label"), &f.label);
         w.u64_field(Some("index"), f.index as u64);
-        w.str_field(Some("kind"), f.kind);
+        w.str_field(Some("kind"), &f.kind);
         w.str_field(Some("error"), &f.error);
         w.u64_field(Some("attempts"), f.attempts as u64);
         w.end_obj();

@@ -44,6 +44,15 @@ pub struct CampaignOptions {
     /// Enable the simulator's debug invariant auditor (`--audit`) for
     /// every unit of the campaign.
     pub audit: bool,
+    /// Stream workload latency distributions through bounded-memory
+    /// sketches (`--stream-stats`): ε-approximate quantiles at
+    /// `irrnet_workloads::STREAM_EPS` instead of buffered exact ones.
+    /// Off by default — the goldens pin the exact path.
+    pub stream_stats: bool,
+    /// The CLI invocation that started the campaign (diagnostics only:
+    /// recorded in the journal header and quoted in fingerprint-mismatch
+    /// errors; empty for library callers).
+    pub argv: Vec<String>,
     /// Cooperative stop flag: when set to `true` (by a SIGINT handler or
     /// a test), the runner finishes in-flight units, journals them, skips
     /// the rest, and marks the manifest `"interrupted"`.
@@ -63,6 +72,8 @@ impl CampaignOptions {
             unit_timeout: None,
             unit_retries: 0,
             audit: false,
+            stream_stats: false,
+            argv: Vec::new(),
             stop: None,
         }
     }
@@ -79,6 +90,8 @@ impl CampaignOptions {
             unit_timeout: None,
             unit_retries: 0,
             audit: false,
+            stream_stats: false,
+            argv: Vec::new(),
             stop: None,
         }
     }
@@ -135,6 +148,7 @@ impl CampaignOptions {
             lc.measure = 500_000;
             lc.drain = 200_000;
         }
+        lc.stream_stats = self.stream_stats;
         lc
     }
 

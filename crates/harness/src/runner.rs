@@ -25,7 +25,8 @@
 use crate::cache::{CacheHandle, CacheStats, TopoCache};
 use crate::error::UnitError;
 use crate::journal::{
-    atomic_write, parse_journal, CampaignHeader, JournalWriter, ReplayedUnit, JOURNAL_FILE,
+    atomic_write, parse_journal, CampaignHeader, JournalWriter, ReplayedFailure, ReplayedUnit,
+    JOURNAL_FILE,
 };
 use crate::manifest;
 use crate::opts::CampaignOptions;
@@ -39,6 +40,7 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// What one experiment contributed to the campaign.
+#[derive(Debug)]
 pub struct ExperimentReport {
     /// Registry selector name.
     pub name: &'static str,
@@ -66,7 +68,7 @@ pub struct UnitFailure {
     /// The unit's index in the campaign pool.
     pub index: usize,
     /// Error category (`"panic"`, `"timeout"`, `"sim"`, ...).
-    pub kind: &'static str,
+    pub kind: String,
     /// Rendered error message of the final attempt.
     pub error: String,
     /// Total attempts made (1 + retries).
@@ -74,6 +76,7 @@ pub struct UnitFailure {
 }
 
 /// Summary of a whole campaign run.
+#[derive(Debug)]
 pub struct CampaignReport {
     /// Per-experiment reports, in registry order.
     pub experiments: Vec<ExperimentReport>,
@@ -91,11 +94,13 @@ pub struct CampaignReport {
 }
 
 /// What happened to one pool unit.
-enum UnitOutcome {
+pub(crate) enum UnitOutcome {
     /// The unit produced emits (live or replayed from the journal).
     Done { emits: Vec<Emit>, ms: u128 },
-    /// Every attempt failed.
-    Failed { error: UnitError, attempts: u32 },
+    /// Every attempt failed (live or replayed from the journal); the
+    /// error is carried as rendered strings so journal replay and live
+    /// execution are indistinguishable downstream.
+    Failed { kind: String, error: String, attempts: u32 },
     /// Never ran: the campaign was interrupted first.
     Skipped,
 }
@@ -141,14 +146,14 @@ pub fn install_sigint_handler() {
     }
 }
 
-fn stop_requested(opts: &CampaignOptions) -> bool {
+pub(crate) fn stop_requested(opts: &CampaignOptions) -> bool {
     INTERRUPTED.load(Ordering::Relaxed)
         || opts.stop.as_ref().is_some_and(|s| s.load(Ordering::Relaxed))
 }
 
 // ---- pool construction ---------------------------------------------------
 
-fn resolved_threads(opts: &CampaignOptions) -> usize {
+pub(crate) fn resolved_threads(opts: &CampaignOptions) -> usize {
     opts.threads
         .filter(|&t| t > 0)
         .unwrap_or_else(|| std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1))
@@ -156,7 +161,10 @@ fn resolved_threads(opts: &CampaignOptions) -> usize {
 
 /// Expand specs into the flat unit pool, remembering each unit's owning
 /// experiment. Units are `Arc`ed so a deadline thread can own its unit.
-fn expand(specs: &[ExperimentSpec], opts: &CampaignOptions) -> (Vec<Arc<Unit>>, Vec<usize>) {
+pub(crate) fn expand(
+    specs: &[ExperimentSpec],
+    opts: &CampaignOptions,
+) -> (Vec<Arc<Unit>>, Vec<usize>) {
     let mut owners: Vec<usize> = Vec::new();
     let mut pool: Vec<Arc<Unit>> = Vec::new();
     for (si, spec) in specs.iter().enumerate() {
@@ -168,7 +176,7 @@ fn expand(specs: &[ExperimentSpec], opts: &CampaignOptions) -> (Vec<Arc<Unit>>, 
     (pool, owners)
 }
 
-fn header_for(
+pub(crate) fn header_for(
     specs: &[ExperimentSpec],
     opts: &CampaignOptions,
     pool: &[Arc<Unit>],
@@ -185,6 +193,9 @@ fn header_for(
         unit_timeout_ms: opts.unit_timeout.map(|d| d.as_millis() as u64),
         unit_retries: opts.unit_retries,
         audit: opts.audit,
+        stream_stats: opts.stream_stats,
+        shard: None,
+        argv: opts.argv.clone(),
         labels: pool.iter().map(|u| u.label.clone()).collect(),
     }
 }
@@ -209,9 +220,9 @@ fn write_artifact(opts: &CampaignOptions, name: &str, content: &str) -> io::Resu
 // ---- execution -----------------------------------------------------------
 
 /// Run one unit to its final outcome: attempt, catch panics/timeouts,
-/// retry with perturbed seeds, journal on success.
+/// retry with perturbed seeds, journal success or permanent failure.
 #[allow(clippy::too_many_arguments)]
-fn run_unit(
+pub(crate) fn run_unit(
     index: usize,
     unit: &Arc<Unit>,
     opts: &Arc<CampaignOptions>,
@@ -275,7 +286,17 @@ fn run_unit(
                 }
                 let n = 1 + done.fetch_add(1, Ordering::Relaxed);
                 eprintln!("[{n:>4}/{total}] {} FAILED ({}): {error}", unit.label, error.kind());
-                return UnitOutcome::Failed { error, attempts };
+                // Journal the permanent failure so a resume (or a shard
+                // merge) reproduces the manifest's failures array without
+                // re-running the unit.
+                let (kind, error) = (error.kind().to_string(), error.to_string());
+                if let Err(e) =
+                    journal.record_failure(index, &unit.label, &kind, &error, attempts)
+                {
+                    let mut slot = journal_err.lock().unwrap_or_else(|p| p.into_inner());
+                    slot.get_or_insert(e);
+                }
+                return UnitOutcome::Failed { kind, error, attempts };
             }
         }
     }
@@ -291,8 +312,8 @@ pub fn run_campaign(
 ) -> io::Result<CampaignReport> {
     let (pool, owners) = expand(specs, opts);
     let header = header_for(specs, opts, &pool);
-    let journal = JournalWriter::create(&opts.out_dir, &header)?;
-    run_pool(specs, opts, pool, owners, HashMap::new(), journal)
+    let journal = JournalWriter::create(&opts.out_dir.join(JOURNAL_FILE), &header)?;
+    run_pool(specs, opts, pool, owners, HashMap::new(), HashMap::new(), journal)
 }
 
 /// Resume an interrupted campaign from its journal in `dir`: replay the
@@ -334,6 +355,8 @@ pub fn resume_campaign(
     opts.unit_timeout = h.unit_timeout_ms.map(std::time::Duration::from_millis);
     opts.unit_retries = h.unit_retries;
     opts.audit = h.audit;
+    opts.stream_stats = h.stream_stats;
+    opts.argv = h.argv.clone();
     opts.stop = stop;
 
     let specs = registry::resolve(&h.experiments).map_err(invalid)?;
@@ -358,14 +381,25 @@ pub fn resume_campaign(
         }
         replayed.insert(u.index, u);
     }
+    let mut replayed_failures: HashMap<usize, ReplayedFailure> = HashMap::new();
+    for f in parsed.failures {
+        if f.index >= pool.len() || pool[f.index].label != f.label {
+            return Err(invalid(format!(
+                "journaled failure #{} '{}' does not match the pool",
+                f.index, f.label
+            )));
+        }
+        replayed_failures.insert(f.index, f);
+    }
     println!(
-        "resuming {}: {} of {} unit(s) already journaled",
+        "resuming {}: {} of {} unit(s) already journaled ({} failed)",
         dir.display(),
-        replayed.len(),
-        pool.len()
+        replayed.len() + replayed_failures.len(),
+        pool.len(),
+        replayed_failures.len()
     );
-    let journal = JournalWriter::reopen(dir, parsed.valid_len)?;
-    run_pool(&specs, &opts, pool, owners, replayed, journal)
+    let journal = JournalWriter::reopen(&dir.join(JOURNAL_FILE), parsed.valid_len)?;
+    run_pool(&specs, &opts, pool, owners, replayed, replayed_failures, journal)
 }
 
 fn run_pool(
@@ -374,6 +408,7 @@ fn run_pool(
     pool: Vec<Arc<Unit>>,
     owners: Vec<usize>,
     mut replayed: HashMap<usize, ReplayedUnit>,
+    mut replayed_failures: HashMap<usize, ReplayedFailure>,
     journal: JournalWriter,
 ) -> io::Result<CampaignReport> {
     let campaign_start = Instant::now();
@@ -407,6 +442,12 @@ fn run_pool(
                 cache.replay(key);
             }
             *slot = Some(UnitOutcome::Done { emits: r.emits, ms: r.ms as u128 });
+        } else if let Some(f) = replayed_failures.remove(&i) {
+            // A journaled permanent failure replays as-is: the unit
+            // already exhausted its attempts and re-running it would
+            // make resumed artifacts diverge from uninterrupted ones.
+            *slot =
+                Some(UnitOutcome::Failed { kind: f.kind, error: f.error, attempts: f.attempts });
         }
     }
 
@@ -463,13 +504,13 @@ fn run_pool(
             }
             let (emits, ms) = match outcome {
                 UnitOutcome::Done { emits, ms } => (emits, *ms),
-                UnitOutcome::Failed { error, attempts } => {
+                UnitOutcome::Failed { kind, error, attempts } => {
                     failures.push(UnitFailure {
                         experiment: specs[si].name,
                         label: pool[ui].label.clone(),
                         index: ui,
-                        kind: error.kind(),
-                        error: error.to_string(),
+                        kind: kind.clone(),
+                        error: error.clone(),
                         attempts: *attempts,
                     });
                     continue;
@@ -529,6 +570,10 @@ fn run_pool(
         }
         report.configs.sort();
     }
+
+    // Manifest order contract: failures sort by unit index, whatever
+    // order rendering (or a future caller) discovered them in.
+    failures.sort_by_key(|f| f.index);
 
     let report = CampaignReport {
         experiments: reports,

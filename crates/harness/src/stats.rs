@@ -1,0 +1,76 @@
+//! Campaign-level streaming statistics.
+//!
+//! The bounded-memory primitives live in `irrnet_workloads::stats`
+//! (that's where per-run latency samples are produced); this module
+//! re-exports them for harness callers and adds [`DurationStats`], the
+//! per-shard unit-wall-time accumulator behind `irrnet-run status`'s
+//! throughput and ETA columns.
+
+pub use irrnet_workloads::{GkSketch, OnlineStats, StreamingSummary, STREAM_EPS};
+
+/// Online mean/deviation over unit wall times, in milliseconds. O(1)
+/// memory however many units a journal holds.
+#[derive(Debug, Clone, Default)]
+pub struct DurationStats {
+    inner: OnlineStats,
+}
+
+impl DurationStats {
+    /// Fold in one unit's wall time.
+    pub fn push_ms(&mut self, ms: u64) {
+        self.inner.push(ms as f64);
+    }
+
+    /// Units folded in.
+    pub fn count(&self) -> u64 {
+        self.inner.n()
+    }
+
+    /// Mean unit wall time (`None` before the first unit).
+    pub fn mean_ms(&self) -> Option<f64> {
+        (self.inner.n() > 0).then(|| self.inner.mean())
+    }
+
+    /// Naive single-worker ETA for `remaining` more units at the mean
+    /// rate observed so far.
+    pub fn eta_ms(&self, remaining: usize) -> Option<u64> {
+        self.mean_ms().map(|m| (m * remaining as f64).round() as u64)
+    }
+
+    /// Render a millisecond quantity compactly (`850 ms`, `12.3 s`,
+    /// `4.5 min`).
+    pub fn human_ms(ms: u64) -> String {
+        if ms < 1_000 {
+            format!("{ms} ms")
+        } else if ms < 60_000 {
+            format!("{:.1} s", ms as f64 / 1_000.0)
+        } else {
+            format!("{:.1} min", ms as f64 / 60_000.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_stats_track_mean_and_eta() {
+        let mut d = DurationStats::default();
+        assert_eq!(d.mean_ms(), None);
+        assert_eq!(d.eta_ms(10), None);
+        for ms in [100u64, 200, 300] {
+            d.push_ms(ms);
+        }
+        assert_eq!(d.count(), 3);
+        assert!((d.mean_ms().unwrap() - 200.0).abs() < 1e-12);
+        assert_eq!(d.eta_ms(5), Some(1_000));
+    }
+
+    #[test]
+    fn human_ms_picks_sane_units() {
+        assert_eq!(DurationStats::human_ms(850), "850 ms");
+        assert_eq!(DurationStats::human_ms(12_300), "12.3 s");
+        assert_eq!(DurationStats::human_ms(270_000), "4.5 min");
+    }
+}

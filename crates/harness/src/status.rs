@@ -1,0 +1,183 @@
+//! `irrnet-run status <dir>` — a live view of a running (or finished)
+//! campaign from its journals alone.
+//!
+//! The journals are append-only and every record is fsync'd, so tailing
+//! them from another process is always safe: a torn final line simply
+//! means a worker is mid-write, and `parse_journal` drops it. For a
+//! distributed campaign the view is per shard — progress, failure
+//! count, mean unit time, and a single-worker ETA from the observed
+//! rate; for a single-process campaign the same columns describe
+//! `journal.jsonl`.
+
+use crate::journal::{load_journal, ParsedJournal, JOURNAL_FILE};
+use crate::shard::{find_shard_journals, ShardSpec};
+use crate::stats::DurationStats;
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// Progress of one journal (a shard's, or the single-process one).
+#[derive(Debug)]
+pub struct JournalProgress {
+    /// Shard slot, or `None` for `journal.jsonl`.
+    pub shard: Option<ShardSpec>,
+    /// Units this journal is responsible for.
+    pub assigned: usize,
+    /// Completed units journaled so far.
+    pub completed: usize,
+    /// Permanently-failed units journaled so far.
+    pub failed: usize,
+    /// Wall-time statistics over the completed units.
+    pub durations: DurationStats,
+}
+
+impl JournalProgress {
+    fn of(parsed: &ParsedJournal, shard: Option<ShardSpec>) -> Self {
+        let pool = parsed.header.labels.len();
+        let assigned = match shard {
+            Some(spec) => spec.assigned(pool).len(),
+            None => pool,
+        };
+        let mut durations = DurationStats::default();
+        for u in &parsed.units {
+            durations.push_ms(u.ms);
+        }
+        JournalProgress {
+            shard,
+            assigned,
+            completed: parsed.units.len(),
+            failed: parsed.failures.len(),
+            durations,
+        }
+    }
+
+    /// Units still to run.
+    pub fn remaining(&self) -> usize {
+        self.assigned.saturating_sub(self.completed + self.failed)
+    }
+
+    fn row(&self) -> String {
+        let name = match self.shard {
+            Some(spec) => format!("shard {spec}"),
+            None => "campaign".to_string(),
+        };
+        let done = self.completed + self.failed;
+        let pct = (100 * done).checked_div(self.assigned).unwrap_or(100);
+        let mean = match self.durations.mean_ms() {
+            Some(m) => DurationStats::human_ms(m.round() as u64),
+            None => "-".into(),
+        };
+        let eta = if self.remaining() == 0 {
+            "done".to_string()
+        } else {
+            match self.durations.eta_ms(self.remaining()) {
+                Some(ms) => format!("~{}", DurationStats::human_ms(ms)),
+                None => "?".into(),
+            }
+        };
+        format!(
+            "{name:<12} {done:>5}/{:<5} {pct:>3}%  {:>4} failed  {mean:>9}/unit  eta {eta}",
+            self.assigned, self.failed
+        )
+    }
+}
+
+/// The whole campaign's status: every shard journal found in `dir`, or
+/// the single-process journal when no shards exist.
+pub fn campaign_status(dir: &Path) -> io::Result<Vec<JournalProgress>> {
+    let shards = find_shard_journals(dir)?;
+    let mut progress = Vec::new();
+    if shards.is_empty() {
+        let parsed = load_journal(&dir.join(JOURNAL_FILE))
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        progress.push(JournalProgress::of(&parsed, None));
+    } else {
+        for (spec, path) in shards {
+            let parsed = load_journal(&path)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+            progress.push(JournalProgress::of(&parsed, Some(spec)));
+        }
+    }
+    Ok(progress)
+}
+
+/// Render the status table shown by `irrnet-run status <dir>`.
+pub fn render_status(dir: &Path, progress: &[JournalProgress]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{}:", dir.display());
+    let (mut done, mut failed, mut assigned) = (0usize, 0usize, 0usize);
+    for p in progress {
+        let _ = writeln!(out, "  {}", p.row());
+        done += p.completed + p.failed;
+        failed += p.failed;
+        assigned += p.assigned;
+    }
+    if progress.len() > 1 {
+        let pct = (100 * done).checked_div(assigned).unwrap_or(100);
+        let _ = writeln!(out, "  {:<12} {done:>5}/{assigned:<5} {pct:>3}%  {failed:>4} failed", "total");
+    }
+    if done == assigned {
+        let _ = writeln!(
+            out,
+            "  all units journaled{}",
+            if progress.iter().any(|p| p.shard.is_some()) {
+                format!("; render with `irrnet-run merge {}`", dir.display())
+            } else {
+                String::new()
+            }
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::journal::{fail_line, header_line, parse_journal, unit_line, CampaignHeader};
+    use crate::registry::Emit;
+
+    fn header(shard: Option<ShardSpec>) -> CampaignHeader {
+        CampaignHeader {
+            quick: true,
+            seeds: vec![0],
+            trials: 1,
+            experiments: vec!["fig06".into()],
+            schemes: None,
+            unit_timeout_ms: None,
+            unit_retries: 0,
+            audit: false,
+            stream_stats: false,
+            shard,
+            argv: vec![],
+            labels: (0..5).map(|i| format!("u{i}")).collect(),
+        }
+    }
+
+    #[test]
+    fn progress_counts_and_eta_from_journal_text() {
+        let spec = ShardSpec { index: 0, count: 2 };
+        let text = format!(
+            "{}{}{}",
+            header_line(&header(Some(spec))),
+            unit_line(0, "u0", 120, &[], &[Emit::Table("t".into())]),
+            fail_line(2, "u2", "panic", "boom", 1),
+        );
+        let parsed = parse_journal(&text).unwrap();
+        let p = JournalProgress::of(&parsed, parsed.header.shard);
+        // Shard 0/2 of a 5-unit pool owns units 0, 2, 4.
+        assert_eq!((p.assigned, p.completed, p.failed, p.remaining()), (3, 1, 1, 1));
+        let row = p.row();
+        assert!(row.contains("shard 0/2") && row.contains("2/3"), "{row}");
+        assert!(row.contains("eta ~120 ms"), "{row}");
+    }
+
+    #[test]
+    fn single_process_journal_is_reported_whole() {
+        let text = header_line(&header(None));
+        let parsed = parse_journal(&text).unwrap();
+        let p = JournalProgress::of(&parsed, None);
+        assert_eq!((p.assigned, p.completed, p.remaining()), (5, 0, 5));
+        let rendered = render_status(Path::new("out"), &[p]);
+        assert!(rendered.contains("campaign"), "{rendered}");
+    }
+}

@@ -76,7 +76,7 @@ fn faulty_units_become_recorded_failures_not_dead_campaigns() {
     let mut failed: Vec<(&str, &str, u32)> = report
         .failures
         .iter()
-        .map(|f| (f.label.as_str(), f.kind, f.attempts))
+        .map(|f| (f.label.as_str(), f.kind.as_str(), f.attempts))
         .collect();
     failed.sort();
     assert_eq!(

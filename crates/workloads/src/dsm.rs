@@ -43,6 +43,11 @@ pub struct DsmConfig {
     pub drain: Cycle,
     /// RNG seed.
     pub seed: u64,
+    /// Stream the latency distribution through bounded-memory sketches
+    /// instead of buffering every sample (ε-approximate quantiles; see
+    /// [`crate::stats::STREAM_EPS`]). Off by default — goldens pin the
+    /// exact path.
+    pub stream_stats: bool,
 }
 
 impl Default for DsmConfig {
@@ -57,6 +62,7 @@ impl Default for DsmConfig {
             measure: 200_000,
             drain: 100_000,
             seed: 0xD5,
+            stream_stats: false,
         }
     }
 }
@@ -164,18 +170,29 @@ pub fn run_dsm(
     let mut n = 0usize;
     let mut done = 0usize;
     let mut samples = Vec::new();
+    let mut streaming = if cfg.stream_stats {
+        Some(crate::stats::StreamingSummary::default_eps())
+    } else {
+        None
+    };
     for r in stats.mcasts.values() {
         if r.launched >= cfg.warmup && r.launched < horizon {
             n += 1;
             if let Some(l) = r.latency() {
                 done += 1;
-                samples.push(l as f64);
+                match &mut streaming {
+                    Some(s) => s.push(l as f64),
+                    None => samples.push(l as f64),
+                }
             }
         }
     }
     Ok(DsmResult {
         invalidations: n,
-        latency: Summary::of(&samples),
+        latency: match &streaming {
+            Some(s) => s.summary(),
+            None => Summary::of(&samples),
+        },
         saturated: n > 0 && (done as f64) < 0.9 * n as f64,
     })
 }

@@ -34,7 +34,7 @@ pub use isolate::{catch_panics, run_with_deadline, IsolationError};
 pub use load::{run_load, LoadConfig, LoadResult};
 pub use report::Series;
 pub use single::{mean_single_latency, random_dests, random_mcast, run_single, SingleResult};
-pub use stats::{quantile, Summary};
+pub use stats::{quantile, GkSketch, OnlineStats, StreamingSummary, Summary, STREAM_EPS};
 pub use sweep::{
     build_networks, default_seeds, par_run, par_run_with, point_seed, single_sweep,
     single_sweep_serial, SinglePoint, SweepRow,

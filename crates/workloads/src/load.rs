@@ -39,6 +39,12 @@ pub struct LoadConfig {
     pub drain: Cycle,
     /// Workload RNG seed.
     pub seed: u64,
+    /// Stream the latency distribution through bounded-memory sketches
+    /// ([`crate::stats::StreamingSummary`]) instead of buffering every
+    /// sample. Quantiles become ε-approximate (rank error ≤ ⌈εn⌉ at
+    /// ε = [`crate::stats::STREAM_EPS`]); off by default — the exact
+    /// buffered path is what the goldens are pinned against.
+    pub stream_stats: bool,
 }
 
 impl LoadConfig {
@@ -52,6 +58,7 @@ impl LoadConfig {
             measure: 900_000,
             drain: 300_000,
             seed: 0xF00D,
+            stream_stats: false,
         }
     }
 
@@ -135,7 +142,12 @@ pub fn run_load(
     let mean_latency = stats.mean_latency_in_window(from, to);
     let mut launched = 0usize;
     let mut completed = 0usize;
+    // Streaming mode folds each latency into O((1/ε)·log(εn)) sketch
+    // state as it is seen; the exact mode buffers for the sort-based
+    // quantiles the goldens pin.
     let mut samples = Vec::new();
+    let mut streaming =
+        if lc.stream_stats { Some(crate::stats::StreamingSummary::default_eps()) } else { None };
     for r in stats.mcasts.values() {
         if r.launched >= from && r.launched < to {
             launched += 1;
@@ -143,12 +155,18 @@ pub fn run_load(
                 completed += 1;
             }
             if let Some(l) = r.latency() {
-                samples.push(l as f64);
+                match &mut streaming {
+                    Some(s) => s.push(l as f64),
+                    None => samples.push(l as f64),
+                }
             }
         }
     }
     let saturated = launched > 0 && (completed as f64) < 0.9 * launched as f64;
-    let latency = crate::stats::Summary::of(&samples);
+    let latency = match &streaming {
+        Some(s) => s.summary(),
+        None => crate::stats::Summary::of(&samples),
+    };
     Ok(LoadResult {
         mean_latency,
         launched,
@@ -174,7 +192,31 @@ mod tests {
             measure: 120_000,
             drain: 80_000,
             seed: 7,
+            stream_stats: false,
         }
+    }
+
+    #[test]
+    fn streaming_stats_agree_with_exact_path() {
+        let net = Network::analyze(zoo::paper_example().unwrap()).unwrap();
+        let cfg = SimConfig::paper_default();
+        let exact = run_load(&net, &cfg, Scheme::TreeWorm, &quick_lc(0.1)).unwrap();
+        let mut lc = quick_lc(0.1);
+        lc.stream_stats = true;
+        let streamed = run_load(&net, &cfg, Scheme::TreeWorm, &lc).unwrap();
+        // The run itself is identical; only the summary path differs.
+        assert_eq!(exact.launched, streamed.launched);
+        assert_eq!(exact.completed, streamed.completed);
+        assert_eq!(exact.mean_latency, streamed.mean_latency);
+        let (e, s) = (exact.latency.unwrap(), streamed.latency.unwrap());
+        assert_eq!(e.n, s.n);
+        assert!((e.mean - s.mean).abs() / e.mean < 1e-9);
+        assert_eq!((e.min, e.max), (s.min, s.max));
+        // Quantiles within the ε rank bound: with a few hundred samples
+        // and ε = 0.001, ⌈εn⌉ = 1 rank of slack.
+        let slack = (e.max - e.min) * 0.25 + 1.0;
+        assert!((e.p50 - s.p50).abs() <= slack, "p50 {} vs {}", e.p50, s.p50);
+        assert!((e.p99 - s.p99).abs() <= slack, "p99 {} vs {}", e.p99, s.p99);
     }
 
     #[test]

@@ -7,6 +7,7 @@
 #   ./run_figs.sh                 # quick campaign + compare
 #   IRRNET_FULL=1 ./run_figs.sh   # full paper-scale campaign + compare
 #   ./run_figs.sh bench           # perf gate vs committed BENCH_sim.json
+#   ./run_figs.sh shard [N]       # quick campaign as N workers + merge + compare
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -20,6 +21,25 @@ if [ "${1:-}" = "bench" ]; then
   # --no-out: measure only; never clobber the committed baseline report
   # that --check gates against.
   exec "$RUN" bench --no-out --check BENCH_sim.json "$@"
+fi
+
+# Distributed mode: run the quick campaign as N concurrent shard workers
+# into one directory, merge, and gate the merged artifacts against the
+# same goldens as a single-process run — they must be byte-identical.
+if [ "${1:-}" = "shard" ]; then
+  N="${2:-2}"
+  OUT=results-shard
+  rm -rf "$OUT"
+  PIDS=()
+  for ((i = 0; i < N; i++)); do
+    "$RUN" work "$OUT" --shard "$i/$N" --all --quick & PIDS+=($!)
+  done
+  for pid in "${PIDS[@]}"; do wait "$pid"; done
+  "$RUN" status "$OUT"
+  "$RUN" merge "$OUT"
+  "$RUN" compare --out "$OUT" --golden results/golden
+  echo ALLDONE
+  exit 0
 fi
 
 if [ "${IRRNET_FULL:-0}" = "1" ]; then
