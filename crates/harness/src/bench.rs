@@ -14,19 +14,26 @@
 //! * **large** — a 32-switch / 96-host topology under tree-worm load:
 //!   stresses per-cycle scans over many components.
 //!
-//! The *work* metric is `SimStats::cycles_run` — cycles the engine
-//! actually iterated (idle-period event jumps excluded) — which is a
-//! deterministic function of the workload, so two engines that both keep
-//! the determinism guarantee do identical work and their `cycles/sec`
-//! ratio is a pure speedup. Setup (topology analysis, multicast
-//! planning) is excluded from the timed region.
+//! The *work* metric is `SimStats::cycles_run` — **simulated** cycles,
+//! a deterministic function of the workload that is identical whether
+//! the engine steps every cycle or event-jumps over dead time — so two
+//! engines that both keep the determinism guarantee do identical work
+//! and their `cycles/sec` ratio is a pure speedup. `sweeps_run` (sweeps
+//! the engine actually executed) is reported alongside it: the gap
+//! between the two columns is exactly the dead time the event-driven
+//! core skipped. Setup (topology analysis, multicast planning) is
+//! excluded from the timed region.
 //!
 //! Results are written to `BENCH_sim.json` at the repo root (override
 //! with `--out`); `--check FILE` additionally gates the run against a
 //! previously committed baseline and fails when `cycles/sec` regresses
-//! by more than 20% on any workload. No external dependencies: timing
-//! uses `std::time::Instant`, output uses the in-tree [`crate::json`]
-//! writer, and the parser below reads only the format that writer emits.
+//! by more than 20% on any workload. `--exact` switches the gate to the
+//! machine-independent leg: `cycles_run` (and `sweeps_run`, when the
+//! baseline records it) must match the committed report *exactly*,
+//! catching semantic drift that a wall-clock tolerance would forgive.
+//! No external dependencies: timing uses `std::time::Instant`, output
+//! uses the in-tree [`crate::json`] writer, and the parser below reads
+//! only the format that writer emits.
 
 use crate::json::JsonWriter;
 use irrnet_core::rng::SmallRng;
@@ -55,11 +62,16 @@ pub struct BenchOptions {
     /// Timing repetitions per workload; the best (minimum) wall time
     /// wins, since the simulated work is identical across repetitions.
     pub iters: usize,
+    /// Gate on exact `cycles_run`/`sweeps_run` equality with the
+    /// `--check` baseline instead of the 20% `cycles/sec` tolerance.
+    /// The deterministic columns are machine-independent, so this leg
+    /// is suitable as a hard CI failure where wall-clock gates are not.
+    pub exact: bool,
 }
 
 impl Default for BenchOptions {
     fn default() -> Self {
-        BenchOptions { out: None, check: None, baseline_from: None, iters: 3 }
+        BenchOptions { out: None, check: None, baseline_from: None, iters: 3, exact: false }
     }
 }
 
@@ -70,21 +82,27 @@ pub struct WorkloadMeasurement {
     pub name: &'static str,
     /// One-line description.
     pub desc: &'static str,
-    /// Engine-iterated cycles per repetition (deterministic).
+    /// Simulated cycles per repetition (deterministic, mode-identical).
     pub cycles_run: u64,
+    /// Network sweeps the engine executed per repetition (deterministic
+    /// per engine mode; `cycles_run - sweeps_run` is skipped dead time).
+    pub sweeps_run: u64,
     /// Multicasts completed per repetition (deterministic).
     pub units: u64,
     /// Best wall time over the repetitions, in milliseconds.
     pub wall_ms: f64,
     /// `cycles_run / best wall seconds`.
     pub cycles_per_sec: f64,
+    /// `sweeps_run / best wall seconds`.
+    pub sweeps_per_sec: f64,
     /// `units / best wall seconds`.
     pub units_per_sec: f64,
 }
 
-/// One repetition's outcome: `(cycles_run, completed multicasts, timed)`.
+/// One repetition's outcome.
 struct IterOutcome {
     cycles_run: u64,
+    sweeps_run: u64,
     units: u64,
     timed: Duration,
 }
@@ -162,6 +180,63 @@ impl PreparedLoad {
         let stats = sim.stats();
         IterOutcome {
             cycles_run: stats.cycles_run,
+            sweeps_run: stats.sweeps_run,
+            units: stats.completed_count() as u64,
+            timed,
+        }
+    }
+}
+
+/// The `idle-heavy` workload: a handful of widely spaced multicasts over
+/// slow links. Nearly every simulated cycle is dead time — flits sitting
+/// on a 512-cycle wire, or six-figure gaps between sends — which is
+/// exactly the structure the event-driven core exists to skip.
+struct PreparedIdle {
+    net: Arc<Network>,
+    cfg: SimConfig,
+    message_flits: u32,
+    launches: Vec<(Cycle, McastId, NodeMask)>,
+    plans: Vec<(McastId, Arc<McastPlan>)>,
+}
+
+impl PreparedIdle {
+    fn prepare(net: Arc<Network>, scheme: impl Into<SchemeId>) -> Self {
+        let scheme = scheme.into();
+        let mut cfg = SimConfig::paper_default();
+        cfg.link_delay = 512;
+        let message_flits = 128;
+        let gap: Cycle = 200_000;
+        let n = net.topo.num_nodes();
+        let mut rng = SmallRng::seed_from_u64(0x1D1E_5EED);
+        let mut plans = Vec::new();
+        let mut launches = Vec::new();
+        for i in 0..16u64 {
+            let (source, dests) = random_mcast(&mut rng, n, 8);
+            let id = McastId(i);
+            let plan = plan_multicast(&net, &cfg, scheme, source, dests, message_flits);
+            plans.push((id, Arc::new(plan)));
+            launches.push((i * gap, id, dests));
+        }
+        PreparedIdle { net, cfg, message_flits, launches, plans }
+    }
+
+    fn run_once(&self) -> IterOutcome {
+        let mut proto = SchemeProtocol::new();
+        for (id, plan) in &self.plans {
+            proto.add(*id, plan.clone());
+        }
+        let mut sim = Simulator::new(&self.net, self.cfg.clone(), proto)
+            .expect("bench config is valid");
+        for &(t, id, dests) in &self.launches {
+            sim.schedule_multicast(t, id, dests, self.message_flits);
+        }
+        let t0 = Instant::now();
+        sim.run_to_completion(500_000_000).expect("bench idle run failed");
+        let timed = t0.elapsed();
+        let stats = sim.stats();
+        IterOutcome {
+            cycles_run: stats.cycles_run,
+            sweeps_run: stats.sweeps_run,
             units: stats.completed_count() as u64,
             timed,
         }
@@ -200,6 +275,7 @@ impl PreparedSingles {
 
     fn run_once(&self) -> IterOutcome {
         let mut cycles = 0u64;
+        let mut sweeps = 0u64;
         let mut timed = Duration::ZERO;
         for (_, dests, plan) in &self.mcasts {
             let mut proto = SchemeProtocol::new();
@@ -211,8 +287,14 @@ impl PreparedSingles {
             sim.run_to_completion(500_000_000).expect("bench single run failed");
             timed += t0.elapsed();
             cycles += sim.stats().cycles_run;
+            sweeps += sim.stats().sweeps_run;
         }
-        IterOutcome { cycles_run: cycles, units: self.mcasts.len() as u64, timed }
+        IterOutcome {
+            cycles_run: cycles,
+            sweeps_run: sweeps,
+            units: self.mcasts.len() as u64,
+            timed,
+        }
     }
 }
 
@@ -234,8 +316,8 @@ fn measure(
         let o = iter();
         if let Some(b) = &best {
             assert_eq!(
-                (b.cycles_run, b.units),
-                (o.cycles_run, o.units),
+                (b.cycles_run, b.sweeps_run, b.units),
+                (o.cycles_run, o.sweeps_run, o.units),
                 "bench workload {name} is not deterministic across repetitions"
             );
         }
@@ -249,9 +331,11 @@ fn measure(
         name,
         desc,
         cycles_run: best.cycles_run,
+        sweeps_run: best.sweeps_run,
         units: best.units,
         wall_ms: best.timed.as_secs_f64() * 1e3,
         cycles_per_sec: best.cycles_run as f64 / secs,
+        sweeps_per_sec: best.sweeps_run as f64 / secs,
         units_per_sec: best.units as f64 / secs,
     }
 }
@@ -268,6 +352,15 @@ pub fn run_workloads(iters: usize) -> Vec<WorkloadMeasurement> {
         "48 isolated 8-way tree-worm multicasts, paper default network",
         iters,
         || singles.run_once(),
+    ));
+
+    eprintln!("bench: preparing idle-heavy workload ...");
+    let idle = PreparedIdle::prepare(paper_net.clone(), Scheme::TreeWorm);
+    out.push(measure(
+        "idle-heavy",
+        "16 widely spaced 8-way tree-worm multicasts over 512-cycle links (dead time dominates)",
+        iters,
+        || idle.run_once(),
     ));
 
     eprintln!("bench: preparing saturation workload ...");
@@ -325,11 +418,12 @@ fn render_json(
 ) -> String {
     let mut w = JsonWriter::new();
     w.obj(None);
-    w.u64_field(Some("schema"), 1);
+    w.u64_field(Some("schema"), 2);
     w.str_field(
         Some("note"),
-        "engine throughput on the pinned bench matrix; cycles_run/units are \
-         deterministic, wall-clock fields are machine-dependent",
+        "engine throughput on the pinned bench matrix; cycles_run counts \
+         simulated cycles and sweeps_run executed sweeps — both \
+         deterministic; wall-clock fields are machine-dependent",
     );
     w.arr(Some("workloads"));
     for r in results {
@@ -337,16 +431,18 @@ fn render_json(
         w.str_field(Some("name"), r.name);
         w.str_field(Some("desc"), r.desc);
         w.u64_field(Some("cycles_run"), r.cycles_run);
+        w.u64_field(Some("sweeps_run"), r.sweeps_run);
         w.u64_field(Some("units"), r.units);
         w.f64_field(Some("wall_ms"), r.wall_ms);
         w.f64_field(Some("cycles_per_sec"), r.cycles_per_sec);
+        w.f64_field(Some("sweeps_per_sec"), r.sweeps_per_sec);
         w.f64_field(Some("units_per_sec"), r.units_per_sec);
         w.end_obj();
     }
     w.end_arr();
     if let Some(base) = baseline {
         w.obj(Some("baseline"));
-        w.str_field(Some("label"), "pre-overhaul engine");
+        w.str_field(Some("label"), "pre-event-core engine (cycle-stepped sweeps)");
         w.arr(Some("workloads"));
         for (name, cps, ups) in base {
             w.obj(None);
@@ -362,27 +458,51 @@ fn render_json(
     w.finish()
 }
 
-/// Extract `(name, cycles_per_sec, units_per_sec)` triples from the
-/// *top-level* `workloads` array of a report written by [`render_json`]
-/// (scanning stops at the `baseline` block). This is a line-oriented
-/// reader of our own writer's output, not a general JSON parser.
-pub fn parse_report(text: &str) -> Vec<(String, f64, f64)> {
-    let mut out: Vec<(String, f64, f64)> = Vec::new();
-    let mut name: Option<String> = None;
+/// One workload row read back from a committed report. `sweeps_run` is
+/// optional so schema-1 reports (written before the cycles/sweeps
+/// split) still parse for cycles/sec gating.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReportRow {
+    /// Workload name (the stable matching key).
+    pub name: String,
+    /// Simulated cycles recorded in the report.
+    pub cycles_run: u64,
+    /// Executed sweeps, when the report's schema records them.
+    pub sweeps_run: Option<u64>,
+    /// Recorded `cycles/sec`.
+    pub cycles_per_sec: f64,
+    /// Recorded `units/sec`.
+    pub units_per_sec: f64,
+}
+
+/// Extract the workload rows from the *top-level* `workloads` array of a
+/// report written by [`render_json`] (scanning stops at the `baseline`
+/// block). This is a line-oriented reader of our own writer's output,
+/// not a general JSON parser.
+pub fn parse_report(text: &str) -> Vec<ReportRow> {
+    let mut out: Vec<ReportRow> = Vec::new();
     for line in text.lines() {
         let t = line.trim().trim_end_matches(',');
         if t.starts_with("\"baseline\"") {
             break;
         }
         if let Some(v) = t.strip_prefix("\"name\": ") {
-            name = Some(v.trim_matches('"').to_string());
-        } else if let Some(v) = t.strip_prefix("\"cycles_per_sec\": ") {
-            if let (Some(n), Ok(x)) = (name.clone(), v.parse::<f64>()) {
-                out.push((n, x, 0.0));
-            }
-        } else if let Some(v) = t.strip_prefix("\"units_per_sec\": ") {
-            if let (Some(last), Ok(x)) = (out.last_mut(), v.parse::<f64>()) {
-                last.2 = x;
+            out.push(ReportRow {
+                name: v.trim_matches('"').to_string(),
+                cycles_run: 0,
+                sweeps_run: None,
+                cycles_per_sec: 0.0,
+                units_per_sec: 0.0,
+            });
+        } else if let Some(row) = out.last_mut() {
+            if let Some(v) = t.strip_prefix("\"cycles_run\": ") {
+                row.cycles_run = v.parse().unwrap_or(0);
+            } else if let Some(v) = t.strip_prefix("\"sweeps_run\": ") {
+                row.sweeps_run = v.parse().ok();
+            } else if let Some(v) = t.strip_prefix("\"cycles_per_sec\": ") {
+                row.cycles_per_sec = v.parse().unwrap_or(0.0);
+            } else if let Some(v) = t.strip_prefix("\"units_per_sec\": ") {
+                row.units_per_sec = v.parse().unwrap_or(0.0);
             }
         }
     }
@@ -391,22 +511,34 @@ pub fn parse_report(text: &str) -> Vec<(String, f64, f64)> {
 
 fn print_table(results: &[WorkloadMeasurement]) {
     println!(
-        "{:<12} {:>14} {:>8} {:>12} {:>16} {:>14}",
-        "workload", "cycles_run", "units", "wall_ms", "cycles/sec", "units/sec"
+        "{:<12} {:>14} {:>12} {:>8} {:>12} {:>16} {:>14}",
+        "workload", "cycles_run", "sweeps_run", "units", "wall_ms", "cycles/sec", "units/sec"
     );
     for r in results {
         println!(
-            "{:<12} {:>14} {:>8} {:>12.1} {:>16.0} {:>14.1}",
-            r.name, r.cycles_run, r.units, r.wall_ms, r.cycles_per_sec, r.units_per_sec
+            "{:<12} {:>14} {:>12} {:>8} {:>12.1} {:>16.0} {:>14.1}",
+            r.name,
+            r.cycles_run,
+            r.sweeps_run,
+            r.units,
+            r.wall_ms,
+            r.cycles_per_sec,
+            r.units_per_sec
         );
     }
 }
 
-/// Gate `results` against the baseline report at `path`. Returns `Ok`
-/// when every matching workload is within [`REGRESSION_TOLERANCE`];
-/// unmatched baseline workloads are reported but not fatal (the matrix
-/// may grow).
-fn check_against(results: &[WorkloadMeasurement], path: &Path) -> io::Result<()> {
+/// Gate `results` against the baseline report at `path`.
+///
+/// With `exact == false`, every matching workload must be within
+/// [`REGRESSION_TOLERANCE`] on `cycles/sec` (a machine-dependent
+/// throughput gate). With `exact == true`, the wall-clock columns are
+/// ignored and the deterministic counters must match the baseline
+/// *exactly*: `cycles_run` always, `sweeps_run` when the baseline
+/// records it — any difference means the engine's semantics or its
+/// scheduling drifted, not that the machine is slow. Unmatched baseline
+/// workloads are reported but not fatal (the matrix may grow).
+fn check_against(results: &[WorkloadMeasurement], path: &Path, exact: bool) -> io::Result<()> {
     let text = std::fs::read_to_string(path)?;
     let base = parse_report(&text);
     if base.is_empty() {
@@ -416,16 +548,41 @@ fn check_against(results: &[WorkloadMeasurement], path: &Path) -> io::Result<()>
         ));
     }
     let mut failures = Vec::new();
-    for (name, base_cps, _) in &base {
-        let Some(r) = results.iter().find(|r| r.name == name) else {
+    for row in &base {
+        let name = &row.name;
+        let Some(r) = results.iter().find(|r| r.name == *name) else {
             eprintln!("bench check: baseline workload '{name}' not in this run; skipped");
             continue;
         };
-        let ratio = r.cycles_per_sec / base_cps;
+        if exact {
+            println!(
+                "check {:<12} cycles_run {:>14} (report {:>14})  sweeps_run {:>12} (report {})",
+                name,
+                r.cycles_run,
+                row.cycles_run,
+                r.sweeps_run,
+                row.sweeps_run.map_or_else(|| "n/a".into(), |s| s.to_string()),
+            );
+            if r.cycles_run != row.cycles_run {
+                failures.push(format!(
+                    "{name}: cycles_run {} != committed {}",
+                    r.cycles_run, row.cycles_run
+                ));
+            }
+            if row.sweeps_run.is_some_and(|s| s != r.sweeps_run) {
+                failures.push(format!(
+                    "{name}: sweeps_run {} != committed {}",
+                    r.sweeps_run,
+                    row.sweeps_run.unwrap()
+                ));
+            }
+            continue;
+        }
+        let ratio = r.cycles_per_sec / row.cycles_per_sec;
         println!(
             "check {:<12} baseline {:>14.0} c/s  now {:>14.0} c/s  ({:+.1}%)",
             name,
-            base_cps,
+            row.cycles_per_sec,
             r.cycles_per_sec,
             (ratio - 1.0) * 100.0
         );
@@ -434,12 +591,17 @@ fn check_against(results: &[WorkloadMeasurement], path: &Path) -> io::Result<()>
                 "{name}: {:.0} c/s is {:.1}% below baseline {:.0} c/s",
                 r.cycles_per_sec,
                 (1.0 - ratio) * 100.0,
-                base_cps
+                row.cycles_per_sec
             ));
         }
     }
     if failures.is_empty() {
         Ok(())
+    } else if exact {
+        Err(io::Error::other(format!(
+            "deterministic counter drift vs committed report: {}",
+            failures.join("; ")
+        )))
     } else {
         Err(io::Error::other(format!(
             "cycles/sec regression >20%: {}",
@@ -456,14 +618,18 @@ pub fn run_bench(opts: &BenchOptions) -> io::Result<()> {
 
     let baseline = match &opts.baseline_from {
         Some(p) => {
-            let triples = parse_report(&std::fs::read_to_string(p)?);
-            if triples.is_empty() {
+            let rows = parse_report(&std::fs::read_to_string(p)?);
+            if rows.is_empty() {
                 return Err(io::Error::new(
                     io::ErrorKind::InvalidData,
                     format!("no workloads found in {}", p.display()),
                 ));
             }
-            Some(triples)
+            Some(
+                rows.into_iter()
+                    .map(|r| (r.name, r.cycles_per_sec, r.units_per_sec))
+                    .collect::<Vec<_>>(),
+            )
         }
         None => None,
     };
@@ -472,8 +638,15 @@ pub fn run_bench(opts: &BenchOptions) -> io::Result<()> {
         println!("wrote {}", out.display());
     }
     if let Some(check) = &opts.check {
-        check_against(&results, check)?;
-        println!("bench check passed (within 20% of {})", check.display());
+        check_against(&results, check, opts.exact)?;
+        if opts.exact {
+            println!(
+                "bench check passed (deterministic counters match {})",
+                check.display()
+            );
+        } else {
+            println!("bench check passed (within 20% of {})", check.display());
+        }
     }
     Ok(())
 }
@@ -487,9 +660,11 @@ mod tests {
             name,
             desc: "",
             cycles_run: 1000,
+            sweeps_run: 100,
             units: 10,
             wall_ms: 1.0,
             cycles_per_sec: cps,
+            sweeps_per_sec: cps / 10.0,
             units_per_sec: 10.0,
         }
     }
@@ -500,9 +675,11 @@ mod tests {
         let json = render_json(&results, None);
         let parsed = parse_report(&json);
         assert_eq!(parsed.len(), 2);
-        assert_eq!(parsed[0].0, "light");
-        assert!((parsed[0].1 - 1234567.5).abs() < 1.0);
-        assert_eq!(parsed[1].0, "saturation");
+        assert_eq!(parsed[0].name, "light");
+        assert_eq!(parsed[0].cycles_run, 1000);
+        assert_eq!(parsed[0].sweeps_run, Some(100));
+        assert!((parsed[0].cycles_per_sec - 1234567.5).abs() < 1.0);
+        assert_eq!(parsed[1].name, "saturation");
     }
 
     #[test]
@@ -512,7 +689,7 @@ mod tests {
         let json = render_json(&results, Some(&base));
         let parsed = parse_report(&json);
         assert_eq!(parsed.len(), 1, "baseline workloads must not be re-parsed");
-        assert!((parsed[0].1 - 100.0).abs() < 1.0);
+        assert!((parsed[0].cycles_per_sec - 100.0).abs() < 1.0);
     }
 
     #[test]
@@ -522,8 +699,41 @@ mod tests {
         let base_path = dir.join("base.json");
         std::fs::write(&base_path, render_json(&[fake("light", 100.0)], None)).unwrap();
         // 10% slower: fine. 30% slower: gate fails.
-        assert!(check_against(&[fake("light", 90.0)], &base_path).is_ok());
-        assert!(check_against(&[fake("light", 70.0)], &base_path).is_err());
+        assert!(check_against(&[fake("light", 90.0)], &base_path, false).is_ok());
+        assert!(check_against(&[fake("light", 70.0)], &base_path, false).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn exact_check_requires_identical_counters() {
+        let dir =
+            std::env::temp_dir().join(format!("irrnet-bench-exact-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let base_path = dir.join("base.json");
+        std::fs::write(&base_path, render_json(&[fake("light", 100.0)], None)).unwrap();
+
+        // Arbitrarily slow wall clock is fine under --exact ...
+        assert!(check_against(&[fake("light", 1.0)], &base_path, true).is_ok());
+        // ... but any drift in the deterministic counters is fatal.
+        let mut off_cycles = fake("light", 100.0);
+        off_cycles.cycles_run += 1;
+        assert!(check_against(&[off_cycles], &base_path, true).is_err());
+        let mut off_sweeps = fake("light", 100.0);
+        off_sweeps.sweeps_run -= 1;
+        assert!(check_against(&[off_sweeps], &base_path, true).is_err());
+
+        // Schema-1 reports carry no sweeps_run: only cycles_run is gated.
+        let legacy = render_json(&[fake("light", 100.0)], None)
+            .lines()
+            .filter(|l| !l.contains("sweeps_"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let legacy_path = dir.join("legacy.json");
+        std::fs::write(&legacy_path, legacy).unwrap();
+        let mut any_sweeps = fake("light", 100.0);
+        any_sweeps.sweeps_run = 7;
+        assert!(check_against(&[any_sweeps], &legacy_path, true).is_ok());
+
         std::fs::remove_dir_all(&dir).ok();
     }
 }

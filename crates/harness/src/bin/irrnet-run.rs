@@ -14,7 +14,7 @@
 //! irrnet-run --list                   # show the registry
 //! irrnet-run schemes                  # show the scheme registry
 //! irrnet-run compare [--out DIR] [--golden DIR] [--tol F]
-//! irrnet-run bench [--out FILE] [--check FILE] [--baseline-from FILE] [--iters N]
+//! irrnet-run bench [--out FILE] [--check FILE] [--exact] [--baseline-from FILE] [--iters N]
 //! ```
 //!
 //! Exit codes: 0 = campaign completed cleanly, 1 = completed with failed
@@ -45,7 +45,7 @@ fn usage() -> ! {
          \x20      irrnet-run --list\n\
          \x20      irrnet-run schemes\n\
          \x20      irrnet-run compare [--out DIR] [--golden DIR] [--tol F]\n\
-         \x20      irrnet-run bench [--out FILE] [--check FILE] [--baseline-from FILE] [--iters N]\n\
+         \x20      irrnet-run bench [--out FILE] [--check FILE] [--exact] [--baseline-from FILE] [--iters N]\n\
          experiments: {}",
         registry().iter().map(|s| s.name).collect::<Vec<_>>().join(", ")
     );
@@ -476,6 +476,9 @@ fn main_bench(argv: Vec<String>) -> ExitCode {
                 opts.baseline_from =
                     Some(parse_value::<String>(&mut args, "--baseline-from").into());
             }
+            // Gate on exact cycles_run/sweeps_run equality with the
+            // --check report instead of the 20% cycles/sec tolerance.
+            "--exact" => opts.exact = true,
             "--iters" => opts.iters = parse_value(&mut args, "--iters"),
             "--help" | "-h" => usage(),
             s => {

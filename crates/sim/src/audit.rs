@@ -8,6 +8,9 @@
 //! auditor is the cross-check — once per network sweep it recomputes
 //! every counter from ground truth and verifies:
 //!
+//! * **arrival freshness** — no occupied calendar slot is stamped for a
+//!   cycle earlier than `now` (a clock jump must never skip over a
+//!   pending arrival);
 //! * **wire conservation** — the calendar ring holds exactly
 //!   `wire_flits` flits;
 //! * **buffer occupancy** — each switch input's reservation counter
@@ -30,6 +33,21 @@
 //! simulator with [`Simulator::enable_audit`](crate::Simulator), process
 //! wide with [`set_audit_default`], or via the `IRRNET_AUDIT=1`
 //! environment variable (read once).
+//!
+//! # Sweep cadence and clock jumps
+//!
+//! The auditor runs once after every *executed* sweep. With the
+//! event-driven engine the clock can jump many cycles between sweeps;
+//! cycles inside a jump are, by construction, cycles where no component
+//! could act, so there is no per-cycle state to audit there. Instead
+//! `advance_clock` brackets every multi-cycle jump with two extra
+//! passes: a **leading-edge** audit (the post-sweep state being carried
+//! over the gap) and a **trailing-edge** audit at the jump target,
+//! *before* that cycle's sweep runs. The trailing edge is what makes a
+//! jump unable to skip over a violation window: the
+//! [`InvariantKind::StaleArrival`] check fires on any arrival the jump
+//! left behind before the sweep could quietly drain the slot, and the
+//! cross-sweep progress checks compare against the pre-jump snapshot.
 
 use std::collections::HashMap;
 use std::fmt;
@@ -62,6 +80,10 @@ pub fn default_enabled() -> bool {
 /// Which engine invariant failed.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum InvariantKind {
+    /// An occupied arrival-calendar slot is stamped for a cycle earlier
+    /// than `now`: the clock advanced past a pending arrival without
+    /// executing its cycle.
+    StaleArrival,
     /// The calendar ring's flit count disagrees with `wire_flits`.
     WireConservation,
     /// A switch input's reservation counter exceeds the configured
@@ -110,6 +132,7 @@ pub struct InvariantViolation {
 impl fmt::Display for InvariantViolation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match &self.kind {
+            InvariantKind::StaleArrival => write!(f, "stale arrival: {}", self.detail),
             InvariantKind::WireConservation => write!(f, "wire conservation: {}", self.detail),
             InvariantKind::OccupancyBound { switch, port } => {
                 write!(f, "buffer occupancy bound at S{switch} p{port}: {}", self.detail)

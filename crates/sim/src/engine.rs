@@ -1,16 +1,26 @@
-//! The cycle-driven simulation engine.
+//! The discrete-event simulation engine.
 //!
-//! The engine advances a global clock. While any flit is on a wire, in a
-//! switch buffer, or queued for injection, it steps cycle by cycle:
-//! deliver arrivals, let hosts inject, let each switch decode / arbitrate /
-//! transfer. When the network is silent it jumps the clock straight to the
-//! next host-side event (overhead completions, DMA completions, multicast
-//! launches), which makes the long software-overhead gaps of the paper's
-//! parameter space cheap to simulate.
+//! The engine advances a global clock, but it only *executes* a network
+//! sweep (deliver arrivals, let hosts inject, let each switch decode /
+//! arbitrate / transfer) on cycles where some component can possibly make
+//! progress. Everything else is skipped: each switch and host either sits
+//! on the hot `active_sw`/`active_tx` lists (swept every executed cycle),
+//! parks with a [`Event::SwitchWake`]/[`Event::HostWake`] entry on the
+//! event heap (self-timed work such as a pending routing decode), or
+//! parks with *no* wake at all and is re-armed by whichever component
+//! frees the resource it blocks on — a flit arrival, a returned buffer
+//! credit, a fault kill, or a watchdog recovery. Between executed sweeps
+//! the clock jumps straight to the earliest of: the heap front, the next
+//! occupied arrival-calendar slot, the watchdog deadline, or the run
+//! limit. See DESIGN.md §7 for the wake-graph rules and the equivalence
+//! argument against the stepping loop (`set_full_scan` keeps that loop
+//! alive as an oracle).
 //!
 //! Determinism: a run is a pure function of (network, config, protocol,
-//! schedule). Arbitration uses rotating round-robin priorities; all queues
-//! are FIFO; there is no wall-clock or unseeded randomness anywhere.
+//! schedule). Arbitration uses rotating round-robin priorities (caught up
+//! over skipped cycles so parked switches arbitrate exactly as if they
+//! had been swept); all queues are FIFO; there is no wall-clock or
+//! unseeded randomness anywhere.
 
 use crate::config::{Cycle, RetxPolicy, SimConfig};
 use crate::error::{BranchSnapshot, DeadlockDiagnostics, SimError, StuckFrame, TxBacklog};
@@ -60,6 +70,14 @@ enum Event {
     Fault,
     /// Delivery-timeout check for the multicast at this dense index.
     RetxCheck(u32),
+    /// Re-list a parked switch for the sweep at this cycle (self-timed
+    /// work, e.g. a routing decode whose delay elapses then). Wakes are
+    /// bookkeeping, not progress: they never feed the watchdog, and a
+    /// stale one (the switch drained meanwhile) is a no-op.
+    SwitchWake(u16),
+    /// Re-list a parked host's injection side (a buffer credit freed
+    /// after the host phase of the current sweep had already run).
+    HostWake(u16),
 }
 
 /// Which end of an input-port frame queue to kill.
@@ -67,6 +85,25 @@ enum Event {
 enum FrameSlot {
     Front,
     Back,
+}
+
+/// Who streams into a switch input channel. Each channel has at most one
+/// feeder — a host's injection link or one upstream switch output — so a
+/// freed buffer credit knows exactly which parked component to re-arm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Feeder {
+    None,
+    Host(u16),
+    Switch(u16),
+}
+
+/// Outcome of one switch sweep: whether any flit moved, and the earliest
+/// future cycle a pending decode becomes ready — the only self-timed wake
+/// a switch needs (everything else it waits on is re-armed externally by
+/// arrivals, credits, or kills).
+struct SweepOut {
+    moved: bool,
+    next_decode: Option<Cycle>,
 }
 
 /// Runtime state of an installed fault plan.
@@ -126,6 +163,10 @@ pub struct Simulator<'n, P: Protocol> {
     /// refreshed once per `network_cycle` so per-flit pushes index the
     /// ring with an add-and-wrap instead of a 64-bit division.
     cur_slot: usize,
+    /// Arrival cycle of the flits in each ring slot (meaningful only
+    /// while the slot is non-empty): the auditor's jump-boundary check
+    /// that the clock never skips past a due arrival.
+    ring_stamp: Vec<Cycle>,
     /// Spare buffer rotated through ring slots so their capacity
     /// survives the per-cycle drain (no reallocation at steady state).
     ring_scratch: Vec<(SinkRef, FlitPayload)>,
@@ -147,8 +188,32 @@ pub struct Simulator<'n, P: Protocol> {
     active_tx: Vec<u16>,
     /// Membership flags for `active_tx`.
     tx_listed: Vec<bool>,
+    /// Per switch: the cycle its rotating arbitration priority (`rr`) is
+    /// synced to. The stepping loop advances `rr` once per cycle a switch
+    /// holds frames; a parked switch catches up by `now - sw_rr_base` on
+    /// its next sweep, so skipped cycles leave arbitration byte-identical.
+    sw_rr_base: Vec<Cycle>,
+    /// Pending [`Event::SwitchWake`] cycle per switch (`u64::MAX` =
+    /// none) — dedups heap entries; a popped entry clears it.
+    sw_wake_at: Vec<Cycle>,
+    /// Pending [`Event::HostWake`] cycle per host (`u64::MAX` = none).
+    tx_wake_at: Vec<Cycle>,
+    /// Feeder of each switch input channel (global index), precomputed
+    /// from the wiring: who to re-arm when a buffer credit frees.
+    feeder_in: Vec<Feeder>,
+    /// Cursor into `active_sw` while the switch phase iterates it
+    /// (`usize::MAX` outside): lets a credit freed mid-phase insert a
+    /// not-yet-swept feeder *into the live sweep* so it still runs this
+    /// cycle, exactly as the stepping loop would have swept it.
+    sw_cursor: usize,
+    /// True between a cycle's sweep and the next clock advance: a kill
+    /// landing then (watchdog recovery) counts the current cycle toward
+    /// the arbitration catch-up, one landing before the sweep (a fault
+    /// event) does not. See [`Self::flush_rr`].
+    post_sweep: bool,
     /// Visit every component each cycle instead of using the active
-    /// lists (regression-testing aid; same results, slower).
+    /// lists and wake heap (regression-testing oracle: this is the old
+    /// stepping loop; same results, slower).
     full_scan: bool,
     wire_flits: u64,
     frames_alive: u64,
@@ -222,12 +287,23 @@ impl<'n, P: Protocol> Simulator<'n, P> {
                 };
             }
         }
-        let inject_sink = net
+        let inject_sink: Vec<SinkRef> = net
             .topo
             .hosts()
             .map(|(_, h)| SinkRef::SwIn { sw: h.switch.0, port: h.port.0 })
             .collect();
         let ring_len = (cfg.crossbar_delay + cfg.link_delay + 2) as usize;
+        let mut feeder_in = vec![Feeder::None; ns * pmax];
+        for (g, sink) in out_sink.iter().enumerate() {
+            if let Some(SinkRef::SwIn { sw, port }) = sink {
+                feeder_in[*sw as usize * pmax + *port as usize] =
+                    Feeder::Switch((g / pmax) as u16);
+            }
+        }
+        for (n, sink) in inject_sink.iter().enumerate() {
+            let SinkRef::SwIn { sw, port } = *sink else { unreachable!() };
+            feeder_in[sw as usize * pmax + port as usize] = Feeder::Host(n as u16);
+        }
         Ok(Simulator {
             net,
             cfg,
@@ -246,6 +322,7 @@ impl<'n, P: Protocol> Simulator<'n, P> {
             pmax,
             ring: (0..ring_len).map(|_| Vec::new()).collect(),
             cur_slot: 0,
+            ring_stamp: vec![0; ring_len],
             ring_scratch: Vec::new(),
             heap: BinaryHeap::new(),
             seq: 0,
@@ -259,6 +336,12 @@ impl<'n, P: Protocol> Simulator<'n, P> {
             sw_listed: vec![false; ns],
             active_tx: Vec::with_capacity(nh),
             tx_listed: vec![false; nh],
+            sw_rr_base: vec![0; ns],
+            sw_wake_at: vec![u64::MAX; ns],
+            tx_wake_at: vec![u64::MAX; nh],
+            feeder_in,
+            sw_cursor: usize::MAX,
+            post_sweep: false,
             full_scan: false,
             wire_flits: 0,
             frames_alive: 0,
@@ -354,6 +437,26 @@ impl<'n, P: Protocol> Simulator<'n, P> {
         self.in_reserved[g] = flits;
     }
 
+    /// Back-date the arrival stamp of the earliest occupied calendar
+    /// slot by one cycle, returning the cycle the flits are actually due
+    /// — a test-only lever emulating an off-by-one scheduler that jumps
+    /// past a pending arrival. Every audit *before* that cycle still
+    /// passes; only the trailing-edge audit of a jump landing on it can
+    /// observe the staleness (the sweep would drain the slot first).
+    #[doc(hidden)]
+    pub fn backdate_next_arrival(&mut self) -> Option<Cycle> {
+        let len = self.ring.len() as u64;
+        for d in 1..len {
+            let due = self.now + d;
+            let idx = (due % len) as usize;
+            if !self.ring[idx].is_empty() {
+                self.ring_stamp[idx] = due - 1;
+                return Some(due);
+            }
+        }
+        None
+    }
+
     /// Start recording a [`TraceLog`] of multicast lifecycle events.
     pub fn enable_trace(&mut self) {
         self.trace = Some(TraceLog::default());
@@ -439,8 +542,32 @@ impl<'n, P: Protocol> Simulator<'n, P> {
                     break;
                 }
                 let Reverse((_, _, ev)) = self.heap.pop().unwrap();
-                self.process_event(ev);
-                processed_any = true;
+                match ev {
+                    // Wakes only re-list components; they are bookkeeping,
+                    // not progress, so they don't feed the watchdog.
+                    Event::SwitchWake(s) => {
+                        let si = s as usize;
+                        if self.sw_wake_at[si] == c {
+                            self.sw_wake_at[si] = u64::MAX;
+                        }
+                        if self.sw_frames[si] > 0 {
+                            self.activate_sw(si);
+                        }
+                    }
+                    Event::HostWake(n) => {
+                        let node = n as usize;
+                        if self.tx_wake_at[node] == c {
+                            self.tx_wake_at[node] = u64::MAX;
+                        }
+                        if !self.hosts[node].tx_queue.is_empty() {
+                            self.activate_tx(node);
+                        }
+                    }
+                    ev => {
+                        self.process_event(ev);
+                        processed_any = true;
+                    }
+                }
             }
             if processed_any {
                 self.last_progress = self.now;
@@ -449,22 +576,41 @@ impl<'n, P: Protocol> Simulator<'n, P> {
                 return Err(e);
             }
             if !self.network_active() {
-                match self.heap.peek() {
-                    Some(Reverse((c, _, _))) => {
-                        self.now = (*c).min(limit);
-                        // An idle jump is progress: a long host-overhead
-                        // gap (overhead ≫ watchdog) must not trip the
-                        // deadlock watchdog once the network wakes up.
-                        self.last_progress = self.now;
-                        if self.now == limit {
+                // Quiescent: nothing is in flight, buffered, or queued, so
+                // any wake entry at the heap front is stale (its component
+                // has nothing to act on — and nothing can re-activate it
+                // before its cycle except a heap event, which would sort
+                // earlier). Discard wakes, then jump to the first real
+                // event.
+                loop {
+                    match self.heap.peek().copied() {
+                        Some(Reverse((c, _, Event::SwitchWake(s)))) => {
+                            self.heap.pop();
+                            if self.sw_wake_at[s as usize] == c {
+                                self.sw_wake_at[s as usize] = u64::MAX;
+                            }
+                        }
+                        Some(Reverse((c, _, Event::HostWake(n)))) => {
+                            self.heap.pop();
+                            if self.tx_wake_at[n as usize] == c {
+                                self.tx_wake_at[n as usize] = u64::MAX;
+                            }
+                        }
+                        Some(Reverse((c, _, _))) => {
+                            self.advance_clock(c.min(limit))?;
+                            // An idle jump is progress: a long host-overhead
+                            // gap (overhead ≫ watchdog) must not trip the
+                            // deadlock watchdog once the network wakes up.
+                            self.last_progress = self.now;
                             break;
                         }
+                        None => return Ok(()),
                     }
-                    None => break,
                 }
                 continue;
             }
             let moved = self.network_cycle();
+            self.post_sweep = true;
             if self.audit.is_some() {
                 self.audit_sweep()?;
             }
@@ -486,10 +632,84 @@ impl<'n, P: Protocol> Simulator<'n, P> {
                     });
                 }
             }
-            self.now += 1;
-            self.stats.cycles_run += 1;
+            // Advance. While anything is hot (listed components, or the
+            // full-scan oracle), the next cycle must execute. Otherwise
+            // every component is parked and the clock can jump to the
+            // earliest cycle where progress is possible: the heap front
+            // (host-side completions, launches, faults, retx, wakes), the
+            // next occupied arrival slot, or the watchdog deadline.
+            let target = if self.full_scan
+                || !self.active_sw.is_empty()
+                || !self.active_tx.is_empty()
+            {
+                self.now + 1
+            } else {
+                let mut t: Option<Cycle> = None;
+                if let Some(&Reverse((c, _, _))) = self.heap.peek() {
+                    t = Some(c);
+                }
+                if let Some(c) = self.next_arrival_cycle() {
+                    t = Some(t.map_or(c, |x| x.min(c)));
+                }
+                if self.network_active() {
+                    // A blocked worm with no wake in sight must still meet
+                    // the watchdog exactly when the stepping loop would.
+                    let fire = self.last_progress + self.cfg.watchdog_cycles + 1;
+                    t = Some(t.map_or(fire, |x| x.min(fire)));
+                }
+                match t {
+                    // Events scheduled *during* this sweep may be due at
+                    // `now` (zero-duration resources); the stepping loop
+                    // drains those on the next cycle, so clamp below.
+                    Some(c) => c.max(self.now + 1).min(limit),
+                    // Fully drained: step once and let the quiescence
+                    // check above end the run (same final clock as the
+                    // stepping loop).
+                    None => self.now + 1,
+                }
+            };
+            self.advance_clock(target)?;
         }
         Ok(())
+    }
+
+    /// Advance the clock to `target`, counting the simulated cycles
+    /// covered. A jump of more than one cycle is audited on both edges
+    /// (when auditing is on): the leading edge checks the state being
+    /// carried over the gap, the trailing edge checks nothing became due
+    /// *inside* it (see [`crate::audit::InvariantKind::StaleArrival`]).
+    fn advance_clock(&mut self, target: Cycle) -> Result<(), SimError> {
+        debug_assert!(target > self.now, "clock must advance");
+        let jumped = target - self.now > 1;
+        if jumped && self.audit.is_some() {
+            self.audit_sweep()?;
+        }
+        self.stats.cycles_run += target - self.now;
+        self.now = target;
+        self.post_sweep = false;
+        if jumped && self.audit.is_some() {
+            self.audit_sweep()?;
+        }
+        Ok(())
+    }
+
+    /// Earliest future cycle with a flit due to arrive, if any. O(ring
+    /// length) worst case, but consulted only when both active lists are
+    /// empty — and every occupied slot it skips is a cycle the clock will
+    /// jump over entirely.
+    fn next_arrival_cycle(&self) -> Option<Cycle> {
+        if self.wire_flits == 0 {
+            return None;
+        }
+        let len = self.ring.len() as u64;
+        for d in 1..len {
+            let idx = ((self.now + d) % len) as usize;
+            if !self.ring[idx].is_empty() {
+                return Some(self.now + d);
+            }
+        }
+        debug_assert!(false, "wire_flits > 0 with an empty arrival calendar");
+        None
     }
 
     /// Run until every scheduled multicast completes; errors if
@@ -556,12 +776,132 @@ impl<'n, P: Protocol> Simulator<'n, P> {
             self.sw_listed[sw] = true;
             let pos = self.active_sw.partition_point(|&s| (s as usize) < sw);
             self.active_sw.insert(pos, sw as u16);
+            // Mid-sweep insertion at or before the cursor (a credit freed
+            // by a later switch re-arming an earlier feeder) shifts the
+            // current element right; keep the cursor on it. Insertions
+            // *after* the cursor are swept this very cycle, matching the
+            // full scan (which would also have visited that switch later
+            // in the same cycle).
+            if self.sw_cursor != usize::MAX && pos <= self.sw_cursor {
+                self.sw_cursor += 1;
+            }
         }
     }
 
     fn schedule(&mut self, at: Cycle, ev: Event) {
+        debug_assert!(at >= self.now, "event scheduled in the past");
         self.seq += 1;
         self.heap.push(Reverse((at, self.seq, ev)));
+    }
+
+    /// Park-and-wake: arrange for `sw` to be re-listed at `at` (strictly
+    /// future). Deduplicated per switch — an earlier-or-equal pending wake
+    /// already covers this one; a later pending wake is superseded (the
+    /// stale heap entry is discarded when popped).
+    fn schedule_switch_wake(&mut self, sw: usize, at: Cycle) {
+        debug_assert!(at > self.now, "wake must be strictly future");
+        if self.sw_wake_at[sw] <= at {
+            return;
+        }
+        self.sw_wake_at[sw] = at;
+        self.schedule(at, Event::SwitchWake(sw as u16));
+    }
+
+    /// Host-side counterpart of [`Self::schedule_switch_wake`].
+    fn schedule_host_wake(&mut self, node: usize, at: Cycle) {
+        debug_assert!(at > self.now, "wake must be strictly future");
+        if self.tx_wake_at[node] <= at {
+            return;
+        }
+        self.tx_wake_at[node] = at;
+        self.schedule(at, Event::HostWake(node as u16));
+    }
+
+    /// A buffer credit on input channel `g` was released: re-arm the
+    /// component feeding that channel, which may have parked while
+    /// blocked on it. Phase matters for byte-identity with the full
+    /// scan: during the arrival/event phase (and the host phase, which
+    /// runs before switches) the feeder is simply re-listed — the sweep
+    /// of cycle `now` will visit it just like the full scan would.
+    /// During the *switch* phase, a feeder at or before the current
+    /// cursor position has already been swept this cycle, so it gets a
+    /// heap wake for `now + 1` instead (the earliest cycle it could act
+    /// on the credit); a feeder after the cursor is re-listed and swept
+    /// later this same cycle.
+    fn credit_freed(&mut self, g: usize) {
+        if self.full_scan {
+            return; // the stepping loop visits everything anyway
+        }
+        match self.feeder_in[g] {
+            Feeder::None => {}
+            Feeder::Host(n) => {
+                let node = n as usize;
+                if self.tx_listed[node] || self.hosts[node].tx_queue.is_empty() {
+                    return;
+                }
+                // Hosts are swept before switches, so any credit freed
+                // during the switch phase arrives too late for this
+                // cycle's host sweep.
+                if self.sw_cursor != usize::MAX {
+                    self.schedule_host_wake(node, self.now + 1);
+                } else {
+                    self.activate_tx(node);
+                }
+            }
+            Feeder::Switch(s) => {
+                let si = s as usize;
+                if self.sw_listed[si] || self.sw_frames[si] == 0 {
+                    return;
+                }
+                if self.sw_cursor != usize::MAX
+                    && si <= self.active_sw[self.sw_cursor] as usize
+                {
+                    // Already swept (or is the switch currently being
+                    // swept, which frees its own credits after moving):
+                    // earliest it can use the credit is next cycle.
+                    self.schedule_switch_wake(si, self.now + 1);
+                } else {
+                    self.activate_sw(si);
+                }
+            }
+        }
+    }
+
+    /// A switch's frame count hit zero *outside* its own sweep (a fault
+    /// or watchdog kill): settle the arbitration catch-up immediately,
+    /// while "frames were resident every skipped cycle" still holds.
+    /// The stepping loop advanced `rr` through the last cycle it swept
+    /// this switch — the current cycle iff its sweep already ran. Once
+    /// the count is zero no further advances accrue; the next head
+    /// arrival resets `sw_rr_base` instead.
+    fn flush_rr(&mut self, si: usize) {
+        if self.full_scan || self.sw_frames[si] != 0 {
+            return;
+        }
+        let boundary = self.now + u64::from(self.post_sweep);
+        let missed = (boundary - self.sw_rr_base[si]) % 256;
+        self.switches[si].rr = self.switches[si].rr.wrapping_add(missed as u8);
+        self.sw_rr_base[si] = boundary;
+    }
+
+    /// Re-list every component that holds work, discarding all parking
+    /// decisions. Used after structural upheaval (fault application,
+    /// watchdog recovery) where cheap per-resource re-arming is not worth
+    /// proving correct.
+    fn rearm_all(&mut self) {
+        if self.full_scan {
+            return;
+        }
+        for si in 0..self.sw_frames.len() {
+            if self.sw_frames[si] > 0 {
+                self.activate_sw(si);
+            }
+        }
+        for node in 0..self.hosts.len() {
+            if !self.hosts[node].tx_queue.is_empty() {
+                self.activate_tx(node);
+            }
+        }
     }
 
     fn gidx(&self, sw: u16, port: u8) -> usize {
@@ -597,6 +937,7 @@ impl<'n, P: Protocol> Simulator<'n, P> {
             idx -= self.ring.len();
         }
         self.ring[idx].push((sink, payload));
+        self.ring_stamp[idx] = at;
         self.wire_flits += 1;
     }
 
@@ -656,6 +997,11 @@ impl<'n, P: Protocol> Simulator<'n, P> {
 
     fn process_event(&mut self, ev: Event) {
         match ev {
+            // Wakes are intercepted in `run_until`'s drain loop (they
+            // need the phase context there); reaching here is a bug.
+            Event::SwitchWake(_) | Event::HostWake(_) => {
+                unreachable!("wake events are handled in run_until")
+            }
             Event::Launch(id) => {
                 self.emit(TraceEvent::Launch { mcast: id });
                 let (idx, info) = self.minfo(id);
@@ -839,6 +1185,7 @@ impl<'n, P: Protocol> Simulator<'n, P> {
     fn network_cycle(&mut self) -> bool {
         let t = self.now;
         let mut moved = false;
+        self.stats.sweeps_run += 1;
 
         // --- 1. arrivals ---------------------------------------------
         // The slot is swapped against a scratch buffer (not `take`n) so
@@ -868,6 +1215,7 @@ impl<'n, P: Protocol> Simulator<'n, P> {
                         if self.dead_in[g] {
                             self.stats.net.flits_dropped += 1;
                             self.in_reserved[g] -= 1;
+                            self.credit_freed(g);
                             continue;
                         }
                         if let Some(mark) = &self.purge_in[g] {
@@ -878,6 +1226,7 @@ impl<'n, P: Protocol> Simulator<'n, P> {
                             if stale {
                                 self.stats.net.flits_dropped += 1;
                                 self.in_reserved[g] -= 1;
+                                self.credit_freed(g);
                                 continue;
                             }
                             self.purge_in[g] = None;
@@ -901,6 +1250,14 @@ impl<'n, P: Protocol> Simulator<'n, P> {
                             }
                             self.frames_alive += 1;
                             self.sw_frames[sw as usize] += 1;
+                            if self.sw_frames[sw as usize] == 1 {
+                                // First frame after an empty spell: the
+                                // stepping loop skipped this switch while
+                                // it held nothing, so no arbitration
+                                // advances are owed (see the rr catch-up
+                                // in the switch sweep).
+                                self.sw_rr_base[sw as usize] = t;
+                            }
                             self.activate_sw(sw as usize);
                         }
                         FlitPayload::Body => {
@@ -913,6 +1270,10 @@ impl<'n, P: Protocol> Simulator<'n, P> {
                                 f.header_done_at = Some(t);
                             }
                             debug_assert!(f.received <= f.total_in);
+                            // A parked switch may be waiting on exactly
+                            // this flit (header completion or transfer
+                            // availability): re-list it for this sweep.
+                            self.activate_sw(sw as usize);
                         }
                     }
                 }
@@ -992,7 +1353,9 @@ impl<'n, P: Protocol> Simulator<'n, P> {
         // --- 2. host injection ----------------------------------------
         // Active-list sweep: visit only hosts with queued worms, in
         // ascending order (identical to the full scan); drop entries
-        // whose queue drains.
+        // whose queue drains, and *park* hosts that could not move (the
+        // only reason is a missing downstream credit — `credit_freed` on
+        // that channel re-arms them).
         if self.full_scan {
             for node in 0..self.hosts.len() {
                 if self.hosts[node].tx_queue.is_empty() {
@@ -1001,56 +1364,77 @@ impl<'n, P: Protocol> Simulator<'n, P> {
                 moved |= self.inject_from(node, t);
             }
         } else {
-            let mut act = std::mem::take(&mut self.active_tx);
-            act.retain(|&n| {
-                let node = n as usize;
+            let mut i = 0;
+            while i < self.active_tx.len() {
+                let node = self.active_tx[i] as usize;
                 if self.hosts[node].tx_queue.is_empty() {
                     self.tx_listed[node] = false;
-                    return false;
+                    self.active_tx.remove(i);
+                    continue;
                 }
-                moved |= self.inject_from(node, t);
-                if self.hosts[node].tx_queue.is_empty() {
-                    self.tx_listed[node] = false;
-                    false
+                let m = self.inject_from(node, t);
+                moved |= m;
+                if m && !self.hosts[node].tx_queue.is_empty() {
+                    i += 1;
                 } else {
-                    true
+                    self.tx_listed[node] = false;
+                    self.active_tx.remove(i);
                 }
-            });
-            debug_assert!(self.active_tx.is_empty());
-            self.active_tx = act;
+            }
         }
 
         // --- 3. switches ----------------------------------------------
-        // Same scheme: only switches with resident frames, ascending.
+        // Same scheme: only switches with resident frames, ascending;
+        // `sw_cursor` is live so a credit freed mid-sweep can tell
+        // already-swept feeders (heap wake at t+1) from not-yet-swept
+        // ones (re-list, swept later this same cycle). A switch that
+        // neither moved a flit nor has a decode due next cycle *parks*:
+        // it leaves the list, optionally dropping a `SwitchWake` at its
+        // next self-timed decode cycle, and otherwise waits for whoever
+        // frees the resource it is blocked on.
         if self.full_scan {
             for si in 0..self.switches.len() {
                 if self.sw_frames[si] == 0 {
                     continue;
                 }
                 let mut sw = std::mem::take(&mut self.switches[si]);
-                moved |= self.switch_cycle(si, &mut sw);
+                moved |= self.switch_cycle(si, &mut sw).moved;
                 self.switches[si] = sw;
             }
         } else {
-            let mut act = std::mem::take(&mut self.active_sw);
-            act.retain(|&s| {
-                let si = s as usize;
+            self.sw_cursor = 0;
+            while self.sw_cursor < self.active_sw.len() {
+                let si = self.active_sw[self.sw_cursor] as usize;
                 if self.sw_frames[si] == 0 {
                     self.sw_listed[si] = false;
-                    return false;
+                    self.active_sw.remove(self.sw_cursor);
+                    continue;
                 }
                 let mut sw = std::mem::take(&mut self.switches[si]);
-                moved |= self.switch_cycle(si, &mut sw);
+                // Arbitration catch-up: the stepping loop advanced `rr`
+                // once per cycle this switch held frames; replay the
+                // advances for the cycles we skipped while it was parked
+                // (all provably no-op sweeps except this counter).
+                let missed = (t - self.sw_rr_base[si]) % 256;
+                sw.rr = sw.rr.wrapping_add(missed as u8);
+                let out = self.switch_cycle(si, &mut sw);
                 self.switches[si] = sw;
+                self.sw_rr_base[si] = t + 1;
+                moved |= out.moved;
                 if self.sw_frames[si] == 0 {
                     self.sw_listed[si] = false;
-                    false
+                    self.active_sw.remove(self.sw_cursor);
+                } else if out.moved || out.next_decode == Some(t + 1) {
+                    self.sw_cursor += 1;
                 } else {
-                    true
+                    self.sw_listed[si] = false;
+                    self.active_sw.remove(self.sw_cursor);
+                    if let Some(d) = out.next_decode {
+                        self.schedule_switch_wake(si, d);
+                    }
                 }
-            });
-            debug_assert!(self.active_sw.is_empty());
-            self.active_sw = act;
+            }
+            self.sw_cursor = usize::MAX;
         }
         moved
     }
@@ -1084,12 +1468,16 @@ impl<'n, P: Protocol> Simulator<'n, P> {
 
     /// Decode, arbitrate, transfer for one switch. `sw` is temporarily
     /// detached from `self` (no self-links, so no aliasing with the sinks
-    /// this switch transmits into).
-    fn switch_cycle(&mut self, si: usize, sw: &mut SwitchState) -> bool {
+    /// this switch transmits into). Besides the moved flag, reports the
+    /// earliest future cycle a pending decode becomes ready (the only
+    /// *self-timed* work a switch has — everything else it waits on is
+    /// re-armed by the component supplying it).
+    fn switch_cycle(&mut self, si: usize, sw: &mut SwitchState) -> SweepOut {
         let t = self.now;
         let here = SwitchId(si as u16);
         let nports = sw.inputs.len();
         let mut moved = false;
+        let mut next_decode: Option<Cycle> = None;
 
         // Decode head frames whose routing delay has elapsed. Only ports
         // flagged in `undecoded` can need work (ascending order, same as
@@ -1103,8 +1491,12 @@ impl<'n, P: Protocol> Simulator<'n, P> {
                 .front_mut()
                 .expect("undecoded bit without front frame");
             debug_assert!(!f.decoded);
+            // No `header_done_at` yet: the arrival completing the header
+            // re-lists this switch, so no timer is needed.
             let Some(hd) = f.header_done_at else { continue };
-            if t < hd + self.cfg.routing_delay {
+            let ready = hd + self.cfg.routing_delay;
+            if t < ready {
+                next_decode = Some(next_decode.map_or(ready, |x| x.min(ready)));
                 continue;
             }
             let faulted = self.faults.as_ref().is_some_and(|rt| !rt.status.is_healthy());
@@ -1250,6 +1642,7 @@ impl<'n, P: Protocol> Simulator<'n, P> {
                 let g = self.gidx(si as u16, p);
                 self.in_reserved[g] -= freed;
                 self.audit_freed += freed as u64;
+                self.credit_freed(g);
             }
             self.reserve(sink);
             self.push_flit(
@@ -1263,7 +1656,7 @@ impl<'n, P: Protocol> Simulator<'n, P> {
             }
             moved = true;
         }
-        moved
+        SweepOut { moved, next_decode }
     }
 
     fn diagnostics(&self) -> DeadlockDiagnostics {
@@ -1334,8 +1727,30 @@ impl<'n, P: Protocol> Simulator<'n, P> {
         use crate::audit::{InvariantKind, InvariantViolation};
         let fail = |kind: InvariantKind, detail: String| Err(InvariantViolation { kind, detail });
 
+        // Arrival-calendar freshness: no occupied slot may be *overdue*
+        // (stamped for a cycle earlier than `now`). During stepped
+        // execution this can't happen — the due slot drains every cycle —
+        // so the check exists for clock jumps: `advance_clock` audits
+        // both edges of a jump, and a scheduler bug that jumped past a
+        // pending arrival is caught here at the trailing edge, before
+        // any sweep could quietly drain the evidence.
+        let mut ring_flits: u64 = 0;
+        for (i, slot) in self.ring.iter().enumerate() {
+            ring_flits += slot.len() as u64;
+            if !slot.is_empty() && self.ring_stamp[i] < self.now {
+                return fail(
+                    InvariantKind::StaleArrival,
+                    format!(
+                        "slot {i} holds {} flits due at cycle {}, but the clock is at {}",
+                        slot.len(),
+                        self.ring_stamp[i],
+                        self.now
+                    ),
+                );
+            }
+        }
+
         // Wire conservation: the ring holds exactly `wire_flits` flits.
-        let ring_flits: u64 = self.ring.iter().map(|s| s.len() as u64).sum();
         if ring_flits != self.wire_flits {
             return fail(
                 InvariantKind::WireConservation,
@@ -1603,6 +2018,10 @@ impl<'n, P: Protocol> Simulator<'n, P> {
                 self.pending_fatal = Some(SimError::Partitioned { at: self.now, cause });
             }
         }
+        // 5. The reconfiguration changed what every resident worm can do
+        //    (routes, candidate outputs, freed grants): discard all
+        //    parking decisions and let the next sweep re-evaluate.
+        self.rearm_all();
     }
 
     /// Remove one frame from input `p` of switch `si`: release its buffer
@@ -1628,6 +2047,10 @@ impl<'n, P: Protocol> Simulator<'n, P> {
         self.stats.net.worms_killed += 1;
         self.frames_alive -= 1;
         self.sw_frames[si] -= 1;
+        self.flush_rr(si);
+        if outstanding > 0 {
+            self.credit_freed(g);
+        }
         if purge_feeder && f.received < f.total_in && !self.dead_in[g] {
             if self.purge_in[g].is_none() {
                 self.purge_active += 1;
@@ -1722,6 +2145,9 @@ impl<'n, P: Protocol> Simulator<'n, P> {
         self.stats.net.worms_killed += 1;
         self.frames_alive -= 1;
         self.sw_frames[si] -= 1;
+        if outstanding > 0 {
+            self.credit_freed(g);
+        }
         if f.received < f.total_in && !self.dead_in[g] {
             // The (live) feeder keeps streaming this worm: swallow the
             // rest on arrival.
@@ -1754,6 +2180,10 @@ impl<'n, P: Protocol> Simulator<'n, P> {
         self.kill_frame_at(si, p, FrameSlot::Front, true);
         self.recoveries_used += 1;
         self.stats.net.watchdog_recoveries += 1;
+        // The kill released grants and credits well beyond what
+        // `credit_freed` traces (cascaded strand kills, freed outputs on
+        // this switch): re-list everything with work and re-evaluate.
+        self.rearm_all();
         true
     }
 

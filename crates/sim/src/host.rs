@@ -12,7 +12,12 @@
 //!   and the ejection side assembling arriving worms into packets.
 //!
 //! Every resource is a FIFO: a task runs to completion, then the next
-//! starts. The engine drives them via its event heap.
+//! starts. The engine drives the CPU/NI/bus via its event heap
+//! (`HostDone`/`NiDone`/`BusDone` completions), so overhead intervals
+//! cost no sweeps at all. The injection link is swept per cycle while
+//! flits flow; a host that stalls on a full switch input buffer parks
+//! off the active list and is re-armed by the credit release when the
+//! switch frees the slot (it never polls).
 
 use crate::config::Cycle;
 use crate::worm::{McastId, SendSpec, WormCopy};

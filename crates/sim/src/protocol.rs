@@ -23,6 +23,12 @@
 //! a [`ProtocolError`] instead of panicking, and the engine aborts the
 //! run with [`SimError::Protocol`](crate::error::SimError::Protocol) at
 //! the end of the failing cycle.
+//!
+//! All protocol-driven timing (launch instants, overhead completions,
+//! retransmission-timeout checks and their backoff delays) lives on the
+//! engine's event heap rather than being polled, so the event-driven
+//! core jumps straight across retx backoff windows and inter-send gaps
+//! without executing the intervening sweeps.
 
 use crate::worm::{McastId, SendSpec, WormCopy};
 use irrnet_topology::NodeId;

@@ -236,8 +236,19 @@ pub struct SimStats {
     pub mcasts: McastTable,
     /// Aggregate network counters.
     pub net: NetCounters,
-    /// Cycles actually iterated by the engine (diagnostic).
+    /// **Simulated** cycles the clock advanced through — every cycle
+    /// between launch and drain, whether it was executed as a sweep or
+    /// jumped over by the discrete-event scheduler. Deterministic for a
+    /// given workload and identical across execution modes (full scan
+    /// vs. event-driven), which is what makes it an exact regression
+    /// oracle for the bench gate.
     pub cycles_run: u64,
+    /// Sweeps the engine actually **executed** — the work metric. The
+    /// stepping loop has `sweeps_run == cycles_run` while anything is in
+    /// flight; the event-driven engine skips every cycle no component
+    /// can act in, so `sweeps_run ≤ cycles_run` and the gap is exactly
+    /// the dead time the scheduler saved (diagnostic; mode-dependent).
+    pub sweeps_run: u64,
     /// Flits carried per *directed* inter-switch link, indexed
     /// `link_id * 2 + departing_side` — the load-balance picture behind
     /// the contention results (root-ward links of the up*/down* tree

@@ -11,6 +11,14 @@
 //! which keeps one blocked branch from stalling its siblings and, together
 //! with packet-sized buffers and up*/down*-conformant routes, keeps
 //! replication deadlock-free.
+//!
+//! Under the event-driven engine a switch is swept only when it can act:
+//! each sweep reports whether any flit moved and the earliest future
+//! cycle a pending routing decode completes, and the engine parks the
+//! switch otherwise. A parked switch is re-armed by a flit arrival, its
+//! own decode timer, or a downstream buffer credit coming back (see the
+//! wake-graph rules in `engine.rs` / DESIGN.md §7) — the sweep outcome
+//! itself is oblivious to which cycles were skipped in between.
 
 use crate::config::SimConfig;
 use crate::worm::{RouteInfo, WormCopy};

@@ -7,6 +7,7 @@
 #   ./run_figs.sh                 # quick campaign + compare
 #   IRRNET_FULL=1 ./run_figs.sh   # full paper-scale campaign + compare
 #   ./run_figs.sh bench           # perf gate vs committed BENCH_sim.json
+#   ./run_figs.sh bench --exact   # exact cycles_run/sweeps_run gate
 #   ./run_figs.sh shard [N]       # quick campaign as N workers + merge + compare
 set -euo pipefail
 cd "$(dirname "$0")"
