@@ -8,9 +8,13 @@
 //! irrnet-run fig06 ext_b ...          # run selected experiments
 //! irrnet-run resume DIR [--threads N] # finish an interrupted campaign
 //! irrnet-run work DIR --shard i/N (--all | <experiment>...) [flags]
+//!            [--take-over] [--stale-after SECS]
 //!                                     # run one shard of a distributed campaign
 //! irrnet-run merge DIR [--threads N]  # merge completed shards, render artifacts
-//! irrnet-run status DIR               # live progress from the journal(s)
+//! irrnet-run status DIR [--stale-after SECS]
+//!                                     # live progress + liveness from journals/leases
+//! irrnet-run reshard DIR --shards M [--stale-after SECS]
+//!                                     # re-plan remaining units under M shards
 //! irrnet-run --list                   # show the registry
 //! irrnet-run schemes                  # show the scheme registry
 //! irrnet-run compare [--out DIR] [--golden DIR] [--tol F]
@@ -29,7 +33,10 @@ use irrnet_harness::runner::{
     install_sigint_handler, resume_campaign, run_campaign, CampaignReport,
 };
 use irrnet_harness::schemes::ensure_demo_schemes;
-use irrnet_harness::shard::{merge_campaign, run_shard, ShardSpec};
+use irrnet_harness::lease::DEFAULT_STALE_AFTER;
+use irrnet_harness::shard::{
+    merge_campaign, reshard_campaign, run_shard, ShardSpec, WorkerOptions,
+};
 use irrnet_harness::status::{campaign_status, render_status};
 use std::process::ExitCode;
 
@@ -40,8 +47,10 @@ fn usage() -> ! {
          \x20                 [--unit-timeout SECS] [--unit-retries N] [--audit] [--stream-stats]\n\
          \x20      irrnet-run resume DIR [--threads N]\n\
          \x20      irrnet-run work DIR --shard i/N (--all | <experiment>...) [flags as above]\n\
+         \x20                 [--take-over] [--stale-after SECS]\n\
          \x20      irrnet-run merge DIR [--threads N]\n\
-         \x20      irrnet-run status DIR\n\
+         \x20      irrnet-run status DIR [--stale-after SECS]\n\
+         \x20      irrnet-run reshard DIR --shards M [--stale-after SECS]\n\
          \x20      irrnet-run --list\n\
          \x20      irrnet-run schemes\n\
          \x20      irrnet-run compare [--out DIR] [--golden DIR] [--tol F]\n\
@@ -95,7 +104,21 @@ struct CampaignCli {
     audit: bool,
     stream_stats: bool,
     shard: Option<ShardSpec>,
+    take_over: bool,
+    stale_after: Option<f64>,
     names: Vec<String>,
+}
+
+/// Parse and validate a `--stale-after SECS` value into a Duration.
+fn stale_after_duration(secs: Option<f64>) -> Result<std::time::Duration, ExitCode> {
+    match secs {
+        None => Ok(DEFAULT_STALE_AFTER),
+        Some(s) if s.is_finite() && s > 0.0 => Ok(std::time::Duration::from_secs_f64(s)),
+        Some(_) => {
+            eprintln!("error: --stale-after needs a positive number of seconds");
+            Err(ExitCode::FAILURE)
+        }
+    }
 }
 
 impl CampaignCli {
@@ -129,6 +152,10 @@ impl CampaignCli {
                             usage();
                         }
                     }
+                }
+                "--take-over" if allow_shard => cli.take_over = true,
+                "--stale-after" if allow_shard => {
+                    cli.stale_after = Some(parse_value(&mut args, "--stale-after"));
                 }
                 "--help" | "-h" => usage(),
                 s if s.starts_with('-') => {
@@ -237,6 +264,7 @@ fn main() -> ExitCode {
         Some("work") => return main_work(argv.clone(), argv[1..].to_vec()),
         Some("merge") => return main_merge(argv[1..].to_vec()),
         Some("status") => return main_status(argv[1..].to_vec()),
+        Some("reshard") => return main_reshard(argv.clone(), argv[1..].to_vec()),
         _ => {}
     }
 
@@ -295,8 +323,12 @@ fn main_work(full_argv: Vec<String>, rest: Vec<String>) -> ExitCode {
         Ok(o) => o,
         Err(code) => return code,
     };
+    let worker = match stale_after_duration(cli.stale_after) {
+        Ok(stale_after) => WorkerOptions { take_over: cli.take_over, stale_after },
+        Err(code) => return code,
+    };
     install_sigint_handler();
-    match run_shard(&specs, &opts, shard) {
+    match run_shard(&specs, &opts, shard, &worker) {
         Ok(report) => {
             if report.interrupted {
                 ExitCode::from(130)
@@ -347,8 +379,11 @@ fn main_merge(argv: Vec<String>) -> ExitCode {
 
 fn main_status(argv: Vec<String>) -> ExitCode {
     let mut dir: Option<std::path::PathBuf> = None;
-    for a in argv {
+    let mut stale_after: Option<f64> = None;
+    let mut args = argv.into_iter();
+    while let Some(a) = args.next() {
         match a.as_str() {
+            "--stale-after" => stale_after = Some(parse_value(&mut args, "--stale-after")),
             "--help" | "-h" => usage(),
             s if s.starts_with('-') => {
                 eprintln!("error: unknown status flag '{s}'");
@@ -365,14 +400,66 @@ fn main_status(argv: Vec<String>) -> ExitCode {
         eprintln!("error: status needs a campaign directory");
         usage();
     };
+    let stale_after = match stale_after_duration(stale_after) {
+        Ok(d) => d,
+        Err(code) => return code,
+    };
     // Status may race live workers; journal parsing tolerates the torn
     // tail a mid-write worker leaves.
     ensure_demo_schemes();
-    match campaign_status(&dir) {
+    match campaign_status(&dir, stale_after) {
         Ok(progress) => {
             print!("{}", render_status(&dir, &progress));
             ExitCode::SUCCESS
         }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn main_reshard(full_argv: Vec<String>, rest: Vec<String>) -> ExitCode {
+    let mut dir: Option<std::path::PathBuf> = None;
+    let mut shards: Option<usize> = None;
+    let mut stale_after: Option<f64> = None;
+    let mut args = rest.into_iter();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--shards" => shards = Some(parse_value(&mut args, "--shards")),
+            "--stale-after" => stale_after = Some(parse_value(&mut args, "--stale-after")),
+            "--help" | "-h" => usage(),
+            s if s.starts_with('-') => {
+                eprintln!("error: unknown reshard flag '{s}'");
+                usage();
+            }
+            s if dir.is_none() => dir = Some(s.into()),
+            s => {
+                eprintln!("error: unexpected reshard argument '{s}'");
+                usage();
+            }
+        }
+    }
+    let Some(dir) = dir else {
+        eprintln!("error: reshard needs the campaign directory");
+        usage();
+    };
+    let Some(shards) = shards else {
+        eprintln!("error: reshard needs --shards M (the new shard count)");
+        usage();
+    };
+    if shards == 0 {
+        eprintln!("error: --shards must be at least 1");
+        return ExitCode::FAILURE;
+    }
+    let stale_after = match stale_after_duration(stale_after) {
+        Ok(d) => d,
+        Err(code) => return code,
+    };
+    // Journal parsing resolves scheme names during the rewrite audit.
+    ensure_demo_schemes();
+    match reshard_campaign(&dir, shards, stale_after, &full_argv) {
+        Ok(_) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE

@@ -22,9 +22,22 @@
 //! replay keys strictly on the unit index, and the determinism suite
 //! excludes journal files from byte comparisons.
 //!
+//! **Integrity (format v3).** Every line — header and records alike —
+//! leads with a `"sum"` field: the fnv1a hash of the rest of the line
+//! (its canonical payload). Corruption *anywhere* in the file is
+//! therefore detected on read, not just at the tail, and classified:
+//! a damaged **final** line with no trailing newline is the crash
+//! signature (torn tail — dropped, with the byte count reported, and
+//! resume re-runs that unit), while a damaged line *before* the end of
+//! the file — a partial rsync, a disk error, a bit flip in transit —
+//! is a typed [`JournalError::CorruptRecord`] naming file, line, and
+//! byte offset. Nothing after mid-stream damage is ever silently
+//! discarded.
+//!
 //! This module also owns the crash-safe file primitives (`atomic_write`,
 //! `sync_dir`) the runner and manifest writer use for artifacts.
 
+pub use crate::error::JournalError;
 use crate::json::{self, escape, Value};
 use crate::registry::Emit;
 use crate::shard::ShardSpec;
@@ -39,8 +52,9 @@ use std::sync::Mutex;
 pub const JOURNAL_FILE: &str = "journal.jsonl";
 
 /// Journal format version this build reads and writes. Version 2 added
-/// the `stream_stats`/`argv`/`shard` header fields and `"fail"` records.
-pub const JOURNAL_VERSION: u64 = 2;
+/// the `stream_stats`/`argv`/`shard` header fields and `"fail"` records;
+/// version 3 added the leading per-record `"sum"` integrity checksum.
+pub const JOURNAL_VERSION: u64 = 3;
 
 /// The shard journal file name for shard `spec` of a campaign directory.
 pub fn shard_journal_file(spec: ShardSpec) -> String {
@@ -155,6 +169,53 @@ pub struct ReplayedFailure {
     pub attempts: u32,
 }
 
+// ---- per-record integrity checksums (format v3) --------------------------
+
+/// The fixed lead-in of every sealed line: `{"sum":"0x<16 hex>",` —
+/// the checksum covers everything after it up to (and including) the
+/// closing brace.
+const SUM_PREFIX: &str = "{\"sum\":\"0x";
+
+/// Seal one raw journal line (`{...}\n`) with its integrity checksum:
+/// the canonical payload — everything between the opening brace and the
+/// trailing newline — is fnv1a-hashed and the hash is prepended as the
+/// line's first field. Re-serializing a parsed record reproduces the
+/// sealed line byte-identically.
+pub fn seal_line(raw: &str) -> String {
+    debug_assert!(raw.starts_with('{') && raw.ends_with("}\n"), "not a raw journal line");
+    let body = &raw[1..raw.len() - 1];
+    format!("{{\"sum\":\"0x{:016x}\",{body}\n", fnv1a(body.as_bytes()))
+}
+
+/// Verify a trimmed (newline-stripped) line's checksum, returning the
+/// line for parsing on success.
+fn verify_line(t: &str) -> Result<&str, String> {
+    let rest = t
+        .strip_prefix(SUM_PREFIX)
+        .ok_or("record has no leading \"sum\" checksum field")?;
+    if rest.len() < 16 + 2 {
+        return Err("record ends inside its checksum field".into());
+    }
+    let (hex, tail) = rest.split_at(16);
+    // Canonical form only: seal_line writes lowercase hex, and
+    // from_str_radix would silently accept a case-flipped digit as the
+    // same value — a one-bit corruption the checksum must not excuse.
+    if !hex.bytes().all(|b| b.is_ascii_digit() || (b'a'..=b'f').contains(&b)) {
+        return Err(format!("bad checksum literal '0x{hex}'"));
+    }
+    let stamped = u64::from_str_radix(hex, 16)
+        .map_err(|_| format!("bad checksum literal '0x{hex}'"))?;
+    let body = tail.strip_prefix("\",").ok_or("malformed checksum field")?;
+    let actual = fnv1a(body.as_bytes());
+    if actual != stamped {
+        return Err(format!(
+            "record checksum mismatch: payload hashes to 0x{actual:016x} but the record \
+             stamps 0x{stamped:016x}"
+        ));
+    }
+    Ok(t)
+}
+
 // ---- compact one-line serialization -------------------------------------
 
 fn push_str_field(out: &mut String, key: &str, value: &str) {
@@ -266,7 +327,7 @@ pub fn header_line(h: &CampaignHeader) -> String {
     s.push_str(",\"labels\":");
     push_str_array(&mut s, &h.labels);
     s.push_str("}\n");
-    s
+    seal_line(&s)
 }
 
 /// One completed-unit line (with trailing newline).
@@ -289,7 +350,7 @@ pub fn unit_line(index: usize, label: &str, ms: u64, cache: &[String], emits: &[
         s.push_str(&emit_json(e));
     }
     s.push_str("]}\n");
-    s
+    seal_line(&s)
 }
 
 /// One permanently-failed-unit line (with trailing newline).
@@ -302,7 +363,7 @@ pub fn fail_line(index: usize, label: &str, kind: &str, error: &str, attempts: u
     s.push(',');
     push_str_field(&mut s, "error", error);
     let _ = writeln!(s, ",\"attempts\":{attempts}}}");
-    s
+    seal_line(&s)
 }
 
 // ---- parsing -------------------------------------------------------------
@@ -315,20 +376,20 @@ fn parse_hex_hash(s: &str) -> Option<u64> {
     u64::from_str_radix(s.strip_prefix("0x")?, 16).ok()
 }
 
-fn parse_header(v: &Value) -> Result<CampaignHeader, String> {
+fn parse_header(v: &Value) -> Result<CampaignHeader, JournalError> {
+    let malformed = |m: &str| JournalError::Malformed(m.to_string());
     if v.get("kind").and_then(Value::as_str) != Some("campaign") {
-        return Err("first journal line is not a campaign header".into());
+        return Err(malformed("first journal line is not a campaign header"));
     }
     match v.get("version").and_then(Value::as_u64) {
         Some(JOURNAL_VERSION) => {}
-        Some(other) => {
-            return Err(format!(
-                "unsupported journal version {other} (this build reads and writes \
-                 version {JOURNAL_VERSION}); re-run the campaign from scratch"
-            ));
-        }
-        None => return Err("header missing version".into()),
+        Some(found) => return Err(JournalError::Version { found }),
+        None => return Err(malformed("header missing version")),
     }
+    parse_header_fields(v).map_err(JournalError::Malformed)
+}
+
+fn parse_header_fields(v: &Value) -> Result<CampaignHeader, String> {
     let seeds = v
         .get("seeds")
         .and_then(Value::as_arr)
@@ -480,44 +541,105 @@ pub struct ParsedJournal {
     pub failures: Vec<ReplayedFailure>,
     /// Bytes of the valid prefix.
     pub valid_len: u64,
+    /// Bytes of the torn final line excluded from the valid prefix
+    /// (0 for a cleanly-closed journal). Resume and merge report this
+    /// so an operator can tell a clean resume from a crash recovery.
+    pub torn_bytes: u64,
 }
 
 /// Parse journal text. The header must be intact (a campaign that never
-/// journaled a header has nothing to resume); unit records are read
-/// until the first torn or truncated line, which is dropped — only the
-/// final line can be torn, because every earlier line was fsync'd before
-/// its successor was written.
-pub fn parse_journal(text: &str) -> Result<ParsedJournal, String> {
+/// journaled a header has nothing to resume). Every line carries a
+/// checksum, so damage is detected wherever it sits and classified by
+/// position: a damaged **final** line with no trailing newline is the
+/// crash signature — dropped (reported via
+/// [`ParsedJournal::torn_bytes`]) and re-run on resume — while a
+/// damaged line anywhere else is mid-stream corruption and returns a
+/// typed [`JournalError::CorruptRecord`] with line and byte offset.
+pub fn parse_journal(text: &str) -> Result<ParsedJournal, JournalError> {
+    let malformed = JournalError::Malformed;
     let mut offset = 0u64;
     let mut units = Vec::new();
     let mut failures = Vec::new();
     let mut header: Option<CampaignHeader> = None;
-    for line in text.split_inclusive('\n') {
+    for (i, line) in text.split_inclusive('\n').enumerate() {
+        let lineno = i + 1;
         let intact = line.ends_with('\n');
-        let parsed = if intact { json::parse(line.trim_end()) } else { Err("torn line".into()) };
-        match (&header, parsed) {
+        let is_last = offset as usize + line.len() == text.len();
+        let checked: Result<Value, String> = if intact {
+            verify_line(&line[..line.len() - 1]).and_then(json::parse)
+        } else {
+            Err("torn line (no trailing newline)".into())
+        };
+        match (&header, checked) {
             (None, Ok(v)) => header = Some(parse_header(&v)?),
-            (None, Err(e)) => return Err(format!("journal header unreadable: {e}")),
+            (None, Err(e)) => {
+                // Headers that predate v3 carry no checksum field; parse
+                // the raw line once more so those fail with the version
+                // guidance rather than a checksum complaint.
+                if intact {
+                    if let Ok(v) = json::parse(&line[..line.len() - 1]) {
+                        if let Some(found) = v.get("version").and_then(Value::as_u64) {
+                            if found != JOURNAL_VERSION {
+                                return Err(JournalError::Version { found });
+                            }
+                        }
+                    }
+                }
+                return Err(malformed(format!("journal header unreadable: {e}")));
+            }
             (Some(_), Ok(v)) => match v.get("kind").and_then(Value::as_str) {
-                Some("unit") => units.push(parse_unit(&v)?),
-                Some("fail") => failures.push(parse_fail(&v)?),
-                _ => return Err("unexpected record kind in journal".into()),
+                Some("unit") => units.push(parse_unit(&v).map_err(malformed)?),
+                Some("fail") => failures.push(parse_fail(&v).map_err(malformed)?),
+                _ => return Err(malformed("unexpected record kind in journal".into())),
             },
-            // A torn or unparseable trailing line: the crash happened
-            // mid-write. Stop here; resume re-runs that unit.
-            (Some(_), Err(_)) => break,
+            (Some(_), Err(detail)) => {
+                if is_last && !intact {
+                    // The crash signature: a partial final line that never
+                    // got its newline. Drop it; resume re-runs that unit.
+                    break;
+                }
+                // Anything else — a bad line with records after it, or a
+                // newline-terminated final line failing its checksum — is
+                // mid-stream damage, never silently truncated away.
+                return Err(JournalError::CorruptRecord {
+                    file: String::new(),
+                    line: lineno,
+                    offset,
+                    detail,
+                });
+            }
         }
         offset += line.len() as u64;
     }
-    let header = header.ok_or("journal is empty")?;
-    Ok(ParsedJournal { header, units, failures, valid_len: offset })
+    let header = header.ok_or_else(|| malformed("journal is empty".into()))?;
+    Ok(ParsedJournal {
+        header,
+        units,
+        failures,
+        valid_len: offset,
+        torn_bytes: text.len() as u64 - offset,
+    })
 }
 
 /// Read and parse the journal file at `path`.
-pub fn load_journal(path: &Path) -> Result<ParsedJournal, String> {
+pub fn load_journal(path: &Path) -> Result<ParsedJournal, JournalError> {
     let text = std::fs::read_to_string(path)
-        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-    parse_journal(&text)
+        .map_err(|e| JournalError::Malformed(format!("cannot read {}: {e}", path.display())))?;
+    parse_journal(&text).map_err(|e| e.locate(path))
+}
+
+/// Print the one-line crash-recovery notice for a journal whose tail was
+/// torn: names the file and the dropped byte count, so operators can
+/// tell a clean resume from a crash recovery. Silent for clean journals.
+pub fn report_torn_tail(path: &Path, parsed: &ParsedJournal) {
+    if parsed.torn_bytes > 0 {
+        println!(
+            "note: dropped {} torn byte(s) from {} (interrupted final write); \
+             the unit mid-flight at the crash will re-run",
+            parsed.torn_bytes,
+            path.display()
+        );
+    }
 }
 
 // ---- the writer ----------------------------------------------------------
@@ -664,6 +786,18 @@ mod tests {
         ]
     }
 
+    /// Tamper with a sealed line's payload and re-seal it, so the test
+    /// exercises the check *behind* the checksum (fingerprint, version)
+    /// rather than tripping the checksum itself.
+    fn tamper_resealed(sealed: &str, from: &str, to: &str) -> String {
+        let body = sealed
+            .trim_end_matches('\n')
+            .split_once("\",")
+            .map(|(_, rest)| rest)
+            .expect("sealed line has a checksum field");
+        seal_line(&format!("{{{}\n", body.replace(from, to)))
+    }
+
     fn assert_emits_eq(a: &Emit, b: &Emit) {
         match (a, b) {
             (Emit::Table(x), Emit::Table(y)) => assert_eq!(x, y),
@@ -739,18 +873,66 @@ mod tests {
             header_line(&header).len() + good.len(),
             "valid prefix excludes the torn line"
         );
+        assert_eq!(parsed.torn_bytes as usize, torn.len(), "dropped bytes are accounted");
     }
 
     #[test]
     fn header_fingerprint_detects_tampering() {
         let header = sample_header();
-        let tampered = header_line(&header).replace("\"trials\":2", "\"trials\":5");
-        let err = parse_journal(&tampered).unwrap_err();
+        // Re-seal after tampering so the checksum passes and the
+        // fingerprint check is what fires.
+        let tampered = tamper_resealed(&header_line(&header), "\"trials\":2", "\"trials\":5");
+        let err = parse_journal(&tampered).unwrap_err().to_string();
         assert!(err.contains("fingerprint"), "{err}");
         // The mismatch report names both fingerprints and the invocation
         // that wrote the journal.
         assert!(err.contains(&format!("0x{:016x}", header.fingerprint())), "{err}");
         assert!(err.contains("`irrnet-run --quick --all`"), "{err}");
+    }
+
+    #[test]
+    fn checksum_catches_unsealed_tampering() {
+        // The same tamper *without* re-sealing trips the checksum first.
+        let header = sample_header();
+        let tampered = header_line(&header).replace("\"trials\":2", "\"trials\":5");
+        let err = parse_journal(&tampered).unwrap_err().to_string();
+        assert!(err.contains("checksum mismatch"), "{err}");
+    }
+
+    #[test]
+    fn mid_file_corruption_is_typed_with_line_and_offset() {
+        let header = sample_header();
+        let good = unit_line(0, "a:tree", 7, &[], &[Emit::Table("t".into())]);
+        let bad = {
+            // Flip one payload byte of a sealed record, keeping the line
+            // structure (and trailing newline) intact.
+            let mut b = unit_line(1, "b:path", 9, &[], &[Emit::Table("u".into())]).into_bytes();
+            let mid = b.len() / 2;
+            b[mid] ^= 0x01;
+            String::from_utf8(b).unwrap()
+        };
+        let tail = unit_line(2, "c:path", 3, &[], &[Emit::Table("v".into())]);
+        let hl = header_line(&header);
+        let text = format!("{hl}{good}{bad}{tail}");
+        let err = parse_journal(&text).unwrap_err();
+        match &err {
+            JournalError::CorruptRecord { line, offset, .. } => {
+                assert_eq!(*line, 3, "damage is on the third line");
+                assert_eq!(*offset as usize, hl.len() + good.len());
+            }
+            other => panic!("expected CorruptRecord, got {other:?}"),
+        }
+        let msg = err.locate(Path::new("out/journal.shard-0-of-2.jsonl")).to_string();
+        assert!(msg.contains("journal.shard-0-of-2.jsonl"), "{msg}");
+        assert!(msg.contains("line 3"), "{msg}");
+
+        // Same damage on the *final* line, but newline-terminated: still
+        // corruption, not a torn tail — a crash can't tear a closed line.
+        let text = format!("{hl}{good}{bad}");
+        assert!(matches!(
+            parse_journal(&text),
+            Err(JournalError::CorruptRecord { line: 3, .. })
+        ));
     }
 
     #[test]
@@ -774,10 +956,21 @@ mod tests {
 
     #[test]
     fn old_journal_version_is_rejected_with_guidance() {
+        // A sealed header stamping an older version (re-sealed so the
+        // checksum passes) gets the typed Version error.
         let header = sample_header();
-        let old = header_line(&header).replace("\"version\":2", "\"version\":1");
+        let old = tamper_resealed(&header_line(&header), "\"version\":3", "\"version\":1");
         let err = parse_journal(&old).unwrap_err();
-        assert!(err.contains("version 1") && err.contains("version 2"), "{err}");
+        assert!(matches!(err, JournalError::Version { found: 1 }), "{err:?}");
+        let msg = err.to_string();
+        assert!(msg.contains("version 1") && msg.contains("version 3"), "{msg}");
+
+        // A *real* pre-v3 journal has no "sum" field at all; the parser
+        // still surfaces the version guidance, not a checksum complaint.
+        let v2 = "{\"kind\":\"campaign\",\"version\":2,\"fingerprint\":\"0x0\",\"labels\":[]}\n";
+        let err = parse_journal(v2).unwrap_err();
+        assert!(matches!(err, JournalError::Version { found: 2 }), "{err:?}");
+        assert!(err.to_string().contains("re-run"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,408 @@
+//! Worker lease files: liveness for distributed campaign shards.
+//!
+//! Every `irrnet-run work` worker maintains a small fsync'd lease file
+//! (`lease.shard-<i>-of-<N>.json`) next to its shard journal: the
+//! worker's pid and host, a monotonic progress beat, the number of units
+//! journaled so far, a wall-clock stamp, and the originating argv. The
+//! lease is written atomically after every completed unit, so it is a
+//! heartbeat *and* a progress record.
+//!
+//! Leases are **advisory**, never load-bearing for correctness: the
+//! shard journal alone decides what work is done (and its per-record
+//! checksums decide whether it can be trusted). The lease only answers
+//! the operational question "is anyone still working on this shard?" —
+//! `irrnet-run status` renders it as a liveness column, and
+//! `irrnet-run work --take-over` uses it to refuse adopting a shard
+//! whose worker still looks alive. A missing or unreadable lease is
+//! treated as "unknown", not as an error.
+
+use crate::json::{self, escape, Value};
+use crate::journal::atomic_write;
+use crate::shard::ShardSpec;
+use std::fmt::Write as _;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
+
+/// How long a lease may go without a heartbeat before `status` and
+/// takeover consider the worker stalled. Override with `--stale-after`.
+pub const DEFAULT_STALE_AFTER: Duration = Duration::from_secs(60);
+
+/// The lease file name for shard `spec` of a campaign directory.
+pub fn lease_file(spec: ShardSpec) -> String {
+    format!("lease.shard-{}-of-{}.json", spec.index, spec.count)
+}
+
+/// Milliseconds since the unix epoch (wall clock — embedded in the lease
+/// so staleness checks don't depend on filesystem mtime semantics).
+pub fn now_ms() -> u64 {
+    SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_millis() as u64).unwrap_or(0)
+}
+
+/// Best-effort hostname, for telling "this worker died on *this*
+/// machine" (pid checkable) from "it ran somewhere else" (not).
+pub fn hostname() -> String {
+    if let Ok(h) = std::fs::read_to_string("/proc/sys/kernel/hostname") {
+        let h = h.trim();
+        if !h.is_empty() {
+            return h.to_string();
+        }
+    }
+    match std::env::var("HOSTNAME") {
+        Ok(h) if !h.is_empty() => h,
+        _ => "?".to_string(),
+    }
+}
+
+/// Is `pid` a live process on *this* machine? `None` when the platform
+/// gives no cheap answer (non-Linux), in which case liveness falls back
+/// to the heartbeat age alone.
+pub fn pid_alive(pid: u32) -> Option<bool> {
+    #[cfg(target_os = "linux")]
+    {
+        Some(Path::new(&format!("/proc/{pid}")).exists())
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        let _ = pid;
+        None
+    }
+}
+
+/// A worker's lease, as persisted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LeaseInfo {
+    /// The worker's process id.
+    pub pid: u32,
+    /// The machine the worker ran on (best effort).
+    pub host: String,
+    /// Monotonic progress beat: bumped on every write, including across
+    /// takeovers (the adopter continues from the old beat, so a lease
+    /// never appears to move backwards).
+    pub beat: u64,
+    /// Units journaled in this shard so far.
+    pub units_done: usize,
+    /// Wall-clock stamp (ms since epoch) of the last heartbeat.
+    pub stamp_ms: u64,
+    /// Whether the worker finished its shard cleanly.
+    pub completed: bool,
+    /// The originating CLI invocation, for diagnostics.
+    pub argv: Vec<String>,
+}
+
+impl LeaseInfo {
+    /// Serialize as one compact JSON object (with trailing newline).
+    pub fn render(&self) -> String {
+        let mut s = String::from("{");
+        let _ = write!(s, "\"pid\":{},\"host\":\"{}\",", self.pid, escape(&self.host));
+        let _ = write!(
+            s,
+            "\"beat\":{},\"units_done\":{},\"stamp_ms\":{},\"completed\":{},\"argv\":[",
+            self.beat, self.units_done, self.stamp_ms, self.completed
+        );
+        for (i, a) in self.argv.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "\"{}\"", escape(a));
+        }
+        s.push_str("]}\n");
+        s
+    }
+
+    /// `pid 1234 on host-a, started by \`irrnet-run work ...\`` — for
+    /// refusal messages.
+    pub fn describe(&self) -> String {
+        let argv = if self.argv.is_empty() {
+            "<library call>".to_string()
+        } else {
+            format!("`irrnet-run {}`", self.argv.join(" "))
+        };
+        format!("pid {} on {}, started by {argv}", self.pid, self.host)
+    }
+}
+
+/// Read a lease file. Advisory: any failure (missing file, torn write
+/// never possible thanks to atomic_write, but also unreadable JSON from
+/// a foreign tool) yields `None` rather than an error.
+pub fn load_lease(path: &Path) -> Option<LeaseInfo> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let v = json::parse(text.trim()).ok()?;
+    Some(LeaseInfo {
+        pid: v.get("pid").and_then(Value::as_u64)? as u32,
+        host: v.get("host").and_then(Value::as_str)?.to_string(),
+        beat: v.get("beat").and_then(Value::as_u64)?,
+        units_done: v.get("units_done").and_then(Value::as_u64).unwrap_or(0) as usize,
+        stamp_ms: v.get("stamp_ms").and_then(Value::as_u64)?,
+        completed: v.get("completed").and_then(Value::as_bool).unwrap_or(false),
+        argv: v
+            .get("argv")
+            .and_then(Value::as_arr)
+            .map(|a| a.iter().filter_map(|x| x.as_str().map(str::to_string)).collect())
+            .unwrap_or_default(),
+    })
+}
+
+/// What a lease says about its worker, judged at `now_ms`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Liveness {
+    /// Heartbeat is fresh (or the pid is verifiably alive locally).
+    Active {
+        /// Milliseconds since the last heartbeat.
+        age_ms: u64,
+    },
+    /// No heartbeat for longer than the staleness budget, and the pid
+    /// could not be proven dead (other machine, or non-Linux).
+    Stalled {
+        /// Milliseconds since the last heartbeat.
+        age_ms: u64,
+    },
+    /// The lease names a pid on *this* host that no longer exists.
+    Dead {
+        /// The dead worker's pid.
+        pid: u32,
+    },
+    /// The worker finished its shard cleanly.
+    Completed,
+}
+
+impl Liveness {
+    /// Judge a lease. `now_ms` is the caller's clock (parameterized so
+    /// tests and chaos harnesses can plant arbitrary stamps).
+    pub fn of(lease: &LeaseInfo, now_ms: u64, stale_after: Duration) -> Liveness {
+        if lease.completed {
+            return Liveness::Completed;
+        }
+        // A same-host pid check is authoritative: /proc says dead, it's
+        // dead, however fresh the stamp claims to be.
+        if lease.host == hostname() {
+            if let Some(false) = pid_alive(lease.pid) {
+                return Liveness::Dead { pid: lease.pid };
+            }
+        }
+        let age_ms = now_ms.saturating_sub(lease.stamp_ms);
+        if age_ms > stale_after.as_millis() as u64 {
+            Liveness::Stalled { age_ms }
+        } else {
+            Liveness::Active { age_ms }
+        }
+    }
+
+    /// Short bracketed label for the `status` table's liveness column.
+    pub fn label(&self) -> String {
+        match self {
+            Liveness::Active { .. } => "[live]".to_string(),
+            Liveness::Stalled { age_ms } => {
+                format!("[STALLED {}]", human_age(*age_ms))
+            }
+            Liveness::Dead { pid } => format!("[dead pid {pid}]"),
+            Liveness::Completed => "[done]".to_string(),
+        }
+    }
+}
+
+fn human_age(ms: u64) -> String {
+    if ms >= 3_600_000 {
+        format!("{:.1} h", ms as f64 / 3_600_000.0)
+    } else if ms >= 60_000 {
+        format!("{:.1} min", ms as f64 / 60_000.0)
+    } else {
+        format!("{:.0} s", ms as f64 / 1000.0)
+    }
+}
+
+/// The worker-side lease maintainer: writes the lease atomically on
+/// acquire, after every completed unit, and at clean completion.
+///
+/// Heartbeat failures are demoted to a single warning — a full disk or
+/// permission hiccup must not kill a worker whose *journal* writes still
+/// succeed (the journal is the source of truth; the lease is advisory).
+pub struct LeaseKeeper {
+    path: PathBuf,
+    info: Mutex<LeaseInfo>,
+    warned: AtomicBool,
+}
+
+impl LeaseKeeper {
+    /// Acquire the lease for `spec` in `dir`: stamp this process's
+    /// pid/host/argv, continue the beat from any previous lease (so a
+    /// takeover's lease never regresses), and write it durably.
+    pub fn acquire(
+        dir: &Path,
+        spec: ShardSpec,
+        units_done: usize,
+        argv: &[String],
+    ) -> io::Result<LeaseKeeper> {
+        let path = dir.join(lease_file(spec));
+        let prev_beat = load_lease(&path).map(|l| l.beat).unwrap_or(0);
+        let info = LeaseInfo {
+            pid: std::process::id(),
+            host: hostname(),
+            beat: prev_beat + 1,
+            units_done,
+            stamp_ms: now_ms(),
+            completed: false,
+            argv: argv.to_vec(),
+        };
+        atomic_write(&path, &info.render())?;
+        Ok(LeaseKeeper { path, info: Mutex::new(info), warned: AtomicBool::new(false) })
+    }
+
+    fn write_update(&self, completed: bool, inc_done: usize) {
+        let render = {
+            let mut info = self.info.lock().unwrap_or_else(|e| e.into_inner());
+            info.beat += 1;
+            info.units_done += inc_done;
+            info.stamp_ms = now_ms();
+            info.completed = completed;
+            info.render()
+        };
+        if let Err(e) = atomic_write(&self.path, &render) {
+            if !self.warned.swap(true, Ordering::Relaxed) {
+                eprintln!(
+                    "warning: cannot update lease {} ({e}); liveness reporting for this \
+                     shard will be stale, but journaled progress is unaffected",
+                    self.path.display()
+                );
+            }
+        }
+    }
+
+    /// Heartbeat after one completed (journaled) unit.
+    pub fn beat(&self) {
+        self.write_update(false, 1);
+    }
+
+    /// Mark the shard cleanly finished.
+    pub fn complete(&self) {
+        self.write_update(true, 0);
+    }
+}
+
+/// Every `lease.shard-<i>-of-<N>.json` in `dir`, with its parsed spec.
+pub fn find_lease_files(dir: &Path) -> io::Result<Vec<(ShardSpec, PathBuf)>> {
+    let mut found = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name().to_string_lossy().to_string();
+        if let Some(spec) = parse_lease_name(&name) {
+            found.push((spec, entry.path()));
+        }
+    }
+    found.sort_by_key(|(spec, _)| (spec.count, spec.index));
+    Ok(found)
+}
+
+fn parse_lease_name(name: &str) -> Option<ShardSpec> {
+    let rest = name.strip_prefix("lease.shard-")?.strip_suffix(".json")?;
+    let (i, n) = rest.split_once("-of-")?;
+    let spec = ShardSpec { index: i.parse().ok()?, count: n.parse().ok()? };
+    (spec.index < spec.count && spec.count > 0).then_some(spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(stamp_ms: u64, completed: bool) -> LeaseInfo {
+        LeaseInfo {
+            pid: 4242,
+            host: "worker-a".into(),
+            beat: 9,
+            units_done: 17,
+            stamp_ms,
+            completed,
+            argv: vec!["work".into(), "out".into(), "--shard".into(), "0/2".into()],
+        }
+    }
+
+    #[test]
+    fn lease_round_trips() {
+        let dir = std::env::temp_dir().join(format!("irrnet-lease-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let lease = sample(1_000_000, false);
+        let path = dir.join(lease_file(ShardSpec { index: 0, count: 2 }));
+        atomic_write(&path, &lease.render()).unwrap();
+        assert_eq!(load_lease(&path), Some(lease));
+        let found = find_lease_files(&dir).unwrap();
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].0, ShardSpec { index: 0, count: 2 });
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn liveness_classification() {
+        let stale = DEFAULT_STALE_AFTER;
+        // Fresh stamp on a foreign host: active.
+        let l = sample(1_000_000, false);
+        assert!(matches!(Liveness::of(&l, 1_000_500, stale), Liveness::Active { .. }));
+        // Old stamp on a foreign host: stalled, with the age reported.
+        match Liveness::of(&l, 1_000_000 + 120_000, stale) {
+            Liveness::Stalled { age_ms } => assert_eq!(age_ms, 120_000),
+            other => panic!("expected Stalled, got {other:?}"),
+        }
+        // Completed wins over everything.
+        let done = sample(0, true);
+        assert_eq!(Liveness::of(&done, u64::MAX, stale), Liveness::Completed);
+        // A clock that went backwards never underflows.
+        assert!(matches!(Liveness::of(&l, 0, stale), Liveness::Active { .. }));
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn local_dead_pid_is_authoritative() {
+        // Our own host + a pid that cannot exist: Dead even with a
+        // fresh stamp.
+        let mut l = sample(now_ms(), false);
+        l.host = hostname();
+        l.pid = u32::MAX;
+        assert_eq!(
+            Liveness::of(&l, now_ms(), DEFAULT_STALE_AFTER),
+            Liveness::Dead { pid: u32::MAX }
+        );
+        // A live pid with a stale stamp is still Stalled — a hung
+        // process that stopped heartbeating is exactly what Stalled
+        // means; only a *missing* pid upgrades the verdict to Dead.
+        l.pid = std::process::id();
+        l.stamp_ms = 0;
+        assert!(matches!(
+            Liveness::of(&l, now_ms(), DEFAULT_STALE_AFTER),
+            Liveness::Stalled { .. }
+        ));
+    }
+
+    #[test]
+    fn keeper_beats_and_completes() {
+        let dir = std::env::temp_dir().join(format!("irrnet-keeper-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec = ShardSpec { index: 1, count: 3 };
+        let argv = vec!["work".to_string()];
+        let keeper = LeaseKeeper::acquire(&dir, spec, 2, &argv).unwrap();
+        keeper.beat();
+        keeper.beat();
+        let lease = load_lease(&dir.join(lease_file(spec))).unwrap();
+        assert_eq!((lease.beat, lease.units_done, lease.completed), (3, 4, false));
+        assert_eq!(lease.pid, std::process::id());
+        keeper.complete();
+        let lease = load_lease(&dir.join(lease_file(spec))).unwrap();
+        assert!(lease.completed);
+        assert_eq!(lease.beat, 4);
+        // Re-acquire (a takeover or restart) continues the beat.
+        let keeper2 = LeaseKeeper::acquire(&dir, spec, 4, &argv).unwrap();
+        drop(keeper2);
+        let lease = load_lease(&dir.join(lease_file(spec))).unwrap();
+        assert_eq!(lease.beat, 5, "beat never regresses across re-acquire");
+        assert!(!lease.completed);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bad_lease_names_are_ignored() {
+        assert_eq!(parse_lease_name("lease.shard-0-of-2.json"), Some(ShardSpec { index: 0, count: 2 }));
+        assert_eq!(parse_lease_name("lease.shard-2-of-2.json"), None);
+        assert_eq!(parse_lease_name("lease.shard-x-of-2.json"), None);
+        assert_eq!(parse_lease_name("journal.shard-0-of-2.jsonl"), None);
+    }
+}

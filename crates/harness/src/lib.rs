@@ -23,8 +23,11 @@
 //! * [`shard`] — distributed campaigns: the deterministic round-robin
 //!   shard planner, the `irrnet-run work` shard executor, and the
 //!   byte-identical `irrnet-run merge` reconstruction.
+//! * [`lease`] — worker liveness: fsync'd per-shard lease files
+//!   (heartbeat + progress stamp) behind the `status` liveness column
+//!   and `work --take-over`'s stale-worker validation.
 //! * [`status`] — `irrnet-run status`: live per-shard progress, failure
-//!   counts, and ETA read straight from the journals.
+//!   counts, liveness, and ETA read straight from the journals.
 //! * [`stats`] — campaign-level streaming statistics (re-exports the
 //!   bounded-memory `irrnet_workloads` sketches, adds unit-duration
 //!   accumulators).
@@ -48,6 +51,7 @@ pub mod error;
 pub mod experiments;
 pub mod journal;
 pub mod json;
+pub mod lease;
 pub mod manifest;
 pub mod opts;
 pub mod panel;

@@ -5,23 +5,29 @@
 //! them from another process is always safe: a torn final line simply
 //! means a worker is mid-write, and `parse_journal` drops it. For a
 //! distributed campaign the view is per shard — progress, failure
-//! count, mean unit time, and a single-worker ETA from the observed
-//! rate; for a single-process campaign the same columns describe
-//! `journal.jsonl`.
+//! count, mean unit time, a single-worker ETA from the observed rate,
+//! and a liveness column read from the shard's lease file (`[live]`,
+//! `[STALLED ...]`, `[dead pid ...]`, `[done]`); for a single-process
+//! campaign the same columns describe `journal.jsonl`. Shards whose
+//! journal is missing, empty, or damaged still get a row — a `0/N` line
+//! or a one-line note naming the problem — instead of sinking the whole
+//! status view.
 
-use crate::journal::{load_journal, ParsedJournal, JOURNAL_FILE};
+use crate::journal::{load_journal, JournalError, ParsedJournal, JOURNAL_FILE};
+use crate::lease::{lease_file, load_lease, now_ms, Liveness};
 use crate::shard::{find_shard_journals, ShardSpec};
 use crate::stats::DurationStats;
 use std::fmt::Write as _;
 use std::io;
 use std::path::Path;
+use std::time::Duration;
 
 /// Progress of one journal (a shard's, or the single-process one).
 #[derive(Debug)]
 pub struct JournalProgress {
     /// Shard slot, or `None` for `journal.jsonl`.
     pub shard: Option<ShardSpec>,
-    /// Units this journal is responsible for.
+    /// Units this journal is responsible for (0 when unknown).
     pub assigned: usize,
     /// Completed units journaled so far.
     pub completed: usize,
@@ -29,10 +35,17 @@ pub struct JournalProgress {
     pub failed: usize,
     /// Wall-time statistics over the completed units.
     pub durations: DurationStats,
+    /// What the shard's lease says about its worker (`None` when no
+    /// lease exists — e.g. a single-process journal).
+    pub liveness: Option<Liveness>,
+    /// Why the usual counts are absent or suspect: missing journal,
+    /// empty journal, corruption. A note row renders the note in place
+    /// of the progress columns it cannot compute.
+    pub note: Option<String>,
 }
 
 impl JournalProgress {
-    fn of(parsed: &ParsedJournal, shard: Option<ShardSpec>) -> Self {
+    fn of(parsed: &ParsedJournal, shard: Option<ShardSpec>, liveness: Option<Liveness>) -> Self {
         let pool = parsed.header.labels.len();
         let assigned = match shard {
             Some(spec) => spec.assigned(pool).len(),
@@ -48,6 +61,25 @@ impl JournalProgress {
             completed: parsed.units.len(),
             failed: parsed.failures.len(),
             durations,
+            liveness,
+            note: None,
+        }
+    }
+
+    fn noted(
+        shard: Option<ShardSpec>,
+        assigned: usize,
+        note: String,
+        liveness: Option<Liveness>,
+    ) -> Self {
+        JournalProgress {
+            shard,
+            assigned,
+            completed: 0,
+            failed: 0,
+            durations: DurationStats::default(),
+            liveness,
+            note: Some(note),
         }
     }
 
@@ -61,6 +93,19 @@ impl JournalProgress {
             Some(spec) => format!("shard {spec}"),
             None => "campaign".to_string(),
         };
+        let live = match &self.liveness {
+            Some(l) => format!("  {}", l.label()),
+            None => String::new(),
+        };
+        if let Some(note) = &self.note {
+            if self.assigned > 0 {
+                return format!(
+                    "{name:<12} {:>5}/{:<5} {:>3}%  {note}{live}",
+                    0, self.assigned, 0
+                );
+            }
+            return format!("{name:<12} {note}{live}");
+        }
         let done = self.completed + self.failed;
         let pct = (100 * done).checked_div(self.assigned).unwrap_or(100);
         let mean = match self.durations.mean_ms() {
@@ -76,27 +121,90 @@ impl JournalProgress {
             }
         };
         format!(
-            "{name:<12} {done:>5}/{:<5} {pct:>3}%  {:>4} failed  {mean:>9}/unit  eta {eta}",
+            "{name:<12} {done:>5}/{:<5} {pct:>3}%  {:>4} failed  {mean:>9}/unit  eta {eta}{live}",
             self.assigned, self.failed
         )
     }
 }
 
-/// The whole campaign's status: every shard journal found in `dir`, or
-/// the single-process journal when no shards exist.
-pub fn campaign_status(dir: &Path) -> io::Result<Vec<JournalProgress>> {
-    let shards = find_shard_journals(dir)?;
-    let mut progress = Vec::new();
-    if shards.is_empty() {
-        let parsed = load_journal(&dir.join(JOURNAL_FILE))
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-        progress.push(JournalProgress::of(&parsed, None));
-    } else {
-        for (spec, path) in shards {
-            let parsed = load_journal(&path)
-                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-            progress.push(JournalProgress::of(&parsed, Some(spec)));
+fn short_note(e: &JournalError) -> String {
+    match e {
+        JournalError::CorruptRecord { line, .. } => format!("corrupt at line {line}"),
+        JournalError::Version { found } => format!("unsupported journal version {found}"),
+        JournalError::Malformed(m) => {
+            if m.contains("journal is empty") {
+                "empty journal".to_string()
+            } else {
+                m.clone()
+            }
         }
+    }
+}
+
+/// The whole campaign's status: every shard journal found in `dir`, or
+/// the single-process journal when no shards exist. A directory with no
+/// journals at all is a clear one-line error; a missing, empty, or
+/// damaged shard becomes a note row rather than a failure. `stale_after`
+/// is the heartbeat age past which a shard's lease counts as stalled.
+pub fn campaign_status(dir: &Path, stale_after: Duration) -> io::Result<Vec<JournalProgress>> {
+    let shards = find_shard_journals(dir)?;
+    let now = now_ms();
+    let liveness_of = |spec: ShardSpec| {
+        load_lease(&dir.join(lease_file(spec))).map(|l| Liveness::of(&l, now, stale_after))
+    };
+    if shards.is_empty() {
+        let path = dir.join(JOURNAL_FILE);
+        if !path.exists() {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!(
+                    "no campaign journals in {dir} (expected {JOURNAL_FILE} or \
+                     journal.shard-*-of-*.jsonl); start a campaign with \
+                     `irrnet-run --all --out {dir}` or shard workers with \
+                     `irrnet-run work {dir} --shard i/N ...`",
+                    dir = dir.display()
+                ),
+            ));
+        }
+        let parsed = load_journal(&path)?;
+        return Ok(vec![JournalProgress::of(&parsed, None, None)]);
+    }
+
+    let mut progress = Vec::new();
+    let mut pool: Option<usize> = None;
+    for (spec, path) in &shards {
+        match load_journal(path) {
+            Ok(parsed) => {
+                pool = pool.or(Some(parsed.header.labels.len()));
+                progress.push(JournalProgress::of(&parsed, Some(*spec), liveness_of(*spec)));
+            }
+            Err(e) => progress.push(JournalProgress::noted(
+                Some(*spec),
+                0,
+                short_note(&e),
+                liveness_of(*spec),
+            )),
+        }
+    }
+    // Synthesize 0/N rows for shards whose worker never started, so the
+    // table always shows the full shard set (only meaningful when the
+    // found journals agree on the count).
+    let count = shards[0].0.count;
+    if shards.iter().all(|(s, _)| s.count == count) {
+        let present: Vec<usize> = shards.iter().map(|(s, _)| s.index).collect();
+        for index in 0..count {
+            if !present.contains(&index) {
+                let spec = ShardSpec { index, count };
+                let assigned = pool.map_or(0, |p| spec.assigned(p).len());
+                progress.push(JournalProgress::noted(
+                    Some(spec),
+                    assigned,
+                    "no journal — worker not started".to_string(),
+                    liveness_of(spec),
+                ));
+            }
+        }
+        progress.sort_by_key(|p| p.shard.map(|s| s.index));
     }
     Ok(progress)
 }
@@ -116,7 +224,7 @@ pub fn render_status(dir: &Path, progress: &[JournalProgress]) -> String {
         let pct = (100 * done).checked_div(assigned).unwrap_or(100);
         let _ = writeln!(out, "  {:<12} {done:>5}/{assigned:<5} {pct:>3}%  {failed:>4} failed", "total");
     }
-    if done == assigned {
+    if done == assigned && progress.iter().all(|p| p.note.is_none()) {
         let _ = writeln!(
             out,
             "  all units journaled{}",
@@ -163,7 +271,7 @@ mod tests {
             fail_line(2, "u2", "panic", "boom", 1),
         );
         let parsed = parse_journal(&text).unwrap();
-        let p = JournalProgress::of(&parsed, parsed.header.shard);
+        let p = JournalProgress::of(&parsed, parsed.header.shard, None);
         // Shard 0/2 of a 5-unit pool owns units 0, 2, 4.
         assert_eq!((p.assigned, p.completed, p.failed, p.remaining()), (3, 1, 1, 1));
         let row = p.row();
@@ -175,9 +283,61 @@ mod tests {
     fn single_process_journal_is_reported_whole() {
         let text = header_line(&header(None));
         let parsed = parse_journal(&text).unwrap();
-        let p = JournalProgress::of(&parsed, None);
+        let p = JournalProgress::of(&parsed, None, None);
         assert_eq!((p.assigned, p.completed, p.remaining()), (5, 0, 5));
         let rendered = render_status(Path::new("out"), &[p]);
         assert!(rendered.contains("campaign"), "{rendered}");
+    }
+
+    #[test]
+    fn liveness_and_note_rows_render() {
+        let p = JournalProgress::of(
+            &parse_journal(&header_line(&header(Some(ShardSpec { index: 0, count: 2 }))))
+                .unwrap(),
+            Some(ShardSpec { index: 0, count: 2 }),
+            Some(Liveness::Stalled { age_ms: 126_000 }),
+        );
+        let row = p.row();
+        assert!(row.contains("[STALLED 2.1 min]"), "{row}");
+
+        // A shard that never started: 0/N with a note.
+        let missing = JournalProgress::noted(
+            Some(ShardSpec { index: 1, count: 2 }),
+            2,
+            "no journal — worker not started".to_string(),
+            None,
+        );
+        let row = missing.row();
+        assert!(row.contains("0/2") && row.contains("worker not started"), "{row}");
+
+        // An unreadable shard: note only.
+        let bad = JournalProgress::noted(
+            Some(ShardSpec { index: 1, count: 2 }),
+            0,
+            short_note(&JournalError::CorruptRecord {
+                file: "x".into(),
+                line: 4,
+                offset: 300,
+                detail: "checksum".into(),
+            }),
+            Some(Liveness::Dead { pid: 42 }),
+        );
+        let row = bad.row();
+        assert!(row.contains("corrupt at line 4") && row.contains("[dead pid 42]"), "{row}");
+
+        // The "all units journaled" hint never fires while note rows exist.
+        let rendered = render_status(Path::new("out"), &[bad]);
+        assert!(!rendered.contains("all units journaled"), "{rendered}");
+    }
+
+    #[test]
+    fn empty_directory_status_is_one_clear_error() {
+        let dir = std::env::temp_dir().join(format!("irrnet-status-empty-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let err = campaign_status(&dir, Duration::from_secs(60)).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("no campaign journals"), "{msg}");
+        assert!(msg.contains("irrnet-run work"), "{msg}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -1,0 +1,229 @@
+//! Seeded chaos harness for distributed campaigns.
+//!
+//! Each round kills a worker at a random record boundary (leaving a
+//! torn tail), flips a byte mid-journal, abandons a shard behind a
+//! stale lease, and re-shards the stragglers — then proves the
+//! campaign either merges byte-identical to an uninterrupted
+//! single-process run or refuses with a typed diagnostic naming the
+//! damage. Proven for 1-, 2-, and 3-way shardings, all from one fixed
+//! seed so a failure replays exactly.
+
+use irrnet_core::rng::SmallRng;
+use irrnet_harness::journal::atomic_write;
+use irrnet_harness::lease::{lease_file, now_ms, LeaseInfo};
+use irrnet_harness::opts::CampaignOptions;
+use irrnet_harness::registry::resolve;
+use irrnet_harness::runner::run_campaign;
+use irrnet_harness::shard::{
+    merge_campaign, reshard_campaign, run_shard, ShardSpec, WorkerOptions,
+};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("irrnet-chaos-{}-{tag}", std::process::id()));
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+    dir
+}
+
+fn quick_opts(dir: &Path) -> CampaignOptions {
+    let mut opts = CampaignOptions::quick();
+    opts.out_dir = dir.to_path_buf();
+    opts.threads = Some(2);
+    opts
+}
+
+fn adopt() -> WorkerOptions {
+    WorkerOptions { take_over: true, stale_after: Duration::from_secs(1) }
+}
+
+fn campaign_artifacts(dir: &Path) -> Vec<(String, String)> {
+    let mut files: Vec<(String, String)> = std::fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap())
+        .map(|e| {
+            (
+                e.file_name().into_string().unwrap(),
+                std::fs::read_to_string(e.path()).unwrap(),
+            )
+        })
+        .filter(|(name, _)| !name.starts_with("journal.") && !name.starts_with("lease."))
+        .collect();
+    files.sort();
+    files
+}
+
+fn manifest_norm(text: &str) -> String {
+    text.lines()
+        .filter(|l| !l.contains("_ms\":") && !l.contains("\"threads\":"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn assert_same_artifacts(base: &Path, merged: &Path, tag: &str) {
+    let a = campaign_artifacts(base);
+    let b = campaign_artifacts(merged);
+    assert_eq!(
+        a.iter().map(|(n, _)| n).collect::<Vec<_>>(),
+        b.iter().map(|(n, _)| n).collect::<Vec<_>>(),
+        "{tag}: artifact sets differ"
+    );
+    for ((name, av), (_, bv)) in a.iter().zip(&b) {
+        if name == "manifest.json" {
+            assert_eq!(manifest_norm(av), manifest_norm(bv), "{tag}: manifest differs");
+        } else {
+            assert_eq!(av, bv, "{tag}: {name} differs from the single-process run");
+        }
+    }
+}
+
+/// SIGKILL simulation: truncate a shard journal at a random record
+/// boundary (keeping at least the header) and append a torn fragment —
+/// exactly the bytes an interrupted `write(2)` leaves behind.
+fn kill_at_record_boundary(path: &Path, rng: &mut SmallRng) -> usize {
+    let journal = std::fs::read_to_string(path).unwrap();
+    let lines: Vec<&str> = journal.split_inclusive('\n').collect();
+    let keep = 1 + (rng.next_u64() as usize) % lines.len();
+    let mut partial: String = lines[..keep].concat();
+    partial.push_str("{\"sum\":\"0x00ff00ff00ff00ff\",\"kind\":\"unit\",\"i");
+    std::fs::write(path, &partial).unwrap();
+    lines.len() - keep
+}
+
+/// Bit-flip one payload byte of the journal's second line (its first
+/// record). Returns false when the journal is header-only (small pools
+/// can leave a shard with zero units) and no flip was possible.
+fn flip_record_byte(path: &Path, rng: &mut SmallRng) -> bool {
+    let mut bytes = std::fs::read(path).unwrap();
+    let line1_end = bytes.iter().position(|&b| b == b'\n').unwrap();
+    let line2: Vec<usize> = (line1_end + 1..bytes.len()).take_while(|&i| bytes[i] != b'\n').collect();
+    if line2.len() < 30 {
+        return false;
+    }
+    // Skip the 28-byte checksum field so the flip lands in the payload
+    // (checksum-field flips are covered by the journal_integrity suite).
+    let pos = line2[28 + (rng.next_u64() as usize) % (line2.len() - 28)];
+    // Low bits only: keep the byte ASCII so the failure is the checksum
+    // diagnostic, not a UTF-8 read error.
+    bytes[pos] ^= 1 << (rng.next_u64() % 7);
+    std::fs::write(path, &bytes).unwrap();
+    true
+}
+
+/// Plant a lease as if another machine's worker owned this shard and
+/// stopped heartbeating `age` ago. pid 1 always exists on Linux, so the
+/// local /proc check cannot shortcut the staleness judgement.
+fn plant_lease(dir: &Path, spec: ShardSpec, age: Duration) {
+    let lease = LeaseInfo {
+        pid: 1,
+        host: "other-machine".into(),
+        beat: 7,
+        units_done: 0,
+        stamp_ms: now_ms().saturating_sub(age.as_millis() as u64),
+        completed: false,
+        argv: vec!["work".into(), "out".into(), "--shard".into(), spec.to_string()],
+    };
+    atomic_write(&dir.join(lease_file(spec)), &lease.render()).unwrap();
+}
+
+#[test]
+fn chaos_rounds_merge_byte_identical_or_refuse_with_diagnostics() {
+    let specs = resolve(&["fig06".to_string()]).unwrap();
+
+    // The uninterrupted single-process reference run.
+    let base = tmp_dir("base");
+    let baseline = run_campaign(&specs, &quick_opts(&base)).unwrap();
+    assert!(baseline.failures.is_empty() && !baseline.interrupted);
+
+    let mut rng = SmallRng::seed_from_u64(0xc4a05);
+    for count in 1..=3usize {
+        let dir = tmp_dir(&format!("n{count}"));
+
+        // Run every shard to completion, then damage the set.
+        for index in 0..count {
+            let spec = ShardSpec { index, count };
+            run_shard(&specs, &quick_opts(&dir), spec, &WorkerOptions::default()).unwrap();
+        }
+
+        // Chaos 1 — kill: tear a random shard's tail. Resuming the same
+        // worker command must absorb the torn bytes and re-run only the
+        // lost units.
+        let victim = ShardSpec { index: (rng.next_u64() as usize) % count, count };
+        let victim_path = dir.join(format!("journal.shard-{}-of-{count}.jsonl", victim.index));
+        kill_at_record_boundary(&victim_path, &mut rng);
+        let resumed = run_shard(&specs, &quick_opts(&dir), victim, &WorkerOptions::default())
+            .unwrap();
+        assert_eq!(resumed.completed, resumed.assigned, "{count}-way: resume must finish");
+
+        // Chaos 2 — corruption: flip a payload byte mid-journal. Both
+        // merge and a resuming worker must refuse, naming file and line;
+        // the repair is delete + re-run, not silent acceptance.
+        if flip_record_byte(&victim_path, &mut rng) {
+            let err = merge_campaign(&dir, None).unwrap_err().to_string();
+            assert!(err.contains("corrupt journal record"), "{count}-way merge: {err}");
+            assert!(err.contains(&format!("journal.shard-{}-of-{count}.jsonl", victim.index)),
+                "{count}-way merge must name the damaged file: {err}");
+            assert!(err.contains("line 2"), "{count}-way merge must name the line: {err}");
+            let err = run_shard(&specs, &quick_opts(&dir), victim, &WorkerOptions::default())
+                .unwrap_err()
+                .to_string();
+            assert!(err.contains("corrupt journal record"), "{count}-way worker: {err}");
+            std::fs::remove_file(&victim_path).unwrap();
+            run_shard(&specs, &quick_opts(&dir), victim, &WorkerOptions::default()).unwrap();
+        }
+
+        // Chaos 3 — abandonment (needs a second shard to leave behind):
+        // tear a shard and plant a foreign stale lease over it. Without
+        // --take-over the worker refuses; with it, it adopts and
+        // finishes. A *fresh* foreign lease refuses even with the flag.
+        if count >= 2 {
+            let orphan = ShardSpec { index: (victim.index + 1) % count, count };
+            let orphan_path =
+                dir.join(format!("journal.shard-{}-of-{count}.jsonl", orphan.index));
+            kill_at_record_boundary(&orphan_path, &mut rng);
+
+            plant_lease(&dir, orphan, Duration::from_secs(3600));
+            let err = run_shard(&specs, &quick_opts(&dir), orphan, &WorkerOptions::default())
+                .unwrap_err()
+                .to_string();
+            assert!(err.contains("--take-over"), "{count}-way stalled refusal: {err}");
+
+            plant_lease(&dir, orphan, Duration::from_secs(0));
+            let err = run_shard(&specs, &quick_opts(&dir), orphan, &adopt())
+                .unwrap_err()
+                .to_string();
+            assert!(
+                err.contains("active worker"),
+                "{count}-way: a fresh lease must refuse even --take-over: {err}"
+            );
+
+            plant_lease(&dir, orphan, Duration::from_secs(3600));
+            let adopted = run_shard(&specs, &quick_opts(&dir), orphan, &adopt()).unwrap();
+            assert_eq!(adopted.completed, adopted.assigned, "{count}-way: adoption finishes");
+        }
+
+        // Chaos 4 — straggler re-sharding: tear a shard again, then
+        // re-plan the remainder under count+1 workers and finish there.
+        let straggler_path = dir.join(format!("journal.shard-{}-of-{count}.jsonl", victim.index));
+        kill_at_record_boundary(&straggler_path, &mut rng);
+        let argv = vec!["reshard".into(), dir.display().to_string()];
+        let report =
+            reshard_campaign(&dir, count + 1, Duration::from_secs(1), &argv).unwrap();
+        assert_eq!(report.old_count, count);
+        assert_eq!(report.new_count, count + 1);
+        for index in 0..count + 1 {
+            let spec = ShardSpec { index, count: count + 1 };
+            let r = run_shard(&specs, &quick_opts(&dir), spec, &WorkerOptions::default()).unwrap();
+            assert_eq!(r.completed, r.assigned, "{count}->{}-way: shard finishes", count + 1);
+        }
+
+        // After all that abuse the merge must still be byte-identical.
+        let merged = merge_campaign(&dir, Some(2)).unwrap();
+        assert!(merged.failures.is_empty() && !merged.interrupted);
+        assert_same_artifacts(&base, &dir, &format!("{count}-way chaos round"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    std::fs::remove_dir_all(&base).ok();
+}

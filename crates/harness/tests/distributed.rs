@@ -4,10 +4,11 @@
 //! single-process run, and the merge step refuses journals that don't
 //! describe one campaign.
 
+use irrnet_harness::lease::DEFAULT_STALE_AFTER;
 use irrnet_harness::opts::CampaignOptions;
 use irrnet_harness::registry::resolve;
 use irrnet_harness::runner::run_campaign;
-use irrnet_harness::shard::{merge_campaign, run_shard, ShardSpec};
+use irrnet_harness::shard::{merge_campaign, run_shard, ShardSpec, WorkerOptions};
 use irrnet_harness::status::campaign_status;
 use std::path::{Path, PathBuf};
 
@@ -26,8 +27,13 @@ fn quick_opts(dir: &Path) -> CampaignOptions {
     opts
 }
 
+fn worker() -> WorkerOptions {
+    WorkerOptions::default()
+}
+
 /// Every artifact in a campaign directory except the journals (whose
-/// record order is completion order, deliberately nondeterministic).
+/// record order is completion order, deliberately nondeterministic) and
+/// the lease files (worker liveness, absent from single-process runs).
 fn campaign_artifacts(dir: &Path) -> Vec<(String, String)> {
     let mut files: Vec<(String, String)> = std::fs::read_dir(dir)
         .unwrap()
@@ -38,7 +44,7 @@ fn campaign_artifacts(dir: &Path) -> Vec<(String, String)> {
                 std::fs::read_to_string(e.path()).unwrap(),
             )
         })
-        .filter(|(name, _)| !name.starts_with("journal."))
+        .filter(|(name, _)| !name.starts_with("journal.") && !name.starts_with("lease."))
         .collect();
     files.sort();
     files
@@ -91,13 +97,13 @@ fn sharded_runs_merge_byte_identical_for_1_2_3_workers() {
             let mut opts = quick_opts(&dir);
             opts.argv =
                 vec!["work".into(), dir.display().to_string(), "--shard".into(), spec.to_string()];
-            let report = run_shard(&specs, &opts, spec).unwrap();
+            let report = run_shard(&specs, &opts, spec, &worker()).unwrap();
             assert!(!report.interrupted && report.failed == 0);
             assert_eq!(report.completed, report.assigned);
         }
 
         // Every unit journaled across the shard set, none rendered yet.
-        let progress = campaign_status(&dir).unwrap();
+        let progress = campaign_status(&dir, DEFAULT_STALE_AFTER).unwrap();
         assert_eq!(progress.len(), count);
         assert!(progress.iter().all(|p| p.remaining() == 0 && p.failed == 0));
         assert!(!dir.join("manifest.json").exists(), "workers must not render");
@@ -121,7 +127,7 @@ fn crashed_shard_resumes_and_still_merges_byte_identical() {
     let dir = tmp_dir("crash");
     let s0 = ShardSpec { index: 0, count: 2 };
     let s1 = ShardSpec { index: 1, count: 2 };
-    run_shard(&specs, &quick_opts(&dir), s0).unwrap();
+    run_shard(&specs, &quick_opts(&dir), s0, &worker()).unwrap();
 
     // Crash shard 0 after the fact: keep the header plus a prefix of its
     // records and a line torn mid-write, exactly the on-disk state a
@@ -134,15 +140,18 @@ fn crashed_shard_resumes_and_still_merges_byte_identical() {
     partial.push_str("{\"kind\":\"unit\",\"index\":2,\"la");
     std::fs::write(&shard0, &partial).unwrap();
 
-    // Progress is visible (and partial) mid-crash.
-    let progress = campaign_status(&dir).unwrap();
-    assert_eq!(progress.len(), 1);
+    // Progress is visible (and partial) mid-crash; the never-started
+    // shard 1 still gets a synthesized 0/N row.
+    let progress = campaign_status(&dir, DEFAULT_STALE_AFTER).unwrap();
+    assert_eq!(progress.len(), 2);
     assert!(progress[0].remaining() > 0, "torn shard shows remaining work");
+    assert!(progress[1].note.as_deref().is_some_and(|n| n.contains("not started")));
+    assert!(progress[1].assigned > 0, "missing shard still shows its 0/N load");
 
     // Re-running the same worker command resumes the shard.
-    let resumed = run_shard(&specs, &quick_opts(&dir), s0).unwrap();
+    let resumed = run_shard(&specs, &quick_opts(&dir), s0, &worker()).unwrap();
     assert_eq!(resumed.completed, resumed.assigned);
-    run_shard(&specs, &quick_opts(&dir), s1).unwrap();
+    run_shard(&specs, &quick_opts(&dir), s1, &worker()).unwrap();
 
     let merged = merge_campaign(&dir, Some(2)).unwrap();
     assert!(merged.failures.is_empty() && !merged.interrupted);
@@ -159,16 +168,16 @@ fn merge_refuses_incomplete_or_mismatched_shard_sets() {
 
     // Missing shard: only 1/2 of the set exists.
     let dir = tmp_dir("missing");
-    run_shard(&specs, &quick_opts(&dir), ShardSpec { index: 1, count: 2 }).unwrap();
+    run_shard(&specs, &quick_opts(&dir), ShardSpec { index: 1, count: 2 }, &worker()).unwrap();
     let err = merge_campaign(&dir, None).unwrap_err().to_string();
-    assert!(err.contains("missing shard(s) 0/2"), "{err}");
+    assert!(err.contains("missing journal.shard-0-of-2.jsonl"), "{err}");
 
     // Fingerprint mismatch: shard 0 is written under different campaign
     // options. The error names both fingerprints and both invocations.
     let mut other = quick_opts(&dir);
     other.trials += 1;
     other.argv = vec!["work".into(), "out".into(), "--shard".into(), "0/2".into()];
-    run_shard(&specs, &other, ShardSpec { index: 0, count: 2 }).unwrap();
+    run_shard(&specs, &other, ShardSpec { index: 0, count: 2 }, &worker()).unwrap();
     let err = merge_campaign(&dir, None).unwrap_err().to_string();
     assert!(err.contains("fingerprint mismatch"), "{err}");
     assert!(err.contains("`irrnet-run work out --shard 0/2`"), "{err}");
@@ -178,13 +187,56 @@ fn merge_refuses_incomplete_or_mismatched_shard_sets() {
     // Incomplete shard: the worker stopped before finishing its units.
     let dir = tmp_dir("incomplete");
     let spec = ShardSpec { index: 0, count: 1 };
-    run_shard(&specs, &quick_opts(&dir), spec).unwrap();
+    run_shard(&specs, &quick_opts(&dir), spec, &worker()).unwrap();
     let path = dir.join("journal.shard-0-of-1.jsonl");
     let journal = std::fs::read_to_string(&path).unwrap();
     let lines: Vec<&str> = journal.split_inclusive('\n').collect();
     std::fs::write(&path, lines[..lines.len() - 1].concat()).unwrap();
     let err = merge_campaign(&dir, None).unwrap_err().to_string();
     assert!(err.contains("incomplete shard(s) 0/1"), "{err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn merge_refuses_mixed_shard_counts_naming_both_files() {
+    let specs = resolve(&["tab01".to_string()]).unwrap();
+    let dir = tmp_dir("mixed");
+    run_shard(&specs, &quick_opts(&dir), ShardSpec { index: 0, count: 2 }, &worker()).unwrap();
+    run_shard(&specs, &quick_opts(&dir), ShardSpec { index: 0, count: 3 }, &worker()).unwrap();
+    let err = merge_campaign(&dir, None).unwrap_err().to_string();
+    assert!(err.contains("mixed shard counts"), "{err}");
+    assert!(err.contains("journal.shard-0-of-2.jsonl"), "{err}");
+    assert!(err.contains("journal.shard-0-of-3.jsonl"), "{err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn merge_refuses_corrupt_record_naming_file_and_line() {
+    let specs = resolve(&["tab01".to_string()]).unwrap();
+    let dir = tmp_dir("corrupt");
+    for index in 0..2 {
+        run_shard(&specs, &quick_opts(&dir), ShardSpec { index, count: 2 }, &worker()).unwrap();
+    }
+    // Flip one byte in the payload of shard 0's second line (its first
+    // unit record): mid-stream damage, not a crash tail.
+    let path = dir.join("journal.shard-0-of-2.jsonl");
+    let mut bytes = std::fs::read(&path).unwrap();
+    let line1_end = bytes.iter().position(|&b| b == b'\n').unwrap();
+    assert!(bytes.len() > line1_end + 31, "shard 0 must hold at least one record");
+    bytes[line1_end + 30] ^= 0x01;
+    std::fs::write(&path, &bytes).unwrap();
+
+    let err = merge_campaign(&dir, None).unwrap_err().to_string();
+    assert!(err.contains("corrupt journal record"), "{err}");
+    assert!(err.contains("journal.shard-0-of-2.jsonl"), "{err}");
+    assert!(err.contains("line 2"), "{err}");
+
+    // The worker itself refuses to resume atop the damage, with the
+    // same typed diagnostic.
+    let err = run_shard(&specs, &quick_opts(&dir), ShardSpec { index: 0, count: 2 }, &worker())
+        .unwrap_err()
+        .to_string();
+    assert!(err.contains("corrupt journal record") && err.contains("line 2"), "{err}");
     std::fs::remove_dir_all(&dir).ok();
 }
 
@@ -207,7 +259,7 @@ fn streaming_stats_shards_merge_byte_identical_too() {
     for index in 0..2 {
         let mut opts = quick_opts(&dir);
         opts.stream_stats = true;
-        run_shard(&specs, &opts, ShardSpec { index, count: 2 }).unwrap();
+        run_shard(&specs, &opts, ShardSpec { index, count: 2 }, &worker()).unwrap();
     }
     let merged = merge_campaign(&dir, None).unwrap();
     assert!(merged.failures.is_empty());

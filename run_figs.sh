@@ -9,6 +9,8 @@
 #   ./run_figs.sh bench           # perf gate vs committed BENCH_sim.json
 #   ./run_figs.sh bench --exact   # exact cycles_run/sweeps_run gate
 #   ./run_figs.sh shard [N]       # quick campaign as N workers + merge + compare
+#   ./run_figs.sh chaos           # damage/heal gauntlet: torn tails, stale
+#                                 # leases, corruption, reshard — then compare
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -36,6 +38,74 @@ if [ "${1:-}" = "shard" ]; then
     "$RUN" work "$OUT" --shard "$i/$N" --all --quick & PIDS+=($!)
   done
   for pid in "${PIDS[@]}"; do wait "$pid"; done
+  "$RUN" status "$OUT"
+  "$RUN" merge "$OUT"
+  "$RUN" compare --out "$OUT" --golden results/golden
+  echo ALLDONE
+  exit 0
+fi
+
+# Chaos mode: drive the self-healing path end to end through the real
+# CLI — torn journal tails, an abandoned shard behind a stale lease,
+# mid-file corruption, straggler re-sharding — and require the final
+# merge to pass the same golden gate as an undamaged run.
+if [ "${1:-}" = "chaos" ]; then
+  OUT=results-chaos
+  rm -rf "$OUT"
+  mkdir -p "$OUT"
+
+  # An empty campaign directory is one clear error, not a stack trace.
+  if ERR=$("$RUN" status "$OUT" 2>&1); then
+    echo "chaos: status on an empty dir must fail"; exit 1
+  fi
+  echo "$ERR" | grep -q "no campaign journals"
+
+  "$RUN" work "$OUT" --shard 1/2 --all --quick
+  "$RUN" work "$OUT" --shard 0/2 --all --quick
+  J0="$OUT/journal.shard-0-of-2.jsonl"
+  J1="$OUT/journal.shard-1-of-2.jsonl"
+
+  # Crash shard 0: drop its last two records, leave a torn fragment, and
+  # plant a lease from a worker on another machine that stopped
+  # heartbeating an hour ago.
+  head -n -2 "$J0" > "$J0.tmp" && mv "$J0.tmp" "$J0"
+  printf '%s' '{"sum":"0xdeadbeef00000000","kind":"unit","i' >> "$J0"
+  STAMP=$(( $(date +%s%3N) - 3600000 ))
+  printf '{"pid":1,"host":"other-machine","beat":1,"units_done":0,"stamp_ms":%s,"completed":false,"argv":["work","out","--shard","0/2"]}\n' \
+    "$STAMP" > "$OUT/lease.shard-0-of-2.json"
+
+  "$RUN" status "$OUT" | grep -q "STALLED"
+
+  # Adoption requires the explicit flag...
+  if "$RUN" work "$OUT" --shard 0/2 --all --quick >/dev/null 2>&1; then
+    echo "chaos: adopting a stalled shard without --take-over must fail"; exit 1
+  fi
+  ERR=$("$RUN" work "$OUT" --shard 0/2 --all --quick 2>&1) || true
+  echo "$ERR" | grep -q -- "--take-over"
+  # ...and with it, the takeover resumes past the torn tail and finishes.
+  "$RUN" work "$OUT" --shard 0/2 --all --quick --take-over --stale-after 1
+
+  # Corrupt shard 1 (one byte inside line 2's checksum field): merge must
+  # refuse and name the damage; the repair is delete + re-run.
+  OFF=$(( $(head -n 1 "$J1" | wc -c) + 10 ))
+  printf 'Z' | dd of="$J1" bs=1 seek="$OFF" conv=notrunc status=none
+  if "$RUN" merge "$OUT" >/dev/null 2>&1; then
+    echo "chaos: merging a corrupt journal must fail"; exit 1
+  fi
+  ERR=$("$RUN" merge "$OUT" 2>&1) || true
+  echo "$ERR" | grep -qi "corrupt"
+  echo "$ERR" | grep -q "journal.shard-1-of-2.jsonl"
+  rm "$J1"
+  "$RUN" work "$OUT" --shard 1/2 --all --quick
+
+  # Straggler re-sharding: tear shard 0 once more, re-plan the remainder
+  # across three workers, and finish there.
+  head -n -1 "$J0" > "$J0.tmp" && mv "$J0.tmp" "$J0"
+  "$RUN" reshard "$OUT" --shards 3
+  for i in 0 1 2; do
+    "$RUN" work "$OUT" --shard "$i/3" --all --quick
+  done
+
   "$RUN" status "$OUT"
   "$RUN" merge "$OUT"
   "$RUN" compare --out "$OUT" --golden results/golden
