@@ -141,7 +141,7 @@ impl CollectivePlan {
             op,
             CollectiveOp::Broadcast | CollectiveOp::Barrier | CollectiveOp::AllReduce
         ) {
-            let mut dests = members;
+            let mut dests = members.clone();
             dests.remove(root);
             let id = McastId(next_id);
             next_id += 1;
@@ -200,7 +200,7 @@ mod tests {
             &cfg,
             CollectiveOp::Barrier,
             NodeId(0),
-            members,
+            members.clone(),
             Scheme::TreeWorm,
             4,
             8,
@@ -297,7 +297,7 @@ mod tests {
             &cfg,
             CollectiveOp::Barrier,
             NodeId(0),
-            members,
+            members.clone(),
             Scheme::TreeWorm,
             4,
             8,

@@ -46,7 +46,7 @@ pub fn run_collective(
     let edge_msgs: Vec<(McastId, NodeId)> =
         plan.edges.iter().map(|e| (e.id, e.parent)).collect();
     let contrib = plan.contrib_flits;
-    let bcast = plan.broadcast.as_ref().map(|(id, p)| (*id, p.dests, plan.data_flits));
+    let bcast = plan.broadcast.as_ref().map(|(id, p)| (*id, p.dests.clone(), plan.data_flits));
     let op_is_broadcast_only = matches!(op, CollectiveOp::Broadcast);
 
     let proto = CollectiveProtocol::new(vec![plan]);
@@ -113,7 +113,7 @@ mod tests {
         use std::sync::Arc;
         let mut dests = all32();
         dests.remove(NodeId(0));
-        let plan = plan_multicast(net, cfg, Scheme::TreeWorm, NodeId(0), dests, 128);
+        let plan = plan_multicast(net, cfg, Scheme::TreeWorm, NodeId(0), dests.clone(), 128);
         let mut proto = SchemeProtocol::new();
         proto.add(McastId(0), Arc::new(plan));
         let mut sim = Simulator::new(net, cfg.clone(), proto).unwrap();
@@ -212,7 +212,7 @@ mod tests {
                     &cfg,
                     CollectiveOp::AllReduce,
                     NodeId(0),
-                    members,
+                    members.clone(),
                     scheme,
                     3,
                     128,

@@ -68,7 +68,7 @@ fn collectives_always_complete() {
             &SimConfig::paper_default(),
             op,
             root,
-            members,
+            members.clone(),
             scheme,
             fanout,
             data,

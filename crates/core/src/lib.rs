@@ -26,7 +26,7 @@
 //! let net = Network::analyze(zoo::paper_example().unwrap()).unwrap();
 //! let cfg = SimConfig::paper_default();
 //! let dests = NodeMask::from_nodes((1..=8).map(NodeId));
-//! let plan = plan_multicast(&net, &cfg, Scheme::TreeWorm, NodeId(0), dests, 128);
+//! let plan = plan_multicast(&net, &cfg, Scheme::TreeWorm, NodeId(0), dests.clone(), 128);
 //!
 //! let mut proto = SchemeProtocol::new();
 //! proto.add(McastId(0), Arc::new(plan));

@@ -77,7 +77,7 @@ pub fn plan_paths(
             if uncovered.is_empty() {
                 break;
             }
-            let spec = best_worm(net, net.topo.host_switch(s), uncovered, variant);
+            let spec = best_worm(net, net.topo.host_switch(s), &uncovered, variant);
             for stop in &spec.stops {
                 for &d in &stop.drops {
                     uncovered.remove(d);
@@ -117,7 +117,7 @@ pub fn plan_paths(
 fn best_worm(
     net: &Network,
     from: SwitchId,
-    uncovered: NodeMask,
+    uncovered: &NodeMask,
     variant: PathVariant,
 ) -> PathWormSpec {
     let n = net.topo.num_switches();
@@ -286,12 +286,12 @@ pub fn verify_path_spec(
 fn worm_from_path(
     net: &Network,
     path: &[(SwitchId, Phase)],
-    uncovered: NodeMask,
+    uncovered: &NodeMask,
 ) -> Option<PathWormSpec> {
-    let mut remaining = uncovered;
+    let mut remaining = uncovered.clone();
     let mut stops = Vec::new();
     for &(s, phase) in path {
-        let local = net.topo.nodes_at(s).intersection(remaining);
+        let local = net.topo.nodes_at(s).intersection(&remaining);
         if !local.is_empty() {
             let drops: Vec<NodeId> = local.iter().collect();
             for &d in &drops {
@@ -337,7 +337,7 @@ mod tests {
         let net = Network::analyze(zoo::star(4, 2).unwrap()).unwrap();
         let src = NodeId(0);
         let dests = full_dests(&net, src);
-        let plan = plan_paths(&net, src, dests, PathVariant::Greedy);
+        let plan = plan_paths(&net, src, dests.clone(), PathVariant::Greedy);
         // 7 destinations over 4 leaf switches; source's leaf is covered
         // together with one other leaf? No: one worm = up to core, down
         // into one leaf; drops at source's own leaf happen on the up
@@ -346,7 +346,7 @@ mod tests {
         let mut covered = NodeMask::EMPTY;
         for w in &plan.worms {
             let c = w.covered();
-            assert!(covered.intersection(c).is_empty(), "overlapping coverage");
+            assert!(covered.intersection(&c).is_empty(), "overlapping coverage");
             covered = covered.union(c);
         }
         assert_eq!(covered, dests);
@@ -360,11 +360,11 @@ mod tests {
             for variant in [PathVariant::Greedy, PathVariant::LessGreedy] {
                 let src = NodeId(seed as u16 % 32);
                 let dests = full_dests(&net, src);
-                let plan = plan_paths(&net, src, dests, variant);
+                let plan = plan_paths(&net, src, dests.clone(), variant);
                 let mut covered = NodeMask::EMPTY;
                 for w in &plan.worms {
                     let c = w.covered();
-                    assert!(covered.intersection(c).is_empty());
+                    assert!(covered.intersection(&c).is_empty());
                     covered = covered.union(c);
                     assert!(!w.stops.is_empty());
                     for stop in &w.stops {
@@ -417,7 +417,7 @@ mod tests {
         let net = Network::analyze(zoo::paper_example().unwrap()).unwrap();
         let src = NodeId(5);
         let dests = NodeMask::from_nodes((8..24).map(NodeId));
-        let plan = plan_paths(&net, src, dests, PathVariant::LessGreedy);
+        let plan = plan_paths(&net, src, dests.clone(), PathVariant::LessGreedy);
         for (&sender, specs) in &plan.assignments {
             assert!(sender == src || dests.contains(sender));
             assert!(!specs.is_empty());
@@ -434,7 +434,7 @@ mod tests {
             let t = gen::generate(&RandomTopologyConfig::paper_default(seed)).unwrap();
             let net = Network::analyze(t).unwrap();
             let dests = full_dests(&net, NodeId(0));
-            let g = plan_paths(&net, NodeId(0), dests, PathVariant::Greedy);
+            let g = plan_paths(&net, NodeId(0), dests.clone(), PathVariant::Greedy);
             let lg = plan_paths(&net, NodeId(0), dests, PathVariant::LessGreedy);
             g_len += g.worms.iter().map(|w| w.stops.len()).sum::<usize>();
             lg_len += lg.worms.iter().map(|w| w.stops.len()).sum::<usize>();

@@ -96,7 +96,7 @@ impl<'n> LatencyModel<'n> {
             &self.net.topo,
             &self.net.updown,
             &self.net.reach,
-            dests,
+            dests.clone(),
         );
         let up = plan.up_distance(src_sw) as u64;
         // Worst down distance from any covering switch at that height:
@@ -170,7 +170,7 @@ mod tests {
     use std::sync::Arc;
 
     fn simulate(net: &Network, cfg: &SimConfig, scheme: Scheme, src: NodeId, dests: NodeMask, msg: u32) -> u64 {
-        let plan = plan_multicast(net, cfg, scheme, src, dests, msg);
+        let plan = plan_multicast(net, cfg, scheme, src, dests.clone(), msg);
         let mut proto = SchemeProtocol::new();
         proto.add(McastId(0), Arc::new(plan));
         let mut sim = Simulator::new(net, cfg.clone(), proto).unwrap();
@@ -230,8 +230,8 @@ mod tests {
             let model = LatencyModel::new(&net, &cfg);
             let dests = NodeMask::from_nodes((1..=16).map(NodeId));
             for msg in [128u32, 512] {
-                let predicted = model.tree_worm(NodeId(0), dests, msg) as f64;
-                let measured = simulate(&net, &cfg, Scheme::TreeWorm, NodeId(0), dests, msg) as f64;
+                let predicted = model.tree_worm(NodeId(0), dests.clone(), msg) as f64;
+                let measured = simulate(&net, &cfg, Scheme::TreeWorm, NodeId(0), dests.clone(), msg) as f64;
                 let err = (predicted - measured).abs() / measured;
                 assert!(
                     err < 0.15,
@@ -253,8 +253,8 @@ mod tests {
         let dests = NodeMask::from_nodes((1..=12).map(NodeId));
         for scheme in Scheme::all() {
             for msg in [128u32, 512] {
-                let lb = model.lower_bound(NodeId(0), dests, msg);
-                let measured = simulate(&net, &cfg, scheme, NodeId(0), dests, msg);
+                let lb = model.lower_bound(NodeId(0), dests.clone(), msg);
+                let measured = simulate(&net, &cfg, scheme, NodeId(0), dests.clone(), msg);
                 assert!(
                     lb <= measured,
                     "{scheme} msg {msg}: bound {lb} > measured {measured}"

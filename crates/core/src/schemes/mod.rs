@@ -33,7 +33,7 @@
 //!     fn caps(&self) -> SchemeCaps { SchemeCaps { ni_forwarding: false, switch_replication: true } }
 //!     fn plan(&self, ctx: &PlanCtx<'_>) -> Result<McastPlan, PlanError> {
 //!         SchemeRegistry::plan(Scheme::TreeWorm.id(), ctx.net, ctx.cfg, ctx.source,
-//!                              ctx.dests, ctx.message_flits)
+//!                              ctx.dests.clone(), ctx.message_flits)
 //!     }
 //! }
 //!
@@ -105,7 +105,7 @@ pub struct SchemeCaps {
 }
 
 /// Everything a plugin needs to plan one multicast.
-#[derive(Clone, Copy)]
+#[derive(Clone)]
 pub struct PlanCtx<'a> {
     /// Analyzed network (topology, up*/down* orientation, reachability).
     pub net: &'a Network,

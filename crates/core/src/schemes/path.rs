@@ -61,7 +61,7 @@ impl MulticastScheme for PathWormScheme {
     }
 
     fn plan(&self, ctx: &PlanCtx<'_>) -> Result<McastPlan, PlanError> {
-        let pp = plan_paths(ctx.net, ctx.source, ctx.dests, self.variant);
+        let pp = plan_paths(ctx.net, ctx.source, ctx.dests.clone(), self.variant);
         let worms = pp.worms.len();
         let phases = pp.phases;
         let mut initial = Vec::new();
@@ -86,7 +86,7 @@ impl MulticastScheme for PathWormScheme {
             scheme: ctx.id,
             caps: self.caps(),
             source: ctx.source,
-            dests: ctx.dests,
+            dests: ctx.dests.clone(),
             message_flits: ctx.message_flits,
             initial,
             on_delivered,

@@ -80,7 +80,7 @@ pub(crate) fn plan_software_tree(ctx: &PlanCtx<'_>, fpfs_k: Option<usize>) -> Mc
             scheme: ctx.id,
             caps: SchemeCaps { ni_forwarding: true, switch_replication: false },
             source: ctx.source,
-            dests: ctx.dests,
+            dests: ctx.dests.clone(),
             message_flits: ctx.message_flits,
             initial,
             on_delivered: HashMap::new(),
@@ -108,7 +108,7 @@ pub(crate) fn plan_software_tree(ctx: &PlanCtx<'_>, fpfs_k: Option<usize>) -> Mc
             scheme: ctx.id,
             caps: SchemeCaps::default(),
             source: ctx.source,
-            dests: ctx.dests,
+            dests: ctx.dests.clone(),
             message_flits: ctx.message_flits,
             initial,
             on_delivered,

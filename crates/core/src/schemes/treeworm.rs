@@ -24,14 +24,14 @@ impl MulticastScheme for TreeWormScheme {
 
     fn plan(&self, ctx: &PlanCtx<'_>) -> Result<McastPlan, PlanError> {
         let net = ctx.net;
-        let plan = Arc::new(ApexPlan::compute(&net.topo, &net.updown, &net.reach, ctx.dests));
+        let plan = Arc::new(ApexPlan::compute(&net.topo, &net.updown, &net.reach, ctx.dests.clone()));
         Ok(McastPlan {
             scheme: ctx.id,
             caps: self.caps(),
             source: ctx.source,
-            dests: ctx.dests,
+            dests: ctx.dests.clone(),
             message_flits: ctx.message_flits,
-            initial: vec![SendSpec::Tree { dests: ctx.dests, plan }],
+            initial: vec![SendSpec::Tree { dests: ctx.dests.clone(), plan }],
             on_delivered: HashMap::new(),
             fpfs_children: HashMap::new(),
             ni_path_forwards: HashMap::new(),

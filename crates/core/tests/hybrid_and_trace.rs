@@ -18,7 +18,7 @@ fn run(
     msg: u32,
     trace: bool,
 ) -> (u64, Option<irrnet_sim::TraceLog>) {
-    let plan = plan_multicast(net, cfg, scheme, NodeId(0), dests, msg);
+    let plan = plan_multicast(net, cfg, scheme, NodeId(0), dests.clone(), msg);
     let mut proto = SchemeProtocol::new();
     proto.add(McastId(0), Arc::new(plan));
     let mut sim = Simulator::new(net, cfg.clone(), proto).unwrap();
@@ -37,7 +37,7 @@ fn hybrid_delivers_exactly_like_plain_path() {
     for seed in 0..4 {
         let net = net(seed);
         let dests = NodeMask::from_nodes((4..=20).map(NodeId));
-        let plan = plan_multicast(&net, &cfg, Scheme::PathLgNi, NodeId(0), dests, 128);
+        let plan = plan_multicast(&net, &cfg, Scheme::PathLgNi, NodeId(0), dests.clone(), 128);
         assert!(
             !plan.ni_path_forwards.is_empty() || plan.initial.len() >= plan.meta.worms,
             "hybrid plan should use NI forwarding when there are multiple phases"
@@ -45,7 +45,7 @@ fn hybrid_delivers_exactly_like_plain_path() {
         let mut proto = SchemeProtocol::new();
         proto.add(McastId(0), Arc::new(plan));
         let mut sim = Simulator::new(&net, cfg.clone(), proto).unwrap();
-        sim.schedule_multicast(0, McastId(0), dests, 128);
+        sim.schedule_multicast(0, McastId(0), dests.clone(), 128);
         sim.run_to_completion(200_000_000).unwrap();
         let stats = sim.stats();
         assert_eq!(stats.mcasts[&McastId(0)].deliveries.len(), dests.len());
@@ -63,8 +63,8 @@ fn hybrid_beats_plain_path_scheme() {
         let mut plain = 0u64;
         for seed in 0..5 {
             let n = net(seed);
-            hybrid += run(&n, &cfg, Scheme::PathLgNi, dests, 128, false).0;
-            plain += run(&n, &cfg, Scheme::PathLessGreedy, dests, 128, false).0;
+            hybrid += run(&n, &cfg, Scheme::PathLgNi, dests.clone(), 128, false).0;
+            plain += run(&n, &cfg, Scheme::PathLessGreedy, dests.clone(), 128, false).0;
         }
         assert!(
             hybrid < plain,
@@ -83,8 +83,8 @@ fn hybrid_multi_packet_pipelines_phases() {
     let mut ratio_sum = 0.0;
     for seed in 0..4 {
         let n = net(seed);
-        let (short, _) = run(&n, &cfg, Scheme::PathLgNi, dests, 128, false);
-        let (long, _) = run(&n, &cfg, Scheme::PathLgNi, dests, 2048, false);
+        let (short, _) = run(&n, &cfg, Scheme::PathLgNi, dests.clone(), 128, false);
+        let (long, _) = run(&n, &cfg, Scheme::PathLgNi, dests.clone(), 2048, false);
         ratio_sum += long as f64 / short as f64;
     }
     // 16x the flits must cost far less than 16x the latency.
@@ -130,13 +130,13 @@ fn hybrid_leaders_never_touch_their_host_cpu_for_forwarding() {
     let cfg = SimConfig::paper_default();
     let n = net(1);
     let dests = NodeMask::from_nodes((4..=20).map(NodeId));
-    let plan = plan_multicast(&n, &cfg, Scheme::PathLgNi, NodeId(0), dests, 128);
+    let plan = plan_multicast(&n, &cfg, Scheme::PathLgNi, NodeId(0), dests.clone(), 128);
     let leaders: Vec<NodeId> = plan.ni_path_forwards.keys().copied().collect();
     let mut proto = SchemeProtocol::new();
     proto.add(McastId(0), Arc::new(plan));
     let mut sim = Simulator::new(&n, cfg.clone(), proto).unwrap();
     sim.enable_trace();
-    sim.schedule_multicast(0, McastId(0), dests, 128);
+    sim.schedule_multicast(0, McastId(0), dests.clone(), 128);
     sim.run_to_completion(200_000_000).unwrap();
     let log = sim.take_trace().unwrap();
     for (_, e) in log.events() {

@@ -12,14 +12,14 @@ fn run_one(
     cfg: &SimConfig,
     scheme: Scheme,
     source: NodeId,
-    dests: NodeMask,
+    dests: &NodeMask,
     msg: u32,
 ) -> u64 {
-    let plan = plan_multicast(net, cfg, scheme, source, dests, msg);
+    let plan = plan_multicast(net, cfg, scheme, source, dests.clone(), msg);
     let mut proto = SchemeProtocol::new();
     proto.add(McastId(0), Arc::new(plan));
     let mut sim = Simulator::new(net, cfg.clone(), proto).unwrap();
-    sim.schedule_multicast(0, McastId(0), dests, msg);
+    sim.schedule_multicast(0, McastId(0), dests.clone(), msg);
     sim.run_to_completion(50_000_000)
         .unwrap_or_else(|e| panic!("{scheme} failed: {e}"));
     let stats = sim.stats();
@@ -39,7 +39,7 @@ fn every_scheme_delivers_on_random_topologies() {
         let mut dests = NodeMask::from_nodes((0..32).filter(|i| i % 3 == 0).map(NodeId));
         dests.remove(source);
         for scheme in Scheme::all() {
-            let lat = run_one(&net, &cfg, scheme, source, dests, 128);
+            let lat = run_one(&net, &cfg, scheme, source, &dests, 128);
             assert!(lat > 0);
         }
     }
@@ -53,7 +53,7 @@ fn every_scheme_handles_broadcast() {
     let mut dests = NodeMask::all(32);
     dests.remove(source);
     for scheme in Scheme::all() {
-        run_one(&net, &cfg, scheme, source, dests, 128);
+        run_one(&net, &cfg, scheme, source, &dests, 128);
     }
 }
 
@@ -65,7 +65,7 @@ fn every_scheme_handles_multi_packet_messages() {
     let dests = NodeMask::from_nodes([4, 9, 17, 25, 30].map(NodeId));
     for scheme in Scheme::all() {
         // 512 flits = 4 packets.
-        run_one(&net, &cfg, scheme, source, dests, 512);
+        run_one(&net, &cfg, scheme, source, &dests, 512);
     }
 }
 
@@ -74,7 +74,7 @@ fn every_scheme_handles_single_destination() {
     let cfg = SimConfig::paper_default();
     let net = Network::analyze(zoo::paper_example().unwrap()).unwrap();
     for scheme in Scheme::all() {
-        run_one(&net, &cfg, scheme, NodeId(0), NodeMask::single(NodeId(31)), 128);
+        run_one(&net, &cfg, scheme, NodeId(0), &NodeMask::single(NodeId(31)), 128);
     }
 }
 
@@ -90,10 +90,10 @@ fn tree_worm_is_fastest_on_default_parameters() {
         let net = Network::analyze(t).unwrap();
         let source = NodeId(0);
         let dests = NodeMask::from_nodes((1..=16).map(NodeId));
-        let lat_tree = run_one(&net, &cfg, Scheme::TreeWorm, source, dests, 128);
+        let lat_tree = run_one(&net, &cfg, Scheme::TreeWorm, source, &dests, 128);
         for other in [Scheme::UBinomial, Scheme::NiFpfs, Scheme::PathLessGreedy] {
             total += 1;
-            if lat_tree <= run_one(&net, &cfg, other, source, dests, 128) {
+            if lat_tree <= run_one(&net, &cfg, other, source, &dests, 128) {
                 tree_wins += 1;
             }
         }
@@ -108,9 +108,9 @@ fn enhanced_schemes_beat_plain_unicast_binomial() {
     let net = Network::analyze(t).unwrap();
     let source = NodeId(2);
     let dests = NodeMask::from_nodes((8..24).map(NodeId));
-    let base = run_one(&net, &cfg, Scheme::UBinomial, source, dests, 128);
+    let base = run_one(&net, &cfg, Scheme::UBinomial, source, &dests, 128);
     for scheme in Scheme::paper_three() {
-        let lat = run_one(&net, &cfg, scheme, source, dests, 128);
+        let lat = run_one(&net, &cfg, scheme, source, &dests, 128);
         assert!(
             lat < base,
             "{scheme} ({lat}) not faster than ubinomial ({base})"
@@ -130,7 +130,7 @@ fn high_r_favors_ni_scheme_over_path_scheme() {
             let t = gen::generate(&RandomTopologyConfig::paper_default(seed)).unwrap();
             let net = Network::analyze(t).unwrap();
             let dests = NodeMask::from_nodes((1..=16).map(NodeId));
-            sum += run_one(&net, &cfg, scheme, NodeId(0), dests, 128);
+            sum += run_one(&net, &cfg, scheme, NodeId(0), &dests, 128);
             n += 1;
         }
         sum as f64 / n as f64
@@ -153,8 +153,8 @@ fn deterministic_replay() {
     let net = Network::analyze(t).unwrap();
     let dests = NodeMask::from_nodes((1..=12).map(NodeId));
     for scheme in Scheme::all() {
-        let a = run_one(&net, &cfg, scheme, NodeId(0), dests, 256);
-        let b = run_one(&net, &cfg, scheme, NodeId(0), dests, 256);
+        let a = run_one(&net, &cfg, scheme, NodeId(0), &dests, 256);
+        let b = run_one(&net, &cfg, scheme, NodeId(0), &dests, 256);
         assert_eq!(a, b, "{scheme} not deterministic");
     }
 }

@@ -19,6 +19,7 @@
 //! irrnet-run schemes                  # show the scheme registry
 //! irrnet-run compare [--out DIR] [--golden DIR] [--tol F]
 //! irrnet-run bench [--out FILE] [--check FILE] [--exact] [--baseline-from FILE] [--iters N]
+//!            [--workloads a,b] [--smoke] [--max-rss-kb N]
 //! ```
 //!
 //! Exit codes: 0 = campaign completed cleanly, 1 = completed with failed
@@ -55,6 +56,7 @@ fn usage() -> ! {
          \x20      irrnet-run schemes\n\
          \x20      irrnet-run compare [--out DIR] [--golden DIR] [--tol F]\n\
          \x20      irrnet-run bench [--out FILE] [--check FILE] [--exact] [--baseline-from FILE] [--iters N]\n\
+         \x20                 [--workloads a,b] [--smoke] [--max-rss-kb N]\n\
          experiments: {}",
         registry().iter().map(|s| s.name).collect::<Vec<_>>().join(", ")
     );
@@ -567,6 +569,20 @@ fn main_bench(argv: Vec<String>) -> ExitCode {
             // --check report instead of the 20% cycles/sec tolerance.
             "--exact" => opts.exact = true,
             "--iters" => opts.iters = parse_value(&mut args, "--iters"),
+            "--workloads" => {
+                let list: String = parse_value(&mut args, "--workloads");
+                opts.only = Some(
+                    list.split(',')
+                        .map(str::trim)
+                        .filter(|s| !s.is_empty())
+                        .map(str::to_string)
+                        .collect(),
+                );
+            }
+            // Reduced-budget huge workload (renamed huge-smoke so report
+            // gates skip it) — the CI memory-ceiling leg.
+            "--smoke" => opts.smoke = true,
+            "--max-rss-kb" => opts.max_rss_kb = Some(parse_value(&mut args, "--max-rss-kb")),
             "--help" | "-h" => usage(),
             s => {
                 eprintln!("error: unknown bench argument '{s}'");

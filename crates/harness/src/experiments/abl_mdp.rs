@@ -35,7 +35,7 @@ pub fn units(_opts: &CampaignOptions) -> Vec<Unit> {
                 for (i, variant) in
                     [PathVariant::Greedy, PathVariant::LessGreedy].into_iter().enumerate()
                 {
-                    let p = plan_paths(&net, src, dests, variant);
+                    let p = plan_paths(&net, src, dests.clone(), variant);
                     worms[i] += p.worms.len();
                     phases[i] += p.phases;
                 }

@@ -39,7 +39,7 @@ fn run_fpfs_tree(
         scheme: Scheme::NiFpfs.id(),
         caps: Scheme::NiFpfs.id().caps(),
         source: tree.source,
-        dests,
+        dests: dests.clone(),
         message_flits: msg,
         initial: vec![SendSpec::FpfsChildren {
             children: tree.children_of(tree.source).to_vec(),
@@ -52,7 +52,7 @@ fn run_fpfs_tree(
     let mut proto = SchemeProtocol::new();
     proto.add(McastId(0), Arc::new(plan));
     let mut sim = Simulator::new(net, cfg.clone(), proto)?;
-    sim.schedule_multicast(0, McastId(0), dests, msg);
+    sim.schedule_multicast(0, McastId(0), dests.clone(), msg);
     sim.run_to_completion(400_000_000)?;
     sim.stats()
         .latency_of(McastId(0))

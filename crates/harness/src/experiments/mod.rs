@@ -17,6 +17,7 @@ pub mod ext_d;
 pub mod ext_e;
 pub mod ext_f;
 pub mod ext_g;
+pub mod ext_h;
 pub mod fig06;
 pub mod fig07;
 pub mod fig08;

@@ -181,6 +181,11 @@ pub fn registry() -> Vec<ExperimentSpec> {
             units: ex::ext_g::units,
         },
         ExperimentSpec {
+            name: "ext_h",
+            title: "Extension H — giant-topology scaling (throughput & reachability state)",
+            units: ex::ext_h::units,
+        },
+        ExperimentSpec {
             name: "abl_ordering",
             title: "Ablation — k-binomial destination placement",
             units: ex::abl_ordering::units,

@@ -58,7 +58,8 @@ impl MulticastScheme for CappedTreeWorm {
         let mut initial = Vec::new();
         for group in dests.chunks(chunk) {
             let mask: NodeMask = group.iter().copied().collect();
-            let plan = Arc::new(ApexPlan::compute(&net.topo, &net.updown, &net.reach, mask));
+            let plan =
+                Arc::new(ApexPlan::compute(&net.topo, &net.updown, &net.reach, mask.clone()));
             initial.push(SendSpec::Tree { dests: mask, plan });
         }
         let worms = initial.len();
@@ -66,7 +67,7 @@ impl MulticastScheme for CappedTreeWorm {
             scheme: ctx.id,
             caps: self.caps(),
             source: ctx.source,
-            dests: ctx.dests,
+            dests: ctx.dests.clone(),
             message_flits: ctx.message_flits,
             initial,
             on_delivered: HashMap::new(),

@@ -30,7 +30,7 @@ fn every_registered_scheme_delivers_on_random_topologies() {
         for degree in [3usize, 9, 17] {
             let (source, dests) = random_mcast(&mut rng, 32, degree);
             for &id in &schemes {
-                let plan = try_plan_multicast(&net, &cfg, id, source, dests, 128)
+                let plan = try_plan_multicast(&net, &cfg, id, source, dests.clone(), 128)
                     .unwrap_or_else(|e| panic!("{} failed to plan: {e}", id.name()));
                 assert_eq!(plan.scheme, id, "{}: plan not stamped with its id", id.name());
                 assert_eq!(plan.caps, id.caps(), "{}: caps not stamped", id.name());
@@ -47,7 +47,7 @@ fn every_registered_scheme_delivers_on_random_topologies() {
                 }
                 // Full delivery: run_single only returns once every
                 // destination has received the message.
-                let r = run_single(&net, &cfg, id, source, dests, 128)
+                let r = run_single(&net, &cfg, id, source, dests.clone(), 128)
                     .unwrap_or_else(|e| panic!("{} failed to deliver: {e}", id.name()));
                 assert!(r.latency > 0, "{}: zero-latency delivery", id.name());
                 assert_eq!(r.meta.worms, plan.meta.worms, "{}: unstable meta", id.name());
@@ -68,7 +68,7 @@ fn demo_scheme_caps_the_source_fanout() {
     let tree = Scheme::TreeWorm.id();
     for degree in [2usize, 5, 16, 31] {
         let dests = NodeMask::from_nodes((1..=degree as u16).map(NodeId));
-        let plan = try_plan_multicast(&net, &cfg, capped, NodeId(0), dests, 128).unwrap();
+        let plan = try_plan_multicast(&net, &cfg, capped, NodeId(0), dests.clone(), 128).unwrap();
         assert!(plan.meta.worms <= 4, "fanout cap violated: {} worms", plan.meta.worms);
         let chunk = degree.div_ceil(4);
         assert_eq!(plan.meta.worms, degree.div_ceil(chunk), "chunking is balanced");

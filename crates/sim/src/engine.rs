@@ -24,10 +24,10 @@
 
 use crate::config::{Cycle, RetxPolicy, SimConfig};
 use crate::error::{BranchSnapshot, DeadlockDiagnostics, SimError, StuckFrame, TxBacklog};
-use crate::host::{DmaTask, HostState, HostTask, NiTask};
+use crate::host::{DmaTask, HostTask, NiTask, Resource};
 use crate::protocol::Protocol;
 use crate::stats::SimStats;
-use crate::switch::{decode_branches, decode_branches_masked, Frame, SwitchState};
+use crate::switch::{decode_branches, decode_branches_masked, Frame, InPort, OutPort};
 use crate::trace::{TraceEvent, TraceLog};
 use crate::worm::{McastId, RouteInfo, SendSpec, WormCopy};
 use irrnet_topology::{
@@ -130,7 +130,7 @@ struct RetxRt {
 }
 
 /// Per-multicast static description.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 struct McastInfo {
     dests: NodeMask,
     message_flits: u32,
@@ -144,8 +144,49 @@ pub struct Simulator<'n, P: Protocol> {
     /// The scheme logic driving this run (exposed for post-run inspection).
     pub protocol: P,
     now: Cycle,
-    switches: Vec<SwitchState>,
-    hosts: Vec<HostState>,
+    // Per-switch hot state, struct-of-arrays: the port tables are flat
+    // at the global port index (`sw * pmax + port`, same stride as
+    // `in_reserved`/`out_sink`), the scalars and activity masks are one
+    // densely packed word per switch. Giant fabrics touch a handful of
+    // contiguous cache lines per sweep instead of chasing one heap
+    // allocation per switch.
+    /// Input ports of every switch (global port index).
+    sw_in: Vec<InPort>,
+    /// Output ports of every switch (global port index).
+    sw_out: Vec<OutPort>,
+    /// Port count per switch (ports beyond it are dead stride padding).
+    sw_nports: Vec<u8>,
+    /// Rotating arbitration priority per switch.
+    sw_rr: Vec<u8>,
+    /// Bit `p` set iff input `p`'s front frame awaits header decode.
+    sw_undecoded: Vec<u32>,
+    /// Bit `p` set iff input `p`'s front frame has ungranted branches.
+    sw_waiting: Vec<u32>,
+    /// Bit `o` set iff output `o` has an owning branch.
+    sw_owned: Vec<u32>,
+    // Per-node host state, struct-of-arrays (indexed by node id).
+    /// Host processor per node.
+    host_cpu: Vec<Resource<HostTask>>,
+    /// NI processor per node.
+    host_ni: Vec<Resource<NiTask>>,
+    /// I/O bus per node.
+    host_bus: Vec<Resource<DmaTask>>,
+    /// Worm copies ready for injection, in order, per node.
+    tx_queue: Vec<std::collections::VecDeque<Arc<WormCopy>>>,
+    /// Flits of the front `tx_queue` worm already put on the wire.
+    tx_sent: Vec<u32>,
+    /// Total flits of the front `tx_queue` worm (cached when its head is
+    /// injected; meaningful only while `tx_sent > 0`).
+    tx_total: Vec<u32>,
+    /// Worm being assembled off the wire per node:
+    /// `(copy, flits so far, total flits)`.
+    rx_current: Vec<Option<(Arc<WormCopy>, u32, u32)>>,
+    /// Packets in NI receive memory (completed on the wire, not yet
+    /// fully processed) — the NI-buffering cost of §3.3.
+    ni_rx_pending: Vec<u32>,
+    /// Per-node, per-multicast count of packets DMA'd to host memory,
+    /// indexed by the dense multicast index and grown lazily.
+    reassembly: Vec<Vec<u32>>,
     /// Reserved flit slots per switch input port (global index).
     in_reserved: Vec<u32>,
     /// Sink behind each switch output port (global index); `None` = open.
@@ -304,17 +345,28 @@ impl<'n, P: Protocol> Simulator<'n, P> {
             let SinkRef::SwIn { sw, port } = *sink else { unreachable!() };
             feeder_in[sw as usize * pmax + port as usize] = Feeder::Host(n as u16);
         }
+        assert!(pmax <= 32, "switch degree {pmax} exceeds the 32-port activity-mask limit");
         Ok(Simulator {
             net,
             cfg,
             protocol,
             now: 0,
-            switches: net
-                .topo
-                .switches()
-                .map(|(_, s)| SwitchState::new(s.num_ports()))
-                .collect(),
-            hosts: (0..nh).map(|_| HostState::default()).collect(),
+            sw_in: (0..ns * pmax).map(|_| InPort::default()).collect(),
+            sw_out: vec![OutPort::default(); ns * pmax],
+            sw_nports: net.topo.switches().map(|(_, s)| s.num_ports() as u8).collect(),
+            sw_rr: vec![0; ns],
+            sw_undecoded: vec![0; ns],
+            sw_waiting: vec![0; ns],
+            sw_owned: vec![0; ns],
+            host_cpu: (0..nh).map(|_| Resource::default()).collect(),
+            host_ni: (0..nh).map(|_| Resource::default()).collect(),
+            host_bus: (0..nh).map(|_| Resource::default()).collect(),
+            tx_queue: vec![std::collections::VecDeque::new(); nh],
+            tx_sent: vec![0; nh],
+            tx_total: vec![0; nh],
+            rx_current: vec![None; nh],
+            ni_rx_pending: vec![0; nh],
+            reassembly: vec![Vec::new(); nh],
             in_reserved: vec![0; ns * pmax],
             out_sink,
             out_dir_link,
@@ -521,7 +573,7 @@ impl<'n, P: Protocol> Simulator<'n, P> {
             .mcasts
             .idx_of(id)
             .expect("send for unregistered multicast");
-        (idx, self.mcasts[idx as usize])
+        (idx, self.mcasts[idx as usize].clone())
     }
 
     /// Visit every switch and host each cycle instead of only the
@@ -559,7 +611,7 @@ impl<'n, P: Protocol> Simulator<'n, P> {
                         if self.tx_wake_at[node] == c {
                             self.tx_wake_at[node] = u64::MAX;
                         }
-                        if !self.hosts[node].tx_queue.is_empty() {
+                        if !self.tx_queue[node].is_empty() {
                             self.activate_tx(node);
                         }
                     }
@@ -735,14 +787,9 @@ impl<'n, P: Protocol> Simulator<'n, P> {
     /// the per-mcast tables can be large); the fold overwrites, so
     /// calling repeatedly is idempotent.
     pub fn stats(&mut self) -> &SimStats {
-        let mut ni = 0u64;
-        let mut host = 0u64;
-        let mut bus = 0u64;
-        for h in &self.hosts {
-            ni += h.ni.busy_cycles;
-            host += h.cpu.busy_cycles;
-            bus += h.bus.busy_cycles;
-        }
+        let ni: u64 = self.host_ni.iter().map(|r| r.busy_cycles).sum();
+        let host: u64 = self.host_cpu.iter().map(|r| r.busy_cycles).sum();
+        let bus: u64 = self.host_bus.iter().map(|r| r.busy_cycles).sum();
         self.stats.net.ni_busy_cycles = ni;
         self.stats.net.host_busy_cycles = host;
         self.stats.net.io_bus_busy_cycles = bus;
@@ -836,7 +883,7 @@ impl<'n, P: Protocol> Simulator<'n, P> {
             Feeder::None => {}
             Feeder::Host(n) => {
                 let node = n as usize;
-                if self.tx_listed[node] || self.hosts[node].tx_queue.is_empty() {
+                if self.tx_listed[node] || self.tx_queue[node].is_empty() {
                     return;
                 }
                 // Hosts are swept before switches, so any credit freed
@@ -880,7 +927,7 @@ impl<'n, P: Protocol> Simulator<'n, P> {
         }
         let boundary = self.now + u64::from(self.post_sweep);
         let missed = (boundary - self.sw_rr_base[si]) % 256;
-        self.switches[si].rr = self.switches[si].rr.wrapping_add(missed as u8);
+        self.sw_rr[si] = self.sw_rr[si].wrapping_add(missed as u8);
         self.sw_rr_base[si] = boundary;
     }
 
@@ -897,8 +944,8 @@ impl<'n, P: Protocol> Simulator<'n, P> {
                 self.activate_sw(si);
             }
         }
-        for node in 0..self.hosts.len() {
-            if !self.hosts[node].tx_queue.is_empty() {
+        for node in 0..self.tx_queue.len() {
+            if !self.tx_queue[node].is_empty() {
                 self.activate_tx(node);
             }
         }
@@ -906,6 +953,20 @@ impl<'n, P: Protocol> Simulator<'n, P> {
 
     fn gidx(&self, sw: u16, port: u8) -> usize {
         sw as usize * self.pmax + port as usize
+    }
+
+    /// Count one reassembled packet of the multicast at dense index `idx`
+    /// on `node`; returns the running count. The per-node counter vector
+    /// grows lazily (most hosts only ever reassemble a small suffix of
+    /// the id space).
+    fn reassemble(&mut self, node: usize, idx: u32) -> u32 {
+        let r = &mut self.reassembly[node];
+        let i = idx as usize;
+        if r.len() <= i {
+            r.resize(i + 1, 0);
+        }
+        r[i] += 1;
+        r[i]
     }
 
     fn can_accept(&self, sink: SinkRef) -> bool {
@@ -957,7 +1018,7 @@ impl<'n, P: Protocol> Simulator<'n, P> {
         self.emit(TraceEvent::HostSendStart { node, mcast });
         let dur = self.cfg.o_send_host;
         if let Some(c) =
-            self.hosts[node.idx()].cpu.enqueue(HostTask::Send { mcast, spec }, dur, self.now)
+            self.host_cpu[node.idx()].enqueue(HostTask::Send { mcast, spec }, dur, self.now)
         {
             self.schedule(c, Event::HostDone(node.0));
         }
@@ -987,7 +1048,7 @@ impl<'n, P: Protocol> Simulator<'n, P> {
                 .map(|c| base(RouteInfo::Unicast { dest: *c }))
                 .collect(),
             SendSpec::Tree { dests, plan } => {
-                vec![base(RouteInfo::Tree { dests: *dests, plan: plan.clone() })]
+                vec![base(RouteInfo::Tree { dests: dests.clone(), plan: plan.clone() })]
             }
             SendSpec::Path { spec } => {
                 vec![base(RouteInfo::Path { spec: spec.clone(), cursor: 0 })]
@@ -1020,7 +1081,7 @@ impl<'n, P: Protocol> Simulator<'n, P> {
             Event::Fault => self.process_fault_events(),
             Event::RetxCheck(idx) => self.process_retx_check(idx),
             Event::HostDone(n) => {
-                let (task, next) = self.hosts[n as usize].cpu.complete(self.now);
+                let (task, next) = self.host_cpu[n as usize].complete(self.now);
                 if let Some(c) = next {
                     self.schedule(c, Event::HostDone(n));
                 }
@@ -1035,7 +1096,7 @@ impl<'n, P: Protocol> Simulator<'n, P> {
                             let dur = self
                                 .cfg
                                 .dma_cycles(self.cfg.packet_payload(info.message_flits, pkt));
-                            if let Some(c) = self.hosts[n as usize].bus.enqueue(
+                            if let Some(c) = self.host_bus[n as usize].enqueue(
                                 DmaTask::ToNi { mcast, spec: spec.clone(), pkt },
                                 dur,
                                 self.now,
@@ -1071,7 +1132,7 @@ impl<'n, P: Protocol> Simulator<'n, P> {
                 }
             }
             Event::BusDone(n) => {
-                let (task, next) = self.hosts[n as usize].bus.complete(self.now);
+                let (task, next) = self.host_bus[n as usize].complete(self.now);
                 if let Some(c) = next {
                     self.schedule(c, Event::BusDone(n));
                 }
@@ -1090,7 +1151,7 @@ impl<'n, P: Protocol> Simulator<'n, P> {
                         let worms = self.make_worms(mcast, &spec, pkt);
                         for w in worms {
                             if let Some(c) =
-                                self.hosts[n as usize].ni.enqueue(NiTask::Tx(w), dur, self.now)
+                                self.host_ni[n as usize].enqueue(NiTask::Tx(w), dur, self.now)
                             {
                                 self.schedule(c, Event::NiDone(n));
                             }
@@ -1098,14 +1159,13 @@ impl<'n, P: Protocol> Simulator<'n, P> {
                     }
                     DmaTask::ToHost { worm } => {
                         let (idx, _) = self.minfo(worm.mcast);
-                        let host = &mut self.hosts[n as usize];
-                        let cnt = host.reassemble(idx);
+                        let cnt = self.reassemble(n as usize, idx);
                         // `>=` (not `==`): a retransmission restarts the
                         // count at 0, but straggler packets of the
                         // truncated original can still land afterwards.
                         if cnt >= worm.total_pkts {
-                            host.reassembly_done(idx);
-                            if let Some(c) = host.cpu.enqueue(
+                            self.reassembly[n as usize][idx as usize] = 0;
+                            if let Some(c) = self.host_cpu[n as usize].enqueue(
                                 HostTask::Recv(worm.mcast),
                                 self.cfg.o_recv_host,
                                 self.now,
@@ -1117,7 +1177,7 @@ impl<'n, P: Protocol> Simulator<'n, P> {
                 }
             }
             Event::NiDone(n) => {
-                let (task, next) = self.hosts[n as usize].ni.complete(self.now);
+                let (task, next) = self.host_ni[n as usize].complete(self.now);
                 if let Some(c) = next {
                     self.schedule(c, Event::NiDone(n));
                 }
@@ -1131,13 +1191,13 @@ impl<'n, P: Protocol> Simulator<'n, P> {
                             mcast: worm.mcast,
                             pkt: worm.pkt,
                         });
-                        self.hosts[n as usize].tx_queue.push_back(worm);
+                        self.tx_queue[n as usize].push_back(worm);
                         self.tx_pending += 1;
                         self.activate_tx(n as usize);
                     }
                     NiTask::Rx(worm) => {
                         let node = NodeId(n);
-                        self.hosts[n as usize].ni_rx_pending -= 1;
+                        self.ni_rx_pending[n as usize] -= 1;
                         let replicas = match self.protocol.on_packet_at_ni(node, &worm, self.now) {
                             Ok(replicas) => replicas,
                             Err(e) => {
@@ -1153,7 +1213,7 @@ impl<'n, P: Protocol> Simulator<'n, P> {
                         for spec in replicas {
                             let worms = self.make_worms(worm.mcast, &spec, worm.pkt);
                             for w in worms {
-                                if let Some(c) = self.hosts[n as usize].ni.enqueue(
+                                if let Some(c) = self.host_ni[n as usize].enqueue(
                                     NiTask::Tx(w),
                                     tx_dur,
                                     self.now,
@@ -1168,7 +1228,7 @@ impl<'n, P: Protocol> Simulator<'n, P> {
                             "worm ejected at wrong NI"
                         );
                         let dur = self.cfg.dma_cycles(worm.payload_flits);
-                        if let Some(c) = self.hosts[n as usize].bus.enqueue(
+                        if let Some(c) = self.host_bus[n as usize].enqueue(
                             DmaTask::ToHost { worm },
                             dur,
                             self.now,
@@ -1241,12 +1301,12 @@ impl<'n, P: Protocol> Simulator<'n, P> {
                             if f.received == f.header_in {
                                 f.header_done_at = Some(t);
                             }
-                            let s = &mut self.switches[sw as usize];
-                            let q = &mut s.inputs[port as usize].frames;
+                            let g = self.gidx(sw, port);
+                            let q = &mut self.sw_in[g].frames;
                             q.push_back(f);
                             if q.len() == 1 {
                                 // Became the port's front frame: decode pending.
-                                s.undecoded |= 1 << port;
+                                self.sw_undecoded[sw as usize] |= 1 << port;
                             }
                             self.frames_alive += 1;
                             self.sw_frames[sw as usize] += 1;
@@ -1261,7 +1321,8 @@ impl<'n, P: Protocol> Simulator<'n, P> {
                             self.activate_sw(sw as usize);
                         }
                         FlitPayload::Body => {
-                            let f = self.switches[sw as usize].inputs[port as usize]
+                            let g = self.gidx(sw, port);
+                            let f = self.sw_in[g]
                                 .frames
                                 .back_mut()
                                 .expect("body flit with no frame");
@@ -1298,24 +1359,23 @@ impl<'n, P: Protocol> Simulator<'n, P> {
                         }
                     }
                     self.stats.net.ejected_flits += 1;
-                    let h = &mut self.hosts[node as usize];
+                    let rx = &mut self.rx_current[node as usize];
                     let complete = match payload {
                         FlitPayload::Head(w) => {
-                            debug_assert!(h.rx_current.is_none(), "interleaved worms at NI");
+                            debug_assert!(rx.is_none(), "interleaved worms at NI");
                             let total = w.total_flits();
                             if total == 1 {
                                 Some(w)
                             } else {
-                                h.rx_current = Some((w, 1, total));
+                                *rx = Some((w, 1, total));
                                 None
                             }
                         }
                         FlitPayload::Body => {
-                            let (_, got, total) =
-                                h.rx_current.as_mut().expect("body with no worm");
+                            let (_, got, total) = rx.as_mut().expect("body with no worm");
                             *got += 1;
                             if got == total {
-                                let (w, _, _) = h.rx_current.take().unwrap();
+                                let (w, _, _) = rx.take().unwrap();
                                 Some(w)
                             } else {
                                 None
@@ -1329,10 +1389,10 @@ impl<'n, P: Protocol> Simulator<'n, P> {
                             pkt: w.pkt,
                         });
                         self.stats.net.packets_received += 1;
-                        let h = &mut self.hosts[node as usize];
-                        h.ni_rx_pending += 1;
-                        if h.ni_rx_pending > self.stats.net.max_ni_rx_queue {
-                            self.stats.net.max_ni_rx_queue = h.ni_rx_pending;
+                        let pend = &mut self.ni_rx_pending[node as usize];
+                        *pend += 1;
+                        if *pend > self.stats.net.max_ni_rx_queue {
+                            self.stats.net.max_ni_rx_queue = *pend;
                         }
                         // O_{r,ni} per message; later packets pay only
                         // per-packet handling.
@@ -1341,7 +1401,9 @@ impl<'n, P: Protocol> Simulator<'n, P> {
                         } else {
                             self.cfg.o_ni_per_packet()
                         };
-                        if let Some(c) = h.ni.enqueue(NiTask::Rx(w), rx_dur, self.now) {
+                        if let Some(c) =
+                            self.host_ni[node as usize].enqueue(NiTask::Rx(w), rx_dur, self.now)
+                        {
                             self.schedule(c, Event::NiDone(node));
                         }
                     }
@@ -1357,8 +1419,8 @@ impl<'n, P: Protocol> Simulator<'n, P> {
         // only reason is a missing downstream credit — `credit_freed` on
         // that channel re-arms them).
         if self.full_scan {
-            for node in 0..self.hosts.len() {
-                if self.hosts[node].tx_queue.is_empty() {
+            for node in 0..self.tx_queue.len() {
+                if self.tx_queue[node].is_empty() {
                     continue;
                 }
                 moved |= self.inject_from(node, t);
@@ -1367,14 +1429,14 @@ impl<'n, P: Protocol> Simulator<'n, P> {
             let mut i = 0;
             while i < self.active_tx.len() {
                 let node = self.active_tx[i] as usize;
-                if self.hosts[node].tx_queue.is_empty() {
+                if self.tx_queue[node].is_empty() {
                     self.tx_listed[node] = false;
                     self.active_tx.remove(i);
                     continue;
                 }
                 let m = self.inject_from(node, t);
                 moved |= m;
-                if m && !self.hosts[node].tx_queue.is_empty() {
+                if m && !self.tx_queue[node].is_empty() {
                     i += 1;
                 } else {
                     self.tx_listed[node] = false;
@@ -1392,14 +1454,20 @@ impl<'n, P: Protocol> Simulator<'n, P> {
         // it leaves the list, optionally dropping a `SwitchWake` at its
         // next self-timed decode cycle, and otherwise waits for whoever
         // frees the resource it is blocked on.
+        // The port tables are detached from `self` for the duration (an
+        // O(1) pointer swap of the whole flat array): a switch never
+        // writes another switch's ports directly — flits travel through
+        // the arrival ring, and credit accounting lives in the separate
+        // `in_reserved` array — so `switch_cycle` can hold `&mut` slices
+        // into the tables while calling back into `self`.
+        let mut sw_in = std::mem::take(&mut self.sw_in);
+        let mut sw_out = std::mem::take(&mut self.sw_out);
         if self.full_scan {
-            for si in 0..self.switches.len() {
+            for si in 0..self.sw_nports.len() {
                 if self.sw_frames[si] == 0 {
                     continue;
                 }
-                let mut sw = std::mem::take(&mut self.switches[si]);
-                moved |= self.switch_cycle(si, &mut sw).moved;
-                self.switches[si] = sw;
+                moved |= self.switch_cycle(si, &mut sw_in, &mut sw_out).moved;
             }
         } else {
             self.sw_cursor = 0;
@@ -1410,15 +1478,13 @@ impl<'n, P: Protocol> Simulator<'n, P> {
                     self.active_sw.remove(self.sw_cursor);
                     continue;
                 }
-                let mut sw = std::mem::take(&mut self.switches[si]);
                 // Arbitration catch-up: the stepping loop advanced `rr`
                 // once per cycle this switch held frames; replay the
                 // advances for the cycles we skipped while it was parked
                 // (all provably no-op sweeps except this counter).
                 let missed = (t - self.sw_rr_base[si]) % 256;
-                sw.rr = sw.rr.wrapping_add(missed as u8);
-                let out = self.switch_cycle(si, &mut sw);
-                self.switches[si] = sw;
+                self.sw_rr[si] = self.sw_rr[si].wrapping_add(missed as u8);
+                let out = self.switch_cycle(si, &mut sw_in, &mut sw_out);
                 self.sw_rr_base[si] = t + 1;
                 moved |= out.moved;
                 if self.sw_frames[si] == 0 {
@@ -1436,6 +1502,8 @@ impl<'n, P: Protocol> Simulator<'n, P> {
             }
             self.sw_cursor = usize::MAX;
         }
+        self.sw_in = sw_in;
+        self.sw_out = sw_out;
         moved
     }
 
@@ -1446,18 +1514,17 @@ impl<'n, P: Protocol> Simulator<'n, P> {
         if !self.can_accept(sink) {
             return false;
         }
-        let h = &mut self.hosts[node];
-        let payload = if h.tx_sent == 0 {
-            let front = h.tx_queue.front().expect("checked nonempty");
-            h.tx_total = front.total_flits();
+        let payload = if self.tx_sent[node] == 0 {
+            let front = self.tx_queue[node].front().expect("checked nonempty");
+            self.tx_total[node] = front.total_flits();
             FlitPayload::Head(front.clone())
         } else {
             FlitPayload::Body
         };
-        h.tx_sent += 1;
-        if h.tx_sent == h.tx_total {
-            h.tx_queue.pop_front();
-            h.tx_sent = 0;
+        self.tx_sent[node] += 1;
+        if self.tx_sent[node] == self.tx_total[node] {
+            self.tx_queue[node].pop_front();
+            self.tx_sent[node] = 0;
             self.tx_pending -= 1;
         }
         self.reserve(sink);
@@ -1466,27 +1533,34 @@ impl<'n, P: Protocol> Simulator<'n, P> {
         true
     }
 
-    /// Decode, arbitrate, transfer for one switch. `sw` is temporarily
-    /// detached from `self` (no self-links, so no aliasing with the sinks
-    /// this switch transmits into). Besides the moved flag, reports the
-    /// earliest future cycle a pending decode becomes ready (the only
-    /// *self-timed* work a switch has — everything else it waits on is
-    /// re-armed by the component supplying it).
-    fn switch_cycle(&mut self, si: usize, sw: &mut SwitchState) -> SweepOut {
+    /// Decode, arbitrate, transfer for one switch. `sw_in`/`sw_out` are
+    /// the whole port tables, temporarily detached from `self` (no
+    /// self-links, so no aliasing with the sinks this switch transmits
+    /// into). Besides the moved flag, reports the earliest future cycle a
+    /// pending decode becomes ready (the only *self-timed* work a switch
+    /// has — everything else it waits on is re-armed by the component
+    /// supplying it).
+    fn switch_cycle(
+        &mut self,
+        si: usize,
+        sw_in: &mut [InPort],
+        sw_out: &mut [OutPort],
+    ) -> SweepOut {
         let t = self.now;
         let here = SwitchId(si as u16);
-        let nports = sw.inputs.len();
+        let nports = self.sw_nports[si] as usize;
+        let base = si * self.pmax;
         let mut moved = false;
         let mut next_decode: Option<Cycle> = None;
 
         // Decode head frames whose routing delay has elapsed. Only ports
         // flagged in `undecoded` can need work (ascending order, same as
         // a full port scan).
-        let mut pending = sw.undecoded;
+        let mut pending = self.sw_undecoded[si];
         while pending != 0 {
             let p = pending.trailing_zeros() as usize;
             pending &= pending - 1;
-            let f = sw.inputs[p]
+            let f = sw_in[base + p]
                 .frames
                 .front_mut()
                 .expect("undecoded bit without front frame");
@@ -1513,22 +1587,22 @@ impl<'n, P: Protocol> Simulator<'n, P> {
                 // (dead destination / fully pruned subtree / severed path
                 // leg): discard it. Retransmission, if enabled, re-covers
                 // any live destinations it was carrying.
-                sw.undecoded &= !(1 << p);
-                self.discard_undecoded_front(si, sw, p);
+                self.sw_undecoded[si] &= !(1 << p);
+                self.discard_undecoded_front(si, sw_in, p);
                 moved = true;
                 continue;
             }
             self.stats.net.replications += branches.len().saturating_sub(1) as u64;
-            let f = sw.inputs[p]
+            let f = sw_in[base + p]
                 .frames
                 .front_mut()
                 .expect("undecoded bit without front frame");
             f.branches = branches;
             f.decoded = true;
             f.ungranted = f.branches.len() as u16;
-            sw.undecoded &= !(1 << p);
+            self.sw_undecoded[si] &= !(1 << p);
             if f.ungranted > 0 {
-                sw.waiting |= 1 << p;
+                self.sw_waiting[si] |= 1 << p;
             }
         }
 
@@ -1538,15 +1612,15 @@ impl<'n, P: Protocol> Simulator<'n, P> {
         // visit order over flagged ports is identical to the full rotated
         // scan, and skipped ports were no-ops there. `rr` advances below
         // regardless, exactly as after a no-op scan.
-        if sw.waiting != 0 {
-            let start = sw.rr as usize % nports.max(1);
+        if self.sw_waiting[si] != 0 {
+            let start = self.sw_rr[si] as usize % nports.max(1);
             let mut m = if start == 0 {
-                sw.waiting
+                self.sw_waiting[si]
             } else {
                 // Rotate within the low `nports` bits: bit k of `m` is
                 // port (start + k) % nports.
-                (sw.waiting >> start)
-                    | ((sw.waiting << (nports - start)) & (u32::MAX >> (32 - nports)))
+                (self.sw_waiting[si] >> start)
+                    | ((self.sw_waiting[si] << (nports - start)) & (u32::MAX >> (32 - nports)))
             };
             while m != 0 {
                 let k = m.trailing_zeros() as usize;
@@ -1555,7 +1629,7 @@ impl<'n, P: Protocol> Simulator<'n, P> {
                 if p >= nports {
                     p -= nports;
                 }
-                let f = sw.inputs[p]
+                let f = sw_in[base + p]
                     .frames
                     .front_mut()
                     .expect("waiting bit without front frame");
@@ -1566,10 +1640,10 @@ impl<'n, P: Protocol> Simulator<'n, P> {
                     }
                     for ci in 0..b.candidates.len() {
                         let (cand, _) = b.candidates[ci];
-                        let op = &mut sw.outputs[cand.idx()];
+                        let op = &mut sw_out[base + cand.idx()];
                         if op.owner.is_none() {
                             op.owner = Some((p as u8, bi as u16));
-                            sw.owned |= 1 << cand.idx();
+                            self.sw_owned[si] |= 1 << cand.idx();
                             f.ungranted -= 1;
                             b.grant(cand);
                             break;
@@ -1577,22 +1651,22 @@ impl<'n, P: Protocol> Simulator<'n, P> {
                     }
                 }
                 if f.ungranted == 0 {
-                    sw.waiting &= !(1 << p);
+                    self.sw_waiting[si] &= !(1 << p);
                 }
             }
         }
-        sw.rr = sw.rr.wrapping_add(1);
+        self.sw_rr[si] = self.sw_rr[si].wrapping_add(1);
 
         // Transfers: each owned output moves at most one flit. Iterate
         // the `owned` mask ascending — identical to scanning all outputs
         // and skipping the ownerless ones. Bits cleared mid-loop (branch
         // drained) only affect later cycles; none are set here.
-        let mut owned = sw.owned;
+        let mut owned = self.sw_owned[si];
         while owned != 0 {
             let o = owned.trailing_zeros() as usize;
             owned &= owned - 1;
-            let (p, bi) = sw.outputs[o].owner.expect("owned bit without owner");
-            let f = sw.inputs[p as usize]
+            let (p, bi) = sw_out[base + o].owner.expect("owned bit without owner");
+            let f = sw_in[base + p as usize]
                 .frames
                 .front_mut()
                 .expect("owner without head frame");
@@ -1608,8 +1682,7 @@ impl<'n, P: Protocol> Simulator<'n, P> {
             if !available {
                 continue;
             }
-            let sink = self.out_sink[self.gidx(si as u16, o as u8)]
-                .expect("branch granted to open port");
+            let sink = self.out_sink[base + o].expect("branch granted to open port");
             if !self.can_accept(sink) {
                 continue;
             }
@@ -1621,25 +1694,25 @@ impl<'n, P: Protocol> Simulator<'n, P> {
             b.sent += 1;
             if b.sent == b.out_total() {
                 b.done = true;
-                sw.outputs[o].owner = None;
-                sw.owned &= !(1 << o);
+                sw_out[base + o].owner = None;
+                self.sw_owned[si] &= !(1 << o);
             }
             let (freed, frame_done) = f.advance();
             if frame_done {
                 debug_assert_eq!(f.received, f.total_in);
                 debug_assert_eq!(f.freed, f.total_in);
-                let q = &mut sw.inputs[p as usize].frames;
+                let q = &mut sw_in[base + p as usize].frames;
                 q.pop_front();
                 if !q.is_empty() {
                     // The revealed frame was never front before, so its
                     // header is still undecoded.
-                    sw.undecoded |= 1 << p;
+                    self.sw_undecoded[si] |= 1 << p;
                 }
                 self.frames_alive -= 1;
                 self.sw_frames[si] -= 1;
             }
             if freed > 0 {
-                let g = self.gidx(si as u16, p);
+                let g = base + p as usize;
                 self.in_reserved[g] -= freed;
                 self.audit_freed += freed as u64;
                 self.credit_freed(g);
@@ -1651,7 +1724,7 @@ impl<'n, P: Protocol> Simulator<'n, P> {
                 payload,
             );
             self.stats.net.link_flits += 1;
-            if let Some(d) = self.out_dir_link[self.gidx(si as u16, o as u8)] {
+            if let Some(d) = self.out_dir_link[base + o] {
                 self.stats.link_flits_per_dir[d as usize] += 1;
             }
             moved = true;
@@ -1668,9 +1741,9 @@ impl<'n, P: Protocol> Simulator<'n, P> {
             stuck_frames: Vec::new(),
             tx_backlogs: Vec::new(),
         };
-        for (si, sw) in self.switches.iter().enumerate() {
-            for (pi, inp) in sw.inputs.iter().enumerate() {
-                if let Some(f) = inp.frames.front() {
+        for (si, &np) in self.sw_nports.iter().enumerate() {
+            for pi in 0..np as usize {
+                if let Some(f) = self.sw_in[si * self.pmax + pi].frames.front() {
                     d.stuck_frames.push(StuckFrame {
                         switch: si as u16,
                         port: pi as u8,
@@ -1692,12 +1765,12 @@ impl<'n, P: Protocol> Simulator<'n, P> {
                 }
             }
         }
-        for (ni, h) in self.hosts.iter().enumerate() {
-            if !h.tx_queue.is_empty() {
+        for (ni, q) in self.tx_queue.iter().enumerate() {
+            if !q.is_empty() {
                 d.tx_backlogs.push(TxBacklog {
                     node: ni as u16,
-                    queued: h.tx_queue.len(),
-                    sent: h.tx_sent,
+                    queued: q.len(),
+                    sent: self.tx_sent[ni],
                 });
             }
         }
@@ -1771,12 +1844,12 @@ impl<'n, P: Protocol> Simulator<'n, P> {
         // Per-switch buffer and frame accounting.
         let mut frames_total = 0u64;
         let mut buffered_total = 0u64;
-        for (si, sw) in self.switches.iter().enumerate() {
+        for (si, &np) in self.sw_nports.iter().enumerate() {
             let mut count = 0u32;
-            for (pi, inp) in sw.inputs.iter().enumerate() {
+            for pi in 0..np as usize {
                 let g = self.gidx(si as u16, pi as u8);
                 let mut buffered = 0u32;
-                for f in inp.frames.iter() {
+                for f in self.sw_in[g].frames.iter() {
                     if f.received > f.total_in || f.freed > f.received {
                         return fail(
                             InvariantKind::FrameAccounting,
@@ -1800,7 +1873,7 @@ impl<'n, P: Protocol> Simulator<'n, P> {
                     }
                     buffered += f.received - f.freed;
                 }
-                count += inp.frames.len() as u32;
+                count += self.sw_in[g].frames.len() as u32;
                 buffered_total += buffered as u64;
                 if self.in_reserved[g] > self.cfg.input_buffer_flits {
                     return fail(
@@ -1843,7 +1916,7 @@ impl<'n, P: Protocol> Simulator<'n, P> {
         }
 
         // Injection accounting.
-        let queued: u64 = self.hosts.iter().map(|h| h.tx_queue.len() as u64).sum();
+        let queued: u64 = self.tx_queue.iter().map(|q| q.len() as u64).sum();
         if queued != self.tx_pending {
             return fail(
                 InvariantKind::TxAccounting,
@@ -1880,9 +1953,9 @@ impl<'n, P: Protocol> Simulator<'n, P> {
 
         // Monotonic per-worm progress across sweeps.
         let mut next = std::collections::HashMap::with_capacity(aud.progress.len());
-        for (si, sw) in self.switches.iter().enumerate() {
-            for (pi, inp) in sw.inputs.iter().enumerate() {
-                for f in inp.frames.iter() {
+        for (si, &np) in self.sw_nports.iter().enumerate() {
+            for pi in 0..np as usize {
+                for f in self.sw_in[si * self.pmax + pi].frames.iter() {
                     let sent: u64 = f.branches.iter().map(|b| b.sent as u64).sum();
                     let key = (si as u16, pi as u8, Arc::as_ptr(&f.worm) as usize, f.born);
                     if let Some(&(pr, pf, ps)) = aud.progress.get(&key) {
@@ -1962,13 +2035,13 @@ impl<'n, P: Protocol> Simulator<'n, P> {
             for n in self.net.topo.nodes_at(s).iter() {
                 let ni = n.idx();
                 self.dead_host[ni] = true;
-                let queued = self.hosts[ni].tx_queue.len() as u64;
+                let queued = self.tx_queue[ni].len() as u64;
                 if queued > 0 {
                     self.tx_pending -= queued;
-                    self.hosts[ni].tx_queue.clear();
-                    self.hosts[ni].tx_sent = 0;
+                    self.tx_queue[ni].clear();
+                    self.tx_sent[ni] = 0;
                 }
-                if let Some((_, got, _)) = self.hosts[ni].rx_current.take() {
+                if let Some((_, got, _)) = self.rx_current[ni].take() {
                     self.stats.net.flits_dropped += got as u64;
                     self.audit_redropped += got as u64;
                     self.stats.net.worms_killed += 1;
@@ -1980,8 +2053,8 @@ impl<'n, P: Protocol> Simulator<'n, P> {
         //    downstream channels are already marked dead.
         for &s in switches {
             let si = s.idx();
-            for p in 0..self.switches[si].inputs.len() {
-                while !self.switches[si].inputs[p].frames.is_empty() {
+            for p in 0..self.sw_nports[si] as usize {
+                while !self.sw_in[si * self.pmax + p].frames.is_empty() {
                     self.kill_frame_at(si, p, FrameSlot::Front, false);
                 }
             }
@@ -2002,7 +2075,7 @@ impl<'n, P: Protocol> Simulator<'n, P> {
         cut.sort_unstable();
         cut.dedup();
         for (si, p) in cut {
-            let truncated = self.switches[si].inputs[p]
+            let truncated = self.sw_in[si * self.pmax + p]
                 .frames
                 .back()
                 .is_some_and(|f| f.received < f.total_in);
@@ -2031,7 +2104,7 @@ impl<'n, P: Protocol> Simulator<'n, P> {
     /// arrival; pass false when the feeder is dead or is the caller.
     fn kill_frame_at(&mut self, si: usize, p: usize, slot: FrameSlot, purge_feeder: bool) {
         let g = self.gidx(si as u16, p as u8);
-        let q = &mut self.switches[si].inputs[p].frames;
+        let q = &mut self.sw_in[g].frames;
         let was_front = match slot {
             FrameSlot::Front => true,
             FrameSlot::Back => q.len() == 1,
@@ -2058,19 +2131,18 @@ impl<'n, P: Protocol> Simulator<'n, P> {
             self.purge_in[g] = Some(f.worm.clone());
         }
         if was_front {
-            let sw = &mut self.switches[si];
-            sw.undecoded &= !(1 << p);
-            sw.waiting &= !(1 << p);
+            self.sw_undecoded[si] &= !(1 << p);
+            self.sw_waiting[si] &= !(1 << p);
             for b in &f.branches {
                 if let Some(port) = b.port {
                     if !b.done {
-                        sw.outputs[port.idx()].owner = None;
-                        sw.owned &= !(1 << port.idx());
+                        self.sw_out[si * self.pmax + port.idx()].owner = None;
+                        self.sw_owned[si] &= !(1 << port.idx());
                     }
                 }
             }
-            if !sw.inputs[p].frames.is_empty() {
-                sw.undecoded |= 1 << p;
+            if !self.sw_in[g].frames.is_empty() {
+                self.sw_undecoded[si] |= 1 << p;
             }
             for b in &f.branches {
                 if b.port.is_some() && !b.done && b.sent > 0 {
@@ -2101,7 +2173,7 @@ impl<'n, P: Protocol> Simulator<'n, P> {
                     self.purge_active += 1;
                 }
                 self.purge_in[g2] = Some(worm.clone());
-                let truncated = self.switches[sw as usize].inputs[p2 as usize]
+                let truncated = self.sw_in[g2]
                     .frames
                     .back()
                     .is_some_and(|bf| Arc::ptr_eq(&bf.worm, &worm) && bf.received < bf.total_in);
@@ -2118,12 +2190,11 @@ impl<'n, P: Protocol> Simulator<'n, P> {
                     self.purge_active += 1;
                 }
                 self.purge_ni[ni] = Some(worm.clone());
-                let matches = self.hosts[ni]
-                    .rx_current
+                let matches = self.rx_current[ni]
                     .as_ref()
                     .is_some_and(|(w, _, _)| Arc::ptr_eq(w, &worm));
                 if matches {
-                    let (_, got, _) = self.hosts[ni].rx_current.take().expect("checked");
+                    let (_, got, _) = self.rx_current[ni].take().expect("checked");
                     self.stats.net.flits_dropped += got as u64;
                     self.audit_redropped += got as u64;
                     self.stats.net.worms_killed += 1;
@@ -2132,13 +2203,13 @@ impl<'n, P: Protocol> Simulator<'n, P> {
         }
     }
 
-    /// Discard the (undecoded, branchless) front frame of port `p` on the
-    /// detached switch `sw` — the fault-masked decode found it nowhere to
-    /// go. Mirrors `kill_frame_at` but works on the detached state.
-    fn discard_undecoded_front(&mut self, si: usize, sw: &mut SwitchState, p: usize) {
-        let f = sw.inputs[p].frames.pop_front().expect("discard on empty port");
-        debug_assert!(f.branches.is_empty());
+    /// Discard the (undecoded, branchless) front frame of port `p` of
+    /// switch `si` — the fault-masked decode found it nowhere to go.
+    /// Mirrors `kill_frame_at` but works on the detached port table.
+    fn discard_undecoded_front(&mut self, si: usize, sw_in: &mut [InPort], p: usize) {
         let g = self.gidx(si as u16, p as u8);
+        let f = sw_in[g].frames.pop_front().expect("discard on empty port");
+        debug_assert!(f.branches.is_empty());
         let outstanding = f.received - f.freed;
         self.in_reserved[g] -= outstanding;
         self.stats.net.flits_dropped += outstanding as u64;
@@ -2156,8 +2227,8 @@ impl<'n, P: Protocol> Simulator<'n, P> {
             }
             self.purge_in[g] = Some(f.worm.clone());
         }
-        if !sw.inputs[p].frames.is_empty() {
-            sw.undecoded |= 1 << p;
+        if !sw_in[g].frames.is_empty() {
+            self.sw_undecoded[si] |= 1 << p;
         }
     }
 
@@ -2167,9 +2238,9 @@ impl<'n, P: Protocol> Simulator<'n, P> {
     /// and killing nothing would loop forever).
     fn watchdog_recover(&mut self) -> bool {
         let mut best: Option<(usize, usize, Cycle)> = None;
-        for si in 0..self.switches.len() {
-            for p in 0..self.switches[si].inputs.len() {
-                if let Some(f) = self.switches[si].inputs[p].frames.front() {
+        for si in 0..self.sw_nports.len() {
+            for p in 0..self.sw_nports[si] as usize {
+                if let Some(f) = self.sw_in[si * self.pmax + p].frames.front() {
                     if best.is_none_or(|(_, _, born)| f.born > born) {
                         best = Some((si, p, f.born));
                     }
@@ -2223,7 +2294,7 @@ impl<'n, P: Protocol> Simulator<'n, P> {
         if rec.completed.is_some() {
             return;
         }
-        let expected = rec.expected;
+        let expected = rec.expected.clone();
         let mut missing: Vec<NodeId> = Vec::new();
         for nd in expected.iter() {
             if !self.stats.is_delivered(id, nd) && !self.dead_host[nd.idx()] {
@@ -2239,14 +2310,14 @@ impl<'n, P: Protocol> Simulator<'n, P> {
         }
         self.retx.as_mut().expect("retx enabled").attempts[i] = attempt + 1;
         self.stats.net.retransmissions += missing.len() as u64;
-        let info = self.mcasts[i];
+        let info = self.mcasts[i].clone();
         let dur = self.cfg.o_ni_per_packet();
         for dest in missing {
             // A truncated earlier copy may have partially reassembled at
             // the destination; the retransmission restarts that count.
-            let h = &mut self.hosts[dest.idx()];
-            if h.reassembly.len() > i {
-                h.reassembly[i] = 0;
+            let r = &mut self.reassembly[dest.idx()];
+            if r.len() > i {
+                r[i] = 0;
             }
             for pkt in 0..info.total_pkts {
                 let w = Arc::new(WormCopy {
@@ -2259,7 +2330,7 @@ impl<'n, P: Protocol> Simulator<'n, P> {
                     route: RouteInfo::Unicast { dest },
                 });
                 if let Some(c) =
-                    self.hosts[src.idx()].ni.enqueue(NiTask::Tx(w), dur, self.now)
+                    self.host_ni[src.idx()].enqueue(NiTask::Tx(w), dur, self.now)
                 {
                     self.schedule(c, Event::NiDone(src.0));
                 }

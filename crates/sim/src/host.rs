@@ -126,57 +126,6 @@ pub enum DmaTask {
     },
 }
 
-/// Complete per-node state.
-#[derive(Debug, Default)]
-pub struct HostState {
-    /// Host processor.
-    pub cpu: Resource<HostTask>,
-    /// NI processor.
-    pub ni: Resource<NiTask>,
-    /// I/O bus.
-    pub bus: Resource<DmaTask>,
-    /// Worm copies ready for injection, in order.
-    pub tx_queue: VecDeque<Arc<WormCopy>>,
-    /// Flits of the front `tx_queue` worm already put on the wire.
-    pub tx_sent: u32,
-    /// Total flits of the front `tx_queue` worm (cached when its head is
-    /// injected; meaningful only while `tx_sent > 0`).
-    pub tx_total: u32,
-    /// Worm currently being assembled off the wire:
-    /// `(copy, flits so far, total flits)`.
-    pub rx_current: Option<(Arc<WormCopy>, u32, u32)>,
-    /// Packets sitting in NI receive memory (completed on the wire, not
-    /// yet fully processed) — the NI-buffering cost of §3.3.
-    pub ni_rx_pending: u32,
-    /// Per-multicast count of packets DMA'd to host memory, indexed by
-    /// the engine's dense multicast index and grown lazily (most hosts
-    /// only ever reassemble a small suffix of the id space).
-    pub reassembly: Vec<u32>,
-}
-
-impl HostState {
-    /// True if the injection side has nothing to do.
-    pub fn tx_idle(&self) -> bool {
-        self.tx_queue.is_empty()
-    }
-
-    /// Count one reassembled packet of the multicast at dense index
-    /// `idx`; returns the running count.
-    pub fn reassemble(&mut self, idx: u32) -> u32 {
-        let i = idx as usize;
-        if self.reassembly.len() <= i {
-            self.reassembly.resize(i + 1, 0);
-        }
-        self.reassembly[i] += 1;
-        self.reassembly[i]
-    }
-
-    /// Reset the reassembly counter once a message completes.
-    pub fn reassembly_done(&mut self, idx: u32) {
-        self.reassembly[idx as usize] = 0;
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;

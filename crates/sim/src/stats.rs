@@ -269,12 +269,8 @@ impl SimStats {
         if slot.is_none() {
             self.mcasts.launched += 1;
         }
-        *slot = Some(McastRecord {
-            launched: at,
-            expected,
-            deliveries: Deliveries::with_capacity(expected.len()),
-            completed: None,
-        });
+        let deliveries = Deliveries::with_capacity(expected.len());
+        *slot = Some(McastRecord { launched: at, expected, deliveries, completed: None });
     }
 
     /// Record a host-level delivery; returns true if this completed the

@@ -290,6 +290,12 @@ impl Frame {
 }
 
 /// One input port: FIFO of frames.
+///
+/// The engine keeps every switch's ports in one flat struct-of-arrays
+/// table (indexed by `switch * pmax + port`) with per-switch activity
+/// bitmasks (`undecoded` / `waiting` / `owned`) packed alongside, so
+/// the per-cycle decode/arbitrate/transfer passes touch only the ports
+/// that can make progress — see the state layout in `engine.rs`.
 #[derive(Debug, Default)]
 pub struct InPort {
     /// Frames in arrival order; only the front transmits.
@@ -301,55 +307,6 @@ pub struct InPort {
 pub struct OutPort {
     /// `(input port, branch index)` of the owning branch, if any.
     pub owner: Option<(u8, u16)>,
-}
-
-/// Full per-switch simulation state.
-///
-/// The three activity fields (`undecoded`, `ungranted`, `owned`) are
-/// denormalized views of the port state, maintained by the engine so
-/// the per-cycle decode/arbitrate/transfer passes touch only the ports
-/// that can make progress instead of scanning every port:
-///
-/// * `undecoded` — bit `p` set iff input `p` has a front frame whose
-///   header has not been decoded yet;
-/// * `waiting` — bit `p` set iff input `p`'s front frame has at least
-///   one decoded branch still awaiting an output grant (arbitration
-///   visits only these ports);
-/// * `owned` — bit `o` set iff `outputs[o].owner` is `Some`.
-#[derive(Debug, Default)]
-pub struct SwitchState {
-    /// Input ports.
-    pub inputs: Vec<InPort>,
-    /// Output ports.
-    pub outputs: Vec<OutPort>,
-    /// Rotating arbitration priority (input port to scan first).
-    pub rr: u8,
-    /// Bitmask of input ports whose front frame awaits decode.
-    pub undecoded: u32,
-    /// Bitmask of input ports with ungranted decoded branches.
-    pub waiting: u32,
-    /// Bitmask of output ports with an owning branch.
-    pub owned: u32,
-}
-
-impl SwitchState {
-    /// Fresh state for a switch with `ports` ports.
-    pub fn new(ports: usize) -> Self {
-        assert!(ports <= 32, "switch degree {ports} exceeds the 32-port activity-mask limit");
-        SwitchState {
-            inputs: (0..ports).map(|_| InPort::default()).collect(),
-            outputs: vec![OutPort::default(); ports],
-            rr: 0,
-            undecoded: 0,
-            waiting: 0,
-            owned: 0,
-        }
-    }
-
-    /// Total frames resident on this switch.
-    pub fn frame_count(&self) -> usize {
-        self.inputs.iter().map(|p| p.frames.len()).sum()
-    }
 }
 
 /// Decode a worm header at switch `here` into its outgoing branches —
@@ -375,7 +332,7 @@ pub fn decode_branches(
         RouteInfo::Tree { dests, plan } => {
             let descending = worm.phase == Phase::Down || plan.covered_at(here);
             if descending {
-                let parts = net.reach.partition(&net.topo, here, *dests);
+                let parts = net.reach.partition(&net.topo, here, dests);
                 debug_assert!(!parts.is_empty(), "tree worm with empty partition");
                 parts
                     .into_iter()
@@ -471,7 +428,7 @@ pub fn decode_branches_masked(
             }
         }
         RouteInfo::Tree { dests, plan } => {
-            let mut pruned = *dests;
+            let mut pruned = dests.clone();
             for n in dests.iter() {
                 if !status.host_up(&net.topo, n) {
                     pruned.remove(n);
@@ -480,12 +437,12 @@ pub fn decode_branches_masked(
             if pruned.is_empty() {
                 return Vec::new();
             }
-            let descending = worm.phase == Phase::Down || net.reach.covers(here, pruned);
+            let descending = worm.phase == Phase::Down || net.reach.covers(here, &pruned);
             if descending {
                 // Deliverable subset under the *degraded* orientation;
                 // dests whose subtree died are dropped here and later
                 // recovered by retransmission.
-                let take = pruned.intersection(net.reach.cover(here));
+                let take = net.reach.take_covered(here, &pruned);
                 if take.is_empty() {
                     return Vec::new();
                 }
@@ -706,19 +663,19 @@ mod tests {
         let cfg = SimConfig::paper_default();
         // Root of the chain's up*/down* orientation is S0: it covers all.
         let dests = NodeMask::from_nodes([NodeId(0), NodeId(2)]);
-        let plan = Arc::new(ApexPlan::compute(&net.topo, &net.updown, &net.reach, dests));
-        let w = mk_worm(RouteInfo::Tree { dests, plan }, cfg.tree_header_flits(3));
+        let plan = Arc::new(ApexPlan::compute(&net.topo, &net.updown, &net.reach, dests.clone()));
+        let w = mk_worm(RouteInfo::Tree { dests: dests.clone(), plan }, cfg.tree_header_flits(3));
         let b = decode_branches(&net, &cfg, SwitchId(0), &w);
         // Two branches: host n0 locally, and down toward S1 (for n2).
         assert_eq!(b.len(), 2);
         let masks: Vec<NodeMask> = b
             .iter()
             .map(|br| match &br.worm().route {
-                RouteInfo::Tree { dests, .. } => *dests,
+                RouteInfo::Tree { dests, .. } => dests.clone(),
                 _ => panic!("wrong route kind"),
             })
             .collect();
-        let union = masks.iter().fold(NodeMask::EMPTY, |a, m| a.union(*m));
+        let union = masks.iter().fold(NodeMask::EMPTY, |a, m| a.union(m));
         assert_eq!(union, dests);
         assert!(b.iter().all(|br| br.worm().phase == Phase::Down));
     }
@@ -729,8 +686,8 @@ mod tests {
         let cfg = SimConfig::paper_default();
         // From S2, destination n0 requires climbing toward S0.
         let dests = NodeMask::single(NodeId(0));
-        let plan = Arc::new(ApexPlan::compute(&net.topo, &net.updown, &net.reach, dests));
-        let w = mk_worm(RouteInfo::Tree { dests, plan }, cfg.tree_header_flits(3));
+        let plan = Arc::new(ApexPlan::compute(&net.topo, &net.updown, &net.reach, dests.clone()));
+        let w = mk_worm(RouteInfo::Tree { dests: dests.clone(), plan }, cfg.tree_header_flits(3));
         let b = decode_branches(&net, &cfg, SwitchId(2), &w);
         assert_eq!(b.len(), 1);
         assert_eq!(b[0].candidates.len(), 1);
@@ -819,8 +776,8 @@ mod tests {
         let net = chain_net();
         let cfg = SimConfig::paper_default();
         let dests = NodeMask::from_nodes([NodeId(0), NodeId(1)]);
-        let plan = Arc::new(ApexPlan::compute(&net.topo, &net.updown, &net.reach, dests));
-        let w = mk_worm(RouteInfo::Tree { dests, plan }, cfg.tree_header_flits(3));
+        let plan = Arc::new(ApexPlan::compute(&net.topo, &net.updown, &net.reach, dests.clone()));
+        let w = mk_worm(RouteInfo::Tree { dests: dests.clone(), plan }, cfg.tree_header_flits(3));
         let mut f = Frame::new(w.clone());
         f.received = w.total_flits();
         f.branches = decode_branches(&net, &cfg, SwitchId(0), &w);

@@ -76,9 +76,9 @@ fn unicast_latency_scales_with_hops_by_pipeline_depth() {
 fn tree_worm_reaches_all_destinations_once() {
     let net = Network::analyze(zoo::chain(3).unwrap()).unwrap();
     let dests = NodeMask::from_nodes([NodeId(1), NodeId(2)]);
-    let plan = Arc::new(ApexPlan::compute(&net.topo, &net.updown, &net.reach, dests));
+    let plan = Arc::new(ApexPlan::compute(&net.topo, &net.updown, &net.reach, dests.clone()));
     let mut proto = StaticProtocol::new();
-    proto.set_launch(McastId(0), vec![(NodeId(0), SendSpec::Tree { dests, plan })]);
+    proto.set_launch(McastId(0), vec![(NodeId(0), SendSpec::Tree { dests: dests.clone(), plan })]);
     let mut sim = Simulator::new(&net, tiny_cfg(), proto).unwrap();
     sim.schedule_multicast(0, McastId(0), dests, 16);
     sim.run_to_completion(100_000).unwrap();
@@ -97,9 +97,9 @@ fn tree_worm_climbs_to_apex_before_descending() {
     // require the worm to climb to S0.
     let net = Network::analyze(zoo::chain(3).unwrap()).unwrap();
     let dests = NodeMask::from_nodes([NodeId(0), NodeId(1)]);
-    let plan = Arc::new(ApexPlan::compute(&net.topo, &net.updown, &net.reach, dests));
+    let plan = Arc::new(ApexPlan::compute(&net.topo, &net.updown, &net.reach, dests.clone()));
     let mut proto = StaticProtocol::new();
-    proto.set_launch(McastId(0), vec![(NodeId(2), SendSpec::Tree { dests, plan })]);
+    proto.set_launch(McastId(0), vec![(NodeId(2), SendSpec::Tree { dests: dests.clone(), plan })]);
     let mut sim = Simulator::new(&net, tiny_cfg(), proto).unwrap();
     sim.schedule_multicast(0, McastId(0), dests, 16);
     sim.run_to_completion(100_000).unwrap();
@@ -209,11 +209,11 @@ fn paper_default_config_runs_broadcast() {
         m.remove(NodeId(0));
         m
     };
-    let plan = Arc::new(ApexPlan::compute(&net.topo, &net.updown, &net.reach, all_but_source));
+    let plan = Arc::new(ApexPlan::compute(&net.topo, &net.updown, &net.reach, all_but_source.clone()));
     let mut proto = StaticProtocol::new();
     proto.set_launch(
         McastId(0),
-        vec![(NodeId(0), SendSpec::Tree { dests: all_but_source, plan })],
+        vec![(NodeId(0), SendSpec::Tree { dests: all_but_source.clone(), plan })],
     );
     let mut sim = Simulator::new(&net, SimConfig::paper_default(), proto).unwrap();
     sim.schedule_multicast(0, McastId(0), all_but_source, 128);

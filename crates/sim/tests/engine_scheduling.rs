@@ -45,8 +45,8 @@ fn mixed_sim_cfg(
                 }
             }
             let plan =
-                Arc::new(ApexPlan::compute(&net.topo, &net.updown, &net.reach, dests));
-            proto.set_launch(id, vec![(src, SendSpec::Tree { dests, plan })]);
+                Arc::new(ApexPlan::compute(&net.topo, &net.updown, &net.reach, dests.clone()));
+            proto.set_launch(id, vec![(src, SendSpec::Tree { dests: dests.clone(), plan })]);
             schedule.push((at, id, dests, 96u32));
         } else {
             let dest = NodeId(((i * 13 + 3) % nh as u32) as u16);

@@ -51,7 +51,7 @@ impl ApexPlan {
         // covering switch, i.e. BFS from covering switches along *reversed*
         // up edges (which are down traversals).
         for (s, d) in up_dist.iter_mut().enumerate() {
-            if reach.covers(SwitchId(s as u16), dests) {
+            if reach.covers(SwitchId(s as u16), &dests) {
                 *d = 0;
                 q.push_back(s);
             }

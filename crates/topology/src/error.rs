@@ -24,7 +24,8 @@ pub enum TopologyError {
     SelfLink(SwitchId),
     /// The topology has no switches or no hosts.
     Empty,
-    /// More nodes than [`crate::NodeMask::CAPACITY`] supports.
+    /// More nodes than the `u16` [`NodeId`] space supports
+    /// ([`crate::Topology::MAX_NODES`]).
     TooManyNodes(usize),
     /// A host id is attached to a nonexistent switch.
     DanglingHost { node: NodeId, switch: SwitchId },
@@ -64,7 +65,7 @@ impl fmt::Display for TopologyError {
             TopologyError::SelfLink(s) => write!(f, "self-link on {s} is not allowed"),
             TopologyError::Empty => write!(f, "topology must have at least one switch and one host"),
             TopologyError::TooManyNodes(n) => {
-                write!(f, "{n} nodes exceed the NodeMask capacity of 128")
+                write!(f, "{n} nodes exceed the u16 NodeId ceiling of 65536")
             }
             TopologyError::DanglingHost { node, switch } => {
                 write!(f, "host {node} attached to nonexistent {switch}")

@@ -92,7 +92,8 @@ pub struct HostAttachment {
 /// * every link endpoint and host attachment references a real port, and
 ///   that port references it back;
 /// * no self-links;
-/// * node count ≤ [`NodeMask::CAPACITY`].
+/// * node count within the `u16` [`NodeId`] space (wire headers and the
+///   dense engine arrays index nodes by `u16`).
 #[derive(Debug, Clone)]
 pub struct Topology {
     pub(crate) switches: Vec<Switch>,
@@ -101,6 +102,11 @@ pub struct Topology {
 }
 
 impl Topology {
+    /// Largest supported node count: the full `u16` [`NodeId`] space.
+    /// One past it must fail cleanly ([`TopologyError::TooManyNodes`]),
+    /// never wrap.
+    pub const MAX_NODES: usize = u16::MAX as usize + 1;
+
     /// Construct from raw parts. Prefer [`crate::TopologyBuilder`] or
     /// [`crate::gen::generate`]; this is public for hand-written fixtures.
     pub fn from_parts(
@@ -219,7 +225,7 @@ impl Topology {
         if self.switches.is_empty() || self.hosts.is_empty() {
             return Err(TopologyError::Empty);
         }
-        if self.hosts.len() > NodeMask::CAPACITY {
+        if self.hosts.len() > Topology::MAX_NODES {
             return Err(TopologyError::TooManyNodes(self.hosts.len()));
         }
         // Link endpoints reference back.
@@ -282,20 +288,15 @@ impl Topology {
                 }
             }
         }
-        // Connectivity over the switch graph.
-        let n = self.switches.len();
-        let mut seen = vec![false; n];
-        let mut stack = vec![0usize];
-        seen[0] = true;
-        while let Some(s) = stack.pop() {
-            for (_, peer, _) in self.neighbors(SwitchId(s as u16)) {
-                if !seen[peer.idx()] {
-                    seen[peer.idx()] = true;
-                    stack.push(peer.idx());
-                }
-            }
+        // Connectivity over the switch graph: union-find over the link
+        // list (O(E·α), no per-switch port rescans). The first switch in
+        // a different component from S0 is reported, matching the old
+        // DFS ("lowest id unreachable from S0").
+        let mut dsu = crate::dsu::Dsu::new(self.switches.len());
+        for l in &self.links {
+            dsu.union(l.a.0.idx(), l.b.0.idx());
         }
-        if let Some(u) = seen.iter().position(|&v| !v) {
+        if let Some(u) = dsu.first_outside_component_of(0) {
             return Err(TopologyError::Disconnected { unreachable: SwitchId(u as u16) });
         }
         Ok(())

@@ -29,6 +29,7 @@
 pub mod apex;
 pub mod builder;
 pub mod dot;
+pub mod dsu;
 pub mod error;
 pub mod fault;
 pub mod gen;
@@ -48,10 +49,10 @@ pub use error::TopologyError;
 pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultStatus, RandomFaultConfig};
 pub use gen::{generate, ExtraLinks, RandomTopologyConfig};
 pub use graph::{Link, PortUse, Switch, Topology};
-pub use ids::{LinkId, NodeId, PortIdx, SwitchId};
+pub use ids::{IdOverflow, LinkId, NodeId, PortIdx, SwitchId};
 pub use mask::NodeMask;
 pub use metrics::{link_is_redundant, network_metrics, remove_link, NetworkMetrics};
-pub use reach::Reachability;
+pub use reach::{ReachSet, Reachability};
 pub use routing::{Phase, PortCandidate, RoutingTables};
 pub use updown::UpDown;
 
@@ -65,7 +66,7 @@ pub mod prelude {
     pub use crate::graph::{Link, PortUse, Switch, Topology};
     pub use crate::ids::{LinkId, NodeId, PortIdx, SwitchId};
     pub use crate::mask::NodeMask;
-    pub use crate::reach::Reachability;
+    pub use crate::reach::{ReachSet, Reachability};
     pub use crate::routing::{Phase, PortCandidate, RoutingTables};
     pub use crate::updown::UpDown;
     pub use crate::zoo;
@@ -87,6 +88,10 @@ pub struct Network {
     pub routing: RoutingTables,
     /// Per-port reachability strings for multidestination worms.
     pub reach: Reachability,
+    /// The fault status this analysis was computed under (`None` =
+    /// healthy). Carried so a further [`Network::degrade`] can diff
+    /// against the correct baseline when recomputing incrementally.
+    pub status: Option<fault::FaultStatus>,
 }
 
 impl Network {
@@ -103,7 +108,7 @@ impl Network {
         let updown = UpDown::compute(&topo, root)?;
         let routing = RoutingTables::compute(&topo, &updown)?;
         let reach = Reachability::compute(&topo, &updown)?;
-        Ok(Self { topo, updown, routing, reach })
+        Ok(Self { topo, updown, routing, reach, status: None })
     }
 
     /// Re-analyze the network after faults, Autonet-style: re-elect a root
@@ -129,8 +134,22 @@ impl Network {
         };
         let updown = UpDown::compute_masked(&self.topo, root, status)?;
         let routing = RoutingTables::compute_masked(&self.topo, &updown, status)?;
-        let reach = Reachability::compute_masked(&self.topo, &updown, status)?;
-        Ok(Self { topo: self.topo.clone(), updown, routing, reach })
+        // Reachability recomputes only the switches whose orientation or
+        // liveness inputs actually changed; clean subtrees are reused.
+        let (reach, _recomputed) = self.reach.recompute_incremental(
+            &self.topo,
+            &updown,
+            status,
+            &self.updown,
+            self.status.as_ref(),
+        )?;
+        Ok(Self {
+            topo: self.topo.clone(),
+            updown,
+            routing,
+            reach,
+            status: Some(status.clone()),
+        })
     }
 
     /// Number of processing nodes attached to the network.

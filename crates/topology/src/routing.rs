@@ -54,6 +54,23 @@ pub struct PortCandidate {
 /// Distance not reachable marker.
 pub const UNREACHABLE: u16 = u16::MAX;
 
+/// Compressed-sparse-row candidate storage: one contiguous candidate
+/// array plus `n² + 1` offsets. A `Vec<Vec<PortCandidate>>` of n² cells
+/// costs 24 bytes of header plus an allocation *per cell* (~1M cells at
+/// 1000 switches, per plane); CSR keeps two flat allocations per plane.
+#[derive(Debug, Clone, Default)]
+struct CandCsr {
+    offsets: Vec<u32>,
+    cands: Vec<PortCandidate>,
+}
+
+impl CandCsr {
+    #[inline]
+    fn row(&self, cell: usize) -> &[PortCandidate] {
+        &self.cands[self.offsets[cell] as usize..self.offsets[cell + 1] as usize]
+    }
+}
+
 /// All-pairs minimal up*/down* distances and next-hop candidate sets.
 #[derive(Debug, Clone)]
 pub struct RoutingTables {
@@ -61,14 +78,85 @@ pub struct RoutingTables {
     /// `dist[phase][s * n + t]` = minimal legal hops from `s` (in `phase`)
     /// to switch `t`; `UNREACHABLE` if none.
     dist: [Vec<u16>; 2],
-    /// `hops[phase][s * n + t]` = minimal next-hop candidates.
-    hops: [Vec<Vec<PortCandidate>>; 2],
+    /// Minimal next-hop candidates per `(phase, s * n + t)` cell.
+    hops: [CandCsr; 2],
     /// `dist_up[s * n + t]` = minimal hops from `s` to `t` using **up
     /// links only** (so the worm arrives with its up* prefix intact);
     /// `UNREACHABLE` if no pure-up route exists.
     dist_up: Vec<u16>,
     /// Minimal next hops for the up-only plane.
-    hops_up: Vec<Vec<PortCandidate>>,
+    hops_up: CandCsr,
+}
+
+/// Enumerate every minimal next-hop candidate of the two main planes, in
+/// deterministic `(s, move, t)` order. Called twice per compute: once to
+/// count per cell, once to place — both passes must see identical output.
+fn for_each_main_candidate(
+    n: usize,
+    moves: &[Vec<(PortIdx, LinkId, SwitchId, bool)>],
+    dist: &[Vec<u16>; 2],
+    sink: &mut impl FnMut(usize, usize, PortCandidate),
+) {
+    for (s, ms) in moves.iter().enumerate() {
+        for &(port, link, next, is_up) in ms {
+            for t in 0..n {
+                // From (s, Up):
+                let next_phase = if is_up { Phase::Up } else { Phase::Down };
+                let d_here = dist[0][s * n + t];
+                let d_next = dist[next_phase.idx()][next.idx() * n + t];
+                if d_here != UNREACHABLE && d_next != UNREACHABLE && d_next + 1 == d_here {
+                    sink(0, s * n + t, PortCandidate { port, link, next, next_phase });
+                }
+                // From (s, Down): only down traversals are legal.
+                if !is_up {
+                    let d_here = dist[1][s * n + t];
+                    let d_next = dist[1][next.idx() * n + t];
+                    if d_here != UNREACHABLE && d_next != UNREACHABLE && d_next + 1 == d_here {
+                        sink(1, s * n + t, PortCandidate { port, link, next, next_phase: Phase::Down });
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Same two-pass enumeration for the up-only plane.
+fn for_each_up_candidate(
+    n: usize,
+    moves: &[Vec<(PortIdx, LinkId, SwitchId, bool)>],
+    dist_up: &[u16],
+    sink: &mut impl FnMut(usize, PortCandidate),
+) {
+    for (s, ms) in moves.iter().enumerate() {
+        for &(port, link, next, is_up) in ms {
+            if !is_up {
+                continue;
+            }
+            for t in 0..n {
+                let d_here = dist_up[s * n + t];
+                let d_next = dist_up[next.idx() * n + t];
+                if d_here != UNREACHABLE && d_next != UNREACHABLE && d_next + 1 == d_here {
+                    sink(s * n + t, PortCandidate { port, link, next, next_phase: Phase::Up });
+                }
+            }
+        }
+    }
+}
+
+/// Exclusive prefix sums over per-cell counts, with the candidate slab
+/// preallocated (placeholder-filled; the placement pass overwrites every
+/// slot exactly once).
+fn csr_from_counts(counts: &[u32]) -> CandCsr {
+    let mut offsets = Vec::with_capacity(counts.len() + 1);
+    let mut acc = 0u32;
+    offsets.push(0);
+    for &c in counts {
+        acc += c;
+        offsets.push(acc);
+    }
+    let filler =
+        PortCandidate { port: PortIdx(0), link: LinkId(0), next: SwitchId(0), next_phase: Phase::Up };
+    CandCsr { offsets, cands: vec![filler; acc as usize] }
 }
 
 impl RoutingTables {
@@ -185,35 +273,17 @@ impl RoutingTables {
             }
         }
 
-        // Next-hop candidate sets.
-        let mut hops: [Vec<Vec<PortCandidate>>; 2] =
-            [vec![Vec::new(); n * n], vec![Vec::new(); n * n]];
-        for s in 0..n {
-            for &(port, link, next, is_up) in &moves[s] {
-                for t in 0..n {
-                    // From (s, Up):
-                    let next_phase = if is_up { Phase::Up } else { Phase::Down };
-                    let d_here = dist[0][s * n + t];
-                    let d_next = dist[next_phase.idx()][next.idx() * n + t];
-                    if d_here != UNREACHABLE && d_next != UNREACHABLE && d_next + 1 == d_here {
-                        hops[0][s * n + t].push(PortCandidate { port, link, next, next_phase });
-                    }
-                    // From (s, Down): only down traversals are legal.
-                    if !is_up {
-                        let d_here = dist[1][s * n + t];
-                        let d_next = dist[1][next.idx() * n + t];
-                        if d_here != UNREACHABLE && d_next != UNREACHABLE && d_next + 1 == d_here {
-                            hops[1][s * n + t].push(PortCandidate {
-                                port,
-                                link,
-                                next,
-                                next_phase: Phase::Down,
-                            });
-                        }
-                    }
-                }
-            }
-        }
+        // Next-hop candidate sets, built in CSR form with two identical
+        // passes (count, then place) so the per-cell candidate order is
+        // exactly the order per-cell Vec pushes used to produce.
+        let mut counts = [vec![0u32; n * n], vec![0u32; n * n]];
+        for_each_main_candidate(n, &moves, &dist, &mut |ph, cell, _| counts[ph][cell] += 1);
+        let mut hops = [csr_from_counts(&counts[0]), csr_from_counts(&counts[1])];
+        let mut cursor = [hops[0].offsets.clone(), hops[1].offsets.clone()];
+        for_each_main_candidate(n, &moves, &dist, &mut |ph, cell, cand| {
+            hops[ph].cands[cursor[ph][cell] as usize] = cand;
+            cursor[ph][cell] += 1;
+        });
 
         // Up-only plane: backward BFS per destination over up edges.
         let mut dist_up = vec![UNREACHABLE; n * n];
@@ -233,26 +303,14 @@ impl RoutingTables {
                 }
             }
         }
-        let mut hops_up: Vec<Vec<PortCandidate>> = vec![Vec::new(); n * n];
-        for s in 0..n {
-            for &(port, link, next, is_up) in &moves[s] {
-                if !is_up {
-                    continue;
-                }
-                for t in 0..n {
-                    let d_here = dist_up[s * n + t];
-                    let d_next = dist_up[next.idx() * n + t];
-                    if d_here != UNREACHABLE && d_next != UNREACHABLE && d_next + 1 == d_here {
-                        hops_up[s * n + t].push(PortCandidate {
-                            port,
-                            link,
-                            next,
-                            next_phase: Phase::Up,
-                        });
-                    }
-                }
-            }
-        }
+        let mut counts_up = vec![0u32; n * n];
+        for_each_up_candidate(n, &moves, &dist_up, &mut |cell, _| counts_up[cell] += 1);
+        let mut hops_up = csr_from_counts(&counts_up);
+        let mut cursor_up = hops_up.offsets.clone();
+        for_each_up_candidate(n, &moves, &dist_up, &mut |cell, cand| {
+            hops_up.cands[cursor_up[cell] as usize] = cand;
+            cursor_up[cell] += 1;
+        });
 
         Ok(RoutingTables { num_switches: n, dist, hops, dist_up, hops_up })
     }
@@ -269,7 +327,7 @@ impl RoutingTables {
     /// Minimal next hops of the up-only plane (all arrive in `Phase::Up`).
     #[inline]
     pub fn up_only_next_hops(&self, s: SwitchId, t: SwitchId) -> &[PortCandidate] {
-        &self.hops_up[s.idx() * self.num_switches + t.idx()]
+        self.hops_up.row(s.idx() * self.num_switches + t.idx())
     }
 
     /// Minimal legal hop count from switch `s` (in `phase`) to switch `t`,
@@ -283,7 +341,7 @@ impl RoutingTables {
     /// Empty iff `s == t` or `t` is unreachable in this phase.
     #[inline]
     pub fn next_hops(&self, s: SwitchId, phase: Phase, t: SwitchId) -> &[PortCandidate] {
-        &self.hops[phase.idx()][s.idx() * self.num_switches + t.idx()]
+        self.hops[phase.idx()].row(s.idx() * self.num_switches + t.idx())
     }
 
     /// Number of switches the tables were built for.

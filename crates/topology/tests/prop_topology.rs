@@ -101,12 +101,12 @@ fn root_covers_everything_and_partition_is_exact() {
         let net = Network::analyze(gen::generate(&cfg).unwrap()).unwrap();
         let all = NodeMask::all(net.topo.num_nodes());
         let root = net.updown.root();
-        assert!(net.reach.covers(root, all), "{cfg:?}");
-        let parts = net.reach.partition(&net.topo, root, all);
+        assert!(net.reach.covers(root, &all), "{cfg:?}");
+        let parts = net.reach.partition(&net.topo, root, &all);
         let mut union = NodeMask::EMPTY;
         for (_, m) in &parts {
-            assert!(union.intersection(*m).is_empty(), "duplicate coverage: {cfg:?}");
-            union = union.union(*m);
+            assert!(union.intersection(m).is_empty(), "duplicate coverage: {cfg:?}");
+            union = union.union(m);
         }
         assert_eq!(union, all, "{cfg:?}");
     }

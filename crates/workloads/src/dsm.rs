@@ -68,7 +68,7 @@ impl Default for DsmConfig {
 }
 
 /// One invalidation event of the generated trace.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct InvalEvent {
     /// Launch cycle.
     pub at: Cycle,
@@ -125,7 +125,7 @@ pub fn generate_trace(num_nodes: usize, cfg: &DsmConfig) -> DsmTrace {
         events.push(InvalEvent {
             at: t as Cycle,
             home: homes[block],
-            sharers: sharers[block],
+            sharers: sharers[block].clone(),
         });
     }
     DsmTrace { events }
@@ -156,9 +156,9 @@ pub fn run_dsm(
     let mut launches = Vec::with_capacity(trace.events.len());
     for (i, ev) in trace.events.iter().enumerate() {
         let id = McastId(i as u64);
-        let plan = plan_multicast(net, sim_cfg, scheme, ev.home, ev.sharers, cfg.inval_flits);
+        let plan = plan_multicast(net, sim_cfg, scheme, ev.home, ev.sharers.clone(), cfg.inval_flits);
         proto.add(id, Arc::new(plan));
-        launches.push((ev.at, id, ev.sharers));
+        launches.push((ev.at, id, ev.sharers.clone()));
     }
     let mut sim = Simulator::new(net, sim_cfg.clone(), proto)?;
     for (at, id, sharers) in launches {
@@ -242,10 +242,10 @@ mod tests {
         let t = generate_trace(32, &cfg);
         // With 90% of writes on 10% of blocks, the distinct (home,
         // sharers) pairs seen should be far fewer than events.
-        let mut keys: Vec<(u16, u128)> = t
+        let mut keys: Vec<(u16, Vec<u16>)> = t
             .events
             .iter()
-            .map(|e| (e.home.0, e.sharers.0))
+            .map(|e| (e.home.0, e.sharers.iter().map(|n| n.0).collect()))
             .collect();
         keys.sort_unstable();
         keys.dedup();

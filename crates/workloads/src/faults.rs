@@ -110,7 +110,7 @@ pub fn run_faulted(
     for i in 0..fc.mcasts {
         let (source, dests) = crate::single::random_mcast(&mut rng, n, fc.degree);
         let id = McastId(i as u64);
-        let plan = plan_multicast(net, cfg, scheme, source, dests, fc.message_flits);
+        let plan = plan_multicast(net, cfg, scheme, source, dests.clone(), fc.message_flits);
         proto.add(id, Arc::new(plan));
         launches.push((i as Cycle * fc.interval, id, dests));
     }

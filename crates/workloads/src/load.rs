@@ -125,7 +125,7 @@ pub fn run_load(
     for (i, &(t, source)) in arrivals.iter().enumerate() {
         let dests = crate::single::random_dests(&mut rng, n, lc.degree, source);
         let id = McastId(i as u64);
-        let plan = plan_multicast(net, cfg, scheme, source, dests, lc.message_flits);
+        let plan = plan_multicast(net, cfg, scheme, source, dests.clone(), lc.message_flits);
         proto.add(id, Arc::new(plan));
         launches.push((t, id, dests));
     }

@@ -32,7 +32,7 @@ pub fn run_single(
     dests: NodeMask,
     message_flits: u32,
 ) -> Result<SingleResult, SimError> {
-    let plan = plan_multicast(net, cfg, scheme, source, dests, message_flits);
+    let plan = plan_multicast(net, cfg, scheme, source, dests.clone(), message_flits);
     let meta = plan.meta;
     let mut proto = SchemeProtocol::new();
     proto.add(McastId(0), Arc::new(plan));

@@ -35,7 +35,7 @@ fn main() {
             Scheme::TreeWorm,
             Scheme::PathLessGreedy,
         ] {
-            let r = run_single(&net, &cfg, scheme, source, dests, 128).unwrap();
+            let r = run_single(&net, &cfg, scheme, source, dests.clone(), 128).unwrap();
             print!(" {:>12}", r.latency);
         }
         println!();
@@ -53,7 +53,7 @@ fn main() {
             &cfg,
             CollectiveOp::Barrier,
             NodeId(0),
-            members,
+            members.clone(),
             scheme,
             4,
             8,
@@ -75,7 +75,7 @@ fn main() {
             &cfg,
             CollectiveOp::AllReduce,
             NodeId(0),
-            members,
+            members.clone(),
             scheme,
             4,
             128,

@@ -24,7 +24,7 @@ fn main() {
     let dests = NodeMask::from_nodes((1..=16).map(NodeId));
     let baseline: Vec<(Scheme, u64)> = Scheme::paper_three()
         .into_iter()
-        .map(|s| (s, run_single(&net, &cfg, s, NodeId(0), dests, 128).unwrap().latency))
+        .map(|s| (s, run_single(&net, &cfg, s, NodeId(0), dests.clone(), 128).unwrap().latency))
         .collect();
     print!("{:>10} {:>10}", "failed", "diameter");
     for (s, _) in &baseline {
@@ -49,7 +49,7 @@ fn main() {
         let dm = network_metrics(&dnet);
         print!("{:>10} {:>10}", format!("{link}"), dm.diameter);
         for (scheme, _) in &baseline {
-            let lat = run_single(&dnet, &cfg, *scheme, NodeId(0), dests, 128)
+            let lat = run_single(&dnet, &cfg, *scheme, NodeId(0), dests.clone(), 128)
                 .unwrap()
                 .latency;
             print!(" {lat:>12}");

@@ -39,7 +39,7 @@ fn main() {
         "scheme", "latency", "worms", "phases", "k"
     );
     for scheme in Scheme::all() {
-        let r = run_single(&net, &cfg, scheme, source, dests, 128).expect("run completes");
+        let r = run_single(&net, &cfg, scheme, source, dests.clone(), 128).expect("run completes");
         println!(
             "{:>12} {:>12} {:>8} {:>8} {:>6}",
             scheme.name(),

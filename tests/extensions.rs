@@ -19,13 +19,13 @@ fn hybrid_sits_between_path_and_tree() {
     let dests = NodeMask::from_nodes((8..24).map(NodeId));
     for seed in 0..5 {
         let net = default_net(seed);
-        tree += run_single(&net, &cfg, Scheme::TreeWorm, NodeId(0), dests, 128)
+        tree += run_single(&net, &cfg, Scheme::TreeWorm, NodeId(0), dests.clone(), 128)
             .unwrap()
             .latency;
-        hybrid += run_single(&net, &cfg, Scheme::PathLgNi, NodeId(0), dests, 128)
+        hybrid += run_single(&net, &cfg, Scheme::PathLgNi, NodeId(0), dests.clone(), 128)
             .unwrap()
             .latency;
-        path += run_single(&net, &cfg, Scheme::PathLessGreedy, NodeId(0), dests, 128)
+        path += run_single(&net, &cfg, Scheme::PathLessGreedy, NodeId(0), dests.clone(), 128)
             .unwrap()
             .latency;
     }
@@ -91,7 +91,7 @@ fn header_cost_ordering_matches_architecture_section() {
     let net = default_net(2);
     let dests = NodeMask::from_nodes((1..=16).map(NodeId));
     let cost = |scheme| {
-        let plan = irrnet::mcast::plan_multicast(&net, &cfg, scheme, NodeId(0), dests, 128);
+        let plan = irrnet::mcast::plan_multicast(&net, &cfg, scheme, NodeId(0), dests.clone(), 128);
         header_costs(&net, &plan).total_header_bytes
     };
     let tree = cost(Scheme::TreeWorm);

@@ -21,14 +21,14 @@ fn mixed_schemes_share_one_network() {
         let mut dests = NodeMask::from_nodes((0..8).map(|k| NodeId(((i * 3 + k * 4) % 32) as u16)));
         dests.remove(source);
         let id = McastId(i as u64);
-        let plan = plan_multicast(&net, &cfg, scheme, source, dests, 128);
+        let plan = plan_multicast(&net, &cfg, scheme, source, dests.clone(), 128);
         proto.add(id, Arc::new(plan));
         expected.push((id, dests));
     }
     let mut sim = Simulator::new(&net, cfg, proto).unwrap();
     for (i, (id, dests)) in expected.iter().enumerate() {
         // Staggered launches so traffic overlaps.
-        sim.schedule_multicast((i as u64) * 400, *id, *dests, 128);
+        sim.schedule_multicast((i as u64) * 400, *id, dests.clone(), 128);
     }
     sim.run_to_completion(50_000_000).unwrap();
     let stats = sim.stats();
@@ -56,12 +56,12 @@ fn mixed_workload_is_deterministic() {
             let mut dests = NodeMask::from_nodes((10..20).map(NodeId));
             dests.remove(source);
             let id = McastId(i as u64);
-            proto.add(id, Arc::new(plan_multicast(&net, &cfg, scheme, source, dests, 256)));
+            proto.add(id, Arc::new(plan_multicast(&net, &cfg, scheme, source, dests.clone(), 256)));
             launches.push((id, dests));
         }
         let mut sim = Simulator::new(&net, cfg, proto).unwrap();
         for (id, dests) in &launches {
-            sim.schedule_multicast(100, *id, *dests, 256);
+            sim.schedule_multicast(100, *id, dests.clone(), 256);
         }
         sim.run_to_completion(50_000_000).unwrap();
         let st = sim.stats();
@@ -86,10 +86,10 @@ fn overlapping_multicasts_slow_each_other_down() {
         let mut proto = SchemeProtocol::new();
         proto.add(
             McastId(0),
-            Arc::new(plan_multicast(&net, &cfg, Scheme::NiFpfs, NodeId(0), dests, 512)),
+            Arc::new(plan_multicast(&net, &cfg, Scheme::NiFpfs, NodeId(0), dests.clone(), 512)),
         );
         let mut sim = Simulator::new(&net, cfg.clone(), proto).unwrap();
-        sim.schedule_multicast(0, McastId(0), dests, 512);
+        sim.schedule_multicast(0, McastId(0), dests.clone(), 512);
         sim.run_to_completion(50_000_000).unwrap();
         sim.stats().latency_of(McastId(0)).unwrap()
     };
@@ -99,7 +99,7 @@ fn overlapping_multicasts_slow_each_other_down() {
         let mut proto = SchemeProtocol::new();
         for i in 0..4u64 {
             let src = NodeId(i as u16);
-            let mut d = dests;
+            let mut d = dests.clone();
             d.remove(src);
             proto.add(
                 McastId(i),
@@ -109,7 +109,7 @@ fn overlapping_multicasts_slow_each_other_down() {
         let mut sim = Simulator::new(&net, cfg.clone(), proto).unwrap();
         for i in 0..4u64 {
             let src = NodeId(i as u16);
-            let mut d = dests;
+            let mut d = dests.clone();
             d.remove(src);
             sim.schedule_multicast(0, McastId(i), d, 512);
         }

@@ -68,11 +68,12 @@ fn exactly_once_delivery() {
         let cfg = SimConfig::paper_default();
         let ctx = format!("{:?} source {} scheme {:?}", case.topo, case.source, case.scheme);
 
-        let plan = plan_multicast(&net, &cfg, case.scheme, source, dests, case.message_flits);
+        let plan =
+            plan_multicast(&net, &cfg, case.scheme, source, dests.clone(), case.message_flits);
         let mut proto = SchemeProtocol::new();
         proto.add(McastId(0), Arc::new(plan));
         let mut sim = Simulator::new(&net, cfg.clone(), proto).unwrap();
-        sim.schedule_multicast(0, McastId(0), dests, case.message_flits);
+        sim.schedule_multicast(0, McastId(0), dests.clone(), case.message_flits);
         sim.run_to_completion(200_000_000).expect("completes without deadlock");
         let stats = sim.stats();
 
