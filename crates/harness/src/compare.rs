@@ -127,12 +127,13 @@ fn classify(name: &str) -> FileClass {
         || name.starts_with("ext_e_")
         || name.starts_with("ext_f_")
         || name.starts_with("ext_h_")
+        || name.starts_with("ext_i_")
     {
-        // ext_f runs the same pinned-seed grid in quick and full mode:
-        // every cell is a deterministic degradation story. ext_h carries
-        // only deterministic columns (cycle counts and reachability
-        // storage sizes); quick mode drops the largest scale's row but
-        // shared rows are byte-identical.
+        // ext_f and ext_i run the same pinned-seed grid in quick and full
+        // mode: every cell is a deterministic degradation story. ext_h
+        // carries only deterministic columns (cycle counts and
+        // reachability storage sizes); quick mode drops the largest
+        // scale's row but shared rows are byte-identical.
         FileClass::Exact
     } else if name.starts_with("fig09")
         || name.starts_with("fig10")
@@ -402,6 +403,52 @@ fn check_claims(ck: &mut Gate, quick: bool) {
                     exponent < 2.0,
                 );
             }
+        }
+    }
+
+    // EXT_I: transient reliability — the error model must be free when
+    // idle, switch retry must mask moderate rates invisibly, and any
+    // recovery must beat none when damage is heavy.
+    if let Some(c) = ck.csv("ext_i_reliability.csv") {
+        ck.claim(&format!("ext_i present with {} rows", c.rows.len()), c.rows.len() >= 16);
+        let idx = |name: &str| c.header.iter().position(|h| h == name);
+        if let (Some(ri), Some(mi), Some(di)) =
+            (idx("error_ppb"), idx("mechanism"), idx("delivery_ratio"))
+        {
+            let cell = |r: &Vec<String>, i: usize| r.get(i).cloned().unwrap_or_default();
+            let mean_del = |rate: &str, mech: &str| -> f64 {
+                let v: Vec<f64> = c
+                    .rows
+                    .iter()
+                    .filter(|r| cell(r, ri) == rate && cell(r, mi) == mech)
+                    .filter_map(|r| cell(r, di).parse().ok())
+                    .collect();
+                if v.is_empty() { f64::NAN } else { v.iter().sum::<f64>() / v.len() as f64 }
+            };
+            let zero_rows: Vec<_> =
+                c.rows.iter().filter(|r| cell(r, ri) == "0").collect();
+            let zero_lossless = !zero_rows.is_empty()
+                && zero_rows
+                    .iter()
+                    .all(|r| cell(r, di).parse::<f64>().is_ok_and(|d| d == 1.0));
+            ck.claim("ext_i: zero-rate rows lossless under every mechanism", zero_lossless);
+            let sw = mean_del("2000000", "switch");
+            ck.claim(
+                &format!("ext_i: switch retry masks the 0.2% rate completely ({sw:.3})"),
+                sw == 1.0,
+            );
+            let none_top = mean_del("20000000", "none");
+            let both_top = mean_del("20000000", "both");
+            ck.claim(
+                &format!("ext_i: unprotected runs lose traffic at 2% ({none_top:.3})"),
+                none_top < 1.0,
+            );
+            ck.claim(
+                &format!(
+                    "ext_i: combined recovery beats no recovery at 2% ({both_top:.3} vs {none_top:.3})"
+                ),
+                both_top > none_top,
+            );
         }
     }
 }

@@ -18,6 +18,7 @@ pub mod ext_e;
 pub mod ext_f;
 pub mod ext_g;
 pub mod ext_h;
+pub mod ext_i;
 pub mod fig06;
 pub mod fig07;
 pub mod fig08;

@@ -186,6 +186,11 @@ pub fn registry() -> Vec<ExperimentSpec> {
             units: ex::ext_h::units,
         },
         ExperimentSpec {
+            name: "ext_i",
+            title: "Extension I — transient soft errors (switch retry vs NI retransmission)",
+            units: ex::ext_i::units,
+        },
+        ExperimentSpec {
             name: "abl_ordering",
             title: "Ablation — k-binomial destination placement",
             units: ex::abl_ordering::units,

@@ -15,6 +15,7 @@
 
 use crate::journal::{load_journal, JournalError, ParsedJournal, JOURNAL_FILE};
 use crate::lease::{lease_file, load_lease, now_ms, Liveness};
+use crate::registry::Emit;
 use crate::shard::{find_shard_journals, ShardSpec};
 use crate::stats::DurationStats;
 use std::fmt::Write as _;
@@ -42,6 +43,12 @@ pub struct JournalProgress {
     /// empty journal, corruption. A note row renders the note in place
     /// of the progress columns it cannot compute.
     pub note: Option<String>,
+    /// Distinct error-model fingerprints found in this journal's unit
+    /// records (`"err"` config emits from transient-fault campaigns,
+    /// first-seen order). Rendered as an `[err 0x…]` label so a
+    /// directory whose shards ran under different error models is
+    /// visible before `merge`.
+    pub err_models: Vec<u64>,
 }
 
 impl JournalProgress {
@@ -52,8 +59,16 @@ impl JournalProgress {
             None => pool,
         };
         let mut durations = DurationStats::default();
+        let mut err_models = Vec::new();
         for u in &parsed.units {
             durations.push_ms(u.ms);
+            for e in &u.emits {
+                if let Emit::Config { kind, hash, .. } = e {
+                    if kind == "err" && !err_models.contains(hash) {
+                        err_models.push(*hash);
+                    }
+                }
+            }
         }
         JournalProgress {
             shard,
@@ -63,6 +78,7 @@ impl JournalProgress {
             durations,
             liveness,
             note: None,
+            err_models,
         }
     }
 
@@ -80,6 +96,7 @@ impl JournalProgress {
             durations: DurationStats::default(),
             liveness,
             note: Some(note),
+            err_models: Vec::new(),
         }
     }
 
@@ -93,10 +110,13 @@ impl JournalProgress {
             Some(spec) => format!("shard {spec}"),
             None => "campaign".to_string(),
         };
-        let live = match &self.liveness {
+        let mut live = match &self.liveness {
             Some(l) => format!("  {}", l.label()),
             None => String::new(),
         };
+        for fp in &self.err_models {
+            let _ = write!(live, "  [err 0x{fp:016x}]");
+        }
         if let Some(note) = &self.note {
             if self.assigned > 0 {
                 return format!(
@@ -224,6 +244,19 @@ pub fn render_status(dir: &Path, progress: &[JournalProgress]) -> String {
         let pct = (100 * done).checked_div(assigned).unwrap_or(100);
         let _ = writeln!(out, "  {:<12} {done:>5}/{assigned:<5} {pct:>3}%  {failed:>4} failed", "total");
     }
+    // Transient-fault campaigns stamp their error model into every ext_i
+    // unit record; shards that journaled different fingerprints were run
+    // by workers built with different error models, and merging them
+    // would splice incompatible sweeps into one artifact.
+    let stamped: Vec<&Vec<u64>> =
+        progress.iter().filter(|p| !p.err_models.is_empty()).map(|p| &p.err_models).collect();
+    if stamped.windows(2).any(|w| w[0] != w[1]) {
+        let _ = writeln!(
+            out,
+            "  warning: shards journaled different error-model fingerprints — \
+             rebuild the stragglers before `irrnet-run merge`"
+        );
+    }
     if done == assigned && progress.iter().all(|p| p.note.is_none()) {
         let _ = writeln!(
             out,
@@ -328,6 +361,65 @@ mod tests {
         // The "all units journaled" hint never fires while note rows exist.
         let rendered = render_status(Path::new("out"), &[bad]);
         assert!(!rendered.contains("all units journaled"), "{rendered}");
+    }
+
+    #[test]
+    fn transient_fault_shards_are_labeled_with_their_error_model() {
+        let spec = |i| ShardSpec { index: i, count: 2 };
+        let err = |hash: u64| Emit::Config {
+            kind: "err".into(),
+            canonical: "errsweep{err{...}}".into(),
+            hash,
+        };
+        let shard_text = |i, hash| {
+            format!(
+                "{}{}",
+                header_line(&header(Some(spec(i)))),
+                unit_line(i, "ext_i:reliability", 40, &[], &[err(hash)]),
+            )
+        };
+        let p0 = JournalProgress::of(
+            &parse_journal(&shard_text(0, 0xABCD)).unwrap(),
+            Some(spec(0)),
+            None,
+        );
+        assert_eq!(p0.err_models, vec![0xABCD]);
+        assert!(p0.row().contains("[err 0x000000000000abcd]"), "{}", p0.row());
+
+        // A shard without "err" emits gets no label — and no warning.
+        let plain = JournalProgress::of(
+            &parse_journal(&format!(
+                "{}{}",
+                header_line(&header(Some(spec(1)))),
+                unit_line(1, "u1", 10, &[], &[Emit::Table("t".into())]),
+            ))
+            .unwrap(),
+            Some(spec(1)),
+            None,
+        );
+        assert!(plain.err_models.is_empty());
+        assert!(!plain.row().contains("[err"), "{}", plain.row());
+        let rendered = render_status(Path::new("out"), &[p0, plain]);
+        assert!(!rendered.contains("warning"), "{rendered}");
+
+        // Two shards stamping *different* fingerprints: a mixed-config
+        // directory, flagged before anyone merges it.
+        let q0 = JournalProgress::of(
+            &parse_journal(&shard_text(0, 0xABCD)).unwrap(),
+            Some(spec(0)),
+            None,
+        );
+        let q1 = JournalProgress::of(
+            &parse_journal(&shard_text(1, 0x1234)).unwrap(),
+            Some(spec(1)),
+            None,
+        );
+        let rendered = render_status(Path::new("out"), &[q0, q1]);
+        assert!(
+            rendered.contains("different error-model fingerprints"),
+            "{rendered}"
+        );
+        assert!(rendered.contains("before `irrnet-run merge`"), "{rendered}");
     }
 
     #[test]

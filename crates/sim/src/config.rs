@@ -293,6 +293,56 @@ impl RetxPolicy {
     }
 }
 
+/// Switch-side link-level retry policy (transient-fault extension).
+///
+/// When installed via `Simulator::enable_link_retry`, every switch output
+/// feeding an inter-switch link keeps a replay buffer of the last flits
+/// it transmitted. A flit the receiver's CRC/sequence check flags as
+/// damaged is NACKed back over the credit channel and the sender replays
+/// go-back-k style: it holds the output for [`Self::turnaround`] cycles
+/// (the CRC check plus the NACK round trip) and retransmits from the
+/// damaged flit onward. Because the hold stops the output at the damaged
+/// flit, the replay window never exceeds the flits in flight during one
+/// turnaround — which is exactly the sizing rule for
+/// [`Self::buffer_flits`]. After [`Self::max_retries`] consecutive
+/// failures of the same flit the switch gives up and escalates: the worm
+/// copy is killed (truncated and purged, exactly like a PR-3 link kill)
+/// and, if NI retransmission is enabled, the end-to-end layer re-covers
+/// the lost destinations.
+///
+/// Like [`RetxPolicy`], this is recovery machinery rather than part of
+/// the modeled system, so it never enters
+/// [`SimConfig::canonical_string`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkRetryPolicy {
+    /// Replay-buffer depth per output port, in flits: must cover the
+    /// flits a sender can have in flight during one turnaround (the
+    /// bandwidth-delay product of the NACK loop).
+    pub buffer_flits: u32,
+    /// Consecutive failed transmissions of the same flit before the
+    /// switch escalates to a worm kill.
+    pub max_retries: u32,
+    /// Cycles from a damaged transmission until the replay attempt: the
+    /// receiver's CRC check plus the NACK crossing back over the link.
+    pub turnaround: Cycle,
+}
+
+impl LinkRetryPolicy {
+    /// A policy sized from the config: the turnaround is one forward
+    /// link crossing (the flit reaching the checker), plus one reverse
+    /// crossing (the NACK), plus one cycle of CRC/sequence check; the
+    /// replay buffer holds that window plus the crossbar pipeline with
+    /// one slot of slack.
+    pub fn default_for(cfg: &SimConfig) -> Self {
+        let turnaround = 2 * cfg.link_delay + 1;
+        LinkRetryPolicy {
+            buffer_flits: (turnaround + cfg.crossbar_delay) as u32 + 1,
+            max_retries: 8,
+            turnaround,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -383,6 +433,15 @@ mod tests {
         assert!(a1 >= p.timeout);
         // Same (mcast, attempt) → same jitter; different mcast → usually not.
         assert_eq!(a1, p.next_check_delay(3, 1));
+    }
+
+    #[test]
+    fn link_retry_default_covers_the_nack_loop() {
+        let cfg = SimConfig::paper_default();
+        let p = LinkRetryPolicy::default_for(&cfg);
+        assert_eq!(p.turnaround, 3); // out + back + check at unit delays
+        assert!(p.buffer_flits as u64 >= p.turnaround, "go-back-k window");
+        assert!(p.max_retries > 0);
     }
 
     #[test]

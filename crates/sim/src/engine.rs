@@ -22,7 +22,7 @@
 //! had been swept); all queues are FIFO; there is no wall-clock or
 //! unseeded randomness anywhere.
 
-use crate::config::{Cycle, RetxPolicy, SimConfig};
+use crate::config::{Cycle, LinkRetryPolicy, RetxPolicy, SimConfig};
 use crate::error::{BranchSnapshot, DeadlockDiagnostics, SimError, StuckFrame, TxBacklog};
 use crate::host::{DmaTask, HostTask, NiTask, Resource};
 use crate::protocol::Protocol;
@@ -31,8 +31,8 @@ use crate::switch::{decode_branches, decode_branches_masked, Frame, InPort, OutP
 use crate::trace::{TraceEvent, TraceLog};
 use crate::worm::{McastId, RouteInfo, SendSpec, WormCopy};
 use irrnet_topology::{
-    FaultEvent, FaultPlan, FaultStatus, LinkId, Network, NodeId, NodeMask, Phase, PortIdx,
-    PortUse, SwitchId,
+    ErrorModel, FaultEvent, FaultPlan, FaultStatus, FlitFate, LinkId, Network, NodeId,
+    NodeMask, Phase, PortIdx, PortUse, SwitchId,
 };
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -127,6 +127,10 @@ struct RetxRt {
     /// Source node (first sender) per dense multicast index; the NI that
     /// owns the delivery timer and the retransmit queue.
     source: Vec<Option<NodeId>>,
+    /// Destinations already retransmitted to, per dense multicast index:
+    /// a first delivery landing on one of these is an end-to-end
+    /// recovery (the network below failed and the NI layer covered it).
+    resent: Vec<NodeMask>,
 }
 
 /// Per-multicast static description.
@@ -267,6 +271,30 @@ pub struct Simulator<'n, P: Protocol> {
     faults: Option<FaultRt>,
     /// NI retransmission, if enabled.
     retx: Option<RetxRt>,
+    /// Installed transient-error model, if any (`None` or zero-rate
+    /// keeps the per-transfer fate draw off the hot path entirely —
+    /// error-free runs stay byte-identical to builds without it).
+    errors: Option<ErrorModel>,
+    /// Switch-side link-level retry, if enabled (only meaningful with an
+    /// error model installed).
+    link_retry: Option<LinkRetryPolicy>,
+    /// Per output port (global index): cycle before which the output is
+    /// held for a pending replay (0 = not held). Allocated lazily by
+    /// [`Self::enable_link_retry`].
+    out_retry_at: Vec<Cycle>,
+    /// Per output port: consecutive failed transmissions of the current
+    /// flit (escalates past the retry budget).
+    out_retry_cnt: Vec<u32>,
+    /// Worm copies damaged on a link this sweep with no link-level retry
+    /// to save them: `(downstream sink, worm)` pairs severed at the end
+    /// of the sweep (the port tables are detached mid-sweep, so the
+    /// purge/kill machinery cannot run inline).
+    pending_link_errors: Vec<(SinkRef, Arc<WormCopy>)>,
+    /// Frames whose output exhausted its link-retry budget this sweep:
+    /// `(switch, input port, worm)` killed at the end of the sweep. The
+    /// worm identifies the frame so a cascade from an earlier kill in
+    /// the same batch can't redirect the kill onto an innocent frame.
+    pending_retry_kills: Vec<(u16, u8, Arc<WormCopy>)>,
     /// Per input channel (global index): true once the feeding link or
     /// the owning switch died. Arrivals there are dropped.
     dead_in: Vec<bool>,
@@ -412,6 +440,12 @@ impl<'n, P: Protocol> Simulator<'n, P> {
             audit: crate::audit::default_enabled().then(Box::default),
             audit_freed: 0,
             audit_redropped: 0,
+            errors: None,
+            link_retry: None,
+            out_retry_at: Vec::new(),
+            out_retry_cnt: Vec::new(),
+            pending_link_errors: Vec::new(),
+            pending_retry_kills: Vec::new(),
         })
     }
 
@@ -450,7 +484,34 @@ impl<'n, P: Protocol> Simulator<'n, P> {
     /// unicasts, up to [`RetxPolicy::max_retries`] rounds with seeded
     /// exponential backoff. Call before running.
     pub fn enable_retransmission(&mut self, policy: RetxPolicy) {
-        self.retx = Some(RetxRt { policy, attempts: Vec::new(), source: Vec::new() });
+        self.retx =
+            Some(RetxRt { policy, attempts: Vec::new(), source: Vec::new(), resent: Vec::new() });
+    }
+
+    /// Install a transient-error model: every inter-switch flit transfer
+    /// draws a seeded, stateless fate (see [`ErrorModel::fate`]) and may
+    /// be corrupted or dropped on the wire. A zero-rate model is a no-op
+    /// — the run stays byte-identical to one without this call. Host
+    /// injection and NI delivery hops are error-free by construction
+    /// (the model covers links, not endpoints). Call before running.
+    pub fn install_errors(&mut self, model: &ErrorModel) {
+        if model.is_zero() {
+            return;
+        }
+        self.errors = Some(model.clone());
+    }
+
+    /// Enable switch-side link-level retry: a damaged transfer is held
+    /// back (go-back-k replay from the sender's frame, which already
+    /// buffers the worm), re-sent after [`LinkRetryPolicy::turnaround`]
+    /// cycles, and escalated to a worm kill after
+    /// [`LinkRetryPolicy::max_retries`] consecutive failures. Without an
+    /// error model installed this is inert. Call before running.
+    pub fn enable_link_retry(&mut self, policy: LinkRetryPolicy) {
+        let slots = self.net.topo.num_switches() * self.pmax;
+        self.out_retry_at = vec![0; slots];
+        self.out_retry_cnt = vec![0; slots];
+        self.link_retry = Some(policy);
     }
 
     /// Saturate the reservation counter of one switch input buffer so it
@@ -663,10 +724,14 @@ impl<'n, P: Protocol> Simulator<'n, P> {
             }
             let moved = self.network_cycle();
             self.post_sweep = true;
+            // Resolve transient-fault damage recorded during the sweep
+            // (deferred: the port tables are detached mid-sweep), before
+            // the audit sees the state.
+            let transient = self.apply_transient_faults();
             if self.audit.is_some() {
                 self.audit_sweep()?;
             }
-            if moved {
+            if moved || transient {
                 self.last_progress = self.now;
             } else if self.now - self.last_progress > self.cfg.watchdog_cycles {
                 // Recovery mode: sacrifice the youngest stuck worm and
@@ -1114,6 +1179,20 @@ impl<'n, P: Protocol> Simulator<'n, P> {
                         if self.stats.is_delivered(mcast, node) {
                             self.stats.net.duplicate_deliveries += 1;
                         } else {
+                            // First delivery to a destination the retx
+                            // layer had re-sent to: the end-to-end path
+                            // recovered what the network lost.
+                            if let Some(rt) = &self.retx {
+                                let recovered = self
+                                    .stats
+                                    .mcasts
+                                    .idx_of(mcast)
+                                    .and_then(|i| rt.resent.get(i as usize))
+                                    .is_some_and(|m| m.contains(node));
+                                if recovered {
+                                    self.stats.net.e2e_recoveries += 1;
+                                }
+                            }
                             self.emit(TraceEvent::Delivered { node, mcast });
                             self.stats.deliver(mcast, node, self.now);
                             let sends =
@@ -1552,6 +1631,11 @@ impl<'n, P: Protocol> Simulator<'n, P> {
         let base = si * self.pmax;
         let mut moved = false;
         let mut next_decode: Option<Cycle> = None;
+        // Hoisted transient-error gates: with no (nonzero) model installed
+        // both are false and the transfer loop below is byte-identical to
+        // a build without error support.
+        let err_on = self.errors.is_some();
+        let retry_on = err_on && self.link_retry.is_some();
 
         // Decode head frames whose routing delay has elapsed. Only ports
         // flagged in `undecoded` can need work (ascending order, same as
@@ -1665,6 +1749,14 @@ impl<'n, P: Protocol> Simulator<'n, P> {
         while owned != 0 {
             let o = owned.trailing_zeros() as usize;
             owned &= owned - 1;
+            // A link-level retry in flight holds the whole output until
+            // the NACK turnaround elapses (go-back-k: nothing overtakes
+            // the damaged flit). Park on the replay cycle.
+            if retry_on && t < self.out_retry_at[base + o] {
+                let at = self.out_retry_at[base + o];
+                next_decode = Some(next_decode.map_or(at, |x| x.min(at)));
+                continue;
+            }
             let (p, bi) = sw_out[base + o].owner.expect("owned bit without owner");
             let f = sw_in[base + p as usize]
                 .frames
@@ -1685,6 +1777,61 @@ impl<'n, P: Protocol> Simulator<'n, P> {
             let sink = self.out_sink[base + o].expect("branch granted to open port");
             if !self.can_accept(sink) {
                 continue;
+            }
+            // Transient-error gate: inter-switch transfers only (ports
+            // with a directed-link code; injection and NI-delivery hops
+            // are error-free by construction). The fate draw is stateless
+            // in (link, cycle), so the event scheduler and the full-scan
+            // oracle see identical error patterns.
+            if err_on {
+                if let Some(d) = self.out_dir_link[base + o] {
+                    let fate = self.errors.as_ref().expect("err_on implies model").fate(d, t);
+                    if !matches!(fate, FlitFate::Ok) {
+                        match fate {
+                            FlitFate::Corrupted => self.stats.net.flits_corrupted += 1,
+                            _ => self.stats.net.flits_dropped_transient += 1,
+                        }
+                        if retry_on {
+                            // Link-level retry: the damaged flit never
+                            // leaves the sender's frame (`b.sent` is
+                            // untouched), so the hold above replays this
+                            // exact flit after the NACK turnaround — or
+                            // escalates to a worm kill past the budget.
+                            self.stats.net.link_retries += 1;
+                            self.out_retry_cnt[base + o] += 1;
+                            let policy =
+                                self.link_retry.as_ref().expect("retry_on implies policy");
+                            if self.out_retry_cnt[base + o] > policy.max_retries {
+                                self.out_retry_cnt[base + o] = 0;
+                                self.out_retry_at[base + o] = 0;
+                                let worm = f.worm.clone();
+                                let dup = self.pending_retry_kills.iter().any(|(s, ip, w)| {
+                                    *s == si as u16 && *ip as usize == p as usize
+                                        && Arc::ptr_eq(w, &worm)
+                                });
+                                if !dup {
+                                    self.pending_retry_kills.push((si as u16, p, worm));
+                                }
+                            } else {
+                                let at = t + policy.turnaround;
+                                self.out_retry_at[base + o] = at;
+                                next_decode = Some(next_decode.map_or(at, |x| x.min(at)));
+                            }
+                            continue;
+                        }
+                        // Detection only: the damaged flit still occupies
+                        // the wire and the downstream buffer, so it is
+                        // transmitted normally; the receiver's CRC check
+                        // severs the downstream copy at end of sweep.
+                        self.pending_link_errors.push((
+                            sink,
+                            b.out_worm.clone().expect("granted branch has worm"),
+                        ));
+                    } else if retry_on {
+                        // A clean transfer ends any escalation streak.
+                        self.out_retry_cnt[base + o] = 0;
+                    }
+                }
             }
             let payload = if b.sent == 0 {
                 FlitPayload::Head(b.out_worm.clone().expect("granted branch has worm"))
@@ -2138,6 +2285,12 @@ impl<'n, P: Protocol> Simulator<'n, P> {
                     if !b.done {
                         self.sw_out[si * self.pmax + port.idx()].owner = None;
                         self.sw_owned[si] &= !(1 << port.idx());
+                        if self.link_retry.is_some() {
+                            // A retry hold left by the dead owner must not
+                            // delay the output's next owner.
+                            self.out_retry_at[si * self.pmax + port.idx()] = 0;
+                            self.out_retry_cnt[si * self.pmax + port.idx()] = 0;
+                        }
                     }
                 }
             }
@@ -2163,6 +2316,16 @@ impl<'n, P: Protocol> Simulator<'n, P> {
         let port = b.port.expect("cascade on ungranted branch");
         let Some(sink) = self.out_sink[self.gidx(si as u16, port.0)] else { return };
         let worm = b.out_worm.as_ref().expect("granted branch has worm").clone();
+        self.sever_downstream(sink, worm);
+    }
+
+    /// Sever the downstream copy of `worm` behind `sink`: mark the
+    /// channel for purge (in-flight flits are swallowed on arrival) and
+    /// kill the partial frame there if it already exists, recursing down
+    /// the worm chain. Idempotent — re-severing an already-purged channel
+    /// is a no-op. Shared by fault cascades ([`Self::cascade_strand`])
+    /// and transient link errors ([`Self::apply_transient_faults`]).
+    fn sever_downstream(&mut self, sink: SinkRef, worm: Arc<WormCopy>) {
         match sink {
             SinkRef::SwIn { sw, port: p2 } => {
                 let g2 = self.gidx(sw, p2);
@@ -2201,6 +2364,41 @@ impl<'n, P: Protocol> Simulator<'n, P> {
                 }
             }
         }
+    }
+
+    /// End-of-sweep transient-fault resolution: sever the downstream
+    /// copies of flits damaged on detection-only links (the receiver's
+    /// CRC check caught them), and kill frames whose output exhausted its
+    /// link-retry budget (the escalation rung of the recovery ladder).
+    /// Deferred to here because the port tables are detached mid-sweep.
+    /// Returns true if anything was resolved — that frees resources and
+    /// counts as progress for the deadlock watchdog, exactly like a
+    /// watchdog recovery.
+    fn apply_transient_faults(&mut self) -> bool {
+        if self.pending_link_errors.is_empty() && self.pending_retry_kills.is_empty() {
+            return false;
+        }
+        let severs = std::mem::take(&mut self.pending_link_errors);
+        for (sink, worm) in severs {
+            self.sever_downstream(sink, worm);
+        }
+        let kills = std::mem::take(&mut self.pending_retry_kills);
+        for (sw, p, worm) in kills {
+            // A cascade from an earlier sever or kill in this same batch
+            // may have already removed the frame; killing blindly would
+            // hit the wrong worm (or an empty port).
+            let g = self.gidx(sw, p);
+            let alive =
+                self.sw_in[g].frames.front().is_some_and(|f| Arc::ptr_eq(&f.worm, &worm));
+            if alive {
+                self.kill_frame_at(sw as usize, p as usize, FrameSlot::Front, true);
+                self.stats.net.retry_exhaustions += 1;
+            }
+        }
+        // Kills and purges freed grants and credits beyond what the
+        // normal credit path re-arms: re-list everything with work.
+        self.rearm_all();
+        true
     }
 
     /// Discard the (undecoded, branchless) front frame of port `p` of
@@ -2270,6 +2468,7 @@ impl<'n, P: Protocol> Simulator<'n, P> {
         if rt.source.len() <= i {
             rt.source.resize(i + 1, None);
             rt.attempts.resize(i + 1, 0);
+            rt.resent.resize(i + 1, NodeMask::default());
         }
         if rt.source[i].is_some() {
             return;
@@ -2308,7 +2507,15 @@ impl<'n, P: Protocol> Simulator<'n, P> {
         if self.dead_host[src.idx()] || attempt >= policy.max_retries {
             return; // give up: the run ends with delivery_ratio < 1
         }
-        self.retx.as_mut().expect("retx enabled").attempts[i] = attempt + 1;
+        {
+            let rt = self.retx.as_mut().expect("retx enabled");
+            rt.attempts[i] = attempt + 1;
+            // Remember who this round re-covers: a later first delivery to
+            // one of these destinations is an end-to-end recovery.
+            for dest in &missing {
+                rt.resent[i].insert(*dest);
+            }
+        }
         self.stats.net.retransmissions += missing.len() as u64;
         let info = self.mcasts[i].clone();
         let dur = self.cfg.o_ni_per_packet();

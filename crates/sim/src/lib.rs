@@ -48,7 +48,7 @@ pub mod trace;
 pub mod worm;
 
 pub use audit::{set_audit_default, InvariantKind, InvariantViolation};
-pub use config::{Cycle, RetxPolicy, SimConfig};
+pub use config::{Cycle, LinkRetryPolicy, RetxPolicy, SimConfig};
 pub use engine::Simulator;
 pub use error::{BranchSnapshot, DeadlockDiagnostics, SimError, StuckFrame, TxBacklog};
 pub use protocol::{NullProtocol, Protocol, ProtocolError, StaticProtocol};
@@ -58,7 +58,7 @@ pub use worm::{McastId, PathStop, PathWormSpec, RouteInfo, SendSpec, WormCopy};
 
 /// Common imports for downstream crates.
 pub mod prelude {
-    pub use crate::config::{Cycle, RetxPolicy, SimConfig};
+    pub use crate::config::{Cycle, LinkRetryPolicy, RetxPolicy, SimConfig};
     pub use crate::engine::Simulator;
     pub use crate::error::{DeadlockDiagnostics, SimError};
     pub use crate::protocol::{NullProtocol, Protocol, ProtocolError, StaticProtocol};

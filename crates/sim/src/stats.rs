@@ -227,6 +227,24 @@ pub struct NetCounters {
     /// Deliveries suppressed because the destination had already received
     /// the message (retransmission racing the original copy).
     pub duplicate_deliveries: u64,
+    /// Flit transmissions corrupted in transit by the transient-error
+    /// model (bit errors the receiver's CRC catches).
+    pub flits_corrupted: u64,
+    /// Flit transmissions dropped in transit by the transient-error
+    /// model (gaps the receiver's sequence check catches). Distinct from
+    /// `flits_dropped`, which counts every flit discarded for any fault
+    /// reason (including the purge drains these errors trigger).
+    pub flits_dropped_transient: u64,
+    /// Link-level replay attempts by switch outputs (one per damaged
+    /// transmission while the link-retry mechanism is enabled).
+    pub link_retries: u64,
+    /// Worm copies killed because a switch output exhausted its retry
+    /// budget on one flit (the link-retry escalation ladder's last rung).
+    pub retry_exhaustions: u64,
+    /// Deliveries that completed only after the source NI had
+    /// retransmitted to that destination — the end-to-end recovery path
+    /// doing work the network below it failed to do.
+    pub e2e_recoveries: u64,
 }
 
 /// Everything measured during a run.
@@ -321,6 +339,24 @@ impl SimStats {
             1.0
         } else {
             delivered as f64 / expected as f64
+        }
+    }
+
+    /// Fraction of inter-switch link bandwidth that carried *useful*
+    /// flits: successful transfers over all transmission attempts
+    /// (successful + corrupted + dropped). With link retry enabled every
+    /// damaged attempt is also a replay attempt, so the ratio is the
+    /// direct bandwidth cost of the switch-side mechanism; without it,
+    /// damaged flits still crossed the wire before the receiver discarded
+    /// them, so the ratio reads the same way. 1.0 when nothing was
+    /// transmitted or no error model is installed.
+    pub fn goodput_ratio(&self) -> f64 {
+        let damaged = self.net.flits_corrupted + self.net.flits_dropped_transient;
+        let attempts = self.net.link_flits + self.net.link_retries;
+        if attempts == 0 {
+            1.0
+        } else {
+            1.0 - damaged as f64 / attempts as f64
         }
     }
 
@@ -475,6 +511,36 @@ mod tests {
         assert_eq!(rec.deliveries[&NodeId(3)], 5);
         assert!(s.deliver(id, NodeId(4), 9));
         assert_eq!(s.latency_of(id), Some(9));
+    }
+
+    #[test]
+    fn delivery_ratio_on_empty_plan_is_one() {
+        // 0/0 must be a defined value, not caller-beware: an empty plan
+        // delivered everything it promised.
+        let s = SimStats::default();
+        assert_eq!(s.delivery_ratio(), 1.0);
+        // Registered-but-unlaunched multicasts don't change that.
+        let mut s = SimStats::default();
+        s.mcasts.intern(McastId(42));
+        assert_eq!(s.delivery_ratio(), 1.0);
+    }
+
+    #[test]
+    fn goodput_ratio_accounts_for_damaged_transmissions() {
+        let mut s = SimStats::default();
+        assert_eq!(s.goodput_ratio(), 1.0);
+        // Detection mode: damaged flits still crossed the wire (counted
+        // in link_flits), no replays.
+        s.net.link_flits = 100;
+        s.net.flits_corrupted = 3;
+        s.net.flits_dropped_transient = 2;
+        assert_eq!(s.goodput_ratio(), 0.95);
+        // Retry mode: damaged attempts live in link_retries instead.
+        let mut r = SimStats::default();
+        r.net.link_flits = 95;
+        r.net.link_retries = 5;
+        r.net.flits_corrupted = 5;
+        assert_eq!(r.goodput_ratio(), 0.95);
     }
 
     #[test]

@@ -7,11 +7,11 @@
 //! watchdog or skip over an invariant-violation window.
 
 use irrnet_sim::{
-    InvariantKind, McastId, RetxPolicy, SendSpec, SimConfig, SimError, Simulator,
-    StaticProtocol, TraceLog,
+    InvariantKind, LinkRetryPolicy, McastId, RetxPolicy, SendSpec, SimConfig, SimError,
+    Simulator, StaticProtocol, TraceLog,
 };
 use irrnet_topology::{
-    generate, zoo, ApexPlan, FaultPlan, LinkId, Network, NodeId, NodeMask,
+    generate, zoo, ApexPlan, ErrorModel, FaultPlan, LinkId, Network, NodeId, NodeMask,
     RandomFaultConfig, RandomTopologyConfig,
 };
 use std::sync::Arc;
@@ -237,6 +237,87 @@ fn retransmission_backoff_run_matches_full_scan() {
     assert!(
         !out_active.contains("retransmissions: 0"),
         "fault plan never triggered a retransmission: {out_active}"
+    );
+}
+
+/// Transient soft errors exercise the newest wake paths: seeded
+/// stateless fate draws on every inter-switch transfer, end-of-sweep
+/// downstream severs, end-to-end retransmission of the losses, and
+/// (with link retry) output holds parked on the NACK turnaround. The
+/// event scheduler must land on exactly the attempt cycles the full
+/// per-cycle scan executes — the fate draw is keyed by (link, cycle),
+/// so one skipped or extra attempt cycle diverges the whole run.
+#[test]
+fn transient_error_runs_match_full_scan() {
+    let topo = generate(&RandomTopologyConfig::paper_default(42)).unwrap();
+    let net = Network::analyze(topo).unwrap();
+
+    let run = |full_scan: bool, link_retry: bool, retx: bool| {
+        let mut cfg = SimConfig::paper_default();
+        cfg.watchdog_cycles = 5_000;
+        cfg.watchdog_recovery_limit = 4;
+        let lr_policy = LinkRetryPolicy::default_for(&cfg);
+        let mut sim = mixed_sim_cfg(&net, full_scan, cfg);
+        sim.install_errors(&ErrorModel::uniform(4_000_000, 4_000_000, 0xE44));
+        if link_retry {
+            sim.enable_link_retry(lr_policy);
+        }
+        if retx {
+            sim.enable_retransmission(RetxPolicy {
+                timeout: 3_000,
+                max_retries: 3,
+                seed: 0x5eed,
+            });
+        }
+        let res = sim.run_until(60_000);
+        outcome(&mut sim, res)
+    };
+
+    for (lr, rx) in [(false, false), (true, false), (false, true), (true, true)] {
+        let (trace_active, out_active) = run(false, lr, rx);
+        let (trace_full, out_full) = run(true, lr, rx);
+        assert_eq!(trace_active.events(), trace_full.events(), "link_retry={lr} retx={rx}");
+        assert_eq!(out_active, out_full, "link_retry={lr} retx={rx}");
+        // The error model genuinely fired (not a vacuous comparison).
+        assert!(
+            !out_active.contains("flits_corrupted: 0,"),
+            "error model never corrupted a flit (link_retry={lr} retx={rx}): {out_active}"
+        );
+    }
+}
+
+/// The escalation rung under event-jumping: a drop-heavy model with a
+/// tiny retry budget forces budget exhaustions, whose deferred worm
+/// kills (and the purge/re-arm churn behind them) must leave identical
+/// state in both scheduling modes.
+#[test]
+fn retry_exhaustion_escalation_matches_full_scan() {
+    let topo = generate(&RandomTopologyConfig::paper_default(42)).unwrap();
+    let net = Network::analyze(topo).unwrap();
+
+    let run = |full_scan: bool| {
+        let mut cfg = SimConfig::paper_default();
+        cfg.watchdog_cycles = 5_000;
+        cfg.watchdog_recovery_limit = 8;
+        let mut sim = mixed_sim_cfg(&net, full_scan, cfg);
+        sim.install_errors(&ErrorModel::uniform(0, 300_000_000, 0xE45));
+        sim.enable_link_retry(LinkRetryPolicy {
+            buffer_flits: 4,
+            max_retries: 2,
+            turnaround: 3,
+        });
+        sim.enable_retransmission(RetxPolicy { timeout: 3_000, max_retries: 3, seed: 0x5eed });
+        let res = sim.run_until(120_000);
+        outcome(&mut sim, res)
+    };
+
+    let (trace_active, out_active) = run(false);
+    let (trace_full, out_full) = run(true);
+    assert_eq!(trace_active.events(), trace_full.events());
+    assert_eq!(out_active, out_full);
+    assert!(
+        !out_active.contains("retry_exhaustions: 0,"),
+        "the retry budget was never exhausted: {out_active}"
     );
 }
 

@@ -265,6 +265,99 @@ impl FaultStatus {
     }
 }
 
+/// What the transient-error channel did to one flit transmission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlitFate {
+    /// The flit crossed the link intact.
+    Ok,
+    /// Bit errors in transit: the flit arrives but fails the receiver's
+    /// CRC check.
+    Corrupted,
+    /// The flit vanished in transit (a dropped symbol the receiver's
+    /// sequence check exposes as a gap).
+    Dropped,
+}
+
+/// Seeded transient soft-error model for inter-switch links.
+///
+/// Unlike [`FaultPlan`] — which kills components *permanently* — this
+/// models the dominant failure mode of real fabrics: individual flits
+/// corrupted or dropped in transit while the link itself stays up. Each
+/// flit transmission draws its fate as a **pure function** of
+/// `(seed, directed link, cycle)` via the in-tree splitmix hash: no PRNG
+/// stream is consumed, so the draw an engine makes is independent of how
+/// many other draws happened before it. That statelessness is what makes
+/// runs byte-reproducible, resumable mid-campaign, and identical between
+/// the event-driven scheduler and the full-scan oracle (which evaluate
+/// transmissions in different orders but at the same cycles).
+///
+/// Rates are expressed in parts per billion per flit transmission, so
+/// integer configs round-trip exactly through canonical strings. A
+/// zero-rate model never perturbs anything: engines treat it as absent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ErrorModel {
+    /// Corruption probability per flit transmission, in parts per billion.
+    pub corrupt_ppb: u32,
+    /// Drop probability per flit transmission, in parts per billion.
+    pub drop_ppb: u32,
+    /// Seed of the per-(link, cycle) fate draws.
+    pub seed: u64,
+}
+
+/// Denominator of the per-billion rates.
+const PPB: u64 = 1_000_000_000;
+
+impl ErrorModel {
+    /// A model applying the same rates to every link.
+    pub fn uniform(corrupt_ppb: u32, drop_ppb: u32, seed: u64) -> Self {
+        assert!(
+            corrupt_ppb as u64 + drop_ppb as u64 <= PPB,
+            "error rates exceed 1.0"
+        );
+        ErrorModel { corrupt_ppb, drop_ppb, seed }
+    }
+
+    /// True if no transmission can ever be damaged.
+    pub fn is_zero(&self) -> bool {
+        self.corrupt_ppb == 0 && self.drop_ppb == 0
+    }
+
+    /// Fate of the flit transmitted on directed link `dir_link`
+    /// (`link_id * 2 + departing_side`) at `cycle`. Deterministic: the
+    /// same `(seed, dir_link, cycle)` always answers the same, so the
+    /// sender deciding whether to hold for a replay and the receiver
+    /// checking its CRC agree without exchanging state.
+    #[inline]
+    pub fn fate(&self, dir_link: u32, cycle: u64) -> FlitFate {
+        if self.is_zero() {
+            return FlitFate::Ok;
+        }
+        let draw = crate::rng::hash3(self.seed, dir_link as u64, cycle) % PPB;
+        if draw < self.drop_ppb as u64 {
+            FlitFate::Dropped
+        } else if draw < self.drop_ppb as u64 + self.corrupt_ppb as u64 {
+            FlitFate::Corrupted
+        } else {
+            FlitFate::Ok
+        }
+    }
+
+    /// Canonical one-line encoding; equal models produce equal strings.
+    pub fn canonical_string(&self) -> String {
+        format!(
+            "err{{corrupt_ppb={},drop_ppb={},seed={:#x}}}",
+            self.corrupt_ppb, self.drop_ppb, self.seed
+        )
+    }
+
+    /// Stable 64-bit fingerprint (FNV-1a over [`Self::canonical_string`]);
+    /// campaigns record it so journals carrying different error models
+    /// refuse to merge.
+    pub fn fingerprint(&self) -> u64 {
+        crate::rng::fnv1a(self.canonical_string().as_bytes())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -355,6 +448,49 @@ mod tests {
         // Not guaranteed in general, but with 11 links two seeds out of
         // three picks colliding completely is astronomically unlikely.
         assert_ne!(mk(1).events(), mk(2).events());
+    }
+
+    #[test]
+    fn error_model_draws_are_stateless_and_seeded() {
+        let m = ErrorModel::uniform(100_000_000, 50_000_000, 0xBEEF);
+        // Pure function: any evaluation order gives the same answers.
+        let forward: Vec<FlitFate> = (0..64).map(|c| m.fate(3, c)).collect();
+        let backward: Vec<FlitFate> = (0..64).rev().map(|c| m.fate(3, c)).collect();
+        assert_eq!(forward, backward.into_iter().rev().collect::<Vec<_>>());
+        // At 15% combined rate, 64 draws must include both outcomes.
+        assert!(forward.iter().any(|f| *f != FlitFate::Ok));
+        assert!(forward.iter().any(|f| *f == FlitFate::Ok));
+        // A different seed reshuffles the pattern.
+        let m2 = ErrorModel::uniform(100_000_000, 50_000_000, 0xF00D);
+        let other: Vec<FlitFate> = (0..64).map(|c| m2.fate(3, c)).collect();
+        assert_ne!(forward, other);
+        // Directed links draw independently.
+        let d2: Vec<FlitFate> = (0..64).map(|c| m.fate(4, c)).collect();
+        assert_ne!(forward, d2);
+    }
+
+    #[test]
+    fn zero_rate_model_is_inert() {
+        let m = ErrorModel::uniform(0, 0, 0x5EED);
+        assert!(m.is_zero());
+        for c in 0..1000 {
+            assert_eq!(m.fate(0, c), FlitFate::Ok);
+        }
+    }
+
+    #[test]
+    fn error_model_fingerprint_tracks_every_field() {
+        let base = ErrorModel::uniform(1000, 2000, 7);
+        assert_eq!(base.fingerprint(), ErrorModel::uniform(1000, 2000, 7).fingerprint());
+        assert_ne!(base.fingerprint(), ErrorModel::uniform(1001, 2000, 7).fingerprint());
+        assert_ne!(base.fingerprint(), ErrorModel::uniform(1000, 2001, 7).fingerprint());
+        assert_ne!(base.fingerprint(), ErrorModel::uniform(1000, 2000, 8).fingerprint());
+    }
+
+    #[test]
+    #[should_panic(expected = "error rates exceed 1.0")]
+    fn overfull_rates_are_rejected() {
+        ErrorModel::uniform(600_000_000, 500_000_000, 0);
     }
 
     #[test]

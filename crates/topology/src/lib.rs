@@ -46,7 +46,7 @@ pub mod zoo;
 pub use apex::ApexPlan;
 pub use builder::TopologyBuilder;
 pub use error::TopologyError;
-pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultStatus, RandomFaultConfig};
+pub use fault::{ErrorModel, FaultEvent, FaultKind, FaultPlan, FaultStatus, FlitFate, RandomFaultConfig};
 pub use gen::{generate, ExtraLinks, RandomTopologyConfig};
 pub use graph::{Link, PortUse, Switch, Topology};
 pub use ids::{IdOverflow, LinkId, NodeId, PortIdx, SwitchId};
@@ -61,7 +61,7 @@ pub mod prelude {
     pub use crate::apex::ApexPlan;
     pub use crate::builder::TopologyBuilder;
     pub use crate::error::TopologyError;
-    pub use crate::fault::{FaultEvent, FaultKind, FaultPlan, FaultStatus, RandomFaultConfig};
+    pub use crate::fault::{ErrorModel, FaultEvent, FaultKind, FaultPlan, FaultStatus, FlitFate, RandomFaultConfig};
     pub use crate::gen::{self, RandomTopologyConfig};
     pub use crate::graph::{Link, PortUse, Switch, Topology};
     pub use crate::ids::{LinkId, NodeId, PortIdx, SwitchId};

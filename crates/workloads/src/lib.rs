@@ -27,6 +27,7 @@ pub mod report;
 pub mod single;
 pub mod stats;
 pub mod sweep;
+pub mod transient;
 
 pub use dsm::{generate_trace, run_dsm, DsmConfig, DsmResult, DsmTrace};
 pub use faults::{run_faulted, FaultConfig, FaultResult};
@@ -39,3 +40,4 @@ pub use sweep::{
     build_networks, default_seeds, par_run, par_run_with, point_seed, single_sweep,
     single_sweep_serial, SinglePoint, SweepRow,
 };
+pub use transient::{run_transient, TransientConfig, TransientResult};
